@@ -1,0 +1,155 @@
+// Figure 6: the Receive WQE Cache Miss diagnostic counter over the course
+// of the search, for random input generation, SA without MFS and full
+// Collie (all diagnostic-counter guided), on subsystem F.
+//
+// Output: one row per simulated minute with the normalized counter value
+// per strategy, plus markers for anomaly discoveries.  Expected shape
+// (paper): random stays low; SA(Diag) drives the counter high but keeps
+// circling known anomalies; Collie drives it high AND keeps finding new
+// anomalies, with flat stretches during MFS extraction.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "harness.h"
+#include "sim/subsystem.h"
+
+using namespace collie;
+
+namespace {
+
+struct Series {
+  std::vector<double> value_per_min;   // normalized later
+  std::vector<int> anomalies_per_min;  // distinct discoveries that minute
+  int distinct_total = 0;
+};
+
+Series to_series(const core::SearchResult& r, double minutes,
+                 const std::string& chip) {
+  Series s;
+  const int n = static_cast<int>(minutes);
+  s.value_per_min.assign(static_cast<std::size_t>(n), 0.0);
+  s.anomalies_per_min.assign(static_cast<std::size_t>(n), 0);
+  // Distinct ground-truth discoveries only (a no-MFS search keeps
+  // re-triggering the same anomalies; the figure marks first sightings).
+  std::set<int> seen;
+  std::vector<double> discovery_minutes;
+  for (const auto& f : r.found) {
+    const int id = benchharness::identify(chip, f);
+    if (id == 0 || seen.count(id)) continue;
+    seen.insert(id);
+    discovery_minutes.push_back(f.found_at_seconds / 60.0);
+  }
+  s.distinct_total = static_cast<int>(seen.size());
+  for (double dm : discovery_minutes) {
+    const int m = std::min(n - 1, static_cast<int>(dm));
+    if (m >= 0) s.anomalies_per_min[static_cast<std::size_t>(m)]++;
+  }
+  double last = 0.0;
+  std::size_t ti = 0;
+  for (int m = 0; m < n; ++m) {
+    while (ti < r.trace.size() && r.trace[ti].t_seconds <= (m + 1) * 60.0) {
+      last = r.trace[ti].rx_wqe_cache_miss;
+      ++ti;
+    }
+    s.value_per_min[static_cast<std::size_t>(m)] = last;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double minutes = args.get_double("minutes", 150);
+  const u64 seed = static_cast<u64>(args.get_int("seed", 11));
+  const char sys_id = args.get("sys", "F")[0];
+
+  const sim::Subsystem& sys = sim::subsystem(sys_id);
+  workload::EngineOptions eopts;
+  eopts.run_functional_pass = false;
+  workload::Engine engine(sys, eopts);
+  core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  core::SearchBudget budget;
+  budget.seconds = minutes * 60.0;
+
+  Series series[3];
+  {
+    Rng rng(seed);
+    series[0] = to_series(driver.run_random(budget, rng), minutes, sys.nicm.chip);
+  }
+  {
+    Rng rng(seed);
+    core::SaConfig cfg;
+    cfg.mode = core::GuidanceMode::kDiag;
+    cfg.use_mfs = false;
+    series[1] = to_series(driver.run_simulated_annealing(cfg, budget, rng),
+                          minutes, sys.nicm.chip);
+  }
+  {
+    Rng rng(seed);
+    core::SaConfig cfg;
+    cfg.mode = core::GuidanceMode::kDiag;
+    series[2] = to_series(driver.run_simulated_annealing(cfg, budget, rng),
+                          minutes, sys.nicm.chip);
+  }
+
+  // Normalize each series by its own maximum ("normalized counter" axis);
+  // random's absolute level is reported separately below.
+  double max_per[3] = {1e-9, 1e-9, 1e-9};
+  double max_v = 1e-9;
+  for (int i = 0; i < 3; ++i) {
+    for (double v : series[i].value_per_min) {
+      max_per[i] = std::max(max_per[i], v);
+      max_v = std::max(max_v, v);
+    }
+  }
+
+  std::printf(
+      "Figure 6: normalized Receive WQE Cache Miss counter during the "
+      "search (subsystem %c, seed %llu)\nMarkers: columns 'found' count "
+      "anomalies discovered in that minute.\n\n",
+      sys_id, static_cast<unsigned long long>(seed));
+  TextTable t({"minute", "Random", "found", "SA(Diag)", "found",
+               "Collie(Diag)", "found"});
+  for (int m = 0; m < static_cast<int>(minutes); m += 5) {
+    const auto idx = static_cast<std::size_t>(m);
+    auto mark = [&](const Series& s) {
+      int c = 0;
+      for (int k = m; k < m + 5 && k < static_cast<int>(minutes); ++k) {
+        c += s.anomalies_per_min[static_cast<std::size_t>(k)];
+      }
+      return c ? "*" + std::to_string(c) : "";
+    };
+    t.add_row({std::to_string(m),
+               fmt_double(series[0].value_per_min[idx] / max_per[0], 3),
+               mark(series[0]),
+               fmt_double(series[1].value_per_min[idx] / max_per[1], 3),
+               mark(series[1]),
+               fmt_double(series[2].value_per_min[idx] / max_per[2], 3),
+               mark(series[2])});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  auto peak = [&](const Series& s) {
+    double v = 0.0;
+    for (double x : s.value_per_min) v = std::max(v, x);
+    return v / max_v;
+  };
+  std::printf(
+      "Peak counter (vs global max): Random=%.3f SA(Diag)=%.3f "
+      "Collie=%.3f\n"
+      "Distinct anomalies found:     Random=%d     SA(Diag)=%d     "
+      "Collie=%d\n"
+      "(paper shape: guided searches drive the counter far above random;\n"
+      " Collie spends its budget on new regions instead of circling found\n"
+      " anomalies, visible as flat MFS stretches and early discoveries.)\n",
+      peak(series[0]), peak(series[1]), peak(series[2]),
+      series[0].distinct_total, series[1].distinct_total,
+      series[2].distinct_total);
+  return 0;
+}

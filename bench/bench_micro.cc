@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// reproduction: one performance-model evaluation is the unit of work for
+// every search experiment, so its cost bounds how fast the figure harnesses
+// run; mutation, MFS matching, the verbs data path and the GP fit are the
+// other per-iteration costs.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bo.h"
+#include "baseline/gp.h"
+#include "catalog/anomalies.h"
+#include "core/mfs.h"
+#include "core/search.h"
+#include "sim/perf_model.h"
+#include "sim/subsystem.h"
+#include "verbs/verbs.h"
+#include "workload/engine.h"
+
+using namespace collie;
+
+namespace {
+
+Workload bulk_workload() {
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kWrite;
+  w.num_qps = 8;
+  w.wqe_batch = 8;
+  w.mr_size = 1 * MiB;
+  w.pattern = {64 * KiB};
+  return w;
+}
+
+void BM_PerfModelEvaluateClean(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const Workload w = bulk_workload();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate(sys, w, rng));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluateClean);
+
+void BM_PerfModelEvaluateAnomalous(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const Workload w =
+      catalog::anomaly(static_cast<int>(state.range(0))).concrete;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate(sys, w, rng));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluateAnomalous)->Arg(1)->Arg(4)->Arg(9)->Arg(13);
+
+void BM_EngineRunWithFunctionalPass(benchmark::State& state) {
+  workload::Engine engine(sim::subsystem('F'));
+  const Workload w = bulk_workload();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w, rng));
+  }
+}
+BENCHMARK(BM_EngineRunWithFunctionalPass);
+
+void BM_SpaceRandomPoint(benchmark::State& state) {
+  core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.random_point(rng));
+  }
+}
+BENCHMARK(BM_SpaceRandomPoint);
+
+void BM_SpaceMutate(benchmark::State& state) {
+  core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(1);
+  Workload w = space.random_point(rng);
+  for (auto _ : state) {
+    w = space.mutate(w, rng);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_SpaceMutate);
+
+void BM_MfsMatch(benchmark::State& state) {
+  core::SearchSpace space(sim::subsystem('F'));
+  core::Mfs mfs;
+  core::FeatureCondition qp;
+  qp.feature = core::Feature::kQpType;
+  qp.categorical = true;
+  qp.allowed = {static_cast<int>(QpType::kUD)};
+  core::FeatureCondition batch;
+  batch.feature = core::Feature::kWqeBatch;
+  batch.categorical = false;
+  batch.lo = 64;
+  mfs.conditions = {qp, batch};
+  Rng rng(1);
+  const Workload w = space.random_point(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mfs.matches(space, w));
+  }
+}
+BENCHMARK(BM_MfsMatch);
+
+void BM_VerbsWritePath(benchmark::State& state) {
+  verbs::Network net;
+  verbs::Context* a = net.add_host();
+  verbs::Context* b = net.add_host();
+  verbs::Pd* pda = a->alloc_pd();
+  verbs::Pd* pdb = b->alloc_pd();
+  verbs::Cq* cqa = a->create_cq(4096);
+  verbs::Cq* cqb = b->create_cq(4096);
+  std::vector<u8> ba(64 * KiB);
+  std::vector<u8> bb(64 * KiB);
+  verbs::Mr* mra =
+      a->reg_mr(pda, ba.data(), ba.size(),
+                verbs::kLocalWrite | verbs::kRemoteWrite);
+  verbs::Mr* mrb =
+      b->reg_mr(pdb, bb.data(), bb.size(),
+                verbs::kLocalWrite | verbs::kRemoteWrite);
+  verbs::Qp* qa = a->create_qp(pda, cqa, cqa, verbs::QpType::kRC, {});
+  verbs::Qp* qb = b->create_qp(pdb, cqb, cqb, verbs::QpType::kRC, {});
+  verbs::connect_pair(qa, qb, 4096);
+  verbs::SendWr wr;
+  wr.opcode = verbs::WrOpcode::kWrite;
+  wr.remote_addr = mrb->addr();
+  wr.rkey = mrb->rkey();
+  wr.sg_list = {{mra->addr(), 4096, mra->lkey()}};
+  verbs::Wc wc;
+  for (auto _ : state) {
+    qa->post_send({wr});
+    net.progress();
+    cqa->poll(&wc, 1);
+    benchmark::DoNotOptimize(wc);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_VerbsWritePath);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(15);
+    for (auto& v : x) v = rng.uniform();
+    ys.push_back(rng.uniform());
+    xs.push_back(std::move(x));
+  }
+  baseline::GaussianProcess gp;
+  std::vector<double> q(15, 0.5);
+  for (auto _ : state) {
+    gp.fit(xs, ys);
+    double mu = 0.0;
+    double sigma = 0.0;
+    gp.predict(q, &mu, &sigma);
+    benchmark::DoNotOptimize(mu + sigma);
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(32)->Arg(96);
+
+void BM_ExperimentCostModel(benchmark::State& state) {
+  const Workload w = bulk_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::experiment_cost_seconds(w));
+  }
+}
+BENCHMARK(BM_ExperimentCostModel);
+
+}  // namespace

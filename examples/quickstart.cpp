@@ -1,0 +1,95 @@
+// Quickstart: measure one workload on a simulated RDMA subsystem, judge it
+// with the anomaly monitor, and extract the minimal feature set of an
+// anomalous workload.
+//
+//   $ ./quickstart [--sys F]
+//
+// Walks through the full Collie pipeline on two workloads: a healthy bulk
+// transfer and the paper's anomaly #1 (UD SEND with a large WQE batch).
+#include <cstdio>
+
+#include "catalog/anomalies.h"
+#include "common/cli.h"
+#include "core/mfs.h"
+#include "core/monitor.h"
+#include "core/space.h"
+#include "workload/engine.h"
+
+using namespace collie;
+
+namespace {
+
+void show(const char* title, const workload::Measurement& m,
+          const core::Verdict& v) {
+  std::printf("%s\n", title);
+  std::printf("  delivered goodput : %s\n",
+              format_gbps(m.rx_goodput_bps).c_str());
+  std::printf("  wire utilization  : %.1f%% of line rate\n",
+              100.0 * m.wire_utilization);
+  std::printf("  pps utilization   : %.1f%% of spec packet rate\n",
+              100.0 * m.pps_utilization);
+  std::printf("  pause duration    : %.2f%%\n",
+              100.0 * m.pause_duration_ratio);
+  std::printf("  rx WQE cache miss : %.0f /s\n",
+              m.average.get(sim::DiagCounter::kRxWqeCacheMiss));
+  std::printf("  verdict           : %s\n\n", to_string(v.symptom));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const char sys_id = args.get("sys", "F")[0];
+  const sim::Subsystem& sys = sim::subsystem(sys_id);
+  std::printf("Subsystem %s\n\n", sys.summary().c_str());
+
+  workload::Engine engine(sys);
+  core::AnomalyMonitor monitor;
+  core::SearchSpace space(sys);
+  Rng rng(42);
+
+  // 1. A healthy bulk-transfer workload: 8 RC WRITE connections, 64KB
+  //    messages — the kind of traffic perftest generates.
+  Workload bulk;
+  bulk.qp_type = QpType::kRC;
+  bulk.opcode = Opcode::kWrite;
+  bulk.num_qps = 8;
+  bulk.wqe_batch = 8;
+  bulk.mr_size = 1 * MiB;
+  bulk.pattern = {64 * KiB};
+  std::printf("workload: %s\n", bulk.describe().c_str());
+  {
+    const auto m = engine.run(bulk, rng);
+    show("healthy bulk transfer:", m, monitor.judge(m));
+  }
+
+  // 2. The paper's anomaly #1: one UD QP, WQE batch 64, deep receive
+  //    queue — a pause-frame storm from receive-WQE cache misses.
+  const Workload storm = catalog::anomaly(1).concrete;
+  std::printf("workload: %s\n", storm.describe().c_str());
+  const auto m = engine.run(storm, rng);
+  const auto verdict = monitor.judge(m);
+  show("anomaly #1 trigger:", m, verdict);
+
+  if (verdict.anomalous()) {
+    // 3. Extract the minimal feature set: the necessary conditions a
+    //    developer must break to avoid the anomaly.
+    std::printf("extracting minimal feature set (necessity probes)...\n");
+    int probes = 0;
+    auto probe = [&](const Workload& w) {
+      ++probes;
+      return monitor.judge(engine.run(w, rng)).symptom;
+    };
+    const core::Mfs mfs =
+        core::construct_mfs(space, storm, verdict.symptom, probe);
+    std::printf("%d probes\n%s\n\n", probes, mfs.describe(space).c_str());
+
+    std::printf(
+        "breaking one condition (WQE batch 64 -> 8) and re-measuring:\n");
+    Workload fixed = storm;
+    fixed.wqe_batch = 8;
+    const auto m2 = engine.run(fixed, rng);
+    show("after the fix:", m2, monitor.judge(m2));
+  }
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "baseline/bo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/gp.h"
+#include "common/stats.h"
+
+namespace collie::baseline {
+namespace {
+
+using core::Mfs;
+using core::Symptom;
+using core::TracePoint;
+using core::Verdict;
+
+double log_scale(double v, double lo, double hi) {
+  v = std::clamp(v, lo, hi);
+  return (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+}
+
+// Shared bookkeeping for measured experiments (mirrors the Collie driver's
+// accounting so Figure 4 compares like with like).
+struct BoState {
+  core::SearchResult result;
+  std::vector<Mfs> mfs_set;
+  double elapsed = 0.0;
+
+  bool exhausted(const core::SearchBudget& b) const {
+    return elapsed >= b.seconds || result.experiments >= b.max_experiments;
+  }
+};
+
+Verdict measure(const workload::Engine& engine,
+                const core::SearchSpace& space,
+                const core::AnomalyMonitor& monitor, const Workload& w,
+                bool use_mfs, Rng& rng, BoState& state,
+                sim::CounterSample* counters_out) {
+  const workload::Measurement m = engine.run(w, rng);
+  state.elapsed += m.cost_seconds;
+  state.result.experiments += 1;
+  const Verdict v = monitor.judge(m);
+  if (counters_out != nullptr) *counters_out = m.average;
+
+  TracePoint tp;
+  tp.t_seconds = state.elapsed;
+  tp.rx_wqe_cache_miss = m.average.get(sim::DiagCounter::kRxWqeCacheMiss);
+  tp.counter_value = tp.rx_wqe_cache_miss;
+  state.result.trace.push_back(tp);
+
+  if (!v.anomalous()) return v;
+  for (const Mfs& known : state.mfs_set) {
+    if (known.matches(space, w)) return v;
+  }
+
+  core::FoundAnomaly found;
+  found.verdict = v;
+  found.found_at_seconds = state.elapsed;
+  found.experiment_index = state.result.experiments;
+  found.dominant = m.dominant;
+  const Symptom symptom = v.symptom;
+  if (use_mfs) {
+    auto probe = [&](const Workload& candidate) -> Symptom {
+      const workload::Measurement pm = engine.run(candidate, rng);
+      state.elapsed += pm.cost_seconds;
+      state.result.experiments += 1;
+      TracePoint ptp;
+      ptp.t_seconds = state.elapsed;
+      ptp.counter_value = state.result.trace.back().counter_value;
+      ptp.rx_wqe_cache_miss = ptp.counter_value;
+      ptp.in_mfs_extraction = true;
+      state.result.trace.push_back(ptp);
+      return monitor.judge(pm).symptom;
+    };
+    Mfs mfs = core::construct_mfs(space, w, symptom, probe);
+    mfs.index = static_cast<int>(state.mfs_set.size());
+    state.mfs_set.push_back(mfs);
+    found.mfs = std::move(mfs);
+  } else {
+    Mfs bare;
+    bare.symptom = symptom;
+    bare.witness = w;
+    found.mfs = std::move(bare);
+  }
+  state.result.trace.back().anomaly_found = true;
+  state.result.found.push_back(std::move(found));
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> encode_workload(const core::SearchSpace& space,
+                                    const Workload& w) {
+  std::vector<double> x;
+  const auto& cfg = space.config();
+  // Categorical features as scaled indices — the encoding [31]-style BO
+  // ends up with, and the root of its trouble on this space.
+  for (core::Feature f :
+       {core::Feature::kQpType, core::Feature::kOpcode,
+        core::Feature::kDirection, core::Feature::kLoopback,
+        core::Feature::kPatternMix}) {
+    const auto alts = space.categorical_alternatives(f);
+    const double card = std::max<std::size_t>(alts.size(), 2);
+    x.push_back(space.categorical_value(w, f) / (card - 1.0));
+  }
+  x.push_back(log_scale(w.num_qps, 1, cfg.max_qps));
+  x.push_back(log_scale(w.wqe_batch, 1, cfg.max_wqe_batch));
+  x.push_back(static_cast<double>(w.sge_per_wqe - 1) /
+              std::max(1, cfg.max_sge - 1));
+  x.push_back(log_scale(w.send_wq_depth, cfg.min_wq_depth,
+                        cfg.max_wq_depth));
+  x.push_back(log_scale(w.recv_wq_depth, cfg.min_wq_depth,
+                        cfg.max_wq_depth));
+  x.push_back(log_scale(w.mrs_per_qp, 1, cfg.max_mrs_per_qp));
+  x.push_back(log_scale(static_cast<double>(w.mr_size),
+                        static_cast<double>(cfg.min_mr_size),
+                        static_cast<double>(cfg.max_mr_size)));
+  x.push_back(log_scale(w.mtu, 256, 4096));
+  x.push_back(log_scale(std::max(1.0, analyze_pattern(w).avg_msg_bytes), 64,
+                        4.0 * MiB));
+  return x;
+}
+
+core::SearchResult run_bayesian_optimization(
+    const workload::Engine& engine, const core::SearchSpace& space,
+    const core::AnomalyMonitor& monitor, const BoConfig& config,
+    const core::SearchBudget& budget, Rng& rng) {
+  BoState state;
+
+  // Rank diagnostic counters exactly like Collie (§7.2).
+  std::vector<sim::CounterSample> probes;
+  for (int i = 0; i < config.ranking_probes && !state.exhausted(budget);
+       ++i) {
+    sim::CounterSample cs;
+    measure(engine, space, monitor, space.random_point(rng), config.use_mfs,
+            rng, state, &cs);
+    probes.push_back(cs);
+  }
+  std::vector<std::pair<double, int>> ranked;
+  for (int d = 0; d < sim::kNumDiagCounters; ++d) {
+    RunningStat rs;
+    for (const auto& p : probes) rs.add(p.diag[static_cast<std::size_t>(d)]);
+    ranked.emplace_back(rs.cov(), d);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (std::size_t ci = 0; ci < ranked.size() && !state.exhausted(budget);
+       ++ci) {
+    const int counter = ranked[ci].second;
+    const double deadline =
+        state.elapsed + (budget.seconds - state.elapsed) /
+                            static_cast<double>(ranked.size() - ci);
+
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    std::vector<Workload> ws;
+
+    auto observe = [&](const Workload& candidate) {
+      Workload w = candidate;
+      if (config.use_mfs) {
+        // MatchMFS skips cost nothing, so they must not be able to starve
+        // the loop: after a few skipped candidates fall back to a fresh
+        // random point and measure it.
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          bool skip = false;
+          for (const Mfs& known : state.mfs_set) {
+            if (known.matches(space, w)) {
+              skip = true;
+              break;
+            }
+          }
+          if (!skip) break;
+          state.result.mfs_skips += 1;
+          w = space.random_point(rng);
+        }
+      }
+      sim::CounterSample cs;
+      measure(engine, space, monitor, w, config.use_mfs, rng, state, &cs);
+      const double y = cs.diag[static_cast<std::size_t>(counter)];
+      state.result.trace.back().counter_value = y;
+      xs.push_back(encode_workload(space, w));
+      ys.push_back(y);
+      ws.push_back(w);
+      if (static_cast<int>(xs.size()) > config.gp_window) {
+        xs.erase(xs.begin());
+        ys.erase(ys.begin());
+        ws.erase(ws.begin());
+      }
+    };
+
+    for (int i = 0; i < config.initial_random && state.elapsed < deadline &&
+                    !state.exhausted(budget);
+         ++i) {
+      observe(space.random_point(rng));
+    }
+
+    GaussianProcess gp;
+    while (state.elapsed < deadline && !state.exhausted(budget)) {
+      Workload next = space.random_point(rng);
+      if (xs.size() >= 4 && gp.fit(xs, ys)) {
+        // Candidate pool: random exploration plus mutations of the best
+        // observed workload; pick the expected-improvement maximizer.
+        const std::size_t best_idx = static_cast<std::size_t>(
+            std::max_element(ys.begin(), ys.end()) - ys.begin());
+        double best_ei = -1.0;
+        for (int c = 0; c < config.candidates; ++c) {
+          const Workload cand = (c % 3 == 0)
+                                    ? space.random_point(rng)
+                                    : space.mutate(ws[best_idx], rng);
+          double mu = 0.0;
+          double sigma = 0.0;
+          gp.predict(encode_workload(space, cand), &mu, &sigma);
+          const double ei =
+              expected_improvement(mu, sigma, gp.best_observed());
+          if (ei > best_ei) {
+            best_ei = ei;
+            next = cand;
+          }
+        }
+      }
+      observe(next);
+    }
+  }
+
+  state.result.elapsed_seconds = state.elapsed;
+  return state.result;
+}
+
+}  // namespace collie::baseline

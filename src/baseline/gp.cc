@@ -1,0 +1,91 @@
+#include "baseline/gp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace collie::baseline {
+namespace {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  const double l2 = config_.length_scale * config_.length_scale;
+  return config_.signal_variance * std::exp(-0.5 * d2 / l2);
+}
+
+bool GaussianProcess::fit(const std::vector<std::vector<double>>& xs,
+                          const std::vector<double>& ys) {
+  fitted_ = false;
+  if (xs.empty() || xs.size() != ys.size()) return false;
+  xs_ = xs;
+
+  // Standardize targets.
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double var = 0.0;
+  for (double y : ys) var += (y - mean) * (y - mean);
+  var /= static_cast<double>(ys.size());
+  y_mean_ = mean;
+  y_std_ = std::sqrt(std::max(var, 1e-12));
+  ys_standardized_.clear();
+  for (double y : ys) ys_standardized_.push_back((y - y_mean_) / y_std_);
+  best_y_ = *std::max_element(ys.begin(), ys.end());
+
+  const int n = static_cast<int>(xs.size());
+  Matrix k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double v = kernel(xs_[static_cast<std::size_t>(i)],
+                        xs_[static_cast<std::size_t>(j)]);
+      if (i == j) v += config_.noise_variance;
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+  }
+  if (!cholesky(k, &chol_)) return false;
+  alpha_ = cholesky_solve(chol_, ys_standardized_);
+  fitted_ = true;
+  return true;
+}
+
+void GaussianProcess::predict(const std::vector<double>& x, double* mean,
+                              double* stddev) const {
+  if (!fitted_) {
+    *mean = y_mean_;
+    *stddev = y_std_;
+    return;
+  }
+  const int n = static_cast<int>(xs_.size());
+  std::vector<double> kstar(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    kstar[static_cast<std::size_t>(i)] =
+        kernel(x, xs_[static_cast<std::size_t>(i)]);
+  }
+  const double mu = dot(kstar, alpha_);
+  const std::vector<double> v = forward_substitute(chol_, kstar);
+  double var = kernel(x, x) - dot(v, v);
+  var = std::max(var, 1e-12);
+  *mean = mu * y_std_ + y_mean_;
+  *stddev = std::sqrt(var) * y_std_;
+}
+
+double expected_improvement(double mean, double stddev, double best) {
+  if (stddev <= 1e-12) return std::max(0.0, mean - best);
+  const double z = (mean - best) / stddev;
+  return (mean - best) * normal_cdf(z) + stddev * normal_pdf(z);
+}
+
+}  // namespace collie::baseline

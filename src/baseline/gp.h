@@ -1,0 +1,53 @@
+// Gaussian-process regression with an RBF kernel: the surrogate model of the
+// Bayesian-optimization baseline (§7.2, built after [31]).
+#pragma once
+
+#include <vector>
+
+#include "baseline/linalg.h"
+
+namespace collie::baseline {
+
+struct GpConfig {
+  double length_scale = 0.35;   // on [0,1]-normalized features
+  double signal_variance = 1.0;
+  double noise_variance = 2.5e-3;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {}) : config_(config) {}
+
+  // Fit to the given observations; y is standardized internally.  Returns
+  // false if the kernel matrix is not positive definite (degenerate data).
+  bool fit(const std::vector<std::vector<double>>& xs,
+           const std::vector<double>& ys);
+
+  bool fitted() const { return fitted_; }
+  std::size_t size() const { return xs_.size(); }
+
+  // Posterior mean and stddev at x, in the original y units.
+  void predict(const std::vector<double>& x, double* mean,
+               double* stddev) const;
+
+  double best_observed() const { return best_y_; }
+
+ private:
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  GpConfig config_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_standardized_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double best_y_ = 0.0;
+  Matrix chol_;
+  std::vector<double> alpha_;  // K^-1 y
+};
+
+// Expected improvement for MAXIMIZATION over the incumbent best.
+double expected_improvement(double mean, double stddev, double best);
+
+}  // namespace collie::baseline

@@ -1,0 +1,70 @@
+#include "baseline/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace collie::baseline {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {}
+
+bool cholesky(const Matrix& a, Matrix* l) {
+  assert(a.rows() == a.cols());
+  const int n = a.rows();
+  *l = Matrix(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (int k = 0; k < j; ++k) sum -= l->at(i, k) * l->at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l->at(i, i) = std::sqrt(sum);
+      } else {
+        l->at(i, j) = sum / l->at(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> forward_substitute(const Matrix& l,
+                                       const std::vector<double>& b) {
+  const int n = l.rows();
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      sum -= l.at(i, k) * y[static_cast<std::size_t>(k)];
+    }
+    y[static_cast<std::size_t>(i)] = sum / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  const int n = l.rows();
+  std::vector<double> y = forward_substitute(l, b);
+  // Back substitution with L^T.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= l.at(k, i) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace collie::baseline

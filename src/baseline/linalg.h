@@ -1,0 +1,47 @@
+// Dense linear algebra needed by the Gaussian-process baseline: symmetric
+// positive-definite solves via Cholesky.  Implemented from scratch because
+// the reproduction environment is offline (no Eigen/BLAS), and the sizes are
+// tiny (GP windows of ~100 points).
+#pragma once
+
+#include <vector>
+
+namespace collie::baseline {
+
+// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int r, int c) { return data_[idx(r, c)]; }
+  double at(int r, int c) const { return data_[idx(r, c)]; }
+
+ private:
+  std::size_t idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+// Returns false if A is not (numerically) positive definite.  Only the lower
+// triangle of `a` is read; `l` receives the lower-triangular factor.
+bool cholesky(const Matrix& a, Matrix* l);
+
+// Solve L L^T x = b given the Cholesky factor.
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b);
+
+// Forward substitution: solve L y = b.
+std::vector<double> forward_substitute(const Matrix& l,
+                                       const std::vector<double>& b);
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace collie::baseline

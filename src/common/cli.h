@@ -1,0 +1,31 @@
+// Tiny command line flag parser for examples and bench harnesses.
+// Supports "--name=value" and "--name value"; anything else is positional.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace collie {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name,
+                  const std::string& default_value = "") const;
+  i64 get_int(const std::string& name, i64 default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace collie

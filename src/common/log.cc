@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace collie {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) <
+      g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::cerr << "[" << level_tag(level) << "] " << msg << "\n";
+}
+
+}  // namespace detail
+}  // namespace collie

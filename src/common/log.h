@@ -1,0 +1,44 @@
+// Minimal leveled logger.  Collie is a long-running search tool; operators
+// want progress lines on stderr without a logging framework dependency.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace collie {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped.  Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace collie
+
+#define COLLIE_LOG(level) ::collie::LogLine(::collie::LogLevel::level)
+#define LOG_DEBUG COLLIE_LOG(kDebug)
+#define LOG_INFO COLLIE_LOG(kInfo)
+#define LOG_WARN COLLIE_LOG(kWarn)
+#define LOG_ERROR COLLIE_LOG(kError)

@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (search algorithms, measurement jitter) takes an
+// explicit Rng so experiments are reproducible from a single seed.  The
+// engine is xoshiro256**, seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace collie {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over the full 64-bit range.
+  u64 next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  i64 uniform_int(i64 lo, i64 hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double normal();
+
+  // Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  // Log-uniform integer in [lo, hi]; both must be >= 1.  Used for dimensions
+  // like queue-pair counts where the interesting scale is multiplicative.
+  i64 log_uniform_int(i64 lo, i64 hi);
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Derive an independent stream (for per-seed fan-out in benches).
+  Rng fork();
+
+ private:
+  u64 s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace collie

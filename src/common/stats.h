@@ -1,0 +1,39 @@
+// Small statistics helpers used by the anomaly monitor (stability checks),
+// the search drivers (counter ranking by coefficient of variation) and the
+// benchmark harnesses (mean/stddev error bars).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace collie {
+
+// Streaming mean/variance (Welford).  Cheap enough to keep per counter.
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  // Coefficient of variation: stddev / |mean|; 0 when mean is ~0.
+  double cov() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+// Linear-interpolated percentile; p in [0, 100].  Empty input -> 0.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace collie

@@ -1,0 +1,16 @@
+// String helpers shared by the CLI, table printers and catalog formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace collie {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+std::string to_lower(std::string s);
+bool starts_with(const std::string& s, const std::string& prefix);
+std::string trim(const std::string& s);
+
+}  // namespace collie

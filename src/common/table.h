@@ -1,0 +1,30 @@
+// ASCII table printing for the benchmark harnesses.  Every bench binary
+// regenerates one paper table/figure as text rows, so a shared aligned-table
+// printer keeps their output uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace collie {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  // Render with single-space padding and a dash rule under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers for cells.
+std::string fmt_double(double v, int precision);
+std::string fmt_percent(double fraction, int precision);  // 0.153 -> "15.3%"
+
+}  // namespace collie

@@ -1,0 +1,28 @@
+#include "common/units.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace collie {
+
+std::string format_bytes(u64 bytes) {
+  std::ostringstream os;
+  if (bytes >= GiB && bytes % GiB == 0) {
+    os << bytes / GiB << "GB";
+  } else if (bytes >= MiB && bytes % MiB == 0) {
+    os << bytes / MiB << "MB";
+  } else if (bytes >= KiB && bytes % KiB == 0) {
+    os << bytes / KiB << "KB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+std::string format_gbps(double bps) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << to_gbps(bps) << " Gbps";
+  return os.str();
+}
+
+}  // namespace collie

@@ -1,0 +1,49 @@
+// Unit helpers shared across the Collie codebase.
+//
+// All bandwidths are carried as double bits-per-second (bps), all byte
+// quantities as std::uint64_t, and all durations as double seconds unless a
+// name says otherwise.  The helpers here keep conversion factors in one place
+// so rate arithmetic in the performance model stays readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace collie {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+inline constexpr u64 KiB = 1024ULL;
+inline constexpr u64 MiB = 1024ULL * KiB;
+inline constexpr u64 GiB = 1024ULL * MiB;
+
+// Wire-rate units (decimal, as NIC datasheets use them).
+inline constexpr double kKbps = 1e3;
+inline constexpr double kMbps = 1e6;
+inline constexpr double kGbps = 1e9;
+
+// Packet-rate units.
+inline constexpr double kMpps = 1e6;
+
+constexpr double gbps(double v) { return v * kGbps; }
+constexpr double mpps(double v) { return v * kMpps; }
+
+constexpr double to_gbps(double bps) { return bps / kGbps; }
+constexpr double to_mpps(double pps) { return pps / kMpps; }
+
+// Bytes <-> bits at a given rate.
+constexpr double bytes_per_sec(double bps) { return bps / 8.0; }
+constexpr double bits_per_sec_from_bytes(double Bps) { return Bps * 8.0; }
+
+// Human-readable byte size: "64B", "2KB", "4MB".  Used when printing
+// Table 2 style message patterns.
+std::string format_bytes(u64 bytes);
+
+// Human-readable rate: "198.4 Gbps".
+std::string format_gbps(double bps);
+
+}  // namespace collie

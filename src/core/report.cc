@@ -1,0 +1,209 @@
+#include "core/report.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace collie::core {
+
+void JsonWriter::maybe_comma() {
+  if (!needs_comma_.empty() && needs_comma_.back()) {
+    out_ += ",";
+  }
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  maybe_comma();
+  out_ += "{";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& k) {
+  if (!k.empty()) {
+    key(k);
+  } else {
+    maybe_comma();
+  }
+  out_ += "[";
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  maybe_comma();
+  out_ += "\"" + escape(k) + "\":";
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  maybe_comma();
+  out_ += "\"" + escape(v) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  maybe_comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  std::ostringstream os;
+  os << v;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  maybe_comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  maybe_comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void workload_to_json(const Workload& w, JsonWriter* json) {
+  json->begin_object();
+  json->field("qp_type", to_string(w.qp_type));
+  json->field("opcode", to_string(w.opcode));
+  json->field("num_qps", w.num_qps);
+  json->field("wqe_batch", w.wqe_batch);
+  json->field("sge_per_wqe", w.sge_per_wqe);
+  json->field("send_wq_depth", w.send_wq_depth);
+  json->field("recv_wq_depth", w.recv_wq_depth);
+  json->field("mrs_per_qp", w.mrs_per_qp);
+  json->field("mr_size", static_cast<i64>(w.mr_size));
+  json->field("mtu", static_cast<i64>(w.mtu));
+  json->field("bidirectional", w.bidirectional);
+  json->field("loopback", w.loopback);
+  json->field("local_mem", topo::to_string(w.local_mem));
+  json->field("remote_mem", topo::to_string(w.remote_mem));
+  json->begin_array("pattern");
+  for (u64 s : w.pattern) json->value(static_cast<i64>(s));
+  json->end_array();
+  json->end_object();
+}
+
+std::string search_result_to_json(const SearchSpace& space,
+                                  const SearchResult& result,
+                                  bool include_trace) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("experiments", result.experiments);
+  json.field("elapsed_seconds", result.elapsed_seconds);
+  json.field("mfs_skips", result.mfs_skips);
+  json.begin_array("anomalies");
+  for (const auto& f : result.found) {
+    json.begin_object();
+    json.field("symptom", to_string(f.mfs.symptom));
+    json.field("found_at_seconds", f.found_at_seconds);
+    json.field("experiment_index", f.experiment_index);
+    json.field("mechanism", to_string(f.dominant));
+    json.field("pause_duration_ratio", f.verdict.pause_duration_ratio);
+    json.field("wire_utilization", f.verdict.wire_utilization);
+    json.key("witness");
+    workload_to_json(f.mfs.witness, &json);
+    json.begin_array("conditions");
+    for (const auto& c : f.mfs.conditions) {
+      json.value(c.describe(space));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  if (include_trace) {
+    json.begin_array("trace");
+    for (const auto& tp : result.trace) {
+      json.begin_object();
+      json.field("t", tp.t_seconds);
+      json.field("counter", tp.counter_value);
+      json.field("rx_wqe_cache_miss", tp.rx_wqe_cache_miss);
+      json.field("anomaly", tp.anomaly_found);
+      json.field("mfs_extraction", tp.in_mfs_extraction);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string trace_to_csv(const SearchResult& result) {
+  std::ostringstream os;
+  os << "t_seconds,counter_value,rx_wqe_cache_miss,anomaly_found,"
+        "in_mfs_extraction\n";
+  for (const auto& tp : result.trace) {
+    os << tp.t_seconds << "," << tp.counter_value << ","
+       << tp.rx_wqe_cache_miss << "," << (tp.anomaly_found ? 1 : 0) << ","
+       << (tp.in_mfs_extraction ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+std::string mfs_report(const SearchSpace& space,
+                       const SearchResult& result) {
+  std::ostringstream os;
+  os << "Collie search report: " << result.found.size()
+     << " anomaly region(s), " << result.experiments << " experiments, "
+     << result.elapsed_seconds / 60.0 << " simulated minutes, "
+     << result.mfs_skips << " workloads skipped via MatchMFS\n";
+  for (const auto& f : result.found) {
+    os << "\n"
+       << f.mfs.describe(space) << "\n  found at minute "
+       << f.found_at_seconds / 60.0 << " (experiment #"
+       << f.experiment_index << ")\n  witness: "
+       << f.mfs.witness.describe() << "\n  to avoid: break any one of the "
+       << f.mfs.conditions.size() << " conditions above\n";
+  }
+  return os.str();
+}
+
+}  // namespace collie::core

@@ -1,0 +1,286 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace collie::core {
+
+const char* to_string(GuidanceMode m) {
+  switch (m) {
+    case GuidanceMode::kPerf:
+      return "Perf";
+    case GuidanceMode::kDiag:
+      return "Diag";
+  }
+  return "?";
+}
+
+namespace {
+
+// The counter being optimized during one SA phase.
+struct CounterRef {
+  bool perf = false;
+  int index = 0;  // PerfCounter or DiagCounter index
+
+  double value(const sim::CounterSample& s) const {
+    return perf ? s.perf[static_cast<std::size_t>(index)]
+                : s.diag[static_cast<std::size_t>(index)];
+  }
+  const char* name() const {
+    return perf ? sim::name(static_cast<sim::PerfCounter>(index))
+                : sim::name(static_cast<sim::DiagCounter>(index));
+  }
+};
+
+}  // namespace
+
+SearchDriver::SearchDriver(const workload::Engine& engine,
+                           const SearchSpace& space, AnomalyMonitor monitor)
+    : engine_(engine), space_(space), monitor_(std::move(monitor)) {}
+
+Verdict SearchDriver::measure_and_judge(const Workload& w, Rng& rng,
+                                        double* cost_seconds) const {
+  const workload::Measurement m = engine_.run(w, rng);
+  if (cost_seconds != nullptr) *cost_seconds = m.cost_seconds;
+  return monitor_.judge(m);
+}
+
+Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
+                           bool use_mfs, sim::CounterSample* counters_out) {
+  const workload::Measurement m = engine_.run(w, rng);
+  state.elapsed += m.cost_seconds;
+  state.result.experiments += 1;
+  const Verdict v = monitor_.judge(m);
+  if (counters_out != nullptr) *counters_out = m.average;
+
+  TracePoint tp;
+  tp.t_seconds = state.elapsed;
+  tp.rx_wqe_cache_miss =
+      m.average.get(sim::DiagCounter::kRxWqeCacheMiss);
+  tp.counter_value = tp.rx_wqe_cache_miss;  // callers may overwrite
+  tp.anomaly_found = false;
+  state.result.trace.push_back(tp);
+
+  if (!v.anomalous()) return v;
+
+  // Already covered by a known anomaly's region?  Then it is not new.
+  for (const Mfs& known : state.mfs_set) {
+    if (known.matches(space_, w)) return v;
+  }
+
+  FoundAnomaly found;
+  found.verdict = v;
+  found.found_at_seconds = state.elapsed;
+  found.experiment_index = state.result.experiments;
+  found.dominant = m.dominant;
+
+  const Symptom symptom =
+      v.symptom == Symptom::kPauseFrames ? Symptom::kPauseFrames
+                                         : Symptom::kLowThroughput;
+  if (use_mfs) {
+    // ConstructMFS (Algorithm 1 line 15): each necessity probe is a real
+    // experiment; the Figure-6 trace shows them as a flat stretch.
+    const double flat = state.result.trace.back().rx_wqe_cache_miss;
+    auto probe = [&](const Workload& candidate) -> Symptom {
+      const workload::Measurement pm = engine_.run(candidate, rng);
+      state.elapsed += pm.cost_seconds;
+      state.result.experiments += 1;
+      TracePoint ptp;
+      ptp.t_seconds = state.elapsed;
+      ptp.counter_value = flat;
+      ptp.rx_wqe_cache_miss = flat;
+      ptp.in_mfs_extraction = true;
+      state.result.trace.push_back(ptp);
+      const Verdict pv = monitor_.judge(pm);
+      return pv.symptom;
+    };
+    Mfs mfs = construct_mfs(space_, w, symptom, probe);
+    mfs.index = static_cast<int>(state.mfs_set.size());
+    state.mfs_set.push_back(mfs);
+    found.mfs = std::move(mfs);
+  } else {
+    Mfs bare;
+    bare.index = static_cast<int>(state.result.found.size());
+    bare.symptom = symptom;
+    bare.witness = w;
+    found.mfs = std::move(bare);
+  }
+  // Mark the discovery on the trace.
+  state.result.trace.back().anomaly_found = true;
+  state.result.found.push_back(std::move(found));
+  return v;
+}
+
+SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
+                                      bool use_mfs) {
+  RunState state;
+  int consecutive_skips = 0;
+  while (!state.exhausted(budget)) {
+    const Workload w = space_.random_point(rng);
+    // Skips are free, but bound them so a pathologically broad MFS set can
+    // never starve the loop.
+    if (use_mfs && consecutive_skips < 10000) {
+      bool skip = false;
+      for (const Mfs& known : state.mfs_set) {
+        if (known.matches(space_, w)) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) {
+        state.result.mfs_skips += 1;
+        ++consecutive_skips;
+        continue;
+      }
+    }
+    consecutive_skips = 0;
+    step(w, rng, state, use_mfs, nullptr);
+  }
+  state.result.elapsed_seconds = state.elapsed;
+  return state.result;
+}
+
+SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
+                                                   const SearchBudget& budget,
+                                                   Rng& rng) {
+  RunState state;
+
+  // ---- Build the counter schedule ----
+  std::vector<CounterRef> schedule;
+  if (config.mode == GuidanceMode::kPerf) {
+    schedule.push_back(
+        {true, static_cast<int>(sim::PerfCounter::kRxGoodputBps)});
+    schedule.push_back({true, static_cast<int>(sim::PerfCounter::kRxPps)});
+  } else {
+    // Rank the diagnostic counters by coefficient of variation over a few
+    // random probes (§7.2) and optimize them in decreasing order.
+    std::vector<sim::CounterSample> probes;
+    for (int i = 0; i < config.ranking_probes && !state.exhausted(budget);
+         ++i) {
+      sim::CounterSample cs;
+      step(space_.random_point(rng), rng, state, config.use_mfs, &cs);
+      probes.push_back(cs);
+    }
+    std::vector<std::pair<double, int>> ranked;
+    for (int d = 0; d < sim::kNumDiagCounters; ++d) {
+      RunningStat rs;
+      for (const auto& p : probes) {
+        rs.add(p.diag[static_cast<std::size_t>(d)]);
+      }
+      ranked.emplace_back(rs.cov(), d);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [cov, d] : ranked) {
+      (void)cov;
+      schedule.push_back({false, d});
+    }
+  }
+  if (schedule.empty()) {
+    state.result.elapsed_seconds = state.elapsed;
+    return state.result;
+  }
+
+  // ---- One SA phase per counter, splitting the remaining budget ----
+  for (std::size_t ci = 0; ci < schedule.size() && !state.exhausted(budget);
+       ++ci) {
+    const CounterRef counter = schedule[ci];
+    const double remaining = budget.seconds - state.elapsed;
+    const double deadline =
+        state.elapsed +
+        remaining / static_cast<double>(schedule.size() - ci);
+
+    auto energy_delta = [&](double a, double b) {
+      // Perf counters are minimized: dE = (B - A) / A.
+      // Diag counters are maximized: dE = (A - B) / B.
+      if (counter.perf) return (b - a) / std::max(a, 1e-9);
+      return (a - b) / std::max(b, 1e-9);
+    };
+
+    // Measure an initial random point (Algorithm 1 line 1).
+    Workload p_old = space_.random_point(rng);
+    sim::CounterSample cs_old;
+    Verdict v = step(p_old, rng, state, config.use_mfs, &cs_old);
+    double e_old = counter.value(cs_old);
+    state.result.trace.back().counter_value = e_old;
+
+    double temperature = config.t0;
+    int consecutive_skips = 0;
+    while (state.elapsed < deadline && !state.exhausted(budget)) {
+      for (int i = 0;
+           i < config.iters_per_temperature && state.elapsed < deadline &&
+           !state.exhausted(budget);
+           ++i) {
+        Workload p_new = space_.mutate(p_old, rng);
+        if (config.use_mfs) {
+          bool skip = false;
+          for (const Mfs& known : state.mfs_set) {
+            if (known.matches(space_, p_new)) {
+              skip = true;
+              break;
+            }
+          }
+          if (skip) {
+            state.result.mfs_skips += 1;
+            // Optimizing the counter tends to pull the walk back INTO known
+            // anomaly regions; when the neighbourhood is exhausted, restart
+            // from a fresh point instead of orbiting the border.
+            if (++consecutive_skips >= 24) {
+              consecutive_skips = 0;
+              p_old = space_.random_point(rng);
+              sim::CounterSample cs;
+              v = step(p_old, rng, state, config.use_mfs, &cs);
+              e_old = counter.value(cs);
+              state.result.trace.back().counter_value = e_old;
+            }
+            continue;  // MatchMFS: skip without spending an experiment
+          }
+          consecutive_skips = 0;
+        }
+        sim::CounterSample cs_new;
+        v = step(p_new, rng, state, config.use_mfs, &cs_new);
+        const double e_new = counter.value(cs_new);
+        state.result.trace.back().counter_value = e_new;
+
+        if (v.anomalous() && config.use_mfs) {
+          // Restart from a fresh random point (Algorithm 1 line 17).
+          p_old = space_.random_point(rng);
+          if (state.exhausted(budget)) break;
+          step(p_old, rng, state, config.use_mfs, &cs_old);
+          e_old = counter.value(cs_old);
+          state.result.trace.back().counter_value = e_old;
+          continue;
+        }
+
+        const double de = energy_delta(e_old, e_new);
+        if (de < 0.0 ||
+            rng.uniform() < std::exp(-de / std::max(temperature, 1e-6))) {
+          p_old = p_new;
+          e_old = e_new;
+        }
+      }
+      temperature *= config.alpha;
+      if (temperature < config.t_min) {
+        // Relaxed schedule (§5.1): jump out instead of freezing, so the
+        // search keeps exploring for *all* anomalies, not one optimum.
+        temperature = config.t0;
+        p_old = space_.random_point(rng);
+        if (!state.exhausted(budget) && state.elapsed < deadline) {
+          step(p_old, rng, state, config.use_mfs, &cs_old);
+          e_old = counter.value(cs_old);
+          state.result.trace.back().counter_value = e_old;
+        }
+      }
+    }
+    LOG_DEBUG << "SA phase over counter " << counter.name() << " done at t="
+              << state.elapsed;
+  }
+
+  state.result.elapsed_seconds = state.elapsed;
+  return state.result;
+}
+
+}  // namespace collie::core

@@ -1,0 +1,120 @@
+// Search drivers: Collie's simulated-annealing search (Algorithm 1) and the
+// random-input baseline of §7.2.
+//
+// Counter guidance (§5.1): performance counters are driven to LOW value
+// regions and diagnostic counters to HIGH value regions.  The energy deltas
+// are the paper's (B-A)/A for performance counters and (A-B)/B for
+// diagnostic counters, which sidesteps opaque absolute value ranges.
+//
+// Time accounting is in *simulated testbed seconds*: every experiment costs
+// 20-60 s (sim::experiment_cost_seconds), and searches run against a wall
+// budget, 10 hours in the paper's Figure 4/5 runs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mfs.h"
+#include "core/monitor.h"
+#include "core/space.h"
+#include "workload/engine.h"
+
+namespace collie::core {
+
+enum class GuidanceMode {
+  kPerf,  // Collie (Perf): general, every RNIC exposes these
+  kDiag,  // Collie (Diag): vendor diagnostic counters
+};
+
+const char* to_string(GuidanceMode m);
+
+struct FoundAnomaly {
+  Mfs mfs;
+  Verdict verdict;
+  double found_at_seconds = 0.0;
+  int experiment_index = 0;
+  // Ground-truth mechanism of the witness measurement (for evaluation
+  // bookkeeping only; plays the role of the paper's vendor confirmation).
+  sim::Bottleneck dominant = sim::Bottleneck::kNone;
+};
+
+// One point of the Figure-6-style trace: the diagnostic counter value seen
+// by the search over time, with anomaly-discovery marks and the flat
+// stretches of MFS extraction.
+struct TracePoint {
+  double t_seconds = 0.0;
+  double counter_value = 0.0;       // the counter currently being optimized
+  double rx_wqe_cache_miss = 0.0;   // the counter Figure 6 plots
+  bool anomaly_found = false;
+  bool in_mfs_extraction = false;
+};
+
+struct SearchResult {
+  std::vector<FoundAnomaly> found;
+  std::vector<TracePoint> trace;
+  double elapsed_seconds = 0.0;
+  int experiments = 0;
+  int mfs_skips = 0;  // MatchMFS hits (Algorithm 1 line 5)
+};
+
+struct SearchBudget {
+  double seconds = 10 * 3600.0;  // the paper's 10-hour runs
+  int max_experiments = 1 << 30;
+};
+
+struct SaConfig {
+  GuidanceMode mode = GuidanceMode::kDiag;
+  bool use_mfs = true;  // false = the "Collie w/o MFS" ablation
+  double t0 = 1.0;
+  double t_min = 0.05;
+  double alpha = 0.85;  // deliberately relaxed (§5.1): keep jumping
+  int iters_per_temperature = 6;
+  // Counter ranking: number of random probes used to rank diagnostic
+  // counters by coefficient of variation (§7.2).
+  int ranking_probes = 10;
+  MfsOptions mfs_options;
+};
+
+class SearchDriver {
+ public:
+  SearchDriver(const workload::Engine& engine, const SearchSpace& space,
+               AnomalyMonitor monitor = AnomalyMonitor{});
+
+  // Collie / Collie w/o MFS (Algorithm 1).
+  SearchResult run_simulated_annealing(const SaConfig& config,
+                                       const SearchBudget& budget, Rng& rng);
+
+  // Random-input generation over the same search space (black-box fuzzing
+  // baseline; finds only simple-condition anomalies, §7.2).
+  SearchResult run_random(const SearchBudget& budget, Rng& rng,
+                          bool use_mfs = true);
+
+  // Single-shot: measure one workload and judge it (used by the examples
+  // and the §7.3 prevention workflow).
+  Verdict measure_and_judge(const Workload& w, Rng& rng,
+                            double* cost_seconds = nullptr) const;
+
+ private:
+  struct RunState {
+    SearchResult result;
+    std::vector<Mfs> mfs_set;
+    double elapsed = 0.0;
+    bool exhausted(const SearchBudget& b) const {
+      return elapsed >= b.seconds ||
+             result.experiments >= b.max_experiments;
+    }
+  };
+
+  // Measure with bookkeeping: charges cost, appends trace, detects anomaly,
+  // extracts MFS (when enabled) and restarts are left to the caller.
+  // Returns the verdict and the measurement's averaged counters.
+  Verdict step(const Workload& w, Rng& rng, RunState& state, bool use_mfs,
+               sim::CounterSample* counters_out);
+
+  const workload::Engine& engine_;
+  const SearchSpace& space_;
+  AnomalyMonitor monitor_;
+};
+
+}  // namespace collie::core

@@ -1,0 +1,564 @@
+#include "core/space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace collie::core {
+namespace {
+
+u64 clamp_u64(u64 v, u64 lo, u64 hi) { return std::clamp(v, lo, hi); }
+
+int pattern_mix_class(const Workload& w) {
+  const PatternStats p = analyze_pattern(w);
+  const bool small = p.frac_small_msgs > 0.0;
+  const bool large = p.frac_large_msgs > 0.0;
+  if (small && large) return 3;
+  if (large) return 2;
+  if (small) return 0;
+  return 1;
+}
+
+}  // namespace
+
+const char* to_string(Feature f) {
+  switch (f) {
+    case Feature::kQpType:
+      return "qp_type";
+    case Feature::kOpcode:
+      return "opcode";
+    case Feature::kDirection:
+      return "direction";
+    case Feature::kLoopback:
+      return "loopback";
+    case Feature::kLocalMem:
+      return "local_mem";
+    case Feature::kRemoteMem:
+      return "remote_mem";
+    case Feature::kPatternMix:
+      return "pattern_mix";
+    case Feature::kNumQps:
+      return "num_qps";
+    case Feature::kWqeBatch:
+      return "wqe_batch";
+    case Feature::kSgePerWqe:
+      return "sge_per_wqe";
+    case Feature::kSendWqDepth:
+      return "send_wq_depth";
+    case Feature::kRecvWqDepth:
+      return "recv_wq_depth";
+    case Feature::kMrsPerQp:
+      return "mrs_per_qp";
+    case Feature::kMrSize:
+      return "mr_size";
+    case Feature::kMtu:
+      return "mtu";
+    case Feature::kMsgSize:
+      return "msg_size";
+    case Feature::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool is_categorical(Feature f) {
+  switch (f) {
+    case Feature::kQpType:
+    case Feature::kOpcode:
+    case Feature::kDirection:
+    case Feature::kLoopback:
+    case Feature::kLocalMem:
+    case Feature::kRemoteMem:
+    case Feature::kPatternMix:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SearchSpace::SearchSpace(const sim::Subsystem& sys, SpaceConfig config)
+    : sys_(sys), config_(std::move(config)) {
+  for (const auto& p : sys_.host.accessible_placements()) {
+    if (p.kind == topo::MemKind::kGpu && !config_.allow_gpu) continue;
+    placements_.push_back(p);
+  }
+  pattern_len_ = sys_.nicm.pattern_window();
+}
+
+double SearchSpace::log10_size() const {
+  // Product over dimensions; pattern contributes |size_grid|^n.
+  double log10 = 0.0;
+  log10 += std::log10(3.0);                                // QP type
+  log10 += std::log10(3.0);                                // opcode
+  log10 += std::log10(4.0);                                // direction x loop
+  log10 += 2.0 * std::log10(double(placements_.size()));   // placements
+  log10 += std::log10(double(config_.max_qps));            // #QP
+  log10 += std::log10(double(config_.max_mrs_per_qp));     // #MR
+  log10 += std::log10(11.0);                               // MR sizes
+  log10 += std::log10(8.0);                                // batch
+  log10 += std::log10(double(config_.max_sge));            // SGE
+  log10 += 2.0 * std::log10(7.0);                          // WQ depths
+  log10 += std::log10(double(config_.mtus.size()));        // MTU
+  log10 += pattern_len_ * std::log10(double(config_.size_grid.size()));
+  return log10;
+}
+
+u64 SearchSpace::random_size(Rng& rng, u64 cap) const {
+  std::vector<u64> eligible;
+  for (u64 s : config_.size_grid) {
+    if (s <= cap) eligible.push_back(s);
+  }
+  if (eligible.empty()) return cap;
+  return eligible[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<i64>(eligible.size()) - 1))];
+}
+
+Workload SearchSpace::random_point(Rng& rng) const {
+  Workload w;
+  // Dimension 3: transport.
+  w.qp_type = config_.qp_types[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<i64>(config_.qp_types.size()) - 1))];
+  std::vector<Opcode> ops;
+  for (Opcode o : config_.opcodes) {
+    if (transport_supports(w.qp_type, o)) ops.push_back(o);
+  }
+  w.opcode = ops[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<i64>(ops.size()) - 1))];
+  w.num_qps = static_cast<int>(
+      rng.log_uniform_int(config_.min_qps, config_.max_qps));
+  w.wqe_batch = 1 << rng.uniform_int(0, 7);  // 1..128
+  w.sge_per_wqe = static_cast<int>(rng.uniform_int(1, config_.max_sge));
+  w.send_wq_depth = 16 << rng.uniform_int(0, 6);  // 16..1024
+  w.recv_wq_depth = 16 << rng.uniform_int(0, 6);
+
+  // Dimension 2: memory settings.
+  w.mrs_per_qp =
+      static_cast<int>(rng.log_uniform_int(1, config_.max_mrs_per_qp));
+  w.mr_size = random_size(rng, config_.max_mr_size);
+  w.mr_size = std::max(w.mr_size, config_.min_mr_size);
+
+  // Dimension 1: host topology.  DRAM placements are weighted above GPU
+  // ones: production traffic is mostly host memory.
+  auto pick_placement = [&](Rng& r) {
+    std::vector<double> weights;
+    for (const auto& p : placements_) {
+      weights.push_back(p.kind == topo::MemKind::kDram ? 3.0 : 1.0);
+    }
+    return placements_[r.weighted_index(weights)];
+  };
+  w.local_mem = pick_placement(rng);
+  w.remote_mem = pick_placement(rng);
+  w.loopback = config_.allow_loopback && rng.bernoulli(0.08);
+
+  // Dimension 4: message pattern.
+  w.mtu = config_.mtus[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<i64>(config_.mtus.size()) - 1))];
+  w.pattern.clear();
+  for (int i = 0; i < pattern_len_; ++i) {
+    w.pattern.push_back(random_size(rng, config_.max_mr_size));
+  }
+  if (config_.allow_bidirectional &&
+      (!config_.allow_unidirectional || rng.bernoulli(0.4))) {
+    w.bidirectional = true;
+  }
+  fixup(w);
+  return w;
+}
+
+Workload SearchSpace::mutate(const Workload& w, Rng& rng) const {
+  Workload m = w;
+  // Pick one of the four search dimensions, then one factor inside it.
+  const int dim = static_cast<int>(rng.uniform_int(0, 3));
+  auto step_pow2 = [&](int v, int lo, int hi) {
+    const int dir = rng.bernoulli(0.5) ? 2 : -2;
+    int nv = dir > 0 ? v * 2 : v / 2;
+    return std::clamp(nv, lo, hi);
+  };
+  switch (dim) {
+    case 0: {  // host topology
+      const int which = static_cast<int>(rng.uniform_int(0, 2));
+      if (which == 0 && !placements_.empty()) {
+        m.local_mem = placements_[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<i64>(placements_.size()) - 1))];
+      } else if (which == 1 && !placements_.empty()) {
+        m.remote_mem = placements_[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<i64>(placements_.size()) - 1))];
+      } else if (config_.allow_loopback) {
+        m.loopback = !m.loopback;
+      }
+      break;
+    }
+    case 1: {  // memory settings
+      if (rng.bernoulli(0.5)) {
+        const double factor = rng.bernoulli(0.5) ? 4.0 : 0.25;
+        m.mrs_per_qp = std::clamp(
+            static_cast<int>(std::max(1.0, m.mrs_per_qp * factor)), 1,
+            config_.max_mrs_per_qp);
+      } else {
+        m.mr_size = rng.bernoulli(0.5)
+                        ? clamp_u64(m.mr_size * 4, config_.min_mr_size,
+                                    config_.max_mr_size)
+                        : clamp_u64(m.mr_size / 4, config_.min_mr_size,
+                                    config_.max_mr_size);
+      }
+      break;
+    }
+    case 2: {  // transport settings
+      const int which = static_cast<int>(rng.uniform_int(0, 5));
+      switch (which) {
+        case 0:
+          m.qp_type = config_.qp_types[static_cast<std::size_t>(
+              rng.uniform_int(0,
+                              static_cast<i64>(config_.qp_types.size()) - 1))];
+          break;
+        case 1: {
+          std::vector<Opcode> ops;
+          for (Opcode o : config_.opcodes) {
+            if (transport_supports(m.qp_type, o)) ops.push_back(o);
+          }
+          m.opcode = ops[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<i64>(ops.size()) - 1))];
+          break;
+        }
+        case 2: {
+          const double factor = rng.bernoulli(0.5) ? 2.0 : 0.5;
+          m.num_qps = std::clamp(
+              static_cast<int>(std::max(1.0, m.num_qps * factor)),
+              config_.min_qps, config_.max_qps);
+          break;
+        }
+        case 3:
+          m.wqe_batch = step_pow2(m.wqe_batch, 1, config_.max_wqe_batch);
+          break;
+        case 4:
+          m.sge_per_wqe = std::clamp(
+              m.sge_per_wqe + (rng.bernoulli(0.5) ? 1 : -1), 1,
+              config_.max_sge);
+          break;
+        default:
+          if (rng.bernoulli(0.5)) {
+            m.send_wq_depth = step_pow2(m.send_wq_depth,
+                                        config_.min_wq_depth,
+                                        config_.max_wq_depth);
+          } else {
+            m.recv_wq_depth = step_pow2(m.recv_wq_depth,
+                                        config_.min_wq_depth,
+                                        config_.max_wq_depth);
+          }
+          break;
+      }
+      break;
+    }
+    default: {  // message pattern
+      const int which = static_cast<int>(rng.uniform_int(0, 2));
+      if (which == 0) {
+        // Re-draw one request size.
+        const std::size_t idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<i64>(m.pattern.size()) - 1));
+        m.pattern[idx] = random_size(rng, config_.max_mr_size);
+      } else if (which == 1) {
+        m.mtu = config_.mtus[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<i64>(config_.mtus.size()) - 1))];
+      } else if (config_.allow_bidirectional && config_.allow_unidirectional) {
+        m.bidirectional = !m.bidirectional;
+      }
+      break;
+    }
+  }
+  fixup(m);
+  return m;
+}
+
+void SearchSpace::fixup(Workload& w) const {
+  if (!transport_supports(w.qp_type, w.opcode)) {
+    w.opcode = Opcode::kSend;  // supported by every transport
+  }
+  if (w.loopback && w.opcode == Opcode::kRead) w.opcode = Opcode::kWrite;
+  if (w.loopback && !config_.allow_loopback) w.loopback = false;
+  if (w.bidirectional && !config_.allow_bidirectional) {
+    w.bidirectional = false;
+  }
+  if (!w.bidirectional && !config_.allow_unidirectional) {
+    w.bidirectional = true;
+  }
+  w.num_qps = std::clamp(w.num_qps, config_.min_qps, config_.max_qps);
+  w.mrs_per_qp = std::clamp(w.mrs_per_qp, 1, config_.max_mrs_per_qp);
+  while (w.total_mrs() > config_.max_total_mrs && w.mrs_per_qp > 1) {
+    w.mrs_per_qp = std::max(1, config_.max_total_mrs / w.num_qps);
+  }
+  w.sge_per_wqe = std::clamp(w.sge_per_wqe, 1, config_.max_sge);
+  w.send_wq_depth =
+      std::clamp(w.send_wq_depth, config_.min_wq_depth, config_.max_wq_depth);
+  w.recv_wq_depth =
+      std::clamp(w.recv_wq_depth, config_.min_wq_depth, config_.max_wq_depth);
+  w.wqe_batch = std::clamp(w.wqe_batch, 1,
+                           std::min(config_.max_wqe_batch, w.send_wq_depth));
+  w.mr_size = clamp_u64(w.mr_size, config_.min_mr_size, config_.max_mr_size);
+  if (w.pattern.empty()) w.pattern.assign(1, 4 * KiB);
+  // SGEs must fit their MR.
+  for (u64& s : w.pattern) s = clamp_u64(s, 1, w.mr_size);
+  // UD: one datagram per message, message <= MTU.
+  if (w.qp_type == QpType::kUD) {
+    const u64 per_sge =
+        std::max<u64>(1, w.mtu / static_cast<u32>(w.sge_per_wqe));
+    for (u64& s : w.pattern) s = std::min(s, per_sge);
+  }
+  if (!sys_.host.placement_valid(w.local_mem)) w.local_mem = {};
+  if (!sys_.host.placement_valid(w.remote_mem)) w.remote_mem = {};
+  if (!config_.allow_gpu) {
+    if (w.local_mem.kind == topo::MemKind::kGpu) w.local_mem = {};
+    if (w.remote_mem.kind == topo::MemKind::kGpu) w.remote_mem = {};
+  }
+}
+
+bool SearchSpace::in_space(const Workload& w) const {
+  Workload fixed = w;
+  fixup(fixed);
+  return fixed == w;
+}
+
+double SearchSpace::numeric_value(const Workload& w, Feature f) const {
+  switch (f) {
+    case Feature::kNumQps:
+      return w.num_qps;
+    case Feature::kWqeBatch:
+      return w.wqe_batch;
+    case Feature::kSgePerWqe:
+      return w.sge_per_wqe;
+    case Feature::kSendWqDepth:
+      return w.send_wq_depth;
+    case Feature::kRecvWqDepth:
+      return w.recv_wq_depth;
+    case Feature::kMrsPerQp:
+      return w.mrs_per_qp;
+    case Feature::kMrSize:
+      return static_cast<double>(w.mr_size);
+    case Feature::kMtu:
+      return w.mtu;
+    case Feature::kMsgSize:
+      return analyze_pattern(w).avg_msg_bytes;
+    default:
+      assert(false && "not a numeric feature");
+      return 0.0;
+  }
+}
+
+int SearchSpace::categorical_value(const Workload& w, Feature f) const {
+  switch (f) {
+    case Feature::kQpType:
+      return static_cast<int>(w.qp_type);
+    case Feature::kOpcode:
+      return static_cast<int>(w.opcode);
+    case Feature::kDirection:
+      return w.bidirectional ? 1 : 0;
+    case Feature::kLoopback:
+      return w.loopback ? 1 : 0;
+    case Feature::kLocalMem:
+    case Feature::kRemoteMem: {
+      const topo::MemPlacement p =
+          f == Feature::kLocalMem ? w.local_mem : w.remote_mem;
+      for (std::size_t i = 0; i < placements_.size(); ++i) {
+        if (placements_[i] == p) return static_cast<int>(i);
+      }
+      return 0;
+    }
+    case Feature::kPatternMix:
+      return pattern_mix_class(w);
+    default:
+      assert(false && "not a categorical feature");
+      return 0;
+  }
+}
+
+std::vector<int> SearchSpace::categorical_alternatives(Feature f) const {
+  switch (f) {
+    case Feature::kQpType: {
+      std::vector<int> out;
+      for (QpType t : config_.qp_types) out.push_back(static_cast<int>(t));
+      return out;
+    }
+    case Feature::kOpcode: {
+      std::vector<int> out;
+      for (Opcode o : config_.opcodes) out.push_back(static_cast<int>(o));
+      return out;
+    }
+    case Feature::kDirection: {
+      std::vector<int> out;
+      if (config_.allow_unidirectional) out.push_back(0);
+      if (config_.allow_bidirectional) out.push_back(1);
+      return out;
+    }
+    case Feature::kLoopback:
+      return config_.allow_loopback ? std::vector<int>{0, 1}
+                                    : std::vector<int>{0};
+    case Feature::kLocalMem:
+    case Feature::kRemoteMem: {
+      std::vector<int> out;
+      for (std::size_t i = 0; i < placements_.size(); ++i) {
+        out.push_back(static_cast<int>(i));
+      }
+      return out;
+    }
+    case Feature::kPatternMix:
+      return {0, 1, 2, 3};
+    default:
+      return {};
+  }
+}
+
+std::string SearchSpace::categorical_name(Feature f, int value) const {
+  switch (f) {
+    case Feature::kQpType:
+      return to_string(static_cast<QpType>(value));
+    case Feature::kOpcode:
+      return to_string(static_cast<Opcode>(value));
+    case Feature::kDirection:
+      return value ? "bidirectional" : "unidirectional";
+    case Feature::kLoopback:
+      return value ? "loopback" : "no-loopback";
+    case Feature::kLocalMem:
+    case Feature::kRemoteMem:
+      if (value >= 0 && value < static_cast<int>(placements_.size())) {
+        return topo::to_string(
+            placements_[static_cast<std::size_t>(value)]);
+      }
+      return "?";
+    case Feature::kPatternMix:
+      switch (value) {
+        case 0:
+          return "all<=1KB";
+        case 1:
+          return "mid-sized";
+        case 2:
+          return "all>=64KB";
+        default:
+          return "mix small+large";
+      }
+    default:
+      return "?";
+  }
+}
+
+std::vector<double> SearchSpace::numeric_grid(Feature f) const {
+  switch (f) {
+    case Feature::kNumQps:
+      return {1, 8, 32, 128, 512, 2048, 8192, 20000};
+    case Feature::kWqeBatch:
+      return {1, 4, 16, 32, 64, 128};
+    case Feature::kSgePerWqe:
+      return {1, 2, 3, 4};
+    case Feature::kSendWqDepth:
+    case Feature::kRecvWqDepth:
+      return {16, 64, 256, 1024};
+    case Feature::kMrsPerQp:
+      return {1, 8, 64, 256, 1024};
+    case Feature::kMrSize:
+      return {4.0 * KiB, 64.0 * KiB, 1.0 * MiB, 4.0 * MiB};
+    case Feature::kMtu:
+      return {256, 512, 1024, 2048, 4096};
+    case Feature::kMsgSize:
+      return {64,       512,      2.0 * KiB,  8.0 * KiB,
+              64.0 * KiB, 256.0 * KiB, 1.0 * MiB};
+    default:
+      return {};
+  }
+}
+
+Workload SearchSpace::with_categorical(const Workload& w, Feature f,
+                                       int value) const {
+  Workload m = w;
+  switch (f) {
+    case Feature::kQpType:
+      m.qp_type = static_cast<QpType>(value);
+      break;
+    case Feature::kOpcode:
+      m.opcode = static_cast<Opcode>(value);
+      break;
+    case Feature::kDirection:
+      m.bidirectional = value != 0;
+      break;
+    case Feature::kLoopback:
+      m.loopback = value != 0;
+      break;
+    case Feature::kLocalMem:
+      m.local_mem = placements_.at(static_cast<std::size_t>(value));
+      break;
+    case Feature::kRemoteMem:
+      m.remote_mem = placements_.at(static_cast<std::size_t>(value));
+      break;
+    case Feature::kPatternMix: {
+      // Rewrite the pattern into the requested mix class, preserving length.
+      const std::size_t n = m.pattern.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (value) {
+          case 0:
+            m.pattern[i] = 512;
+            break;
+          case 1:
+            m.pattern[i] = 8 * KiB;
+            break;
+          case 2:
+            m.pattern[i] = 64 * KiB;
+            break;
+          default:
+            m.pattern[i] = (i % 2 == 0) ? 64 * KiB : 512;
+            break;
+        }
+      }
+      break;
+    }
+    default:
+      assert(false && "not a categorical feature");
+  }
+  fixup(m);
+  return m;
+}
+
+Workload SearchSpace::with_numeric(const Workload& w, Feature f,
+                                   double value) const {
+  Workload m = w;
+  switch (f) {
+    case Feature::kNumQps:
+      m.num_qps = static_cast<int>(value);
+      break;
+    case Feature::kWqeBatch:
+      m.wqe_batch = static_cast<int>(value);
+      break;
+    case Feature::kSgePerWqe:
+      m.sge_per_wqe = static_cast<int>(value);
+      break;
+    case Feature::kSendWqDepth:
+      m.send_wq_depth = static_cast<int>(value);
+      break;
+    case Feature::kRecvWqDepth:
+      m.recv_wq_depth = static_cast<int>(value);
+      break;
+    case Feature::kMrsPerQp:
+      m.mrs_per_qp = static_cast<int>(value);
+      break;
+    case Feature::kMrSize:
+      m.mr_size = static_cast<u64>(value);
+      break;
+    case Feature::kMtu:
+      m.mtu = static_cast<u32>(value);
+      break;
+    case Feature::kMsgSize: {
+      // Rescale the pattern so the average message size hits `value` while
+      // preserving the relative mix.
+      const PatternStats p = analyze_pattern(m);
+      if (p.avg_msg_bytes > 0.0) {
+        const double scale = value / p.avg_msg_bytes;
+        for (u64& s : m.pattern) {
+          s = static_cast<u64>(std::max(1.0, std::round(s * scale)));
+        }
+      }
+      break;
+    }
+    default:
+      assert(false && "not a numeric feature");
+  }
+  fixup(m);
+  return m;
+}
+
+}  // namespace collie::core

@@ -1,0 +1,47 @@
+#include "mem/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace collie::mem {
+
+double MemoryModel::ddio_miss_fraction(u64 dma_working_set_bytes) const {
+  if (!has_ddio || ddio_slice_bytes <= 0.0) return 1.0;
+  const double ws = static_cast<double>(dma_working_set_bytes);
+  if (ws <= ddio_slice_bytes) return 0.0;
+  // LRU-ish smooth spill: fraction of accesses falling outside the slice.
+  return std::clamp(1.0 - ddio_slice_bytes / ws, 0.0, 1.0);
+}
+
+double MemoryModel::dma_write_latency_ns(const topo::MemPlacement& placement,
+                                         u64 dma_working_set_bytes) const {
+  if (placement.kind == topo::MemKind::kGpu) return gpu_mem_latency_ns;
+  const double miss = ddio_miss_fraction(dma_working_set_bytes);
+  // An LLC hit is ~20 ns for the memory side of the transaction; a miss pays
+  // the full DRAM latency.
+  return 20.0 + miss * dram_latency_ns;
+}
+
+double MemoryModel::device_bandwidth_bps(
+    const topo::MemPlacement& placement) const {
+  return placement.kind == topo::MemKind::kGpu ? gpu_hbm_bw_bps
+                                               : dram_bw_per_numa_bps;
+}
+
+MemoryModel intel_memory(u64 dram_bytes) {
+  MemoryModel m;
+  m.total_dram_bytes = dram_bytes;
+  m.has_ddio = true;
+  return m;
+}
+
+MemoryModel amd_memory(u64 dram_bytes) {
+  MemoryModel m;
+  m.total_dram_bytes = dram_bytes;
+  m.has_ddio = false;
+  m.ddio_slice_bytes = 0.0;
+  m.dram_latency_ns = 105.0;
+  return m;
+}
+
+}  // namespace collie::mem

@@ -1,0 +1,48 @@
+// Memory-device model: DRAM per NUMA node, GPU HBM, and the DDIO/LLC
+// behaviour the paper calls out in Dimension 2 ("if the access range of an
+// MR is large, it can cause severe cache misses in the CPU's last-level
+// cache").  The performance model uses this to bound DMA drain rates and to
+// add latency when the registered working set blows through DDIO.
+#pragma once
+
+#include "common/units.h"
+#include "topo/host_topology.h"
+
+namespace collie::mem {
+
+struct MemoryModel {
+  // Aggregate DRAM bandwidth per NUMA node (one direction).
+  double dram_bw_per_numa_bps = gbps(700);
+  // GPU HBM is never the bottleneck over PCIe, but model it anyway.
+  double gpu_hbm_bw_bps = gbps(12000);
+  double dram_latency_ns = 85.0;
+  double gpu_mem_latency_ns = 350.0;
+
+  // Intel DDIO: NIC DMA writes land in a dedicated LLC way-slice.  When the
+  // DMA working set exceeds the slice, writes spill to DRAM and DMA latency
+  // grows.  AMD has no DDIO; treat its slice as zero.
+  double ddio_slice_bytes = 3.0 * MiB;
+  bool has_ddio = true;
+
+  // Total registrable (pinnable) memory; bounds Dimension 2.
+  u64 total_dram_bytes = 768ULL * GiB;
+
+  // Fraction of NIC DMA writes that miss the LLC slice given the DMA working
+  // set (the span of actively-touched registered memory).
+  double ddio_miss_fraction(u64 dma_working_set_bytes) const;
+
+  // Average DMA-write service latency for a placement: base device latency
+  // plus DDIO-miss penalty.
+  double dma_write_latency_ns(const topo::MemPlacement& placement,
+                              u64 dma_working_set_bytes) const;
+
+  // One-direction bandwidth available to the NIC from/to this device, before
+  // PCIe limits (those are applied separately by the perf model).
+  double device_bandwidth_bps(const topo::MemPlacement& placement) const;
+};
+
+// Model presets matching the hosts of Table 1.
+MemoryModel intel_memory(u64 dram_bytes);
+MemoryModel amd_memory(u64 dram_bytes);
+
+}  // namespace collie::mem

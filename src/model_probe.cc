@@ -1,0 +1,106 @@
+// Developer tool: run every Appendix-A concrete trigger setting (plus sane
+// baselines) through the performance model and print symptom columns.  Used
+// to calibrate the NIC quirk coefficients against Table 2.
+#include <cstdio>
+
+#include "catalog/anomalies.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/perf_model.h"
+#include "sim/subsystem.h"
+
+using namespace collie;
+
+namespace {
+
+void run_one(const char* name, const sim::Subsystem& sys, const Workload& w,
+             TextTable& table) {
+  std::string why;
+  if (!w.valid(&why)) {
+    table.add_row({name, std::string(1, sys.id), "INVALID: " + why});
+    return;
+  }
+  Rng rng(42);
+  const sim::SimResult r = sim::evaluate(sys, w, rng);
+  const bool pause = r.pause_duration_ratio > 0.001;
+  const bool low_tput =
+      r.wire_utilization < 0.8 && r.pps_utilization < 0.8;
+  table.add_row({
+      name,
+      std::string(1, sys.id),
+      fmt_percent(r.pause_duration_ratio, 2),
+      fmt_percent(r.wire_utilization, 1),
+      fmt_percent(r.pps_utilization, 1),
+      format_gbps(r.rx_goodput_bps),
+      pause ? "PAUSE" : (low_tput ? "LOW-TPUT" : "ok"),
+      to_string(r.dominant),
+      r.bottleneck_note,
+  });
+}
+
+}  // namespace
+
+int main() {
+  TextTable table({"case", "sys", "pause", "wire%", "pps%", "rx_goodput",
+                   "symptom", "bottleneck", "note"});
+
+  // Baselines that must stay clean.
+  {
+    Workload w;
+    w.qp_type = QpType::kRC;
+    w.opcode = Opcode::kWrite;
+    w.num_qps = 8;
+    w.wqe_batch = 8;
+    w.mr_size = 1 * MiB;
+    w.pattern = {64 * KiB};
+    run_one("base-rc-write-64k", sim::subsystem('F'), w, table);
+    w.bidirectional = true;
+    run_one("base-rc-write-bidir", sim::subsystem('F'), w, table);
+    w.bidirectional = false;
+    w.opcode = Opcode::kRead;
+    run_one("base-rc-read-4k-mtu", sim::subsystem('F'), w, table);
+    w.opcode = Opcode::kSend;
+    w.pattern = {4 * KiB};
+    run_one("base-rc-send", sim::subsystem('F'), w, table);
+    Workload u;
+    u.qp_type = QpType::kUD;
+    u.opcode = Opcode::kSend;
+    u.num_qps = 4;
+    u.wqe_batch = 4;
+    u.mtu = 2048;
+    u.pattern = {2048};
+    u.send_wq_depth = 64;
+    u.recv_wq_depth = 64;
+    run_one("base-ud-send", sim::subsystem('F'), u, table);
+    Workload s;
+    s.qp_type = QpType::kRC;
+    s.opcode = Opcode::kWrite;
+    s.num_qps = 8;
+    s.wqe_batch = 8;
+    s.mr_size = 1 * MiB;
+    s.pattern = {64 * KiB};
+    run_one("base-h-rc-write", sim::subsystem('H'), s, table);
+    s.pattern = {512};
+    run_one("base-h-small-write", sim::subsystem('H'), s, table);
+    Workload rr;
+    rr.qp_type = QpType::kRC;
+    rr.opcode = Opcode::kRead;
+    rr.num_qps = 8;
+    rr.wqe_batch = 4;
+    rr.mr_size = 1 * MiB;
+    rr.mtu = 1024;
+    rr.pattern = {64 * KiB};
+    run_one("base-h-read-1k-8qp", sim::subsystem('H'), rr, table);
+  }
+
+  // The 18 concrete Appendix-A settings on their primary subsystems.
+  for (const auto& a : catalog::all_anomalies()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "anomaly-%02d(%s)", a.id,
+                  to_string(a.symptom));
+    run_one(buf, sim::subsystem(a.primary_subsystem), a.concrete, table);
+  }
+
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "net/fabric.h"
+
+#include <cassert>
+
+namespace collie::net {
+
+void Fabric::record_pause(int port, double dt, double pause_fraction) {
+  assert(port == 0 || port == 1);
+  pause_s_[static_cast<std::size_t>(port)] += dt * pause_fraction;
+  total_s_[static_cast<std::size_t>(port)] += dt;
+}
+
+double Fabric::pause_seconds(int port) const {
+  assert(port == 0 || port == 1);
+  return pause_s_[static_cast<std::size_t>(port)];
+}
+
+double Fabric::total_seconds(int port) const {
+  assert(port == 0 || port == 1);
+  return total_s_[static_cast<std::size_t>(port)];
+}
+
+double Fabric::pause_duration_ratio(int port) const {
+  const double t = total_seconds(port);
+  if (t <= 0.0) return 0.0;
+  return pause_seconds(port) / t;
+}
+
+void Fabric::reset() {
+  pause_s_ = {0.0, 0.0};
+  total_s_ = {0.0, 0.0};
+}
+
+}  // namespace collie::net

@@ -1,0 +1,44 @@
+// The two-server / single-switch fabric of the paper's experiment platform.
+//
+// The switch is lossless and runs at line rate, so it never originates
+// congestion itself; its role in the model is to carry PFC pause frames from
+// the receiving RNIC back to the sender and account for pause time per port.
+#pragma once
+
+#include <array>
+
+#include "common/units.h"
+
+namespace collie::net {
+
+struct FabricSpec {
+  double port_rate_bps = gbps(200);
+  // Paper §4: "two RNICs connected by a single switch, and there is no
+  // packet drop on the switch."
+  bool lossless = true;
+};
+
+// Per-port pause bookkeeping for one measurement run.
+class Fabric {
+ public:
+  explicit Fabric(const FabricSpec& spec) : spec_(spec) {}
+
+  const FabricSpec& spec() const { return spec_; }
+
+  // Record that `port` (0 = host A, 1 = host B) was paused for
+  // `pause_fraction` of an epoch lasting `dt` seconds.
+  void record_pause(int port, double dt, double pause_fraction);
+
+  double pause_seconds(int port) const;
+  double total_seconds(int port) const;
+  double pause_duration_ratio(int port) const;
+
+  void reset();
+
+ private:
+  FabricSpec spec_;
+  std::array<double, 2> pause_s_{0.0, 0.0};
+  std::array<double, 2> total_s_{0.0, 0.0};
+};
+
+}  // namespace collie::net

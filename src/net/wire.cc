@@ -1,0 +1,34 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace collie::net {
+
+u64 packets_for_message(u64 bytes, u32 mtu) {
+  assert(mtu > 0);
+  if (bytes == 0) return 1;  // zero-length SEND still emits one packet
+  return (bytes + mtu - 1) / mtu;
+}
+
+double goodput_efficiency(u64 message_bytes, u32 mtu) {
+  if (message_bytes == 0) return 0.0;
+  const u64 pkts = packets_for_message(message_bytes, mtu);
+  const double payload = static_cast<double>(message_bytes);
+  const double wire =
+      payload + static_cast<double>(pkts) * kPerPacketOverheadBytes;
+  return payload / wire;
+}
+
+double wire_rate_from_goodput(double goodput_bps, u64 message_bytes,
+                              u32 mtu) {
+  const double eff = goodput_efficiency(message_bytes, mtu);
+  if (eff <= 0.0) return 0.0;
+  return goodput_bps / eff;
+}
+
+double goodput_from_wire_rate(double wire_bps, u64 message_bytes, u32 mtu) {
+  return wire_bps * goodput_efficiency(message_bytes, mtu);
+}
+
+}  // namespace collie::net

@@ -1,0 +1,34 @@
+// RoCEv2 wire-format accounting: packetization and per-packet overheads.
+//
+// Collie's experiment platform is "two servers ... connected with a
+// commodity switch [that supports] line rate traffic" (§5.2), so the network
+// model reduces to exact overhead accounting: how many packets a message
+// becomes at a given MTU and how much of the line rate is goodput.
+#pragma once
+
+#include "common/units.h"
+
+namespace collie::net {
+
+// Per-packet wire overhead for RoCEv2 on Ethernet:
+//   preamble+SFD 8 + Ethernet 14 + CRC 4 + IFG 12 = 38 bytes framing
+//   IPv4 20 + UDP 8 + BTH 12 + ICRC 4 = 44 bytes headers
+inline constexpr double kPerPacketOverheadBytes = 82.0;
+
+// RC ACK / READ-request packets: headers only, plus AETH (4 bytes).
+inline constexpr double kControlPacketBytes = 86.0;
+
+// Number of MTU-sized packets a message of `bytes` occupies on the wire.
+u64 packets_for_message(u64 bytes, u32 mtu);
+
+// Goodput fraction of the line rate for messages of the given size at the
+// given MTU: payload / (payload + per-packet overhead).
+double goodput_efficiency(u64 message_bytes, u32 mtu);
+
+// Convert an application goodput (payload bits/s) to wire bits/s.
+double wire_rate_from_goodput(double goodput_bps, u64 message_bytes, u32 mtu);
+
+// Convert a wire rate to goodput.
+double goodput_from_wire_rate(double wire_bps, u64 message_bytes, u32 mtu);
+
+}  // namespace collie::net

@@ -1,0 +1,42 @@
+// On-NIC SRAM cache model.
+//
+// Modern RNICs cache connection context (QPC), memory-translation entries
+// (MTT) and pre-fetched receive WQEs in a small on-die SRAM ("NIC cache" in
+// paper Figure 1, circle 3).  Working sets beyond the cache force extra PCIe
+// round trips ("Interconnect Context Memory" fetches).  This is the substrate
+// for root causes #1 (receive-WQE cache) and #2 (QPC/MTT cache).
+#pragma once
+
+#include "common/units.h"
+
+namespace collie::nic {
+
+// A capacity/working-set cache approximation.  We intentionally do not model
+// sets and ways: the paper treats the NIC cache as opaque, and a smooth
+// capacity-miss curve is what a black-box observer measures.
+class CacheModel {
+ public:
+  // `entries`: capacity in cache entries.  `sharpness` shapes the knee of
+  // the miss curve; 1.0 gives the ideal-LRU linear overflow ratio, larger
+  // values make the knee softer (models prefetch and associativity noise).
+  explicit CacheModel(double entries, double sharpness = 1.0);
+
+  double entries() const { return entries_; }
+
+  // Steady-state miss ratio for a uniformly reused working set of
+  // `working_set` entries.  0 when the set fits, asymptotically 1.
+  double miss_ratio(double working_set) const;
+
+  // Miss ratio when accesses arrive in bursts of `burst` entries: a burst
+  // larger than the prefetch window defeats the prefetcher and raises the
+  // effective working set.  `prefetch_window` is how many entries the
+  // prefetcher keeps warm ahead of consumption.
+  double burst_miss_ratio(double working_set, double burst,
+                          double prefetch_window) const;
+
+ private:
+  double entries_;
+  double sharpness_;
+};
+
+}  // namespace collie::nic

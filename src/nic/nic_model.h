@@ -1,0 +1,150 @@
+// RNIC model: datasheet-level specs plus the per-model "quirk" coefficients
+// that parameterize the six root-cause mechanisms of Appendix A.
+//
+// The quirks are NOT per-anomaly switches.  They are resource parameters
+// (cache sizes, prefetch windows, packet-engine capacity factors...) that the
+// performance model combines mechanistically; anomaly regions *emerge* from
+// workloads crossing the resulting capacity surfaces.  Different silicon gets
+// different coefficients — exactly why the paper finds different anomaly sets
+// on CX-6 vs P2100G.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "nic/cache.h"
+
+namespace collie::nic {
+
+struct NicQuirks {
+  // ---- Receive-WQE cache / prefetcher (root cause #1) ----
+  // Entries the prefetcher keeps warm per active receive stream.
+  double rwqe_prefetch_window = 32.0;
+  // How much one *steady* (anticipated) miss costs: the RX engine falls back
+  // to dropping (UD) or RNR-NAK (RC), capping the deliverable message rate
+  // without buffering packets — throughput drop WITHOUT pause frames.
+  double rwqe_steady_penalty = 0.55;
+  // How much one *burst* (unanticipated) miss costs: the packet is already
+  // committed to the RX pipeline and must wait for a WQE DMA fetch — head of
+  // line blocking in the RX buffer, i.e. PFC pause frames.
+  double rwqe_burst_stall_ns = 900.0;
+  // CX-6 firmware quirk: RC SEND WQE prefetch degrades further when the MTU
+  // is small (multi-packet messages hold the prefetched WQE longer).
+  double rc_small_mtu_rwqe_amplifier = 1.0;
+  // Deep receive queues make the prefetcher walk (and pollute) the cache;
+  // queues at or beyond this depth count fully against the cache.
+  double rwqe_deep_wq_knee = 256.0;
+  // Steady-state pollution only counts queue entries beyond this depth —
+  // shallow rings wrap quickly and stay cache-resident, which is why the
+  // paper's #2/#6 need WQ depths >= 1024 while #15/#17 on the P2100G (a
+  // much smaller knee) fire at depth 64-128.
+  double rwqe_pollution_depth_knee = 256.0;
+  // UD receive WQEs carry the GRH scratch area and address handle, so each
+  // occupies more cache than an RC one.
+  double ud_rwqe_footprint = 2.0;
+
+  // ---- ICM / context caches (root cause #2) ----
+  // Extra per-message exposure coefficient for QPC / MTT misses; the miss
+  // penalty is hidden by the pipeline when messages are large or the send
+  // pipeline is deep (Appendix A discussion of anomalies #7/#8).
+  double icm_miss_penalty = 0.8;
+
+  // ---- Packet processing engine (root cause #4) ----
+  // Total packet-engine capacity for bidirectional traffic, as a multiple of
+  // the unidirectional pps spec (2.0 = fully duplex engines; CX-6 is not).
+  double bidir_pps_capacity = 2.0;
+  // Cost of processing one RC ACK, in units of one data packet.
+  double ack_pkt_cost = 0.35;
+  // READ responder/requester data-path efficiency: multiplier on pps spec
+  // for READ response traffic, and an extra factor at MTU <= 1KB.  On some
+  // silicon the small-MTU degradation only materializes once the connection
+  // count / posting batch also stress the context path (anomaly #16 needs
+  // ~500 QPs and batch >= 8 on P2100G; anomaly #3 needs neither on CX-6).
+  double read_resp_pps_factor = 1.0;
+  double read_small_mtu_pps_factor = 1.0;
+  double read_small_mtu_qp_knee = 0.0;     // 0 = applies at any QP count
+  double read_small_mtu_batch_knee = 0.0;  // 0 = applies at any batch size
+  // Bidirectional READ WQE-fetch contention coefficient (anomaly #4): how
+  // strongly (batch x SGE x QPs) read-request fetch traffic steals the PCIe
+  // ingress the read responses need.
+  double read_bidir_wqe_stress_coeff = 0.0;
+
+  // ---- TX engine ----
+  double doorbell_cost_ns = 220.0;  // MMIO doorbell, amortized over a batch
+  double wqe_process_ns = 12.0;     // per-WQE fetch/parse cost
+  double sge_process_ns = 5.0;      // per-SGE gather setup cost
+
+  // ---- Large-MTU scheduler quirk (P2100G anomaly #14) ----
+  // With MTU >= 4KB and at least this many QPs under bidirectional RC load,
+  // the TX scheduler loses `mtu4k_penalty` of its message rate.  0 disables.
+  double mtu4k_qp_threshold = 0.0;
+  double mtu4k_penalty = 0.0;
+
+  // ---- Loopback path (root cause #6) ----
+  // NICs with an internal loopback rate limiter avoid the loopback+receive
+  // incast; the modeled CX-6 does not (anomaly #13).
+  bool loopback_rate_limiter = false;
+
+  // Broadcom P2100G behaviour (anomaly #17): steady receive-WQE misses stall
+  // the RX pipeline (pause frames) instead of degrading into drops/RNR.
+  bool steady_miss_stalls_pipeline = false;
+};
+
+struct NicModel {
+  std::string name;        // e.g. "Mellanox CX-6 DX 200Gbps"
+  std::string chip;        // Table 2 "RNIC" column: "CX-6", "P2100"
+  double line_rate_bps = gbps(100);
+  // Spec packet/message rate, unidirectional (the "packets per second"
+  // bound of the paper's anomaly definition).
+  double max_pps = mpps(150);
+  int processing_units = 4;
+  int pipeline_stages = 2;
+
+  // On-die cache capacities, in entries.
+  double qpc_cache_entries = 1024;
+  double mtt_cache_entries = 16384;
+  double rwqe_cache_entries = 4096;
+
+  // ICM fetch engine: context/translation cache misses are serviced by a
+  // dedicated DMA unit; its fetch rate caps the sender's message rate once
+  // misses pile up (root cause #2: "the RNIC has to issue extra PCIe
+  // operations to fetch them from host DRAM").
+  double icm_fetch_per_s = 6e6;
+
+  // Outstanding-request trackers (responder resources).  Overflowing them
+  // stalls the RX pipeline behind long requests (root cause #4 family).
+  // A value of 0 disables the tracker (the silicon has enough entries that
+  // the search-space bounds cannot overflow it).
+  double short_req_tracker_entries = 0;  // bidir small-message mixes (#10)
+  double read_tracker_entries = 0;       // bidir READ WQE stress (#4)
+  double pkt_tracker_entries = 0;        // bidir batched packet bursts (#18)
+  // RX-engine time (in data-packet equivalents) lost per message while a
+  // tracker is overflowed.
+  double tracker_stall_pkt_equiv = 1500.0;
+
+  double rx_buffer_bytes = 2.0 * MiB;
+
+  bool supports_forced_relaxed_ordering = true;
+
+  NicQuirks q;
+
+  // Paper §4 Dimension 4: the interaction window between requests is the
+  // number of in-flight requests a NIC can hold, PUs x pipeline stages.
+  int pattern_window() const { return processing_units * pipeline_stages; }
+
+  CacheModel qpc_cache() const { return CacheModel(qpc_cache_entries, 1.0); }
+  CacheModel mtt_cache() const { return CacheModel(mtt_cache_entries, 1.0); }
+  CacheModel rwqe_cache() const {
+    return CacheModel(rwqe_cache_entries, 1.2);
+  }
+};
+
+// ---- Catalog: the six RNIC models of Table 1 ----
+NicModel cx5_25g();
+NicModel cx5_100g();
+NicModel cx6dx_100g();
+NicModel cx6dx_200g();
+NicModel cx6vpi_200g();
+NicModel p2100g_100g();
+
+}  // namespace collie::nic

@@ -1,0 +1,52 @@
+#include "nic/pfc.h"
+
+#include <algorithm>
+
+namespace collie::nic {
+
+PfcBuffer::PfcBuffer(const PfcParams& params) : params_(params) {}
+
+double PfcBuffer::step(double dt, double arrival_bps, double drain_bps) {
+  // Integrate with sub-steps fine enough to catch XOFF/XON flapping within
+  // one epoch; 64 sub-steps per epoch keeps the integrator stable for the
+  // rate scales we simulate (Gbps against MiB buffers).
+  constexpr int kSubSteps = 64;
+  const double h = dt / kSubSteps;
+  const double xoff = params_.xoff_fraction * params_.buffer_bytes;
+  const double xon = params_.xon_fraction * params_.buffer_bytes;
+  double paused_time = 0.0;
+  double pause_hold = 0.0;
+  for (int i = 0; i < kSubSteps; ++i) {
+    const double in_Bps = paused_ ? 0.0 : bytes_per_sec(arrival_bps);
+    const double out_Bps = bytes_per_sec(drain_bps);
+    occupancy_ += (in_Bps - out_Bps) * h;
+    occupancy_ = std::clamp(occupancy_, 0.0, params_.buffer_bytes);
+    if (paused_) {
+      paused_time += h;
+      pause_hold += h;
+      if (occupancy_ <= xon && pause_hold >= params_.min_pause_s) {
+        paused_ = false;
+      }
+    } else if (occupancy_ >= xoff) {
+      paused_ = true;
+      pause_hold = 0.0;
+    }
+  }
+  total_pause_s_ += paused_time;
+  total_time_s_ += dt;
+  return paused_time / dt;
+}
+
+double PfcBuffer::pause_duration_ratio() const {
+  if (total_time_s_ <= 0.0) return 0.0;
+  return total_pause_s_ / total_time_s_;
+}
+
+void PfcBuffer::reset() {
+  occupancy_ = 0.0;
+  paused_ = false;
+  total_pause_s_ = 0.0;
+  total_time_s_ = 0.0;
+}
+
+}  // namespace collie::nic

@@ -1,0 +1,52 @@
+// Priority Flow Control buffer dynamics.
+//
+// RoCEv2 relies on PFC for losslessness: when the RNIC's RX buffer crosses
+// the XOFF threshold it sends pause frames upstream until occupancy falls
+// back below XON (802.1Qbb).  The anomaly monitor's first detection
+// condition is built on the resulting *pause duration ratio* ("if the pause
+// duration ratio is 1%, transmission is paused 10 ms every second", §5.2).
+//
+// PfcBuffer integrates occupancy over sub-steps within each measurement
+// epoch and reports the fraction of time the port was paused.
+#pragma once
+
+#include "common/units.h"
+
+namespace collie::nic {
+
+struct PfcParams {
+  double buffer_bytes = 2.0 * MiB;
+  double xoff_fraction = 0.70;
+  double xon_fraction = 0.45;
+  // Pause quanta granularity: once XOFF fires the upstream stays quiet for
+  // at least this long (hardware pause quanta + reaction time).
+  double min_pause_s = 10e-6;
+};
+
+class PfcBuffer {
+ public:
+  explicit PfcBuffer(const PfcParams& params);
+
+  // Advance the buffer by `dt` seconds with the given arrival (wire ingress)
+  // and drain (host DMA egress) rates in bits per second.  Arrivals stop
+  // while the port is paused.  Returns the fraction of `dt` spent paused.
+  double step(double dt, double arrival_bps, double drain_bps);
+
+  double occupancy_bytes() const { return occupancy_; }
+  bool paused() const { return paused_; }
+  // Total pause seconds accumulated since construction / reset.
+  double total_pause_s() const { return total_pause_s_; }
+  double total_time_s() const { return total_time_s_; }
+  double pause_duration_ratio() const;
+
+  void reset();
+
+ private:
+  PfcParams params_;
+  double occupancy_ = 0.0;
+  bool paused_ = false;
+  double total_pause_s_ = 0.0;
+  double total_time_s_ = 0.0;
+};
+
+}  // namespace collie::nic

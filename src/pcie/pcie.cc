@@ -1,0 +1,76 @@
+#include "pcie/pcie.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace collie::pcie {
+
+const char* to_string(Gen g) {
+  switch (g) {
+    case Gen::kGen3:
+      return "3.0";
+    case Gen::kGen4:
+      return "4.0";
+  }
+  return "?";
+}
+
+std::string to_string(const LinkSpec& spec) {
+  std::ostringstream os;
+  os << to_string(spec.gen) << " x " << spec.lanes;
+  return os.str();
+}
+
+double raw_bandwidth_bps(const LinkSpec& spec) {
+  // Per-lane transfer rates: gen3 = 8 GT/s, gen4 = 16 GT/s; both use
+  // 128b/130b encoding.
+  const double gt_per_lane = (spec.gen == Gen::kGen3) ? 8e9 : 16e9;
+  return gt_per_lane * spec.lanes * (128.0 / 130.0);
+}
+
+double tlp_efficiency(const LinkSpec& spec, u64 chunk_bytes) {
+  if (chunk_bytes == 0) return 0.0;
+  // Each TLP carries up to max_payload bytes and pays roughly 26 bytes of
+  // header/sequence/LCRC plus DLLP ack amortization (~2 bytes).
+  constexpr double kTlpOverheadBytes = 28.0;
+  const double payload =
+      std::min<double>(static_cast<double>(chunk_bytes),
+                       static_cast<double>(spec.max_payload_bytes));
+  return payload / (payload + kTlpOverheadBytes);
+}
+
+double effective_bandwidth_bps(const LinkSpec& spec, u64 chunk_bytes) {
+  return raw_bandwidth_bps(spec) * tlp_efficiency(spec, chunk_bytes);
+}
+
+double dma_read_latency_ns(const LinkSpec& spec, const topo::DmaPath& path) {
+  // A DMA read is a round trip: request TLP out, completion TLPs back.
+  const double base = (spec.gen == Gen::kGen3) ? 420.0 : 360.0;
+  return base + path.latency_ns;
+}
+
+double ordering_stall_fraction(const LinkSpec& spec,
+                               const OrderingLoad& load) {
+  if (spec.relaxed_ordering_effective || spec.forced_relaxed_ordering) {
+    return 0.0;
+  }
+  if (!load.bidirectional) return 0.0;
+  if (load.small_write_rate <= 0.0 || load.large_write_rate <= 0.0) {
+    return 0.0;
+  }
+  // Severity grows with how many small writes and completions can pile up in
+  // front of each large write.  blockers_per_large is the expected number of
+  // ordering-serialized stream entries ahead of one large ingress write.
+  const double blockers_per_large =
+      (load.small_write_rate + load.completion_rate) /
+      std::max(load.large_write_rate, 1e-9);
+  // Sharply saturating curve: even a couple of blockers per large write
+  // already serializes most of the stream.  Ceiling 0.72 reproduces the
+  // ~60/200 Gbps observation of anomaly #9.
+  const double x = blockers_per_large * 4.0;
+  const double severity = x / (1.0 + x);
+  return 0.72 * std::clamp(severity, 0.0, 1.0);
+}
+
+}  // namespace collie::pcie

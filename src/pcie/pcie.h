@@ -1,0 +1,71 @@
+// PCIe link and root-complex model.
+//
+// The RNIC talks to every memory device through PCIe; Neugebauer et al.
+// (SIGCOMM'18, cited by the paper) show PCIe is a first-order performance
+// factor for host networking.  This module provides:
+//   * link bandwidth with encoding + TLP protocol efficiency,
+//   * DMA-read round-trip latency,
+//   * the ordering-stall model behind root cause #3 (anomalies #9/#12):
+//     without relaxed ordering on certain AMD root complexes, ingress small
+//     DMA writes and egress completions block ingress large DMA writes.
+#pragma once
+
+#include "common/units.h"
+#include "topo/host_topology.h"
+
+namespace collie::pcie {
+
+enum class Gen { kGen3, kGen4 };
+
+const char* to_string(Gen g);
+
+// Static description of the slot the RNIC sits in ("PCIe" column of Table 1).
+struct LinkSpec {
+  Gen gen = Gen::kGen3;
+  int lanes = 16;
+  u32 max_payload_bytes = 256;   // TLP max payload (typical server default)
+  u32 max_read_request = 512;    // DMA read request size
+  // Whether the platform honours relaxed-ordering TLPs end to end, and
+  // whether the device has been *forced* into relaxed ordering (the vendor
+  // fix for anomaly #9).
+  bool relaxed_ordering_effective = true;
+  bool forced_relaxed_ordering = false;
+};
+
+std::string to_string(const LinkSpec& spec);
+
+// Raw line rate after 128b/130b (gen3/4 both use 128/130) encoding, before
+// TLP overhead.  Bits per second.
+double raw_bandwidth_bps(const LinkSpec& spec);
+
+// Protocol efficiency for DMA transfers whose typical contiguous chunk is
+// `chunk_bytes`: every max_payload segment pays TLP header + DLLP overhead.
+double tlp_efficiency(const LinkSpec& spec, u64 chunk_bytes);
+
+// Effective data bandwidth for chunked DMA in one direction.
+double effective_bandwidth_bps(const LinkSpec& spec, u64 chunk_bytes);
+
+// Round-trip latency of one DMA read issued by the NIC against host memory:
+// base PCIe hop latency plus the topology path latency (cross-socket, root
+// complex detour...).  Nanoseconds.
+double dma_read_latency_ns(const LinkSpec& spec, const topo::DmaPath& path);
+
+// Inputs to the ordering-stall model: how the ingress (NIC -> memory) write
+// stream looks during one measurement epoch.
+struct OrderingLoad {
+  double small_write_rate = 0.0;   // ingress DMA writes <= 1KB, per second
+  double large_write_rate = 0.0;   // ingress DMA writes >= 64KB, per second
+  double completion_rate = 0.0;    // egress-traffic completions, per second
+  bool bidirectional = false;
+};
+
+// Fraction in [0, 1) of ingress drain bandwidth lost to strict-ordering
+// stalls.  Zero when relaxed ordering is effective (the platform honours RO
+// TLPs, or the device was forced into relaxed ordering — the vendor fix for
+// anomaly #9) or when the write stream is not a small/large mix under
+// bidirectional load.  The severity curve reproduces anomaly #9: ~60 Gbps
+// achieved out of 200 Gbps with a ~25% pause duty cycle.
+double ordering_stall_fraction(const LinkSpec& spec,
+                               const OrderingLoad& load);
+
+}  // namespace collie::pcie

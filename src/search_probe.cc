@@ -1,0 +1,110 @@
+// Developer tool: short end-to-end searches on subsystem F, printing the
+// distinct ground-truth anomalies each strategy finds.  Calibration aid for
+// the Figure 4/5 harnesses.
+#include <cstdio>
+#include <set>
+
+#include "baseline/bo.h"
+#include "catalog/anomalies.h"
+#include "common/cli.h"
+#include "core/search.h"
+
+using namespace collie;
+
+namespace {
+
+catalog::Symptom to_catalog(core::Symptom s) {
+  return s == core::Symptom::kPauseFrames
+             ? catalog::Symptom::kPauseFrames
+             : catalog::Symptom::kLowThroughput;
+}
+
+void report(const char* name, const core::SearchResult& r,
+            const core::SearchSpace& space, const std::string& chip,
+            bool dump) {
+  std::set<int> ids;
+  int unlabeled = 0;
+  for (const auto& f : r.found) {
+    int id = catalog::label_by_mechanism(chip, f.mfs.witness, f.dominant,
+                                         to_catalog(f.mfs.symptom));
+    if (id == 0) {
+      const auto labels =
+          catalog::label(chip, f.mfs.witness, to_catalog(f.mfs.symptom));
+      if (!labels.empty()) id = labels.front();
+    }
+    if (id == 0) {
+      ++unlabeled;
+    } else {
+      ids.insert(id);
+    }
+  }
+  std::printf("%-18s experiments=%5d elapsed=%6.1f min  skips=%4d  distinct=%zu  unlabeled=%d  ids=[",
+              name, r.experiments, r.elapsed_seconds / 60.0, r.mfs_skips,
+              ids.size(), unlabeled);
+  for (int id : ids) std::printf("%d ", id);
+  std::printf("]\n");
+  if (dump) {
+    for (const auto& f : r.found) {
+      std::printf("  @%5.0fmin dominant=%s witness=%s\n%s\n",
+                  f.found_at_seconds / 60.0, to_string(f.dominant),
+                  f.mfs.witness.describe().c_str(),
+                  f.mfs.describe(space).c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double minutes = args.get_double("minutes", 600);
+  const u64 seed = static_cast<u64>(args.get_int("seed", 1));
+  const char sys_id = args.get("sys", "F")[0];
+
+  const sim::Subsystem& sys = sim::subsystem(sys_id);
+  const std::string chip = sys.nicm.chip;
+  workload::EngineOptions eopts;
+  eopts.run_functional_pass = false;  // speed: probe only the search logic
+  workload::Engine engine(sys, eopts);
+  core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  core::SearchBudget budget;
+  budget.seconds = minutes * 60.0;
+
+  {
+    Rng rng(seed);
+    report("random", driver.run_random(budget, rng), space, chip, args.get_bool("dump", false));
+  }
+  {
+    Rng rng(seed);
+    core::SaConfig cfg;
+    cfg.mode = core::GuidanceMode::kDiag;
+    report("collie(diag)", driver.run_simulated_annealing(cfg, budget, rng),
+           space, chip, args.get_bool("dump", false));
+  }
+  {
+    Rng rng(seed);
+    core::SaConfig cfg;
+    cfg.mode = core::GuidanceMode::kPerf;
+    report("collie(perf)", driver.run_simulated_annealing(cfg, budget, rng),
+           space, chip, args.get_bool("dump", false));
+  }
+  {
+    Rng rng(seed);
+    core::SaConfig cfg;
+    cfg.use_mfs = false;
+    report("sa-no-mfs(diag)",
+           driver.run_simulated_annealing(cfg, budget, rng), space, chip, args.get_bool("dump", false));
+  }
+  {
+    Rng rng(seed);
+    baseline::BoConfig cfg;
+    report("bo",
+           baseline::run_bayesian_optimization(engine, space,
+                                               core::AnomalyMonitor{}, cfg,
+                                               budget, rng),
+           space, chip, args.get_bool("dump", false));
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "sim/counters.h"
+
+namespace collie::sim {
+
+const char* name(PerfCounter c) {
+  switch (c) {
+    case PerfCounter::kTxGoodputBps:
+      return "tx_goodput_bps";
+    case PerfCounter::kRxGoodputBps:
+      return "rx_goodput_bps";
+    case PerfCounter::kTxPps:
+      return "tx_pps";
+    case PerfCounter::kRxPps:
+      return "rx_pps";
+    case PerfCounter::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* name(DiagCounter c) {
+  switch (c) {
+    case DiagCounter::kRxWqeCacheMiss:
+      return "rx_wqe_cache_miss";
+    case DiagCounter::kQpcCacheMiss:
+      return "qpc_cache_miss";
+    case DiagCounter::kMttCacheMiss:
+      return "mtt_cache_miss";
+    case DiagCounter::kPcieInternalBackpressure:
+      return "pcie_internal_backpressure";
+    case DiagCounter::kPcieOrderingStall:
+      return "pcie_ordering_stall";
+    case DiagCounter::kRxBufferOccupancy:
+      return "rx_buffer_occupancy";
+    case DiagCounter::kNicIncastEvents:
+      return "nic_incast_events";
+    case DiagCounter::kTxPipelineStall:
+      return "tx_pipeline_stall";
+    case DiagCounter::kAckProcessingLoad:
+      return "ack_processing_load";
+    case DiagCounter::kCount:
+      break;
+  }
+  return "?";
+}
+
+CounterSample CounterSample::average(
+    const std::vector<CounterSample>& samples) {
+  CounterSample avg;
+  if (samples.empty()) return avg;
+  for (const auto& s : samples) {
+    for (int i = 0; i < kNumPerfCounters; ++i) {
+      avg.perf[static_cast<std::size_t>(i)] +=
+          s.perf[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < kNumDiagCounters; ++i) {
+      avg.diag[static_cast<std::size_t>(i)] +=
+          s.diag[static_cast<std::size_t>(i)];
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  for (auto& v : avg.perf) v /= n;
+  for (auto& v : avg.diag) v /= n;
+  return avg;
+}
+
+}  // namespace collie::sim

@@ -1,0 +1,877 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "net/wire.h"
+#include "nic/pfc.h"
+
+namespace collie::sim {
+
+const char* to_string(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kNone:
+      return "none";
+    case Bottleneck::kTxEngine:
+      return "tx_engine";
+    case Bottleneck::kQpcCacheMiss:
+      return "qpc_cache_miss";
+    case Bottleneck::kMttCacheMiss:
+      return "mtt_cache_miss";
+    case Bottleneck::kRwqeSteadyMiss:
+      return "rwqe_steady_miss";
+    case Bottleneck::kRwqeBurstMiss:
+      return "rwqe_burst_miss";
+    case Bottleneck::kReadPacketProcessing:
+      return "read_packet_processing";
+    case Bottleneck::kBidirPacketProcessing:
+      return "bidir_packet_processing";
+    case Bottleneck::kRequestTracker:
+      return "request_tracker";
+    case Bottleneck::kPcieBandwidth:
+      return "pcie_bandwidth";
+    case Bottleneck::kPcieOrdering:
+      return "pcie_ordering";
+    case Bottleneck::kHostTopologyPath:
+      return "host_topology_path";
+    case Bottleneck::kNicIncast:
+      return "nic_incast";
+    case Bottleneck::kMtuSchedulerQuirk:
+      return "mtu_scheduler_quirk";
+    case Bottleneck::kCount:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+double log2_safe(double v) { return std::log2(std::max(v, 1.0)); }
+
+// One traffic flow in the solved system.  At most three exist: the A->B
+// data flow, the mirrored B->A flow (bidirectional workloads) and the
+// on-host loopback flow of anomaly-#13-style co-location.
+struct Flow {
+  int src = 0;        // host whose memory the data leaves
+  int dst = 1;        // host whose memory the data lands in
+  int initiator = 0;  // host that posts the WQEs (== dst for READ)
+  double qps = 1.0;
+  bool is_send = false;
+  bool is_read = false;
+  bool is_loop = false;
+  topo::MemPlacement src_mem;
+  topo::MemPlacement dst_mem;
+
+  // Per-message coefficients, all linear in the flow's message rate.
+  double bytes_per_msg = 0.0;
+  double pkts_per_msg = 0.0;
+  double wire_bytes_per_msg = 0.0;
+  double acks_per_msg = 0.0;
+  double wqe_bytes = 0.0;
+  double smalls_per_msg = 0.0;  // SGEs <= 1KB per WQE (ordering model)
+  double larges_per_msg = 0.0;  // SGEs >= 64KB per WQE
+
+  double steady_loss = 0.0;       // delivered = rate * (1 - steady_loss)
+  double steady_miss = 0.0;       // receive-WQE steady miss ratio
+  double burst_miss = 0.0;        // receive-WQE burst miss ratio
+  double burst_stall_pkts = 0.0;  // RX engine pkt-equivalents per message
+  double tracker_stall_pkts = 0.0;
+  double tracker_pressure = 0.0;  // outstanding/capacity, also below 1
+  double qpc_miss_exposed = 0.0;  // exposed ICM miss events per message
+  double mtt_miss_exposed = 0.0;
+  double read_rx_mult = 1.0;      // READ-response processing demand factor
+  double sender_cap_msgs = 1e18;  // absolute message-rate cap (quirks)
+
+  double rate = 0.0;  // solved messages/second
+};
+
+// A linear capacity constraint: sum_f coeff[f] * rate_f <= capacity.
+struct Resource {
+  std::string name;
+  Bottleneck tag = Bottleneck::kNone;
+  bool rx_stall = false;  // binding here stalls a receiver -> PFC pauses
+  int pause_port = -1;
+  double capacity = 0.0;
+  std::array<double, 4> coeff{};
+
+  double utilization(const std::vector<Flow>& flows) const {
+    double demand = 0.0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      demand += coeff[i] * flows[i].rate;
+    }
+    return capacity > 0.0 ? demand / capacity : 0.0;
+  }
+};
+
+struct BuiltModel {
+  std::vector<Flow> flows;
+  std::vector<Resource> resources;
+};
+
+double path_factor(const Subsystem& sys, const topo::MemPlacement& mem) {
+  return sys.host.path_to_nic(mem).bandwidth_factor;
+}
+
+bool crosses_socket(const Subsystem& sys, const topo::MemPlacement& mem) {
+  return sys.host.path_to_nic(mem).crosses_socket;
+}
+
+bool via_root_complex(const Subsystem& sys, const topo::MemPlacement& mem) {
+  return sys.host.path_to_nic(mem).via_root_complex;
+}
+
+// ---- Per-flow mechanism coefficients ------------------------------------
+
+void compute_rwqe_effects(const Subsystem& sys, const Workload& w, Flow& f) {
+  if (!f.is_send) return;
+  const nic::NicModel& m = sys.nicm;
+  const nic::NicQuirks& q = m.q;
+  const double pkt_time_ns = 1e9 / m.max_pps;
+
+  // Effective prefetch window: RC/UC prefetch further ahead than UD, but a
+  // small MTU makes RC hold prefetched WQEs longer (multi-packet SENDs).
+  double window = q.rwqe_prefetch_window;
+  double knee = q.rwqe_deep_wq_knee;
+  double type_gate = 1.0;
+  if (w.qp_type != QpType::kUD) {
+    window *= 4.0;
+    knee *= 4.0;
+    if (w.mtu <= 1024) {
+      window /= std::max(q.rc_small_mtu_rwqe_amplifier, 1.0);
+    }
+    // RC's stricter trigger (Appendix A, anomalies #5/#6): the effect needs
+    // a small MTU and scatter-gathered requests to materialize.
+    type_gate = (w.mtu <= 1024 ? 1.0 : 0.2) * (w.sge_per_wqe >= 2 ? 1.0 : 0.5);
+    if (w.qp_type == QpType::kUC) type_gate *= 0.8;
+  }
+
+  // Steady-state pollution: a deep receive queue makes the prefetcher walk
+  // (and thrash) the cache across every connection.  Only entries beyond
+  // the pollution knee count (shallow rings wrap and stay resident).  UD
+  // entries occupy more cache (GRH scratch + address handle).
+  const double footprint =
+      w.qp_type == QpType::kUD ? q.ud_rwqe_footprint : 1.0;
+  const double polluting_depth = std::max(
+      0.0, std::min<double>(w.recv_wq_depth, 2048.0) -
+               q.rwqe_pollution_depth_knee);
+  const double steady_ws = f.qps * polluting_depth * footprint;
+  f.steady_miss = m.rwqe_cache().miss_ratio(steady_ws) * type_gate;
+  f.steady_loss = clamp01(q.rwqe_steady_penalty * f.steady_miss);
+
+  // Burst misses: posting batches larger than the prefetch window defeats
+  // it, but only once the queue is deep enough that the batch tail is cold.
+  const double cold =
+      clamp01((w.recv_wq_depth - 0.6 * knee) / (0.4 * knee));
+  const double burst_over =
+      std::max(0.0, static_cast<double>(w.wqe_batch) - window) /
+      std::max<double>(w.wqe_batch, 1.0);
+  f.burst_miss = burst_over * cold;
+  if (q.steady_miss_stalls_pipeline) {
+    // P2100G: even anticipated misses stall the RX pipeline (anomaly #17).
+    f.burst_miss = clamp01(f.burst_miss + 0.5 * f.steady_miss);
+    f.steady_loss = 0.0;
+  }
+  f.burst_stall_pkts = f.burst_miss * q.rwqe_burst_stall_ns / pkt_time_ns;
+}
+
+void compute_icm_effects(const Subsystem& sys, const Workload& w, Flow& f) {
+  const nic::NicModel& m = sys.nicm;
+  const double dir_mult = w.bidirectional ? 2.0 : 1.0;
+  const double qpc_ws = static_cast<double>(w.num_qps) * dir_mult;
+  const double pages_per_mr =
+      std::ceil(static_cast<double>(w.mr_size) / 4096.0);
+  const double mtt_ws =
+      static_cast<double>(w.total_mrs()) * pages_per_mr * dir_mult;
+  const double qpc_miss = m.qpc_cache().miss_ratio(qpc_ws);
+  const double mtt_miss = m.mtt_cache().miss_ratio(mtt_ws);
+
+  // The miss penalty is hidden by the pipeline when requests are large or
+  // the send pipeline is deep (Appendix A: "if the request size is
+  // relatively large ... the cache miss will not have a large effect").
+  const double size_exposure =
+      clamp01(1.0 - f.bytes_per_msg / (16.0 * KiB));
+  const double pipeline_exposure =
+      clamp01(1.2 - 0.15 * log2_safe(w.wqe_batch) -
+              0.15 * log2_safe(std::max(w.send_wq_depth, 16) / 16.0));
+  const double exposure = size_exposure * pipeline_exposure;
+  f.qpc_miss_exposed = qpc_miss * exposure;
+  f.mtt_miss_exposed = mtt_miss * exposure;
+}
+
+void compute_tracker_effects(const Subsystem& sys, const Workload& w,
+                             const PatternStats& p, Flow& f) {
+  if (!w.bidirectional || f.is_loop) return;
+  const nic::NicModel& m = sys.nicm;
+  double stall = 0.0;
+  double pressure = 0.0;
+  if (f.is_read && m.read_tracker_entries > 0) {
+    // Anomaly #4: bidirectional READ with large WQE batches and long SG
+    // lists overflows the outstanding-read tracker.
+    const double outstanding = f.qps * w.wqe_batch * w.sge_per_wqe;
+    pressure = std::max(pressure, outstanding / m.read_tracker_entries);
+    stall = std::max(stall, clamp01((outstanding - m.read_tracker_entries) /
+                                    m.read_tracker_entries));
+  }
+  if (!f.is_read && w.qp_type == QpType::kRC &&
+      m.short_req_tracker_entries > 0 && p.frac_small_msgs >= 0.25 &&
+      p.frac_large_msgs > 0.0) {
+    // Anomaly #10: floods of short requests queued behind long ones.
+    const double outstanding = f.qps * w.wqe_batch * p.frac_small_msgs;
+    pressure =
+        std::max(pressure, outstanding / m.short_req_tracker_entries);
+    stall = std::max(stall,
+                     clamp01((outstanding - m.short_req_tracker_entries) /
+                             m.short_req_tracker_entries));
+  }
+  if (!f.is_read && m.pkt_tracker_entries > 0 && w.wqe_batch >= 8) {
+    // Anomaly #18 (P2100G): batched multi-packet bursts overflow the
+    // per-packet tracker at small MTU.
+    const double outstanding = f.qps * w.wqe_batch * p.avg_pkts_per_msg;
+    pressure = std::max(pressure, outstanding / m.pkt_tracker_entries);
+    stall = std::max(stall, clamp01((outstanding - m.pkt_tracker_entries) /
+                                    m.pkt_tracker_entries));
+  }
+  // Sub-threshold occupancy is visible as a diagnostic signal even before
+  // the tracker overflows — this is the gradient the guided search climbs.
+  f.tracker_pressure = std::min(pressure, 2.0);
+  f.tracker_stall_pkts = stall * m.tracker_stall_pkt_equiv *
+                         std::min(1.0, p.frac_small_msgs + 0.5);
+}
+
+void compute_read_effects(const Subsystem& sys, const Workload& w, Flow& f) {
+  if (!f.is_read) return;
+  const nic::NicQuirks& q = sys.nicm.q;
+  double factor = q.read_resp_pps_factor;
+  const bool qp_gate =
+      q.read_small_mtu_qp_knee <= 0.0 || f.qps >= q.read_small_mtu_qp_knee;
+  const bool batch_gate = q.read_small_mtu_batch_knee <= 0.0 ||
+                          w.wqe_batch >= q.read_small_mtu_batch_knee;
+  if (w.mtu <= 1024 && qp_gate && batch_gate) {
+    factor *= q.read_small_mtu_pps_factor;
+  }
+  f.read_rx_mult = 1.0 / std::max(factor, 1e-3);
+}
+
+void compute_sender_quirks(const Subsystem& sys, const Workload& w,
+                           Flow& f) {
+  const nic::NicQuirks& q = sys.nicm.q;
+  if (q.mtu4k_qp_threshold > 0 && w.mtu >= 4096 && w.bidirectional &&
+      w.qp_type == QpType::kRC && !f.is_loop &&
+      f.qps >= q.mtu4k_qp_threshold) {
+    // Anomaly #14: the TX scheduler loses efficiency at large MTU with very
+    // many bidirectional connections.
+    const double line_msgs =
+        sys.nicm.line_rate_bps / 8.0 / std::max(f.wire_bytes_per_msg, 1.0);
+    f.sender_cap_msgs = (1.0 - q.mtu4k_penalty) * line_msgs;
+  }
+}
+
+Flow make_flow(const Subsystem& sys, const Workload& w,
+               const PatternStats& p, int src, int dst, int initiator,
+               double qps, bool loop) {
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.initiator = initiator;
+  f.qps = qps;
+  f.is_send = (w.opcode == Opcode::kSend);
+  f.is_read = (w.opcode == Opcode::kRead);
+  f.is_loop = loop;
+  // Loopback co-traffic stays in the receiver host's local memory; wire
+  // flows use the workload's placements.
+  f.src_mem = loop ? w.remote_mem : (src == 0 ? w.local_mem : w.remote_mem);
+  f.dst_mem = loop ? w.remote_mem : (dst == 1 ? w.remote_mem : w.local_mem);
+
+  f.bytes_per_msg = p.avg_msg_bytes;
+  f.pkts_per_msg = p.avg_pkts_per_msg;
+  f.wire_bytes_per_msg =
+      p.avg_msg_bytes + p.avg_pkts_per_msg * net::kPerPacketOverheadBytes;
+  if (w.qp_type == QpType::kRC) {
+    f.acks_per_msg = f.is_read ? 1.0 : 1.0 + p.avg_pkts_per_msg / 8.0;
+  }
+  f.wqe_bytes = 64.0 + 16.0 * w.sge_per_wqe;
+  // The PCIe ordering hazard (root cause #3) needs small and large DMA
+  // writes interleaved within one request's scatter-gather list ("mixture
+  // of small and large messages in an SG list", anomaly #9).
+  if (w.sge_per_wqe >= 2) {
+    const double sges_per_wqe = static_cast<double>(w.pattern.size()) /
+                                std::max(1.0, p.wqes_per_round);
+    f.smalls_per_msg = p.frac_small_sges * sges_per_wqe;
+    f.larges_per_msg = p.frac_large_sges * sges_per_wqe;
+  }
+
+  compute_rwqe_effects(sys, w, f);
+  compute_icm_effects(sys, w, f);
+  compute_tracker_effects(sys, w, p, f);
+  compute_read_effects(sys, w, f);
+  compute_sender_quirks(sys, w, f);
+  return f;
+}
+
+// ---- Resource construction ----------------------------------------------
+
+BuiltModel build_model(const Subsystem& sys, const Workload& w) {
+  BuiltModel m;
+  const PatternStats p = analyze_pattern(w);
+
+  if (w.loopback) {
+    // Anomaly-#13 shape: half the connections send over the wire into host
+    // 1; the other half are co-located loopback traffic on host 1.
+    const double wire_qps = std::max(1.0, std::floor(w.num_qps / 2.0));
+    const double loop_qps = std::max(1.0, w.num_qps - wire_qps);
+    m.flows.push_back(make_flow(sys, w, p, 0, 1, 0, wire_qps, false));
+    m.flows.push_back(make_flow(sys, w, p, 1, 1, 1, loop_qps, true));
+  } else if (w.opcode == Opcode::kRead) {
+    // READ: the initiator posts WQEs; data flows from the responder.
+    m.flows.push_back(make_flow(sys, w, p, 1, 0, 0, w.num_qps, false));
+    if (w.bidirectional) {
+      m.flows.push_back(make_flow(sys, w, p, 0, 1, 1, w.num_qps, false));
+    }
+  } else {
+    m.flows.push_back(make_flow(sys, w, p, 0, 1, 0, w.num_qps, false));
+    if (w.bidirectional) {
+      m.flows.push_back(make_flow(sys, w, p, 1, 0, 1, w.num_qps, false));
+    }
+  }
+
+  const auto& flows = m.flows;
+  const nic::NicModel& nicm = sys.nicm;
+  const nic::NicQuirks& q = nicm.q;
+  const double pkt_time_ns = 1e9 / nicm.max_pps;
+  (void)pkt_time_ns;
+
+  auto add = [&m](Resource r) { m.resources.push_back(std::move(r)); };
+
+  for (int h = 0; h < 2; ++h) {
+    bool tx_here = false;
+    bool rx_here = false;
+    for (const Flow& f : flows) {
+      if (f.src == h) tx_here = true;
+      if (f.dst == h) rx_here = true;
+    }
+    if (!tx_here && !rx_here) continue;
+
+    // ---- Wire egress ----
+    {
+      Resource r;
+      r.name = std::string("wire_out[") + char('A' + h) + "]";
+      r.tag = Bottleneck::kNone;  // wire-limited is the healthy case
+      r.capacity = nicm.line_rate_bps;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (flows[i].src == h && !flows[i].is_loop) {
+          r.coeff[i] = flows[i].wire_bytes_per_msg * 8.0;
+        }
+      }
+      add(r);
+    }
+
+    // ---- Packet engine (shared TX+RX+ACK processing) ----
+    {
+      const bool duplex = tx_here && rx_here;
+      Resource r;
+      r.name = std::string("engine[") + char('A' + h) + "]";
+      r.capacity = nicm.max_pps * (duplex ? q.bidir_pps_capacity : 1.0);
+      r.pause_port = h;
+      double best_component = 0.0;
+      r.tag = duplex ? Bottleneck::kBidirPacketProcessing
+                     : Bottleneck::kTxEngine;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        const Flow& f = flows[i];
+        double c = 0.0;
+        if (f.src == h) {
+          // Per-WQE parse/gather cost is small relative to a packet slot;
+          // the spec pps bound is an end-to-end message-rate bound, so a
+          // plain small-message sender must be able to approach it.
+          c += f.pkts_per_msg + (0.08 + 0.02 * w.sge_per_wqe);
+          c += f.acks_per_msg * q.ack_pkt_cost;  // ACK receive processing
+          if (f.is_read) c += 0.2;               // READ request RX
+        }
+        if (f.dst == h) {
+          const double rx_pkts = f.pkts_per_msg * f.read_rx_mult;
+          c += rx_pkts;
+          c += f.acks_per_msg * q.ack_pkt_cost;  // ACK generation
+          if (f.is_read) c += 0.2;               // READ request TX
+          c += f.burst_stall_pkts + f.tracker_stall_pkts;
+          r.rx_stall = true;
+          // Attribute the resource to its strongest abnormal component.
+          const double read_extra = f.pkts_per_msg * (f.read_rx_mult - 1.0);
+          if (read_extra > best_component) {
+            best_component = read_extra;
+            r.tag = Bottleneck::kReadPacketProcessing;
+          }
+          if (f.burst_stall_pkts > best_component) {
+            best_component = f.burst_stall_pkts;
+            r.tag = Bottleneck::kRwqeBurstMiss;
+          }
+          if (f.tracker_stall_pkts > best_component) {
+            best_component = f.tracker_stall_pkts;
+            r.tag = Bottleneck::kRequestTracker;
+          }
+        }
+        r.coeff[i] = c;
+      }
+      add(r);
+    }
+
+    // ---- PCIe read direction (NIC fetches from host memory) ----
+    {
+      Resource r;
+      r.name = std::string("pcie_rd[") + char('A' + h) + "]";
+      r.tag = Bottleneck::kPcieBandwidth;
+      r.capacity = pcie::effective_bandwidth_bps(
+          sys.link, sys.link.max_read_request);
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        const Flow& f = flows[i];
+        double bytes = 0.0;
+        if (f.src == h) {
+          bytes += f.bytes_per_msg / path_factor(sys, f.src_mem);
+        }
+        if (f.initiator == h) {
+          bytes += f.wqe_bytes;
+        }
+        if (f.dst == h && f.is_send) {
+          bytes += 64.0 * (f.steady_miss + f.burst_miss);
+        }
+        r.coeff[i] = bytes * 8.0;
+      }
+      add(r);
+    }
+
+    // ---- PCIe write direction (NIC delivers into host memory) ----
+    if (rx_here) {
+      // Ordering load ratios are scale-invariant, so they can be computed
+      // from per-message counts before rates are known.
+      pcie::OrderingLoad load;
+      load.bidirectional = tx_here && rx_here;
+      double rc_amp = 1.0;
+      for (const Flow& f : flows) {
+        if (f.dst == h) {
+          load.small_write_rate += f.qps > 0 ? f.smalls_per_msg : 0.0;
+          load.large_write_rate += f.larges_per_msg;
+          if (via_root_complex(sys, f.dst_mem)) rc_amp = 2.0;
+        }
+        if (f.src == h) load.completion_rate += 1.0;
+      }
+      load.small_write_rate *= rc_amp;
+      const double stall = pcie::ordering_stall_fraction(sys.link, load);
+
+      Resource r;
+      r.name = std::string("pcie_wr[") + char('A' + h) + "]";
+      r.rx_stall = true;
+      r.pause_port = h;
+      r.capacity = pcie::effective_bandwidth_bps(sys.link, 4096) *
+                   (1.0 - stall);
+      double worst_path = 1.0;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        const Flow& f = flows[i];
+        double bytes = 0.0;
+        if (f.dst == h) {
+          const double pf = path_factor(sys, f.dst_mem);
+          worst_path = std::min(worst_path, pf);
+          bytes += f.bytes_per_msg / pf + 64.0;  // data + CQE
+        } else if (f.initiator == h) {
+          bytes += 64.0;  // completion of egress traffic
+        }
+        r.coeff[i] = bytes * 8.0;
+      }
+      if (stall > 0.05) {
+        r.tag = Bottleneck::kPcieOrdering;
+      } else if (worst_path < 0.8) {
+        r.tag = Bottleneck::kHostTopologyPath;
+      } else {
+        r.tag = Bottleneck::kPcieBandwidth;
+      }
+      add(r);
+    }
+
+    // ---- Cross-socket interconnect ----
+    {
+      bool any_cross = false;
+      for (const Flow& f : flows) {
+        if ((f.src == h && crosses_socket(sys, f.src_mem)) ||
+            (f.dst == h && crosses_socket(sys, f.dst_mem))) {
+          any_cross = true;
+        }
+      }
+      if (any_cross) {
+        const bool bidir_cross = tx_here && rx_here;
+        const double quality =
+            bidir_cross ? sys.host.cross_socket_quality : 1.0;
+        Resource in;
+        in.name = std::string("xsocket_in[") + char('A' + h) + "]";
+        in.tag = Bottleneck::kHostTopologyPath;
+        in.rx_stall = true;
+        in.pause_port = h;
+        in.capacity = sys.host.cross_socket_bw_bps * quality;
+        Resource out;
+        out.name = std::string("xsocket_out[") + char('A' + h) + "]";
+        out.tag = Bottleneck::kHostTopologyPath;
+        out.capacity = sys.host.cross_socket_bw_bps * quality;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          const Flow& f = flows[i];
+          if (f.dst == h && crosses_socket(sys, f.dst_mem)) {
+            in.coeff[i] = f.bytes_per_msg * 8.0;
+          }
+          if (f.src == h && crosses_socket(sys, f.src_mem)) {
+            out.coeff[i] = f.bytes_per_msg * 8.0;
+          }
+        }
+        add(in);
+        add(out);
+      }
+    }
+
+    // ---- NIC-internal bus (loopback incast, root cause #6) ----
+    if (w.loopback && h == 1) {
+      Resource r;
+      r.name = "internal_bus[B]";
+      r.tag = Bottleneck::kNicIncast;
+      r.rx_stall = true;
+      r.pause_port = h;
+      r.capacity = nicm.line_rate_bps * 1.4;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (flows[i].dst == h) r.coeff[i] = flows[i].bytes_per_msg * 8.0;
+      }
+      add(r);
+      if (q.loopback_rate_limiter) {
+        Resource lim;
+        lim.name = "loopback_limiter[B]";
+        lim.tag = Bottleneck::kNone;
+        // The limiter must leave PCIe-write headroom even on gen3 slots.
+        lim.capacity = nicm.line_rate_bps * 0.15;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (flows[i].is_loop) lim.coeff[i] = flows[i].bytes_per_msg * 8.0;
+        }
+        add(lim);
+      }
+    }
+
+    // ---- ICM fetch engine (QPC/MTT cache-miss service) ----
+    {
+      Resource r;
+      r.name = std::string("icm_fetch[") + char('A' + h) + "]";
+      r.capacity = nicm.icm_fetch_per_s;
+      double qpc_total = 0.0;
+      double mtt_total = 0.0;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        const Flow& f = flows[i];
+        if (f.initiator == h) {
+          r.coeff[i] = f.qpc_miss_exposed + f.mtt_miss_exposed;
+          qpc_total += f.qpc_miss_exposed;
+          mtt_total += f.mtt_miss_exposed;
+        }
+      }
+      r.tag = qpc_total >= mtt_total ? Bottleneck::kQpcCacheMiss
+                                     : Bottleneck::kMttCacheMiss;
+      add(r);
+    }
+  }
+
+  // ---- Per-flow sender quirk caps ----
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].sender_cap_msgs < 1e17) {
+      Resource r;
+      r.name = "tx_scheduler_quirk";
+      r.tag = Bottleneck::kMtuSchedulerQuirk;
+      r.capacity = flows[i].sender_cap_msgs;
+      r.coeff[i] = 1.0;
+      add(r);
+    }
+  }
+
+  return m;
+}
+
+// ---- Solver ---------------------------------------------------------------
+
+// Proportionally scale flows until no resource exceeds capacity.  Returns
+// the index of the most-binding resource (or -1 if nothing binds).
+int solve(BuiltModel& model, bool include_rx_stall) {
+  auto& flows = model.flows;
+  // Initialize optimistically: each flow alone at line-rate-equivalent.
+  for (Flow& f : flows) {
+    f.rate = 1e14 / std::max(f.wire_bytes_per_msg, 1.0);
+  }
+  int binding = -1;
+  for (int iter = 0; iter < 200; ++iter) {
+    double worst = 1.0 + 1e-9;
+    int worst_idx = -1;
+    for (std::size_t ri = 0; ri < model.resources.size(); ++ri) {
+      const Resource& r = model.resources[ri];
+      if (!include_rx_stall && r.rx_stall) continue;
+      const double u = r.utilization(flows);
+      if (u > worst) {
+        worst = u;
+        worst_idx = static_cast<int>(ri);
+      }
+    }
+    if (worst_idx < 0) break;
+    binding = worst_idx;
+    const Resource& r = model.resources[static_cast<std::size_t>(worst_idx)];
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (r.coeff[i] > 0.0) flows[i].rate /= worst;
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+double experiment_cost_seconds(const Workload& w) {
+  const double qp_cost =
+      25.0 * std::min(1.0, w.num_qps * (w.bidirectional ? 2.0 : 1.0) /
+                               20000.0);
+  const double mr_cost =
+      15.0 * std::min(1.0, static_cast<double>(w.total_mrs()) / 200000.0);
+  return std::clamp(20.0 + qp_cost + mr_cost, 20.0, 60.0);
+}
+
+SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
+                   const SimConfig& cfg) {
+  assert(w.valid());
+  SimResult out;
+
+  // Pass 1: sender-side and wire constraints only -> what the senders put
+  // on the wire before receive-side stalls throttle them via PFC.
+  BuiltModel offered_model = build_model(sys, w);
+  solve(offered_model, /*include_rx_stall=*/false);
+
+  // Pass 2: the full system.
+  BuiltModel model = build_model(sys, w);
+  const int binding = solve(model, /*include_rx_stall=*/true);
+
+  const auto& flows = model.flows;
+  const auto& offered = offered_model.flows;
+
+  // ---- Primary metrics (steady state, pre-jitter) ----
+  double dir_wire[2] = {0.0, 0.0};      // wire bps into host 1 / host 0
+  double dir_offered[2] = {0.0, 0.0};
+  double dir_goodput[2] = {0.0, 0.0};
+  double dir_delivered[2] = {0.0, 0.0};
+  double dir_pps[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& f = flows[i];
+    if (f.is_loop) continue;
+    const int d = f.dst == 1 ? 0 : 1;  // direction index: 0 = A->B
+    dir_wire[d] += f.rate * f.wire_bytes_per_msg * 8.0;
+    dir_offered[d] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
+    dir_goodput[d] += f.rate * f.bytes_per_msg * 8.0;
+    dir_delivered[d] +=
+        f.rate * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
+    dir_pps[d] += f.rate * f.pkts_per_msg;
+  }
+  out.tx_wire_bps = dir_wire[0];
+  out.rx_wire_bps = dir_wire[1] > 0 ? dir_wire[1] : dir_wire[0];
+  out.tx_goodput_bps = dir_goodput[0];
+  out.rx_goodput_bps = std::max(dir_delivered[0], dir_delivered[1]);
+  out.tx_pps = dir_pps[0];
+  out.rx_pps = dir_pps[1] > 0 ? dir_pps[1] : dir_pps[0];
+
+  // Utilization against the anomaly-definition upper bounds, using
+  // *delivered* traffic (what the application observes).  The wire bound is
+  // per direction; the packets/s spec bound is per NIC, so a bidirectional
+  // workload counts both directions against one engine.
+  double wire_util = 0.0;
+  for (int d = 0; d < 2; ++d) {
+    if (dir_offered[d] <= 0.0) continue;
+    const double deliv_wire =
+        dir_wire[d] * (dir_goodput[d] > 0
+                           ? dir_delivered[d] / dir_goodput[d]
+                           : 1.0);
+    wire_util = std::max(wire_util, deliv_wire / sys.wire_bps_cap());
+  }
+  double pps_util = 0.0;
+  for (int h = 0; h < 2; ++h) {
+    double host_pps = 0.0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const Flow& f = flows[i];
+      if (f.src == h || f.dst == h) {
+        host_pps += f.rate * (1.0 - f.steady_loss) * f.pkts_per_msg;
+      }
+    }
+    pps_util = std::max(pps_util, host_pps / sys.pps_cap());
+  }
+  out.wire_utilization = wire_util;
+  out.pps_utilization = pps_util;
+
+  // ---- Pause accounting ----
+  // Receivers whose binding rx-stall resources reduced the admitted rate
+  // below the offered rate accumulate RX-buffer backlog -> PFC.
+  double arrival_bps[2] = {0.0, 0.0};
+  double drain_bps[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& f = flows[i];
+    const int h = f.dst;
+    if (f.is_loop) {
+      // Loopback traffic competes inside the NIC but does not arrive from
+      // the switch port; it only steals drain capacity.
+      continue;
+    }
+    arrival_bps[h] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
+    drain_bps[h] += f.rate * f.wire_bytes_per_msg * 8.0;
+  }
+  // A port pauses only when the senders genuinely offer more than the
+  // receive side can drain: the pass-1 solve (sender/wire constraints only)
+  // admits measurably more than the full solve.  A resource sitting *at*
+  // capacity without overload is balanced, not pausing — this keeps
+  // borderline wire-bound workloads from flickering across the monitor's
+  // 0.1% pause threshold.
+  bool rx_stalled[2] = {false, false};
+  for (int h = 0; h < 2; ++h) {
+    rx_stalled[h] = arrival_bps[h] > drain_bps[h] * 1.02;
+  }
+
+  if (binding >= 0) {
+    const Resource& b = model.resources[static_cast<std::size_t>(binding)];
+    if (b.utilization(flows) > 0.999 && b.tag != Bottleneck::kNone) {
+      out.dominant = b.tag;
+      out.bottleneck_note = b.name;
+    }
+  }
+  // Steady receive-WQE misses dominate when nothing else binds but
+  // delivery losses are significant.
+  if (out.dominant == Bottleneck::kNone) {
+    for (const Flow& f : flows) {
+      if (f.steady_loss > 0.05) {
+        out.dominant = Bottleneck::kRwqeSteadyMiss;
+        out.bottleneck_note = "rwqe_steady_miss";
+        break;
+      }
+    }
+  }
+
+  // ---- Epoch rollout ----
+  // The XOFF/XON hysteresis cycle is O(100us) against O(250ms) epochs, so
+  // the pause duty ratio within an epoch equals the ideal-hysteresis steady
+  // state: fill from XON to XOFF at (arrival - drain), pause and drain back
+  // at `drain`, giving duty = 1 - drain/arrival.  (PfcBuffer integrates the
+  // same dynamics explicitly; unit tests cross-check the two.)
+  nic::PfcParams pfc_params;
+  pfc_params.buffer_bytes = sys.nicm.rx_buffer_bytes;
+  double pause_accum = 0.0;
+  double pause_time = 0.0;
+  std::vector<CounterSample> steady_samples;
+
+  // Pre-compute steady counter values (per second).
+  CounterSample base;
+  {
+    double tx_good = 0.0;
+    double rx_good = 0.0;
+    double tx_pps = 0.0;
+    double rx_pps = 0.0;
+    double rwqe_miss = 0.0;
+    double qpc_miss = 0.0;
+    double mtt_miss = 0.0;
+    double ordering = 0.0;
+    double incast = 0.0;
+    double ack_load = 0.0;
+    double tracker = 0.0;
+    for (const Flow& f : flows) {
+      tx_good += f.rate * f.bytes_per_msg * 8.0;
+      rx_good += f.rate * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
+      tx_pps += f.rate * f.pkts_per_msg;
+      rx_pps += f.rate * (1.0 - f.steady_loss) * f.pkts_per_msg;
+      rwqe_miss += f.rate * (f.steady_miss + f.burst_miss);
+      qpc_miss += f.rate * f.qpc_miss_exposed;
+      mtt_miss += f.rate * f.mtt_miss_exposed;
+      ack_load += f.rate * f.acks_per_msg;
+      tracker += f.rate * f.tracker_stall_pkts + f.tracker_pressure * 1e6;
+    }
+    // Diagnostic counters expose *smooth* load signals — they move before
+    // end-to-end performance does (the property §5.1/§7.2 builds on).
+    double pcie_bp = 0.0;
+    double engine_excess = 0.0;
+    for (const Resource& r : model.resources) {
+      const double u = r.utilization(flows);
+      if (r.name.rfind("pcie_", 0) == 0) {
+        pcie_bp += u * 1e6 + std::max(0.0, u - 0.8) * 5e6;
+      }
+      if (r.name.rfind("engine", 0) == 0) {
+        engine_excess += u * 1e6 + std::max(0.0, u - 0.8) * 1e7;
+      }
+      if (r.tag == Bottleneck::kPcieOrdering) {
+        ordering += u * 2e6;
+      }
+      if (r.tag == Bottleneck::kNicIncast) {
+        incast += u * 1e6;
+      }
+      if (r.tag == Bottleneck::kHostTopologyPath) {
+        pcie_bp += u * 3e6;
+      }
+    }
+    base.set(PerfCounter::kTxGoodputBps, tx_good);
+    base.set(PerfCounter::kRxGoodputBps, rx_good);
+    base.set(PerfCounter::kTxPps, tx_pps);
+    base.set(PerfCounter::kRxPps, rx_pps);
+    base.set(DiagCounter::kRxWqeCacheMiss, rwqe_miss);
+    base.set(DiagCounter::kQpcCacheMiss, qpc_miss);
+    base.set(DiagCounter::kMttCacheMiss, mtt_miss);
+    base.set(DiagCounter::kPcieInternalBackpressure, pcie_bp);
+    base.set(DiagCounter::kPcieOrderingStall, ordering);
+    base.set(DiagCounter::kNicIncastEvents, incast);
+    base.set(DiagCounter::kTxPipelineStall, engine_excess + tracker);
+    base.set(DiagCounter::kAckProcessingLoad, ack_load);
+  }
+
+  out.epochs.reserve(static_cast<std::size_t>(cfg.epochs));
+  for (int e = 0; e < cfg.epochs; ++e) {
+    const bool warm = e < cfg.warmup_epochs;
+    const double ramp =
+        warm ? (e + 1.0) / (cfg.warmup_epochs + 1.0) : 1.0;
+    const double jit = std::max(0.2, rng.normal(1.0, cfg.jitter));
+
+    EpochSample es;
+    es.t = (e + 1) * cfg.epoch_dt;
+    for (int i = 0; i < kNumPerfCounters; ++i) {
+      es.counters.perf[static_cast<std::size_t>(i)] =
+          base.perf[static_cast<std::size_t>(i)] * ramp * jit;
+    }
+    for (int i = 0; i < kNumDiagCounters; ++i) {
+      es.counters.diag[static_cast<std::size_t>(i)] =
+          base.diag[static_cast<std::size_t>(i)] * ramp *
+          std::max(0.2, rng.normal(1.0, cfg.jitter * 2.0));
+    }
+
+    double worst_pause = 0.0;
+    double occupancy = 0.0;
+    for (int h = 0; h < 2; ++h) {
+      if (!rx_stalled[h] || arrival_bps[h] <= 0.0) continue;
+      const double arrive = arrival_bps[h] * ramp * jit;
+      // Drain capacity does not scale with the sender's ramp.
+      const double drain =
+          drain_bps[h] * std::max(0.2, rng.normal(1.0, cfg.jitter));
+      if (arrive <= drain) continue;
+      const double duty = 1.0 - drain / arrive;
+      worst_pause = std::max(worst_pause, duty);
+      // While pausing, occupancy oscillates between XON and XOFF.
+      occupancy = std::max(
+          occupancy, 0.5 *
+                         (pfc_params.xon_fraction + pfc_params.xoff_fraction) *
+                         pfc_params.buffer_bytes);
+    }
+    // Connection-setup blips: the paper notes a few pause frames can appear
+    // while connections are brought up.
+    if (warm && rng.bernoulli(0.3)) {
+      worst_pause = std::max(worst_pause, rng.uniform(0.0, 0.0004));
+    }
+    es.counters.set(DiagCounter::kRxBufferOccupancy, occupancy);
+    es.pause_fraction = worst_pause;
+    if (!warm) {
+      pause_accum += worst_pause * cfg.epoch_dt;
+      pause_time += cfg.epoch_dt;
+      steady_samples.push_back(es.counters);
+    }
+    out.epochs.push_back(std::move(es));
+  }
+
+  out.pause_duration_ratio = pause_time > 0 ? pause_accum / pause_time : 0.0;
+  out.counters = CounterSample::average(steady_samples);
+  return out;
+}
+
+}  // namespace collie::sim

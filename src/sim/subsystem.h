@@ -1,0 +1,40 @@
+// RDMA subsystem assembly: an RNIC plus the server hardware it interacts
+// with.  The catalog reproduces the eight testbed subsystems of Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/memory_model.h"
+#include "nic/nic_model.h"
+#include "pcie/pcie.h"
+#include "topo/host_topology.h"
+
+namespace collie::sim {
+
+struct Subsystem {
+  char id = 'F';
+  nic::NicModel nicm;
+  topo::HostTopology host;
+  pcie::LinkSpec link;
+  mem::MemoryModel memory;
+  std::string cpu_label;  // "Intel(R) Xeon(R) CPU 3" — blinded like Table 1
+  std::string bios;
+  std::string kernel;
+  u64 dram_bytes = 768ULL * GiB;
+
+  // Anomaly-definition upper bounds (§3): an un-anomalous subsystem is
+  // bottlenecked either by wire bits/s or by packets/s per the NIC spec.
+  double wire_bps_cap() const { return nicm.line_rate_bps; }
+  double pps_cap() const { return nicm.max_pps; }
+
+  std::string summary() const;
+};
+
+// Table 1 catalog.  Both hosts of an experiment pair are identical, as in
+// the paper's testbed.
+const Subsystem& subsystem(char id);  // 'A'..'H'
+std::vector<char> all_subsystem_ids();
+
+}  // namespace collie::sim

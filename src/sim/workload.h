@@ -1,0 +1,95 @@
+// The workload descriptor: one point in Collie's four-dimensional search
+// space (§4).  Everything the workload engine needs to set up traffic is
+// here, expressed purely in verbs-level terms:
+//
+//   Dimension 1 (host topology)   : local_mem, remote_mem, loopback
+//   Dimension 2 (memory settings) : mrs_per_qp, mr_size
+//   Dimension 3 (transport)       : qp_type, opcode, num_qps, wqe_batch,
+//                                   sge_per_wqe, send/recv_wq_depth
+//   Dimension 4 (message pattern) : pattern (SGE sizes), mtu, bidirectional
+//
+// Pattern semantics: `pattern` lists scatter-gather element sizes; WQE i
+// covers entries [i*sge_per_wqe, (i+1)*sge_per_wqe).  One WQE is one wire
+// work request whose message size is the sum of its SGEs.  This single
+// encoding expresses both Appendix-A forms: "each request has 3 SG elements
+// and the pattern is [128B, 64KB, 1KB]" (sge=3) and "the pattern is [64KB,
+// 128B, 128B, 128B]" with one SGE per request (sge=1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topo/host_topology.h"
+
+namespace collie {
+
+enum class QpType { kRC, kUC, kUD };
+enum class Opcode { kSend, kWrite, kRead };
+
+const char* to_string(QpType t);
+const char* to_string(Opcode o);
+
+// Is this (transport, opcode) combination legal per the verbs spec?
+// UD supports only SEND/RECV; UC supports SEND and WRITE; RC supports all.
+bool transport_supports(QpType t, Opcode o);
+
+struct Workload {
+  // ---- Dimension 1: host topology ----
+  topo::MemPlacement local_mem;   // sender-side buffers (host A)
+  topo::MemPlacement remote_mem;  // receiver-side buffers (host B)
+  // Anomaly-#13-style co-location: half the connections become loopback
+  // traffic on the receiving host, sharing its RNIC with the wire traffic.
+  bool loopback = false;
+
+  // ---- Dimension 2: memory allocation settings ----
+  int mrs_per_qp = 1;
+  u64 mr_size = 64 * KiB;
+
+  // ---- Dimension 3: transport settings ----
+  QpType qp_type = QpType::kRC;
+  Opcode opcode = Opcode::kWrite;
+  int num_qps = 8;  // per direction
+  int wqe_batch = 1;
+  int sge_per_wqe = 1;
+  int send_wq_depth = 128;
+  int recv_wq_depth = 128;
+
+  // ---- Dimension 4: message pattern ----
+  std::vector<u64> pattern = {64 * KiB};  // SGE sizes, cycled
+  u32 mtu = 4096;
+  bool bidirectional = false;
+
+  // Number of WQEs (wire work requests) in one pattern round.
+  int wqes_per_round() const;
+  // Message size of the i-th WQE in a round (sum of its SGEs).
+  u64 message_bytes(int wqe_index) const;
+  int total_mrs() const { return mrs_per_qp * num_qps; }
+
+  // Structural validity: legal transport/opcode combo, nonempty pattern,
+  // positive sizes, UD messages within MTU, depths/batch within bounds.
+  bool valid(std::string* why = nullptr) const;
+
+  // Compact single-line description (for logs and MFS reports).
+  std::string describe() const;
+
+  bool operator==(const Workload&) const = default;
+};
+
+// Aggregate statistics of one pattern round; the performance model's view.
+struct PatternStats {
+  double wqes_per_round = 0.0;
+  double bytes_per_round = 0.0;
+  double avg_msg_bytes = 0.0;
+  double max_msg_bytes = 0.0;
+  double pkts_per_round = 0.0;      // data packets at the workload MTU
+  double frac_small_msgs = 0.0;     // messages <= 1KB / round
+  double frac_large_msgs = 0.0;     // messages >= 64KB / round
+  double frac_small_sges = 0.0;     // SGEs <= 1KB
+  double frac_large_sges = 0.0;     // SGEs >= 64KB
+  double avg_pkts_per_msg = 0.0;
+};
+
+PatternStats analyze_pattern(const Workload& w);
+
+}  // namespace collie

@@ -1,0 +1,170 @@
+#include "topo/host_topology.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace collie::topo {
+
+const char* to_string(CpuVendor v) {
+  switch (v) {
+    case CpuVendor::kIntel:
+      return "Intel";
+    case CpuVendor::kAmd:
+      return "AMD";
+  }
+  return "?";
+}
+
+const char* to_string(MemKind k) {
+  switch (k) {
+    case MemKind::kDram:
+      return "DRAM";
+    case MemKind::kGpu:
+      return "GPU";
+  }
+  return "?";
+}
+
+std::string to_string(const MemPlacement& p) {
+  std::ostringstream os;
+  if (p.kind == MemKind::kDram) {
+    os << "numa" << p.index;
+  } else {
+    os << "gpu" << p.index;
+  }
+  return os.str();
+}
+
+int HostTopology::socket_of_numa(int numa_index) const {
+  assert(numa_index >= 0 && numa_index < numa_nodes());
+  return numa_index / numa_per_socket;
+}
+
+bool HostTopology::placement_valid(const MemPlacement& p) const {
+  if (p.index < 0) return false;
+  if (p.kind == MemKind::kDram) return p.index < numa_nodes();
+  return p.index < static_cast<int>(gpus.size());
+}
+
+std::vector<MemPlacement> HostTopology::accessible_placements() const {
+  std::vector<MemPlacement> out;
+  for (int n = 0; n < numa_nodes(); ++n) {
+    out.push_back({MemKind::kDram, n});
+  }
+  for (const auto& g : gpus) {
+    out.push_back({MemKind::kGpu, g.id});
+  }
+  return out;
+}
+
+DmaPath HostTopology::path_to_nic(const MemPlacement& p) const {
+  assert(placement_valid(p));
+  DmaPath path;
+  if (p.kind == MemKind::kDram) {
+    const int socket = socket_of_numa(p.index);
+    path.crosses_socket = (socket != nic_socket);
+    path.latency_ns = local_dma_latency_ns;
+    if (path.crosses_socket) {
+      path.latency_ns += cross_socket_latency_ns;
+      // A healthy interconnect loses a little efficiency.  The load-
+      // dependent collapse of the "particular AMD servers" (anomaly #11,
+      // cross_socket_quality) is applied by the performance model only when
+      // the interconnect carries bidirectional traffic.
+      path.bandwidth_factor = 0.92;
+    }
+    return path;
+  }
+  const GpuDevice& gpu = gpus.at(static_cast<std::size_t>(p.index));
+  path.crosses_socket = (gpu.socket != nic_socket);
+  if (gpu_acs_misrouted) {
+    // ACSCtl forwards GPU traffic to the root complex instead of directly
+    // to the RNIC: longer path and shared root-complex bandwidth.  The
+    // detour alone leaves just enough headroom for clean bulk traffic; it
+    // turns catastrophic only when combined with strict-ordering stalls
+    // (anomaly #12's "particular GPU-Direct RDMA traffic").
+    path.via_root_complex = true;
+    path.latency_ns = local_dma_latency_ns + 450.0;
+    path.bandwidth_factor = 0.9;
+  } else if (!path.crosses_socket && gpu.pcie_switch == nic_pcie_switch) {
+    // PIX/PXB peer-to-peer under the shared switch.
+    path.peer_to_peer = true;
+    path.latency_ns = 60.0;
+    path.bandwidth_factor = 1.0;
+  } else {
+    path.latency_ns = local_dma_latency_ns + 200.0;
+    path.bandwidth_factor = 0.85;
+  }
+  if (path.crosses_socket) {
+    path.latency_ns += cross_socket_latency_ns;
+    path.bandwidth_factor *= 0.92;
+  }
+  return path;
+}
+
+HostTopology intel_1socket() {
+  HostTopology h;
+  h.name = "intel-1s";
+  h.vendor = CpuVendor::kIntel;
+  h.sockets = 1;
+  h.chiplets_per_socket = 1;
+  h.numa_per_socket = 1;
+  h.cross_socket_latency_ns = 0.0;
+  return h;
+}
+
+HostTopology intel_2socket() {
+  HostTopology h;
+  h.name = "intel-2s";
+  h.vendor = CpuVendor::kIntel;
+  h.sockets = 2;
+  h.chiplets_per_socket = 1;
+  h.numa_per_socket = 1;
+  h.cross_socket_bw_bps = gbps(330);
+  h.cross_socket_latency_ns = 120.0;
+  return h;
+}
+
+HostTopology intel_2socket_gpu() {
+  HostTopology h = intel_2socket();
+  h.name = "intel-2s-v100";
+  // Four V100s: two under the NIC's switch, two across the other socket.
+  h.gpus = {{0, 0, 0}, {1, 0, 0}, {2, 1, 1}, {3, 1, 1}};
+  return h;
+}
+
+HostTopology intel_2socket_a100() {
+  HostTopology h = intel_2socket();
+  h.name = "intel-2s-a100";
+  h.gpus = {{0, 0, 0}, {1, 0, 1}, {2, 1, 2}, {3, 1, 3}};
+  return h;
+}
+
+HostTopology amd_1socket_a100() {
+  HostTopology h;
+  h.name = "amd-1s-a100";
+  h.vendor = CpuVendor::kAmd;
+  h.sockets = 1;
+  h.chiplets_per_socket = 4;
+  h.numa_per_socket = 1;
+  h.gpus = {{0, 0, 0}, {1, 0, 0}, {2, 0, 1}, {3, 0, 1},
+            {4, 0, 2}, {5, 0, 2}, {6, 0, 3}, {7, 0, 3}};
+  h.cross_socket_latency_ns = 0.0;
+  return h;
+}
+
+HostTopology amd_2socket_nps2() {
+  HostTopology h;
+  h.name = "amd-2s-nps2";
+  h.vendor = CpuVendor::kAmd;
+  h.sockets = 2;
+  h.chiplets_per_socket = 4;
+  h.numa_per_socket = 2;
+  // The xGMI path on this platform family degrades badly under load; this is
+  // the "specific types of AMD servers" from anomaly #11.
+  h.cross_socket_bw_bps = gbps(250);
+  h.cross_socket_latency_ns = 190.0;
+  h.cross_socket_quality = 0.45;
+  return h;
+}
+
+}  // namespace collie::topo

@@ -1,0 +1,119 @@
+// Host topology model: CPU sockets, chiplets, NUMA nodes, PCIe switches and
+// GPUs, plus the RNIC's attachment point.  This is Dimension 1 of Collie's
+// search space ("where does traffic come from inside a server", paper §4) and
+// the substrate for root cause #5 (host topology raises DMA latency and
+// bottlenecks the RNIC receive rate — anomalies #11 and #12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace collie::topo {
+
+enum class CpuVendor { kIntel, kAmd };
+
+const char* to_string(CpuVendor v);
+
+// Kind of memory device an RDMA buffer can live in.
+enum class MemKind { kDram, kGpu };
+
+const char* to_string(MemKind k);
+
+// A memory placement names one memory device: a NUMA node (kDram) or a GPU
+// (kGpu).  index is the NUMA node id or the GPU ordinal.
+struct MemPlacement {
+  MemKind kind = MemKind::kDram;
+  int index = 0;
+
+  bool operator==(const MemPlacement&) const = default;
+};
+
+std::string to_string(const MemPlacement& p);
+
+// A GPU and where it hangs in the PCIe fabric.
+struct GpuDevice {
+  int id = 0;
+  int socket = 0;
+  // PCIe switch the GPU sits under; GPUs sharing a switch with the RNIC can
+  // do peer-to-peer DMA ("PIX/PXB in nvidia-smi", Appendix A #12).
+  int pcie_switch = 0;
+};
+
+// The resolved DMA path between a memory device and the RNIC.  The PCIe and
+// performance models consume this; they never look at raw topology.
+struct DmaPath {
+  bool crosses_socket = false;
+  // GPU traffic misrouted through the root complex because of a wrong PCIe
+  // ACSCtl setting (root cause of anomaly #12).
+  bool via_root_complex = false;
+  // GPU under the same PCIe switch as the RNIC with correct ACS: direct
+  // peer-to-peer, never touches the root complex.
+  bool peer_to_peer = false;
+  double latency_ns = 0.0;
+  // Multiplier in (0, 1] applied to the PCIe link's effective bandwidth for
+  // traffic on this path.
+  double bandwidth_factor = 1.0;
+};
+
+// Static description of one server.  Instances come from the factory
+// functions below; all fields are plain data so tests can build custom hosts.
+struct HostTopology {
+  std::string name;
+  CpuVendor vendor = CpuVendor::kIntel;
+  int sockets = 2;
+  // Only AMD and new-generation Intel CPUs have cross-chiplet communication
+  // (paper Figure 1); chiplets_per_socket == 1 models monolithic dies.
+  int chiplets_per_socket = 1;
+  int numa_per_socket = 1;  // the "NPS" column of Table 1
+  std::vector<GpuDevice> gpus;
+
+  int nic_socket = 0;
+  int nic_pcie_switch = 0;
+
+  // Anomaly #12: PCIe bridge ACSCtl forwards GPU traffic to the root complex
+  // instead of peer-to-peer to the RNIC.
+  bool gpu_acs_misrouted = false;
+
+  // Cross-socket interconnect (UPI / xGMI).
+  double cross_socket_bw_bps = gbps(300);
+  double cross_socket_latency_ns = 130.0;
+  // Anomaly #11 is specific to "particular AMD servers" whose cross-socket
+  // path degrades badly under bidirectional load; quality 1.0 = healthy,
+  // smaller = the anomalous platform.
+  double cross_socket_quality = 1.0;
+
+  double local_dma_latency_ns = 80.0;
+
+  int numa_nodes() const { return sockets * numa_per_socket; }
+  int socket_of_numa(int numa_index) const;
+  bool placement_valid(const MemPlacement& p) const;
+
+  // All placements a workload may legally use on this host (Dimension 1
+  // enumeration, "we list all accessible memory devices").
+  std::vector<MemPlacement> accessible_placements() const;
+
+  // Resolve the DMA path between a placement and the RNIC.  Asserts the
+  // placement is valid.
+  DmaPath path_to_nic(const MemPlacement& p) const;
+};
+
+// ---- Factory functions for the host platforms of Table 1 -----------------
+
+// Single-socket Intel host (subsystem A).
+HostTopology intel_1socket();
+// Dual-socket Intel host, DRAM only (subsystems B, D, H).
+HostTopology intel_2socket();
+// Dual-socket Intel host with V100 GPUs (subsystem C).
+HostTopology intel_2socket_gpu();
+// Dual-socket Intel host with A100 GPUs on PCIe gen4 (subsystem F).
+HostTopology intel_2socket_a100();
+// Single-socket AMD EPYC host with A100 GPUs (subsystem E); the "particular
+// AMD server" with relaxed-ordering and ACSCtl pitfalls.
+HostTopology amd_1socket_a100();
+// Dual-socket AMD EPYC host, NPS=2 (subsystem G); the platform with the
+// weak cross-socket path of anomaly #11.
+HostTopology amd_2socket_nps2();
+
+}  // namespace collie::topo

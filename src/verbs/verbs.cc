@@ -1,0 +1,408 @@
+#include "verbs/verbs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace collie::verbs {
+
+const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess:
+      return "success";
+    case WcStatus::kLocalProtErr:
+      return "local protection error";
+    case WcStatus::kRemoteAccessErr:
+      return "remote access error";
+    case WcStatus::kRnrRetryExcErr:
+      return "receiver not ready";
+    case WcStatus::kWrFlushErr:
+      return "work request flushed";
+  }
+  return "?";
+}
+
+// ---- Mr ---------------------------------------------------------------------
+
+Mr::Mr(Pd* pd, void* addr, u64 length, u32 access, u32 lkey, u32 rkey)
+    : pd_(pd),
+      base_(static_cast<u8*>(addr)),
+      length_(length),
+      access_(access),
+      lkey_(lkey),
+      rkey_(rkey) {}
+
+bool Mr::contains(u64 addr, u64 len) const {
+  const u64 base = reinterpret_cast<u64>(base_);
+  return addr >= base && addr + len <= base + length_ && len <= length_;
+}
+
+u8* Mr::ptr(u64 addr) const {
+  return base_ + (addr - reinterpret_cast<u64>(base_));
+}
+
+// ---- Cq ---------------------------------------------------------------------
+
+int Cq::poll(Wc* wc, int max) {
+  int n = 0;
+  while (n < max && !queue_.empty()) {
+    wc[n++] = queue_.front();
+    queue_.pop_front();
+  }
+  return n;
+}
+
+bool Cq::push(const Wc& wc) {
+  if (static_cast<int>(queue_.size()) >= capacity_) {
+    overrun_ = true;
+    return false;
+  }
+  queue_.push_back(wc);
+  return true;
+}
+
+// ---- Qp ---------------------------------------------------------------------
+
+Qp::Qp(Context* ctx, Pd* pd, Cq* send_cq, Cq* recv_cq, QpType type, QpCap cap,
+       u32 qpn)
+    : ctx_(ctx),
+      pd_(pd),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq),
+      type_(type),
+      cap_(cap),
+      qpn_(qpn) {}
+
+bool Qp::modify(const QpAttr& attr) {
+  // Enforce the canonical state ladder; any state may drop to RESET or ERROR.
+  const QpState from = attr_.state;
+  const QpState to = attr.state;
+  const bool legal =
+      to == QpState::kReset || to == QpState::kError ||
+      (from == QpState::kReset && to == QpState::kInit) ||
+      (from == QpState::kInit && to == QpState::kRtr) ||
+      (from == QpState::kRtr && to == QpState::kRts);
+  if (!legal) return false;
+  attr_ = attr;
+  if (to == QpState::kReset) {
+    send_q_.clear();
+    recv_q_.clear();
+  }
+  return true;
+}
+
+bool Qp::post_send(const std::vector<SendWr>& wrs, std::string* err) {
+  auto fail = [&](const char* msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (attr_.state != QpState::kRts) return fail("QP not in RTS");
+  if (static_cast<int>(send_q_.size() + wrs.size()) > cap_.max_send_wr) {
+    return fail("send queue overflow");
+  }
+  for (const SendWr& wr : wrs) {
+    if (static_cast<int>(wr.sg_list.size()) > cap_.max_send_sge) {
+      return fail("too many SGEs");
+    }
+    if (wr.opcode != WrOpcode::kSend && type_ == QpType::kUD) {
+      return fail("UD supports only SEND");
+    }
+    if (wr.opcode == WrOpcode::kRead && type_ != QpType::kRC) {
+      return fail("READ requires RC");
+    }
+  }
+  for (const SendWr& wr : wrs) send_q_.push_back(wr);
+  return true;
+}
+
+bool Qp::post_recv(const std::vector<RecvWr>& wrs, std::string* err) {
+  auto fail = [&](const char* msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (attr_.state == QpState::kReset || attr_.state == QpState::kError) {
+    return fail("QP not initialized");
+  }
+  if (static_cast<int>(recv_q_.size() + wrs.size()) > cap_.max_recv_wr) {
+    return fail("receive queue overflow");
+  }
+  for (const RecvWr& wr : wrs) {
+    if (static_cast<int>(wr.sg_list.size()) > cap_.max_recv_sge) {
+      return fail("too many SGEs");
+    }
+  }
+  for (const RecvWr& wr : wrs) recv_q_.push_back(wr);
+  return true;
+}
+
+// ---- Context ------------------------------------------------------------------
+
+Context::Context(Network* net, DeviceAttr attr, int host_id)
+    : net_(net), attr_(std::move(attr)), host_id_(host_id) {}
+
+Pd* Context::alloc_pd() {
+  pds_.push_back(std::make_unique<Pd>(this));
+  return pds_.back().get();
+}
+
+Mr* Context::reg_mr(Pd* pd, void* addr, u64 length, u32 access) {
+  if (pd == nullptr || addr == nullptr || length == 0) return nullptr;
+  if (length > attr_.max_mr_size) return nullptr;
+  if (mrs_.size() >= attr_.max_mr) return nullptr;
+  const u32 lkey = next_key_++;
+  const u32 rkey = next_key_++;
+  mrs_.push_back(std::make_unique<Mr>(pd, addr, length, access, lkey, rkey));
+  return mrs_.back().get();
+}
+
+Cq* Context::create_cq(int capacity) {
+  if (capacity <= 0 || cqs_.size() >= attr_.max_cq) return nullptr;
+  cqs_.push_back(std::make_unique<Cq>(this, capacity));
+  return cqs_.back().get();
+}
+
+Qp* Context::create_qp(Pd* pd, Cq* send_cq, Cq* recv_cq, QpType type,
+                       const QpCap& cap) {
+  if (pd == nullptr || send_cq == nullptr || recv_cq == nullptr) {
+    return nullptr;
+  }
+  if (qps_.size() >= attr_.max_qp) return nullptr;
+  if (cap.max_send_wr <= 0 || cap.max_recv_wr <= 0 ||
+      cap.max_send_wr > static_cast<int>(attr_.max_qp_wr) ||
+      cap.max_recv_wr > static_cast<int>(attr_.max_qp_wr)) {
+    return nullptr;
+  }
+  if (cap.max_send_sge > static_cast<int>(attr_.max_sge) ||
+      cap.max_recv_sge > static_cast<int>(attr_.max_sge)) {
+    return nullptr;
+  }
+  const u32 qpn = net_->next_qpn();
+  qps_.push_back(
+      std::make_unique<Qp>(this, pd, send_cq, recv_cq, type, cap, qpn));
+  Qp* qp = qps_.back().get();
+  net_->register_qp(qp);
+  return qp;
+}
+
+Mr* Context::find_lkey(u32 lkey) const {
+  for (const auto& mr : mrs_) {
+    if (mr->lkey() == lkey) return mr.get();
+  }
+  return nullptr;
+}
+
+Mr* Context::find_rkey(u32 rkey) const {
+  for (const auto& mr : mrs_) {
+    if (mr->rkey() == rkey) return mr.get();
+  }
+  return nullptr;
+}
+
+// ---- Network ------------------------------------------------------------------
+
+Context* Network::add_host(DeviceAttr attr) {
+  hosts_.push_back(std::make_unique<Context>(
+      this, std::move(attr), static_cast<int>(hosts_.size())));
+  return hosts_.back().get();
+}
+
+u32 Network::register_qp(Qp* qp) {
+  qp_table_[qp->qp_num()] = qp;
+  return qp->qp_num();
+}
+
+Qp* Network::find_qp(u32 qpn) const {
+  const auto it = qp_table_.find(qpn);
+  return it == qp_table_.end() ? nullptr : it->second;
+}
+
+void Network::complete_send(Qp* qp, const SendWr& wr, WcStatus status,
+                            u32 bytes) {
+  if (!wr.signaled && status == WcStatus::kSuccess) return;
+  Wc wc;
+  wc.wr_id = wr.wr_id;
+  wc.status = status;
+  wc.byte_len = bytes;
+  wc.qp_num = qp->qp_num();
+  switch (wr.opcode) {
+    case WrOpcode::kSend:
+      wc.opcode = WcOpcode::kSend;
+      break;
+    case WrOpcode::kWrite:
+      wc.opcode = WcOpcode::kWrite;
+      break;
+    case WrOpcode::kRead:
+      wc.opcode = WcOpcode::kRead;
+      break;
+  }
+  qp->send_cq_->push(wc);
+}
+
+bool Network::execute(Qp* qp, const SendWr& wr) {
+  Context* ctx = qp->ctx_;
+  // Gather and validate local SGEs.
+  u64 total = 0;
+  for (const Sge& sge : wr.sg_list) {
+    const Mr* mr = ctx->find_lkey(sge.lkey);
+    if (mr == nullptr || !mr->contains(sge.addr, sge.length)) {
+      complete_send(qp, wr, WcStatus::kLocalProtErr, 0);
+      return false;
+    }
+    total += sge.length;
+  }
+  if (qp->type() == QpType::kUD && total > qp->mtu()) {
+    complete_send(qp, wr, WcStatus::kLocalProtErr, 0);
+    return false;
+  }
+
+  // Resolve the peer QP.
+  const u32 peer_qpn =
+      qp->type() == QpType::kUD ? wr.remote_qpn : qp->dest_qp_num();
+  Qp* peer = find_qp(peer_qpn);
+  if (peer == nullptr || peer->state() == QpState::kReset ||
+      peer->state() == QpState::kError) {
+    complete_send(qp, wr, WcStatus::kRemoteAccessErr, 0);
+    return false;
+  }
+  Context* peer_ctx = peer->ctx_;
+
+  if (wr.opcode == WrOpcode::kSend) {
+    if (peer->recv_q_.empty()) {
+      // No receive WQE: UD silently drops, reliable transports surface RNR.
+      if (qp->type() == QpType::kUD) {
+        complete_send(qp, wr, WcStatus::kSuccess,
+                      static_cast<u32>(total));
+        return true;
+      }
+      complete_send(qp, wr, WcStatus::kRnrRetryExcErr, 0);
+      return false;
+    }
+    const RecvWr rwr = peer->recv_q_.front();
+    peer->recv_q_.pop_front();
+    // Scatter into the receive SGEs.
+    u64 remaining = total;
+    u64 src_off = 0;
+    std::vector<u8> staged(total);
+    {
+      u64 off = 0;
+      for (const Sge& sge : wr.sg_list) {
+        const Mr* mr = ctx->find_lkey(sge.lkey);
+        std::memcpy(staged.data() + off, mr->ptr(sge.addr), sge.length);
+        off += sge.length;
+      }
+    }
+    for (const Sge& sge : rwr.sg_list) {
+      if (remaining == 0) break;
+      Mr* mr = peer_ctx->find_lkey(sge.lkey);
+      if (mr == nullptr || !mr->contains(sge.addr, sge.length) ||
+          (mr->access() & kLocalWrite) == 0) {
+        Wc rwc;
+        rwc.wr_id = rwr.wr_id;
+        rwc.status = WcStatus::kLocalProtErr;
+        rwc.opcode = WcOpcode::kRecv;
+        rwc.qp_num = peer->qp_num();
+        peer->recv_cq_->push(rwc);
+        complete_send(qp, wr, WcStatus::kRemoteAccessErr, 0);
+        return false;
+      }
+      const u64 n = std::min<u64>(remaining, sge.length);
+      std::memcpy(mr->ptr(sge.addr), staged.data() + src_off, n);
+      remaining -= n;
+      src_off += n;
+    }
+    if (remaining > 0) {
+      // Receive buffer too small.
+      complete_send(qp, wr, WcStatus::kRemoteAccessErr, 0);
+      return false;
+    }
+    Wc rwc;
+    rwc.wr_id = rwr.wr_id;
+    rwc.status = WcStatus::kSuccess;
+    rwc.opcode = WcOpcode::kRecv;
+    rwc.byte_len = static_cast<u32>(total);
+    rwc.qp_num = peer->qp_num();
+    peer->recv_cq_->push(rwc);
+    complete_send(qp, wr, WcStatus::kSuccess, static_cast<u32>(total));
+    return true;
+  }
+
+  // One-sided operations: validate the remote MR by rkey.
+  Mr* rmr = peer_ctx->find_rkey(wr.rkey);
+  const u32 need = wr.opcode == WrOpcode::kWrite ? kRemoteWrite : kRemoteRead;
+  if (rmr == nullptr || !rmr->contains(wr.remote_addr, total) ||
+      (rmr->access() & need) == 0) {
+    complete_send(qp, wr, WcStatus::kRemoteAccessErr, 0);
+    return false;
+  }
+  if (wr.opcode == WrOpcode::kWrite) {
+    u64 off = 0;
+    for (const Sge& sge : wr.sg_list) {
+      const Mr* mr = ctx->find_lkey(sge.lkey);
+      std::memcpy(rmr->ptr(wr.remote_addr + off), mr->ptr(sge.addr),
+                  sge.length);
+      off += sge.length;
+    }
+  } else {  // READ: remote -> local scatter
+    u64 off = 0;
+    for (const Sge& sge : wr.sg_list) {
+      Mr* mr = ctx->find_lkey(sge.lkey);
+      if ((mr->access() & kLocalWrite) == 0) {
+        complete_send(qp, wr, WcStatus::kLocalProtErr, 0);
+        return false;
+      }
+      std::memcpy(mr->ptr(sge.addr), rmr->ptr(wr.remote_addr + off),
+                  sge.length);
+      off += sge.length;
+    }
+  }
+  complete_send(qp, wr, WcStatus::kSuccess, static_cast<u32>(total));
+  return true;
+}
+
+int Network::progress(int max_ops) {
+  int executed = 0;
+  bool any = true;
+  while (executed < max_ops && any) {
+    any = false;
+    for (auto& [qpn, qp] : qp_table_) {
+      (void)qpn;
+      if (executed >= max_ops) break;
+      if (qp->send_q_.empty()) continue;
+      const SendWr wr = qp->send_q_.front();
+      qp->send_q_.pop_front();
+      execute(qp, wr);
+      ++executed;
+      any = true;
+    }
+  }
+  return executed;
+}
+
+bool connect_pair(Qp* a, Qp* b, u32 mtu) {
+  for (Qp* qp : {a, b}) {
+    QpAttr attr;
+    attr.state = QpState::kInit;
+    attr.mtu = mtu;
+    if (!qp->modify(attr)) return false;
+  }
+  {
+    QpAttr attr;
+    attr.state = QpState::kRtr;
+    attr.mtu = mtu;
+    attr.dest_qp_num = b->qp_num();
+    if (!a->modify(attr)) return false;
+    attr.dest_qp_num = a->qp_num();
+    if (!b->modify(attr)) return false;
+  }
+  {
+    QpAttr attr;
+    attr.state = QpState::kRts;
+    attr.mtu = mtu;
+    attr.dest_qp_num = b->qp_num();
+    if (!a->modify(attr)) return false;
+    attr.dest_qp_num = a->qp_num();
+    if (!b->modify(attr)) return false;
+  }
+  return true;
+}
+
+}  // namespace collie::verbs

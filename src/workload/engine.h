@@ -1,0 +1,82 @@
+// The workload engine (§4, "Workload engine"): sets up RDMA traffic for one
+// point of the search space and measures it.
+//
+// Like the paper's engine, it is "more flexible and has a holistic view"
+// than perftest-style tools: it supports arbitrary WQE/SGE batching
+// strategies, pre-defined message patterns, arbitrary memory/transport
+// settings, bidirectional and loopback traffic.
+//
+// Execution has two halves, mirroring the substitution documented in
+// DESIGN.md:
+//   1. A *functional* pass builds the actual verbs program (MRs, CQs, QPs,
+//      connection setup, batched post_send/post_recv, poll_cq) at a scaled-
+//      down connection count and pushes one full pattern round through the
+//      in-memory fabric, verifying the workload is a legal verbs program and
+//      that every byte lands where it should.
+//   2. The *performance* pass evaluates the full-scale workload on the
+//      subsystem model and samples the hardware counters four times per
+//      iteration (§6), with a stability check and re-measurement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/perf_model.h"
+#include "sim/subsystem.h"
+#include "sim/workload.h"
+
+namespace collie::workload {
+
+// What the anomaly monitor and the workload generator receive after one
+// experiment ("iteration") on the subsystem.
+struct Measurement {
+  // Four once-per-second counter fetches (§6) and their average.
+  std::vector<sim::CounterSample> samples;
+  sim::CounterSample average;
+
+  // Primary metrics (§5.2: throughput and pause duration).
+  double pause_duration_ratio = 0.0;
+  double wire_utilization = 0.0;
+  double pps_utilization = 0.0;
+  double rx_goodput_bps = 0.0;
+
+  bool stable = false;
+  int remeasure_count = 0;
+
+  // Simulated wall-clock cost of the experiment (20-60 s).
+  double cost_seconds = 0.0;
+
+  // Ground-truth diagnostics (never consulted by the search).
+  sim::Bottleneck dominant = sim::Bottleneck::kNone;
+  std::string bottleneck_note;
+  std::vector<sim::EpochSample> epochs;
+};
+
+struct EngineOptions {
+  // Cap on QPs/MRs actually instantiated in the functional pass.
+  int functional_max_qps = 8;
+  int functional_max_mrs = 8;
+  bool run_functional_pass = true;
+  sim::SimConfig sim;
+};
+
+class Engine {
+ public:
+  explicit Engine(const sim::Subsystem& sys, EngineOptions opts = {});
+
+  const sim::Subsystem& subsystem() const { return sys_; }
+
+  // Run one experiment.  The workload must be valid.
+  Measurement run(const Workload& w, Rng& rng) const;
+
+  // The functional pass alone; returns false with a reason if the workload
+  // cannot be expressed as a legal verbs program or data verification fails.
+  bool validate_functional(const Workload& w, std::string* error) const;
+
+ private:
+  sim::Subsystem sys_;
+  EngineOptions opts_;
+};
+
+}  // namespace collie::workload

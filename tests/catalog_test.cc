@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "catalog/anomalies.h"
+
+namespace collie::catalog {
+namespace {
+
+TEST(Catalog, IdsAreUniqueAndOrdered) {
+  int expected = 1;
+  for (const auto& a : all_anomalies()) {
+    EXPECT_EQ(a.id, expected++);
+  }
+  EXPECT_EQ(anomaly(4).id, 4);
+  EXPECT_THROW(anomaly(0), std::out_of_range);
+  EXPECT_THROW(anomaly(19), std::out_of_range);
+}
+
+TEST(Catalog, ConcreteSettingsAreValidWorkloads) {
+  for (const auto& a : all_anomalies()) {
+    std::string why;
+    EXPECT_TRUE(a.concrete.valid(&why)) << "anomaly #" << a.id << ": " << why;
+  }
+}
+
+TEST(Catalog, ChipsMatchSubsystems) {
+  for (const auto& a : all_anomalies()) {
+    if (a.primary_subsystem == 'H') {
+      EXPECT_EQ(a.chip, "P2100") << a.id;
+    } else {
+      EXPECT_EQ(a.chip, "CX-6") << a.id;
+    }
+  }
+}
+
+TEST(Catalog, KnownAnomaliesAreMarkedOld) {
+  // Table 2: #9, #12, #13 were known before Collie was built.
+  for (int id : {9, 12, 13}) {
+    EXPECT_FALSE(anomaly(id).is_new) << id;
+  }
+  for (int id : {1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 14, 15, 16, 17, 18}) {
+    EXPECT_TRUE(anomaly(id).is_new) << id;
+  }
+}
+
+TEST(Catalog, LabelRequiresSymptomMatch) {
+  const AnomalyInfo& a1 = anomaly(1);
+  const auto with_pause =
+      label("CX-6", a1.concrete, Symptom::kPauseFrames);
+  EXPECT_NE(std::find(with_pause.begin(), with_pause.end(), 1),
+            with_pause.end());
+  const auto with_tput =
+      label("CX-6", a1.concrete, Symptom::kLowThroughput);
+  EXPECT_EQ(std::find(with_tput.begin(), with_tput.end(), 1),
+            with_tput.end());
+}
+
+TEST(Catalog, LabelFiltersChip) {
+  const AnomalyInfo& a15 = anomaly(15);
+  const auto on_p2100 =
+      label("P2100", a15.concrete, Symptom::kPauseFrames);
+  EXPECT_NE(std::find(on_p2100.begin(), on_p2100.end(), 15),
+            on_p2100.end());
+  const auto on_cx6 = label("CX-6", a15.concrete, Symptom::kPauseFrames);
+  EXPECT_EQ(std::find(on_cx6.begin(), on_cx6.end(), 15), on_cx6.end());
+}
+
+TEST(Catalog, MechanismLabelerDistinguishesGpuFromDram) {
+  // Same ordering mechanism, different anomaly depending on placement.
+  Workload dram = anomaly(9).concrete;
+  Workload gpu = anomaly(12).concrete;
+  EXPECT_EQ(label_by_mechanism("CX-6", dram, sim::Bottleneck::kPcieOrdering,
+                               Symptom::kPauseFrames),
+            9);
+  EXPECT_EQ(label_by_mechanism("CX-6", gpu, sim::Bottleneck::kPcieOrdering,
+                               Symptom::kPauseFrames),
+            12);
+}
+
+TEST(Catalog, MechanismLabelerDistinguishesTransport) {
+  EXPECT_EQ(label_by_mechanism("CX-6", anomaly(1).concrete,
+                               sim::Bottleneck::kRwqeBurstMiss,
+                               Symptom::kPauseFrames),
+            1);
+  EXPECT_EQ(label_by_mechanism("CX-6", anomaly(5).concrete,
+                               sim::Bottleneck::kRwqeBurstMiss,
+                               Symptom::kPauseFrames),
+            5);
+  EXPECT_EQ(label_by_mechanism("P2100", anomaly(15).concrete,
+                               sim::Bottleneck::kRwqeBurstMiss,
+                               Symptom::kPauseFrames),
+            15);
+}
+
+TEST(Catalog, MechanismLabelerUnknownReturnsZero) {
+  EXPECT_EQ(label_by_mechanism("CX-6", anomaly(1).concrete,
+                               sim::Bottleneck::kNone,
+                               Symptom::kPauseFrames),
+            0);
+  EXPECT_EQ(label_by_mechanism("CX-5", anomaly(7).concrete,
+                               sim::Bottleneck::kQpcCacheMiss,
+                               Symptom::kLowThroughput),
+            0);
+}
+
+TEST(Catalog, RegionsRejectForeignWorkloads) {
+  // A plain clean workload matches no region of its symptom class.
+  Workload clean;
+  clean.qp_type = QpType::kRC;
+  clean.opcode = Opcode::kWrite;
+  clean.num_qps = 8;
+  clean.wqe_batch = 8;
+  clean.mr_size = 1 * MiB;
+  clean.pattern = {64 * KiB};
+  EXPECT_TRUE(label("CX-6", clean, Symptom::kPauseFrames).empty());
+  EXPECT_TRUE(label("CX-6", clean, Symptom::kLowThroughput).empty());
+}
+
+TEST(Catalog, SymptomStrings) {
+  EXPECT_STREQ(to_string(Symptom::kPauseFrames), "pause frame");
+  EXPECT_STREQ(to_string(Symptom::kLowThroughput), "low throup.");
+}
+
+}  // namespace
+}  // namespace collie::catalog

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace collie {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<i64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable
+}
+
+TEST(Rng, LogUniformCoversDecades) {
+  Rng rng(11);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.log_uniform_int(1, 10000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10000);
+    if (v <= 10) ++low;
+    if (v > 1000) ++high;
+  }
+  // Log-uniform: each decade gets a similar share.
+  EXPECT_GT(low, 200);
+  EXPECT_GT(high, 200);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStat rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    counts[rng.weighted_index({1.0, 0.0, 3.0})]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, CovZeroMean) {
+  RunningStat rs;
+  rs.add(0.0);
+  rs.add(0.0);
+  EXPECT_EQ(rs.cov(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(64), "64B");
+  EXPECT_EQ(format_bytes(2 * KiB), "2KB");
+  EXPECT_EQ(format_bytes(4 * MiB), "4MB");
+  EXPECT_EQ(format_bytes(1536), "1536B");
+}
+
+TEST(Units, RateConversions) {
+  EXPECT_DOUBLE_EQ(gbps(100), 100e9);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(25)), 25.0);
+  EXPECT_DOUBLE_EQ(bytes_per_sec(8e9), 1e9);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xx  y"), std::string::npos);
+}
+
+TEST(Table, PercentFormat) {
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+TEST(Strings, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=3", "--name", "collie", "pos",
+                        "--flag"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("name"), "collie");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+  EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace collie

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "catalog/anomalies.h"
+#include "workload/engine.h"
+
+namespace collie::workload {
+namespace {
+
+Workload simple_write() {
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kWrite;
+  w.num_qps = 4;
+  w.wqe_batch = 4;
+  w.mr_size = 256 * KiB;
+  w.pattern = {64 * KiB};
+  return w;
+}
+
+TEST(Engine, FunctionalPassAcceptsCleanWorkloads) {
+  Engine engine(sim::subsystem('F'));
+  std::string err;
+  EXPECT_TRUE(engine.validate_functional(simple_write(), &err)) << err;
+
+  Workload send = simple_write();
+  send.opcode = Opcode::kSend;
+  EXPECT_TRUE(engine.validate_functional(send, &err)) << err;
+
+  Workload read = simple_write();
+  read.opcode = Opcode::kRead;
+  EXPECT_TRUE(engine.validate_functional(read, &err)) << err;
+
+  Workload ud = simple_write();
+  ud.qp_type = QpType::kUD;
+  ud.opcode = Opcode::kSend;
+  ud.mtu = 2048;
+  ud.pattern = {2048};
+  EXPECT_TRUE(engine.validate_functional(ud, &err)) << err;
+}
+
+TEST(Engine, FunctionalPassAcceptsEveryConcreteAnomalySetting) {
+  // The 18 Appendix-A settings must all be expressible as legal verbs
+  // programs — they ran on real hardware.
+  for (const auto& a : catalog::all_anomalies()) {
+    Engine engine(sim::subsystem(a.primary_subsystem));
+    std::string err;
+    EXPECT_TRUE(engine.validate_functional(a.concrete, &err))
+        << "anomaly #" << a.id << ": " << err;
+  }
+}
+
+TEST(Engine, FunctionalPassRejectsInvalidWorkloads) {
+  Engine engine(sim::subsystem('F'));
+  std::string err;
+  Workload bad = simple_write();
+  bad.qp_type = QpType::kUD;  // UD WRITE is illegal
+  EXPECT_FALSE(engine.validate_functional(bad, &err));
+  EXPECT_NE(err.find("invalid workload"), std::string::npos);
+}
+
+TEST(Engine, MeasurementShape) {
+  Engine engine(sim::subsystem('F'));
+  Rng rng(11);
+  const Measurement m = engine.run(simple_write(), rng);
+  // Four counter fetches per iteration (§6).
+  EXPECT_EQ(m.samples.size(), 4u);
+  EXPECT_TRUE(m.stable);
+  EXPECT_GE(m.cost_seconds, 20.0);
+  EXPECT_LE(m.cost_seconds, 70.0);
+  EXPECT_GT(m.rx_goodput_bps, gbps(150));
+  EXPECT_GT(m.average.get(sim::PerfCounter::kTxGoodputBps), 0.0);
+}
+
+TEST(Engine, CostScalesWithSetupWork) {
+  Engine engine(sim::subsystem('F'));
+  Rng rng(11);
+  Workload small = simple_write();
+  Workload big = simple_write();
+  big.num_qps = 15000;
+  const double cost_small = engine.run(small, rng).cost_seconds;
+  const double cost_big = engine.run(big, rng).cost_seconds;
+  EXPECT_GT(cost_big, cost_small + 10.0);
+}
+
+TEST(Engine, AnomalousWorkloadMeasuresAnomalous) {
+  Engine engine(sim::subsystem('F'));
+  Rng rng(11);
+  const Measurement m = engine.run(catalog::anomaly(1).concrete, rng);
+  EXPECT_GT(m.pause_duration_ratio, 0.001);
+  EXPECT_EQ(m.dominant, sim::Bottleneck::kRwqeBurstMiss);
+}
+
+TEST(Engine, FunctionalPassCanBeDisabled) {
+  EngineOptions opts;
+  opts.run_functional_pass = false;
+  Engine engine(sim::subsystem('F'), opts);
+  Rng rng(1);
+  const Measurement m = engine.run(simple_write(), rng);
+  EXPECT_GT(m.rx_goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace collie::workload

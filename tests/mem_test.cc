@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_model.h"
+
+namespace collie::mem {
+namespace {
+
+TEST(Memory, DdioHitWhenWorkingSetFits) {
+  const MemoryModel m = intel_memory(768ULL * GiB);
+  EXPECT_DOUBLE_EQ(m.ddio_miss_fraction(1 * MiB), 0.0);
+  EXPECT_DOUBLE_EQ(m.ddio_miss_fraction(static_cast<u64>(m.ddio_slice_bytes)),
+                   0.0);
+}
+
+TEST(Memory, DdioSpillsGradually) {
+  const MemoryModel m = intel_memory(768ULL * GiB);
+  const double at_2x = m.ddio_miss_fraction(6 * MiB);
+  const double at_10x = m.ddio_miss_fraction(30 * MiB);
+  EXPECT_GT(at_2x, 0.3);
+  EXPECT_GT(at_10x, at_2x);
+  EXPECT_LE(at_10x, 1.0);
+}
+
+TEST(Memory, AmdHasNoDdio) {
+  const MemoryModel m = amd_memory(2048ULL * GiB);
+  EXPECT_DOUBLE_EQ(m.ddio_miss_fraction(1), 1.0);
+}
+
+TEST(Memory, DmaWriteLatencyOrdering) {
+  const MemoryModel m = intel_memory(768ULL * GiB);
+  const topo::MemPlacement dram{topo::MemKind::kDram, 0};
+  const topo::MemPlacement gpu{topo::MemKind::kGpu, 0};
+  // LLC-resident DMA beats spilled DMA beats GPU memory.
+  EXPECT_LT(m.dma_write_latency_ns(dram, 1 * MiB),
+            m.dma_write_latency_ns(dram, 100 * MiB));
+  EXPECT_LT(m.dma_write_latency_ns(dram, 100 * MiB),
+            m.dma_write_latency_ns(gpu, 1 * MiB));
+}
+
+TEST(Memory, DeviceBandwidth) {
+  const MemoryModel m = intel_memory(768ULL * GiB);
+  EXPECT_GT(m.device_bandwidth_bps({topo::MemKind::kGpu, 0}),
+            m.device_bandwidth_bps({topo::MemKind::kDram, 0}));
+  // DRAM must sustain well above any modeled NIC line rate.
+  EXPECT_GT(m.device_bandwidth_bps({topo::MemKind::kDram, 0}), gbps(200));
+}
+
+}  // namespace
+}  // namespace collie::mem

@@ -1,0 +1,165 @@
+// MFS extraction against synthetic anomaly oracles: the probe function is a
+// predicate we control, so the necessary-condition logic is tested without
+// the simulator in the loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mfs.h"
+#include "sim/subsystem.h"
+
+namespace collie::core {
+namespace {
+
+class MfsTest : public ::testing::Test {
+ protected:
+  MfsTest() : space_(sim::subsystem('F')) {}
+
+  Workload witness_ud_batch() {
+    Workload w;
+    w.qp_type = QpType::kUD;
+    w.opcode = Opcode::kSend;
+    w.num_qps = 4;
+    w.mtu = 2048;
+    w.pattern = {2048};
+    w.send_wq_depth = 256;
+    w.recv_wq_depth = 256;
+    w.wqe_batch = 64;
+    space_.fixup(w);
+    return w;
+  }
+
+  SearchSpace space_;
+};
+
+TEST_F(MfsTest, RecoversCategoricalAndNumericConditions) {
+  // Oracle: anomaly iff UD and batch >= 64 (anomaly-#1 shape).
+  int probes = 0;
+  auto probe = [&](const Workload& w) {
+    ++probes;
+    return (w.qp_type == QpType::kUD && w.wqe_batch >= 64)
+               ? Symptom::kPauseFrames
+               : Symptom::kNone;
+  };
+  const Mfs mfs = construct_mfs(space_, witness_ud_batch(),
+                                Symptom::kPauseFrames, probe);
+  EXPECT_GT(probes, 5);
+
+  // qp_type must be a condition allowing only UD.
+  const FeatureCondition* qp = nullptr;
+  const FeatureCondition* batch = nullptr;
+  for (const auto& c : mfs.conditions) {
+    if (c.feature == Feature::kQpType) qp = &c;
+    if (c.feature == Feature::kWqeBatch) batch = &c;
+  }
+  ASSERT_NE(qp, nullptr);
+  EXPECT_EQ(qp->allowed,
+            std::vector<int>{static_cast<int>(QpType::kUD)});
+  ASSERT_NE(batch, nullptr);
+  EXPECT_GE(batch->lo, 32.0);  // grid resolution: threshold lands at 64
+  EXPECT_LE(batch->lo, 64.0);
+  EXPECT_FALSE(std::isfinite(batch->hi));  // no upper necessity
+}
+
+TEST_F(MfsTest, UnrelatedFeaturesAreDropped) {
+  auto probe = [&](const Workload& w) {
+    return w.wqe_batch >= 64 ? Symptom::kPauseFrames : Symptom::kNone;
+  };
+  const Mfs mfs = construct_mfs(space_, witness_ud_batch(),
+                                Symptom::kPauseFrames, probe);
+  for (const auto& c : mfs.conditions) {
+    EXPECT_NE(c.feature, Feature::kMtu);
+    EXPECT_NE(c.feature, Feature::kMrSize);
+    EXPECT_NE(c.feature, Feature::kLoopback);
+  }
+}
+
+TEST_F(MfsTest, MatchesWorkloadsInsideRegion) {
+  auto probe = [&](const Workload& w) {
+    return (w.qp_type == QpType::kUD && w.wqe_batch >= 64)
+               ? Symptom::kPauseFrames
+               : Symptom::kNone;
+  };
+  const Mfs mfs = construct_mfs(space_, witness_ud_batch(),
+                                Symptom::kPauseFrames, probe);
+
+  Workload inside = witness_ud_batch();
+  inside.num_qps = 8;  // within the local band of the witness (qps 4)
+  inside.mtu = 1024;   // untracked features may vary freely
+  space_.fixup(inside);
+  EXPECT_TRUE(mfs.matches(space_, inside));
+
+  Workload far = witness_ud_batch();
+  far.num_qps = 900;  // outside the two-octave locality band
+  space_.fixup(far);
+  EXPECT_FALSE(mfs.matches(space_, far));
+
+  Workload outside = witness_ud_batch();
+  outside.wqe_batch = 8;
+  space_.fixup(outside);
+  EXPECT_FALSE(mfs.matches(space_, outside));
+
+  Workload rc = witness_ud_batch();
+  rc.qp_type = QpType::kRC;
+  space_.fixup(rc);
+  EXPECT_FALSE(mfs.matches(space_, rc));
+}
+
+TEST_F(MfsTest, TwoSidedNumericRange) {
+  // Oracle: anomaly only for messages in [2KB, 8KB] (anomaly-#5 shape).
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kSend;
+  w.mtu = 1024;
+  w.pattern = {4 * KiB};
+  w.mr_size = 4 * MiB;
+  space_.fixup(w);
+  auto probe = [&](const Workload& x) {
+    const double avg = analyze_pattern(x).avg_msg_bytes;
+    return (avg >= 2 * KiB && avg <= 8 * KiB) ? Symptom::kPauseFrames
+                                              : Symptom::kNone;
+  };
+  const Mfs mfs = construct_mfs(space_, w, Symptom::kPauseFrames, probe);
+  const FeatureCondition* size = nullptr;
+  for (const auto& c : mfs.conditions) {
+    if (c.feature == Feature::kMsgSize) size = &c;
+  }
+  ASSERT_NE(size, nullptr);
+  EXPECT_TRUE(std::isfinite(size->lo));
+  EXPECT_TRUE(std::isfinite(size->hi));
+  EXPECT_GE(size->lo, 512.0);
+  EXPECT_LE(size->hi, 64.0 * KiB);
+}
+
+TEST_F(MfsTest, DescribeIsHumanReadable) {
+  auto probe = [&](const Workload& w) {
+    return w.qp_type == QpType::kUD ? Symptom::kPauseFrames
+                                    : Symptom::kNone;
+  };
+  const Mfs mfs = construct_mfs(space_, witness_ud_batch(),
+                                Symptom::kPauseFrames, probe);
+  const std::string text = mfs.describe(space_);
+  EXPECT_NE(text.find("qp_type"), std::string::npos);
+  EXPECT_NE(text.find("UD"), std::string::npos);
+}
+
+TEST_F(MfsTest, EmptyConditionsNeverMatch) {
+  Mfs empty;
+  EXPECT_FALSE(empty.matches(space_, witness_ud_batch()));
+}
+
+TEST_F(MfsTest, ConditionContains) {
+  FeatureCondition c;
+  c.feature = Feature::kNumQps;
+  c.categorical = false;
+  c.lo = 100;
+  c.hi = std::numeric_limits<double>::infinity();
+  Workload w = witness_ud_batch();
+  w.num_qps = 500;
+  EXPECT_TRUE(c.contains(space_, w));
+  w.num_qps = 50;
+  EXPECT_FALSE(c.contains(space_, w));
+}
+
+}  // namespace
+}  // namespace collie::core

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+
+namespace collie::core {
+namespace {
+
+workload::Measurement measurement(double pause, double wire_util,
+                                  double pps_util) {
+  workload::Measurement m;
+  m.pause_duration_ratio = pause;
+  m.wire_utilization = wire_util;
+  m.pps_utilization = pps_util;
+  return m;
+}
+
+TEST(Monitor, HealthyWireBound) {
+  AnomalyMonitor mon;
+  const Verdict v = mon.judge(measurement(0.0, 0.98, 0.1));
+  EXPECT_FALSE(v.anomalous());
+  EXPECT_EQ(v.symptom, Symptom::kNone);
+}
+
+TEST(Monitor, HealthyPpsBound) {
+  AnomalyMonitor mon;
+  // Tiny messages: far from the bits/s bound but at the packets/s bound.
+  EXPECT_FALSE(mon.judge(measurement(0.0, 0.3, 0.95)).anomalous());
+}
+
+TEST(Monitor, PauseAnomaly) {
+  AnomalyMonitor mon;
+  const Verdict v = mon.judge(measurement(0.01, 0.99, 0.5));
+  EXPECT_EQ(v.symptom, Symptom::kPauseFrames);
+}
+
+TEST(Monitor, SetupBlipsTolerated) {
+  // Threshold is above zero because "RNIC may generate a few pause frames
+  // when ... connections are just set up" (§5.2).
+  AnomalyMonitor mon;
+  EXPECT_FALSE(mon.judge(measurement(0.0005, 0.99, 0.5)).anomalous());
+  EXPECT_TRUE(mon.judge(measurement(0.002, 0.99, 0.5)).anomalous());
+}
+
+TEST(Monitor, LowThroughputAnomaly) {
+  AnomalyMonitor mon;
+  const Verdict v = mon.judge(measurement(0.0, 0.5, 0.4));
+  EXPECT_EQ(v.symptom, Symptom::kLowThroughput);
+}
+
+TEST(Monitor, PauseTakesPrecedence) {
+  AnomalyMonitor mon;
+  const Verdict v = mon.judge(measurement(0.3, 0.2, 0.1));
+  EXPECT_EQ(v.symptom, Symptom::kPauseFrames);
+}
+
+TEST(Monitor, ThresholdsConfigurable) {
+  MonitorConfig cfg;
+  cfg.util_threshold = 0.5;
+  AnomalyMonitor mon(cfg);
+  EXPECT_FALSE(mon.judge(measurement(0.0, 0.6, 0.0)).anomalous());
+  EXPECT_TRUE(mon.judge(measurement(0.0, 0.4, 0.1)).anomalous());
+}
+
+}  // namespace
+}  // namespace collie::core

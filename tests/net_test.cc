@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/wire.h"
+
+namespace collie::net {
+namespace {
+
+TEST(Wire, Packetization) {
+  EXPECT_EQ(packets_for_message(1, 1024), 1u);
+  EXPECT_EQ(packets_for_message(1024, 1024), 1u);
+  EXPECT_EQ(packets_for_message(1025, 1024), 2u);
+  EXPECT_EQ(packets_for_message(64 * KiB, 4096), 16u);
+  EXPECT_EQ(packets_for_message(0, 1024), 1u);  // zero-length SEND
+}
+
+TEST(Wire, GoodputEfficiency) {
+  // Single-packet 4KB message: 4096/(4096+82).
+  EXPECT_NEAR(goodput_efficiency(4096, 4096), 4096.0 / 4178.0, 1e-9);
+  // Small messages pay proportionally more overhead.
+  EXPECT_LT(goodput_efficiency(64, 1024), goodput_efficiency(4096, 4096));
+  // Small MTU fragments large messages and lowers efficiency.
+  EXPECT_LT(goodput_efficiency(64 * KiB, 512),
+            goodput_efficiency(64 * KiB, 4096));
+}
+
+TEST(Wire, RoundTripConversions) {
+  const double goodput = gbps(100);
+  const double wire = wire_rate_from_goodput(goodput, 8 * KiB, 2048);
+  EXPECT_GT(wire, goodput);
+  EXPECT_NEAR(goodput_from_wire_rate(wire, 8 * KiB, 2048), goodput, 1.0);
+}
+
+TEST(Fabric, PauseAccounting) {
+  Fabric f(FabricSpec{});
+  f.record_pause(0, 1.0, 0.25);
+  f.record_pause(0, 1.0, 0.75);
+  f.record_pause(1, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.pause_duration_ratio(0), 0.5);
+  EXPECT_DOUBLE_EQ(f.pause_duration_ratio(1), 0.0);
+  EXPECT_DOUBLE_EQ(f.pause_seconds(0), 1.0);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.pause_duration_ratio(0), 0.0);
+}
+
+}  // namespace
+}  // namespace collie::net

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "nic/cache.h"
+#include "nic/nic_model.h"
+#include "nic/pfc.h"
+
+namespace collie::nic {
+namespace {
+
+TEST(Cache, OnlyConflictFloorWhenFits) {
+  // Sub-capacity working sets see only the tiny conflict-miss floor (the
+  // smooth diagnostic-counter gradient), never a capacity miss.
+  CacheModel c(1024);
+  EXPECT_LE(c.miss_ratio(100), 0.002);
+  EXPECT_LE(c.miss_ratio(1024), 0.002);
+  EXPECT_GT(c.miss_ratio(1024), c.miss_ratio(100));
+  EXPECT_DOUBLE_EQ(c.miss_ratio(0), 0.0);
+}
+
+TEST(Cache, MissGrowsWithWorkingSet) {
+  CacheModel c(1024);
+  const double m2 = c.miss_ratio(2048);
+  const double m8 = c.miss_ratio(8192);
+  EXPECT_GT(m2, 0.0);
+  EXPECT_GT(m8, m2);
+  EXPECT_LT(m8, 1.0);
+  EXPECT_NEAR(c.miss_ratio(1024 * 1024), 1.0, 0.01);
+}
+
+TEST(Cache, SharpnessSoftensKnee) {
+  CacheModel sharp(1024, 1.0);
+  CacheModel soft(1024, 2.0);
+  EXPECT_GT(sharp.miss_ratio(2048), soft.miss_ratio(2048));
+}
+
+TEST(Cache, BurstMissDefeatsPrefetcher) {
+  CacheModel c(4096);
+  // Fits in cache, small bursts: nothing beyond the conflict floor.
+  EXPECT_LE(c.burst_miss_ratio(256, 16, 32), 0.002);
+  // Bursts past the prefetch window always miss on the tail.
+  EXPECT_NEAR(c.burst_miss_ratio(256, 64, 32), 0.5, 0.001);
+  // Burst misses add on top of capacity misses, capped at 1.
+  const double combined = c.burst_miss_ratio(16384, 64, 32);
+  EXPECT_GT(combined, c.miss_ratio(16384));
+  EXPECT_LE(combined, 1.0);
+}
+
+class PfcTest : public ::testing::Test {
+ protected:
+  PfcParams params() {
+    PfcParams p;
+    p.buffer_bytes = 1 * MiB;
+    return p;
+  }
+};
+
+TEST_F(PfcTest, NoPauseWhenDrainKeepsUp) {
+  PfcBuffer b(params());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(b.step(0.001, gbps(50), gbps(100)), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(b.pause_duration_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(b.occupancy_bytes(), 0.0);
+}
+
+TEST_F(PfcTest, OverloadEventuallyPauses) {
+  PfcBuffer b(params());
+  double total_pause = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    total_pause += b.step(0.0001, gbps(100), gbps(40));
+  }
+  EXPECT_GT(total_pause, 0.0);
+  EXPECT_GT(b.pause_duration_ratio(), 0.0);
+}
+
+TEST_F(PfcTest, DutyCycleApproachesAnalyticValue) {
+  // Ideal hysteresis steady state: duty = 1 - drain/arrival.  The perf
+  // model relies on this closed form; cross-check the integrator.
+  PfcBuffer b(params());
+  const double arrival = gbps(100);
+  const double drain = gbps(60);
+  // Step fine-grained for a long simulated window.
+  for (int i = 0; i < 3000; ++i) {
+    b.step(20e-6, arrival, drain);
+  }
+  EXPECT_NEAR(b.pause_duration_ratio(), 1.0 - drain / arrival, 0.08);
+}
+
+TEST_F(PfcTest, ResetClearsState) {
+  PfcBuffer b(params());
+  b.step(0.01, gbps(100), gbps(10));
+  EXPECT_GT(b.occupancy_bytes(), 0.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.occupancy_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(b.total_time_s(), 0.0);
+}
+
+TEST(NicCatalog, SpecSanity) {
+  for (const NicModel& m :
+       {cx5_25g(), cx5_100g(), cx6dx_100g(), cx6dx_200g(), cx6vpi_200g(),
+        p2100g_100g()}) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_GT(m.line_rate_bps, 0.0);
+    EXPECT_GT(m.max_pps, mpps(10));
+    EXPECT_GT(m.qpc_cache_entries, 0.0);
+    EXPECT_GT(m.rx_buffer_bytes, 0.0);
+    EXPECT_GE(m.q.bidir_pps_capacity, 1.0);
+    EXPECT_LE(m.q.bidir_pps_capacity, 2.0);
+    EXPECT_EQ(m.pattern_window(), m.processing_units * m.pipeline_stages);
+  }
+}
+
+TEST(NicCatalog, GenerationDifferences) {
+  // The 200G CX-6 is the stressed part: same quirks as 100G but less
+  // headroom (the paper's ML story: fine at 100G, broken at 200G).
+  EXPECT_GT(cx6dx_200g().line_rate_bps, cx6dx_100g().line_rate_bps);
+  EXPECT_LT(cx6dx_100g().q.read_small_mtu_pps_factor / 1.0,
+            1.0);  // both degraded, but...
+  EXPECT_LT(cx6dx_200g().q.read_small_mtu_pps_factor,
+            cx6dx_100g().q.read_small_mtu_pps_factor);
+  // P2100G: smaller caches, loopback limiter, large-MTU quirk.
+  EXPECT_LT(p2100g_100g().rwqe_cache_entries,
+            cx6dx_200g().rwqe_cache_entries);
+  EXPECT_TRUE(p2100g_100g().q.loopback_rate_limiter);
+  EXPECT_FALSE(cx6dx_200g().q.loopback_rate_limiter);
+  EXPECT_GT(p2100g_100g().q.mtu4k_qp_threshold, 0.0);
+  EXPECT_EQ(cx6dx_200g().q.mtu4k_qp_threshold, 0.0);
+}
+
+}  // namespace
+}  // namespace collie::nic

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "pcie/pcie.h"
+
+namespace collie::pcie {
+namespace {
+
+LinkSpec gen3() {
+  LinkSpec l;
+  l.gen = Gen::kGen3;
+  l.lanes = 16;
+  return l;
+}
+
+LinkSpec gen4() {
+  LinkSpec l;
+  l.gen = Gen::kGen4;
+  l.lanes = 16;
+  return l;
+}
+
+TEST(Pcie, RawBandwidth) {
+  // Gen3 x16: 8 GT/s * 16 * 128/130 ~ 126 Gbps.
+  EXPECT_NEAR(to_gbps(raw_bandwidth_bps(gen3())), 126.0, 1.0);
+  // Gen4 doubles it.
+  EXPECT_NEAR(raw_bandwidth_bps(gen4()), 2.0 * raw_bandwidth_bps(gen3()),
+              1e6);
+}
+
+TEST(Pcie, TlpEfficiencyGrowsWithChunk) {
+  const LinkSpec l = gen3();
+  EXPECT_LT(tlp_efficiency(l, 64), tlp_efficiency(l, 256));
+  // Payload is capped at max_payload; larger chunks gain nothing.
+  EXPECT_DOUBLE_EQ(tlp_efficiency(l, 256), tlp_efficiency(l, 4096));
+  EXPECT_EQ(tlp_efficiency(l, 0), 0.0);
+}
+
+TEST(Pcie, EffectiveBandwidthAboveLineRateForBigTransfers) {
+  // Gen4 x16 must comfortably exceed 200 Gbps for bulk DMA; that is why a
+  // healthy subsystem F is wire-bound, not PCIe-bound.
+  EXPECT_GT(effective_bandwidth_bps(gen4(), 4096), gbps(200));
+  // And gen3 x16 exceeds 100 Gbps.
+  EXPECT_GT(effective_bandwidth_bps(gen3(), 4096), gbps(100));
+}
+
+TEST(Pcie, DmaReadLatencyIncludesPath) {
+  topo::DmaPath local;
+  local.latency_ns = 80;
+  topo::DmaPath cross = local;
+  cross.latency_ns = 300;
+  EXPECT_GT(dma_read_latency_ns(gen3(), cross),
+            dma_read_latency_ns(gen3(), local));
+  EXPECT_LT(dma_read_latency_ns(gen4(), local),
+            dma_read_latency_ns(gen3(), local));
+}
+
+OrderingLoad mixed_load() {
+  OrderingLoad load;
+  load.bidirectional = true;
+  load.small_write_rate = 2.0;
+  load.large_write_rate = 1.0;
+  load.completion_rate = 1.0;
+  return load;
+}
+
+TEST(Ordering, NoStallWithRelaxedOrdering) {
+  LinkSpec l = gen4();
+  l.relaxed_ordering_effective = true;
+  EXPECT_EQ(ordering_stall_fraction(l, mixed_load()), 0.0);
+}
+
+TEST(Ordering, ForcedRelaxedOrderingIsTheFix) {
+  // Anomaly #9's fix: configure the RNIC as a forced relaxed-ordering
+  // device.
+  LinkSpec l = gen4();
+  l.relaxed_ordering_effective = false;
+  EXPECT_GT(ordering_stall_fraction(l, mixed_load()), 0.3);
+  l.forced_relaxed_ordering = true;
+  EXPECT_EQ(ordering_stall_fraction(l, mixed_load()), 0.0);
+}
+
+TEST(Ordering, RequiresBidirectionalMix) {
+  LinkSpec l = gen4();
+  l.relaxed_ordering_effective = false;
+  OrderingLoad load = mixed_load();
+  load.bidirectional = false;
+  EXPECT_EQ(ordering_stall_fraction(l, load), 0.0);
+  load = mixed_load();
+  load.small_write_rate = 0.0;
+  EXPECT_EQ(ordering_stall_fraction(l, load), 0.0);
+  load = mixed_load();
+  load.large_write_rate = 0.0;
+  EXPECT_EQ(ordering_stall_fraction(l, load), 0.0);
+}
+
+TEST(Ordering, MonotoneInBlockers) {
+  LinkSpec l = gen4();
+  l.relaxed_ordering_effective = false;
+  OrderingLoad a = mixed_load();
+  OrderingLoad b = mixed_load();
+  b.small_write_rate = 8.0;
+  EXPECT_GT(ordering_stall_fraction(l, b), ordering_stall_fraction(l, a));
+  // Bounded by the ceiling.
+  b.small_write_rate = 1e9;
+  EXPECT_LE(ordering_stall_fraction(l, b), 0.72 + 1e-9);
+}
+
+TEST(Pcie, ToStringMatchesTable1Format) {
+  EXPECT_EQ(to_string(gen3()), "3.0 x 16");
+  EXPECT_EQ(to_string(gen4()), "4.0 x 16");
+}
+
+}  // namespace
+}  // namespace collie::pcie

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.h"
+#include "sim/subsystem.h"
+
+namespace collie::sim {
+namespace {
+
+Workload clean_write(int qps = 8, u64 msg = 64 * KiB) {
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kWrite;
+  w.num_qps = qps;
+  w.wqe_batch = 8;
+  w.mr_size = 1 * MiB;
+  w.pattern = {msg};
+  w.mtu = 4096;
+  return w;
+}
+
+SimResult eval(char sys, const Workload& w, u64 seed = 7) {
+  Rng rng(seed);
+  return evaluate(subsystem(sys), w, rng);
+}
+
+TEST(PerfModel, HealthyWorkloadHitsLineRate) {
+  for (char id : {'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}) {
+    const SimResult r = eval(id, clean_write());
+    EXPECT_GT(r.wire_utilization, 0.95) << "subsystem " << id;
+    EXPECT_LT(r.pause_duration_ratio, 0.001) << "subsystem " << id;
+    EXPECT_EQ(r.dominant, Bottleneck::kNone) << "subsystem " << id;
+  }
+}
+
+TEST(PerfModel, TinyMessagesArePpsBoundNotAnomalous) {
+  // 64B messages cannot reach the bps bound, but the wire-rate utilization
+  // accounts for per-packet overhead, so a healthy NIC still shows as
+  // spec-bound (the paper's definition counts either bound).
+  Workload w = clean_write(64, 64);
+  w.mtu = 1024;
+  const SimResult r = eval('F', w);
+  EXPECT_TRUE(r.wire_utilization > 0.8 || r.pps_utilization > 0.8);
+  EXPECT_LT(r.pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, DeterministicGivenSeed) {
+  const SimResult a = eval('F', clean_write(), 99);
+  const SimResult b = eval('F', clean_write(), 99);
+  EXPECT_DOUBLE_EQ(a.rx_goodput_bps, b.rx_goodput_bps);
+  EXPECT_DOUBLE_EQ(a.pause_duration_ratio, b.pause_duration_ratio);
+}
+
+TEST(PerfModel, EpochsCarryWarmupRamp) {
+  Rng rng(3);
+  SimConfig cfg;
+  const SimResult r = evaluate(subsystem('F'), clean_write(), rng, cfg);
+  ASSERT_EQ(static_cast<int>(r.epochs.size()), cfg.epochs);
+  const double early = r.epochs[0].counters.get(PerfCounter::kTxGoodputBps);
+  const double late = r.epochs.back().counters.get(PerfCounter::kTxGoodputBps);
+  EXPECT_LT(early, 0.7 * late);
+}
+
+TEST(PerfModel, QpcScalabilityCliff) {
+  // Root cause #2: sending rate collapses past the QPC cache capacity for
+  // small unbatched messages (anomaly #7 family), monotonically in #QPs.
+  Workload w = clean_write(8, 512);
+  w.mr_size = 64 * KiB;  // keep the MTT working set out of the picture
+  w.wqe_batch = 1;
+  w.send_wq_depth = 16;
+  w.recv_wq_depth = 16;
+  w.mtu = 1024;
+  double prev_util = 1.0;
+  for (int qps : {8, 128, 480, 2000}) {
+    w.num_qps = qps;
+    const SimResult r = eval('F', w);
+    EXPECT_LE(r.wire_utilization, prev_util + 0.05) << qps << " qps";
+    prev_util = r.wire_utilization;
+    if (qps >= 480) {
+      EXPECT_LT(r.wire_utilization, 0.8) << qps << " qps";
+      EXPECT_LT(r.pps_utilization, 0.8) << qps << " qps";
+      EXPECT_EQ(r.dominant, Bottleneck::kQpcCacheMiss);
+      EXPECT_LT(r.pause_duration_ratio, 0.001);  // sender-side: no pauses
+    }
+  }
+}
+
+TEST(PerfModel, LargeMessagesHideIcmMisses) {
+  // Appendix A: "our real applications do not meet them even when the
+  // number of QPs exceeds 10K" because large requests hide the miss.
+  Workload w = clean_write(10000, 64 * KiB);
+  const SimResult r = eval('F', w);
+  EXPECT_GT(r.wire_utilization, 0.9);
+  EXPECT_EQ(r.dominant, Bottleneck::kNone);
+}
+
+TEST(PerfModel, MrScalabilityCliff) {
+  Workload w = clean_write(24, 512);
+  w.wqe_batch = 1;
+  w.mtu = 1024;
+  w.mr_size = 64 * KiB;
+  w.mrs_per_qp = 4;
+  const SimResult ok = eval('F', w);
+  EXPECT_GT(ok.wire_utilization, 0.9);
+  w.mrs_per_qp = 1024;  // ~24K MRs
+  const SimResult bad = eval('F', w);
+  EXPECT_LT(bad.wire_utilization, 0.8);
+  EXPECT_EQ(bad.dominant, Bottleneck::kMttCacheMiss);
+}
+
+TEST(PerfModel, ReadSmallMtuPacketBottleneck) {
+  // Anomaly #3: RC READ of large messages collapses at MTU 1024 on the
+  // 200G CX-6 and is clean at MTU >= 2048.
+  Workload w = clean_write(8, 4 * MiB);
+  w.opcode = Opcode::kRead;
+  w.mr_size = 4 * MiB;
+  w.mtu = 2048;
+  EXPECT_GT(eval('F', w).wire_utilization, 0.9);
+  w.mtu = 1024;
+  const SimResult bad = eval('F', w);
+  EXPECT_GT(bad.pause_duration_ratio, 0.001);
+  EXPECT_EQ(bad.dominant, Bottleneck::kReadPacketProcessing);
+  // The 100G part has headroom: same workload stays clean (the paper's
+  // "not a problem with 100 Gbps RNICs from the same vendor").
+  EXPECT_LT(eval('D', w).pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, OrderingStallNeedsAllConditions) {
+  // Anomaly #9: bidirectional + small/large mix inside an SG list on the
+  // strict-ordering platform.
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kWrite;
+  w.num_qps = 8;
+  w.wqe_batch = 8;
+  w.mr_size = 4 * MiB;
+  w.mtu = 4096;
+  w.sge_per_wqe = 3;
+  w.pattern = {128, 64 * KiB, 1024};
+  w.bidirectional = true;
+  const SimResult bad = eval('E', w);
+  EXPECT_GT(bad.pause_duration_ratio, 0.01);
+  EXPECT_EQ(bad.dominant, Bottleneck::kPcieOrdering);
+
+  Workload uni = w;
+  uni.bidirectional = false;
+  EXPECT_LT(eval('E', uni).pause_duration_ratio, 0.001);
+
+  Workload uniform = w;
+  uniform.pattern = {8 * KiB, 8 * KiB, 8 * KiB};
+  EXPECT_LT(eval('E', uniform).pause_duration_ratio, 0.001);
+
+  // Healthy platform (relaxed ordering effective): no stall.
+  EXPECT_LT(eval('B', w).pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, CrossSocketBidirectionalCollapse) {
+  // Anomaly #11 on subsystem G: even one connection pauses when
+  // bidirectional traffic crosses the weak socket interconnect.
+  Workload w = clean_write(1, 256 * KiB);
+  w.mr_size = 4 * MiB;
+  w.wqe_batch = 16;
+  w.bidirectional = true;
+  w.remote_mem = {topo::MemKind::kDram, 2};  // socket 1 under NPS 2
+  const SimResult bad = eval('G', w);
+  EXPECT_GT(bad.pause_duration_ratio, 0.001);
+  EXPECT_EQ(bad.dominant, Bottleneck::kHostTopologyPath);
+  // Unidirectional cross-socket is fine.
+  Workload uni = w;
+  uni.bidirectional = false;
+  EXPECT_LT(eval('G', uni).pause_duration_ratio, 0.001);
+  // Local memory bidirectional is fine.
+  Workload local = w;
+  local.remote_mem = {topo::MemKind::kDram, 0};
+  EXPECT_LT(eval('G', local).pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, LoopbackIncast) {
+  // Anomaly #13: loopback + receive traffic pauses on the CX-6...
+  Workload w = clean_write(16, 256 * KiB);
+  w.mr_size = 4 * MiB;
+  w.wqe_batch = 16;
+  w.loopback = true;
+  const SimResult bad = eval('F', w);
+  EXPECT_GT(bad.pause_duration_ratio, 0.001);
+  // ...but not on the P2100G, which rate-limits loopback traffic.
+  Workload h = w;
+  const SimResult ok = eval('H', h);
+  EXPECT_LT(ok.pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, UdBatchBurstPause) {
+  // Anomaly #1 trigger boundaries: batch >= 64 AND recv WQ >= 256.
+  Workload w;
+  w.qp_type = QpType::kUD;
+  w.opcode = Opcode::kSend;
+  w.num_qps = 1;
+  w.mtu = 2048;
+  w.pattern = {2048};
+  w.send_wq_depth = 256;
+  w.recv_wq_depth = 256;
+  w.wqe_batch = 64;
+  EXPECT_GT(eval('F', w).pause_duration_ratio, 0.001);
+  Workload small_batch = w;
+  small_batch.wqe_batch = 16;
+  EXPECT_LT(eval('F', small_batch).pause_duration_ratio, 0.001);
+  Workload shallow = w;
+  shallow.send_wq_depth = 128;
+  shallow.recv_wq_depth = 128;
+  EXPECT_LT(eval('F', shallow).pause_duration_ratio, 0.001);
+}
+
+TEST(PerfModel, ExperimentCostBounds) {
+  // "Each experiment we do requires 20-60 seconds, mostly depending on the
+  // number of QPs to create and the number of MRs to register" (§5).
+  Workload small = clean_write(1);
+  EXPECT_GE(experiment_cost_seconds(small), 20.0);
+  EXPECT_LE(experiment_cost_seconds(small), 25.0);
+  Workload big = clean_write(20000);
+  big.mrs_per_qp = 10;
+  EXPECT_GT(experiment_cost_seconds(big),
+            experiment_cost_seconds(small));
+  big.bidirectional = true;
+  big.mrs_per_qp = 1000;
+  EXPECT_LE(experiment_cost_seconds(big), 60.0);
+}
+
+// Property sweep: no workload may produce pause frames from a purely
+// sender-side bottleneck, and utilizations stay in [0, ~1].
+class PerfModelPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PerfModelPropertyTest, InvariantsHoldOnRandomWorkloads) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    Workload w = clean_write();
+    // Scramble within valid ranges.
+    w.qp_type = static_cast<QpType>(rng.uniform_int(0, 2));
+    w.opcode = Opcode::kSend;
+    if (transport_supports(w.qp_type, Opcode::kWrite) && rng.bernoulli(0.5)) {
+      w.opcode = Opcode::kWrite;
+    }
+    w.num_qps = static_cast<int>(rng.log_uniform_int(1, 20000));
+    w.wqe_batch = 1 << rng.uniform_int(0, 7);
+    w.send_wq_depth = std::max(w.wqe_batch, 16 << rng.uniform_int(0, 6));
+    w.recv_wq_depth = 16 << rng.uniform_int(0, 6);
+    w.sge_per_wqe = static_cast<int>(rng.uniform_int(1, 4));
+    w.mtu = 256u << rng.uniform_int(0, 4);
+    w.mrs_per_qp = static_cast<int>(rng.log_uniform_int(1, 64));
+    w.pattern.assign(static_cast<std::size_t>(rng.uniform_int(1, 8)),
+                     1ull << rng.uniform_int(6, 16));
+    if (w.qp_type == QpType::kUD) {
+      // A UD datagram (sum of its SGEs) must fit one MTU.
+      const u64 per_sge = std::max<u64>(
+          1, w.mtu / static_cast<u32>(w.sge_per_wqe));
+      for (u64& s : w.pattern) s = std::min<u64>(s, per_sge);
+    }
+    w.bidirectional = rng.bernoulli(0.5);
+    ASSERT_TRUE(w.valid());
+
+    const char sys = "FH"[rng.uniform_int(0, 1)];
+    const SimResult r = eval(sys, w, rng.next_u64());
+    EXPECT_GE(r.wire_utilization, 0.0);
+    EXPECT_LE(r.wire_utilization, 1.1);
+    EXPECT_GE(r.pps_utilization, 0.0);
+    EXPECT_GE(r.pause_duration_ratio, 0.0);
+    EXPECT_LE(r.pause_duration_ratio, 1.0);
+    EXPECT_GE(r.rx_goodput_bps, 0.0);
+    // Sender-side bottlenecks never pause.
+    if (r.dominant == Bottleneck::kQpcCacheMiss ||
+        r.dominant == Bottleneck::kMttCacheMiss ||
+        r.dominant == Bottleneck::kMtuSchedulerQuirk ||
+        r.dominant == Bottleneck::kRwqeSteadyMiss) {
+      EXPECT_LT(r.pause_duration_ratio, 0.01)
+          << to_string(r.dominant) << " " << w.describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerfModelPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace collie::sim

@@ -1,0 +1,87 @@
+// Property tests for the PFC hysteresis integrator: the analytic duty cycle
+// the performance model uses must agree with the explicit integrator across
+// the overload range, and basic conservation properties must hold.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nic/pfc.h"
+
+namespace collie::nic {
+namespace {
+
+struct DutyCase {
+  double arrival_gbps;
+  double drain_gbps;
+};
+
+class PfcDutyTest : public ::testing::TestWithParam<DutyCase> {};
+
+TEST_P(PfcDutyTest, IntegratorMatchesAnalyticDuty) {
+  const DutyCase c = GetParam();
+  PfcParams params;
+  params.buffer_bytes = 2 * MiB;
+  PfcBuffer buf(params);
+  // Integrate at a resolution fine enough for the XOFF/XON cycle.
+  for (int i = 0; i < 6000; ++i) {
+    buf.step(10e-6, gbps(c.arrival_gbps), gbps(c.drain_gbps));
+  }
+  const double analytic =
+      c.arrival_gbps <= c.drain_gbps
+          ? 0.0
+          : 1.0 - c.drain_gbps / c.arrival_gbps;
+  EXPECT_NEAR(buf.pause_duration_ratio(), analytic, 0.08)
+      << c.arrival_gbps << " -> " << c.drain_gbps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverloadRange, PfcDutyTest,
+    ::testing::Values(DutyCase{100, 120}, DutyCase{100, 100},
+                      DutyCase{100, 90}, DutyCase{100, 60},
+                      DutyCase{100, 30}, DutyCase{200, 50},
+                      DutyCase{25, 20}, DutyCase{200, 190}));
+
+TEST(PfcProperty, OccupancyNeverExceedsBuffer) {
+  PfcParams params;
+  params.buffer_bytes = 256 * KiB;
+  PfcBuffer buf(params);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    buf.step(50e-6, gbps(rng.uniform(0, 400)), gbps(rng.uniform(0, 200)));
+    EXPECT_GE(buf.occupancy_bytes(), 0.0);
+    EXPECT_LE(buf.occupancy_bytes(), params.buffer_bytes);
+  }
+}
+
+TEST(PfcProperty, PauseTimeNeverExceedsWallTime) {
+  PfcParams params;
+  PfcBuffer buf(params);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double pf =
+        buf.step(1e-3, gbps(rng.uniform(0, 300)), gbps(rng.uniform(1, 100)));
+    EXPECT_GE(pf, 0.0);
+    EXPECT_LE(pf, 1.0 + 1e-9);  // 64 summed sub-steps of rounding
+  }
+  EXPECT_LE(buf.total_pause_s(), buf.total_time_s() * (1.0 + 1e-9));
+  EXPECT_GE(buf.pause_duration_ratio(), 0.0);
+  EXPECT_LE(buf.pause_duration_ratio(), 1.0);
+}
+
+TEST(PfcProperty, HigherDrainNeverPausesMore) {
+  // Monotonicity: with identical arrivals, a faster drain pauses no more.
+  for (double arrival : {50.0, 100.0, 200.0}) {
+    double prev = 1.1;
+    for (double drain : {20.0, 60.0, 100.0, 150.0}) {
+      PfcBuffer buf(PfcParams{});
+      for (int i = 0; i < 4000; ++i) {
+        buf.step(10e-6, gbps(arrival), gbps(drain));
+      }
+      EXPECT_LE(buf.pause_duration_ratio(), prev + 1e-6)
+          << arrival << "/" << drain;
+      prev = buf.pause_duration_ratio();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace collie::nic

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "sim/subsystem.h"
+
+namespace collie::core {
+namespace {
+
+workload::EngineOptions fast_engine_opts() {
+  workload::EngineOptions opts;
+  opts.run_functional_pass = false;  // keep search tests quick
+  return opts;
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : engine_(sim::subsystem('F'), fast_engine_opts()),
+        space_(sim::subsystem('F')),
+        driver_(engine_, space_) {}
+
+  workload::Engine engine_;
+  SearchSpace space_;
+  SearchDriver driver_;
+};
+
+TEST_F(SearchTest, RandomSearchRespectsBudget) {
+  SearchBudget budget;
+  budget.seconds = 30 * 60.0;  // 30 simulated minutes
+  Rng rng(1);
+  const SearchResult r = driver_.run_random(budget, rng);
+  EXPECT_GT(r.experiments, 10);
+  EXPECT_GE(r.elapsed_seconds, budget.seconds);
+  // Each experiment costs at least 20 s; an in-flight MFS extraction may
+  // overshoot the budget by its probe count but no more.
+  EXPECT_LE(r.experiments,
+            static_cast<int>(budget.seconds / 20.0) + 120);
+  EXPECT_EQ(r.trace.size(), static_cast<std::size_t>(r.experiments));
+}
+
+TEST_F(SearchTest, ExperimentCapRespected) {
+  SearchBudget budget;
+  budget.max_experiments = 25;
+  Rng rng(2);
+  const SearchResult r = driver_.run_random(budget, rng);
+  // MFS extraction completes atomically once an anomaly is found, so the
+  // cap may be exceeded by one extraction's probes at most.
+  EXPECT_LE(r.experiments, 25 + 120);
+}
+
+TEST_F(SearchTest, DeterministicGivenSeed) {
+  SearchBudget budget;
+  budget.seconds = 20 * 60.0;
+  Rng rng1(7);
+  Rng rng2(7);
+  const SearchResult a = driver_.run_random(budget, rng1);
+  const SearchResult b = driver_.run_random(budget, rng2);
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.found.size(), b.found.size());
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+}
+
+TEST_F(SearchTest, SaFindsAnomaliesWithinHours) {
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kDiag;
+  SearchBudget budget;
+  budget.seconds = 3 * 3600.0;
+  Rng rng(3);
+  const SearchResult r = driver_.run_simulated_annealing(cfg, budget, rng);
+  EXPECT_GE(r.found.size(), 2u);
+  // Discovery times are recorded and monotone.
+  double prev = 0.0;
+  for (const auto& f : r.found) {
+    EXPECT_GE(f.found_at_seconds, prev);
+    prev = f.found_at_seconds;
+    EXPECT_TRUE(f.verdict.anomalous());
+  }
+}
+
+TEST_F(SearchTest, MfsSkipsAvoidRedundantExperiments) {
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kDiag;
+  SearchBudget budget;
+  budget.seconds = 4 * 3600.0;
+  Rng rng(5);
+  const SearchResult with_mfs =
+      driver_.run_simulated_annealing(cfg, budget, rng);
+  // With several anomalies found, later mutations into their regions must
+  // be pruned by MatchMFS at least occasionally.
+  if (with_mfs.found.size() >= 3) {
+    EXPECT_GT(with_mfs.mfs_skips, 0);
+  }
+  // Every found anomaly carries a non-trivial MFS.
+  for (const auto& f : with_mfs.found) {
+    EXPECT_FALSE(f.mfs.conditions.empty());
+  }
+}
+
+TEST_F(SearchTest, NoMfsVariantRecordsBareWitnesses) {
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kDiag;
+  cfg.use_mfs = false;
+  SearchBudget budget;
+  budget.seconds = 1 * 3600.0;
+  Rng rng(5);
+  const SearchResult r = driver_.run_simulated_annealing(cfg, budget, rng);
+  EXPECT_EQ(r.mfs_skips, 0);
+  for (const auto& f : r.found) {
+    EXPECT_TRUE(f.mfs.conditions.empty());
+  }
+}
+
+TEST_F(SearchTest, TraceMarksMfsExtraction) {
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kDiag;
+  SearchBudget budget;
+  budget.seconds = 2 * 3600.0;
+  Rng rng(9);
+  const SearchResult r = driver_.run_simulated_annealing(cfg, budget, rng);
+  if (!r.found.empty()) {
+    bool saw_flat = false;
+    for (const auto& tp : r.trace) {
+      if (tp.in_mfs_extraction) saw_flat = true;
+    }
+    EXPECT_TRUE(saw_flat);
+  }
+}
+
+TEST_F(SearchTest, PerfModeRunsAndGuides) {
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kPerf;
+  SearchBudget budget;
+  budget.seconds = 1 * 3600.0;
+  Rng rng(11);
+  const SearchResult r = driver_.run_simulated_annealing(cfg, budget, rng);
+  EXPECT_GT(r.experiments, 20);
+}
+
+TEST_F(SearchTest, MeasureAndJudgeChargesCost) {
+  Rng rng(1);
+  double cost = 0.0;
+  Workload w = space_.random_point(rng);
+  const Verdict v = driver_.measure_and_judge(w, rng, &cost);
+  (void)v;
+  EXPECT_GE(cost, 20.0);
+}
+
+}  // namespace
+}  // namespace collie::core

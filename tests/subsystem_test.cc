@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "sim/subsystem.h"
+
+namespace collie::sim {
+namespace {
+
+TEST(Subsystem, CatalogHasEightEntries) {
+  const auto ids = all_subsystem_ids();
+  ASSERT_EQ(ids.size(), 8u);
+  for (char c = 'A'; c <= 'H'; ++c) {
+    EXPECT_NO_THROW(subsystem(c));
+  }
+  EXPECT_THROW(subsystem('Z'), std::out_of_range);
+}
+
+TEST(Subsystem, Table1Speeds) {
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('A').nicm.line_rate_bps), 25.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('B').nicm.line_rate_bps), 100.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('C').nicm.line_rate_bps), 100.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('D').nicm.line_rate_bps), 100.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('E').nicm.line_rate_bps), 200.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('F').nicm.line_rate_bps), 200.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('G').nicm.line_rate_bps), 200.0);
+  EXPECT_DOUBLE_EQ(to_gbps(subsystem('H').nicm.line_rate_bps), 100.0);
+}
+
+TEST(Subsystem, Table1Chips) {
+  EXPECT_EQ(subsystem('A').nicm.chip, "CX-5");
+  EXPECT_EQ(subsystem('D').nicm.chip, "CX-6");
+  EXPECT_EQ(subsystem('H').nicm.chip, "P2100");
+}
+
+TEST(Subsystem, GpuPresence) {
+  EXPECT_TRUE(subsystem('B').host.gpus.empty());
+  EXPECT_FALSE(subsystem('C').host.gpus.empty());  // V100
+  EXPECT_FALSE(subsystem('E').host.gpus.empty());  // A100
+  EXPECT_FALSE(subsystem('F').host.gpus.empty());  // A100
+  EXPECT_TRUE(subsystem('G').host.gpus.empty());
+}
+
+TEST(Subsystem, PlatformQuirkFlags) {
+  // E and F carry the strict-ordering root complex; B-D do not.
+  EXPECT_FALSE(subsystem('B').link.relaxed_ordering_effective == false);
+  EXPECT_TRUE(subsystem('E').link.relaxed_ordering_effective == false);
+  EXPECT_TRUE(subsystem('F').link.relaxed_ordering_effective == false);
+  // G is the weak-cross-socket AMD platform of anomaly #11.
+  EXPECT_LT(subsystem('G').host.cross_socket_quality, 1.0);
+  EXPECT_EQ(subsystem('G').host.numa_per_socket, 2);  // NPS 2 in Table 1
+}
+
+TEST(Subsystem, SpecBounds) {
+  for (char id : all_subsystem_ids()) {
+    const Subsystem& s = subsystem(id);
+    EXPECT_GT(s.wire_bps_cap(), 0.0);
+    EXPECT_GT(s.pps_cap(), 0.0);
+    EXPECT_FALSE(s.summary().empty());
+  }
+}
+
+}  // namespace
+}  // namespace collie::sim

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "topo/host_topology.h"
+
+namespace collie::topo {
+namespace {
+
+TEST(HostTopology, NumaAccounting) {
+  const HostTopology h = amd_2socket_nps2();
+  EXPECT_EQ(h.numa_nodes(), 4);
+  EXPECT_EQ(h.socket_of_numa(0), 0);
+  EXPECT_EQ(h.socket_of_numa(1), 0);
+  EXPECT_EQ(h.socket_of_numa(2), 1);
+  EXPECT_EQ(h.socket_of_numa(3), 1);
+}
+
+TEST(HostTopology, PlacementValidity) {
+  const HostTopology h = intel_2socket_gpu();
+  EXPECT_TRUE(h.placement_valid({MemKind::kDram, 0}));
+  EXPECT_TRUE(h.placement_valid({MemKind::kDram, 1}));
+  EXPECT_FALSE(h.placement_valid({MemKind::kDram, 2}));
+  EXPECT_TRUE(h.placement_valid({MemKind::kGpu, 3}));
+  EXPECT_FALSE(h.placement_valid({MemKind::kGpu, 4}));
+  EXPECT_FALSE(h.placement_valid({MemKind::kDram, -1}));
+}
+
+TEST(HostTopology, AccessiblePlacementsEnumeratesAll) {
+  const HostTopology h = intel_2socket_gpu();
+  const auto placements = h.accessible_placements();
+  EXPECT_EQ(placements.size(), 2u + 4u);  // 2 NUMA nodes + 4 GPUs
+}
+
+TEST(HostTopology, LocalDramPathIsClean) {
+  const HostTopology h = intel_2socket();
+  const DmaPath p = h.path_to_nic({MemKind::kDram, 0});
+  EXPECT_FALSE(p.crosses_socket);
+  EXPECT_FALSE(p.via_root_complex);
+  EXPECT_DOUBLE_EQ(p.bandwidth_factor, 1.0);
+}
+
+TEST(HostTopology, CrossSocketDramPath) {
+  const HostTopology h = intel_2socket();
+  const DmaPath p = h.path_to_nic({MemKind::kDram, 1});
+  EXPECT_TRUE(p.crosses_socket);
+  EXPECT_LT(p.bandwidth_factor, 1.0);
+  EXPECT_GT(p.latency_ns, h.local_dma_latency_ns);
+}
+
+TEST(HostTopology, SameSwitchGpuIsPeerToPeer) {
+  HostTopology h = intel_2socket_gpu();
+  ASSERT_FALSE(h.gpu_acs_misrouted);
+  const DmaPath p = h.path_to_nic({MemKind::kGpu, 0});
+  EXPECT_TRUE(p.peer_to_peer);
+  EXPECT_FALSE(p.via_root_complex);
+  EXPECT_DOUBLE_EQ(p.bandwidth_factor, 1.0);
+}
+
+TEST(HostTopology, AcsMisrouteForcesRootComplex) {
+  HostTopology h = intel_2socket_gpu();
+  h.gpu_acs_misrouted = true;
+  const DmaPath p = h.path_to_nic({MemKind::kGpu, 0});
+  EXPECT_TRUE(p.via_root_complex);
+  EXPECT_FALSE(p.peer_to_peer);
+  // The detour costs bandwidth headroom and a lot of latency; the
+  // catastrophic behaviour comes from its interaction with ordering.
+  EXPECT_LT(p.bandwidth_factor, 1.0);
+  EXPECT_GT(p.latency_ns, 400.0);
+}
+
+TEST(HostTopology, CrossSocketGpuPath) {
+  const HostTopology h = intel_2socket_gpu();
+  const DmaPath p = h.path_to_nic({MemKind::kGpu, 2});
+  EXPECT_TRUE(p.crosses_socket);
+  EXPECT_FALSE(p.peer_to_peer);
+  EXPECT_LT(p.bandwidth_factor, 0.9);
+}
+
+TEST(HostTopology, FactoriesAreInternallyConsistent) {
+  for (const HostTopology& h :
+       {intel_1socket(), intel_2socket(), intel_2socket_gpu(),
+        intel_2socket_a100(), amd_1socket_a100(), amd_2socket_nps2()}) {
+    EXPECT_FALSE(h.name.empty());
+    EXPECT_GE(h.numa_nodes(), 1);
+    for (const auto& g : h.gpus) {
+      EXPECT_LT(g.socket, h.sockets);
+    }
+    for (const auto& p : h.accessible_placements()) {
+      EXPECT_TRUE(h.placement_valid(p));
+      const DmaPath path = h.path_to_nic(p);
+      EXPECT_GT(path.bandwidth_factor, 0.0);
+      EXPECT_LE(path.bandwidth_factor, 1.0);
+      EXPECT_GE(path.latency_ns, 0.0);
+    }
+  }
+}
+
+TEST(HostTopology, PlacementToString) {
+  EXPECT_EQ(to_string(MemPlacement{MemKind::kDram, 1}), "numa1");
+  EXPECT_EQ(to_string(MemPlacement{MemKind::kGpu, 3}), "gpu3");
+}
+
+}  // namespace
+}  // namespace collie::topo

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "verbs/verbs.h"
+
+namespace collie::verbs {
+namespace {
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = net_.add_host();
+    b_ = net_.add_host();
+    pd_a_ = a_->alloc_pd();
+    pd_b_ = b_->alloc_pd();
+    cq_a_ = a_->create_cq(1024);
+    cq_b_ = b_->create_cq(1024);
+    buf_a_.assign(64 * KiB, 0);
+    buf_b_.assign(64 * KiB, 0);
+    mr_a_ = a_->reg_mr(pd_a_, buf_a_.data(), buf_a_.size(),
+                       kLocalWrite | kRemoteWrite | kRemoteRead);
+    mr_b_ = b_->reg_mr(pd_b_, buf_b_.data(), buf_b_.size(),
+                       kLocalWrite | kRemoteWrite | kRemoteRead);
+    ASSERT_NE(mr_a_, nullptr);
+    ASSERT_NE(mr_b_, nullptr);
+  }
+
+  std::pair<Qp*, Qp*> connected_pair(QpType type = QpType::kRC,
+                                     QpCap cap = {}) {
+    Qp* qa = a_->create_qp(pd_a_, cq_a_, cq_a_, type, cap);
+    Qp* qb = b_->create_qp(pd_b_, cq_b_, cq_b_, type, cap);
+    EXPECT_TRUE(connect_pair(qa, qb, 4096));
+    return {qa, qb};
+  }
+
+  Network net_;
+  Context* a_ = nullptr;
+  Context* b_ = nullptr;
+  Pd* pd_a_ = nullptr;
+  Pd* pd_b_ = nullptr;
+  Cq* cq_a_ = nullptr;
+  Cq* cq_b_ = nullptr;
+  std::vector<u8> buf_a_;
+  std::vector<u8> buf_b_;
+  Mr* mr_a_ = nullptr;
+  Mr* mr_b_ = nullptr;
+};
+
+TEST_F(VerbsTest, RegMrValidation) {
+  EXPECT_EQ(a_->reg_mr(nullptr, buf_a_.data(), 64, kLocalWrite), nullptr);
+  EXPECT_EQ(a_->reg_mr(pd_a_, nullptr, 64, kLocalWrite), nullptr);
+  EXPECT_EQ(a_->reg_mr(pd_a_, buf_a_.data(), 0, kLocalWrite), nullptr);
+  Mr* mr = a_->reg_mr(pd_a_, buf_a_.data(), 64, kLocalWrite);
+  ASSERT_NE(mr, nullptr);
+  EXPECT_NE(mr->lkey(), mr->rkey());
+  EXPECT_TRUE(mr->contains(mr->addr(), 64));
+  EXPECT_FALSE(mr->contains(mr->addr(), 65));
+  EXPECT_FALSE(mr->contains(mr->addr() - 1, 4));
+}
+
+TEST_F(VerbsTest, QpStateMachine) {
+  Qp* qp = a_->create_qp(pd_a_, cq_a_, cq_a_, QpType::kRC, QpCap{});
+  ASSERT_NE(qp, nullptr);
+  EXPECT_EQ(qp->state(), QpState::kReset);
+
+  // RESET -> RTS directly is illegal.
+  QpAttr attr;
+  attr.state = QpState::kRts;
+  EXPECT_FALSE(qp->modify(attr));
+  EXPECT_EQ(qp->state(), QpState::kReset);
+
+  attr.state = QpState::kInit;
+  EXPECT_TRUE(qp->modify(attr));
+  attr.state = QpState::kRtr;
+  EXPECT_TRUE(qp->modify(attr));
+  attr.state = QpState::kRts;
+  EXPECT_TRUE(qp->modify(attr));
+
+  // Post-send requires RTS; after reset it must fail again.
+  attr.state = QpState::kReset;
+  EXPECT_TRUE(qp->modify(attr));
+  std::string err;
+  EXPECT_FALSE(qp->post_send({SendWr{}}, &err));
+  EXPECT_EQ(err, "QP not in RTS");
+}
+
+TEST_F(VerbsTest, PostSendValidatesCaps) {
+  QpCap cap;
+  cap.max_send_wr = 4;
+  cap.max_send_sge = 2;
+  auto [qa, qb] = connected_pair(QpType::kRC, cap);
+  (void)qb;
+  std::string err;
+
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = mr_b_->rkey();
+  wr.sg_list = {{mr_a_->addr(), 16, mr_a_->lkey()},
+                {mr_a_->addr(), 16, mr_a_->lkey()},
+                {mr_a_->addr(), 16, mr_a_->lkey()}};
+  EXPECT_FALSE(qa->post_send({wr}, &err));  // 3 SGEs > cap 2
+
+  wr.sg_list.resize(2);
+  EXPECT_TRUE(qa->post_send({wr, wr, wr, wr}, &err)) << err;
+  EXPECT_FALSE(qa->post_send({wr}, &err));  // queue full
+  EXPECT_EQ(err, "send queue overflow");
+}
+
+TEST_F(VerbsTest, UdRestrictions) {
+  QpCap cap;
+  Qp* qp = a_->create_qp(pd_a_, cq_a_, cq_a_, QpType::kUD, cap);
+  QpAttr attr;
+  attr.state = QpState::kInit;
+  ASSERT_TRUE(qp->modify(attr));
+  attr.state = QpState::kRtr;
+  ASSERT_TRUE(qp->modify(attr));
+  attr.state = QpState::kRts;
+  ASSERT_TRUE(qp->modify(attr));
+
+  std::string err;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  EXPECT_FALSE(qp->post_send({wr}, &err));
+  EXPECT_EQ(err, "UD supports only SEND");
+}
+
+TEST_F(VerbsTest, ReadRequiresRc) {
+  auto [qa, qb] = connected_pair(QpType::kUC);
+  (void)qb;
+  std::string err;
+  SendWr wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.sg_list = {{mr_a_->addr(), 16, mr_a_->lkey()}};
+  EXPECT_FALSE(qa->post_send({wr}, &err));
+  EXPECT_EQ(err, "READ requires RC");
+}
+
+TEST_F(VerbsTest, RdmaWriteMovesBytes) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  std::iota(buf_a_.begin(), buf_a_.begin() + 256, u8{1});
+
+  SendWr wr;
+  wr.wr_id = 42;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = mr_b_->addr() + 1024;
+  wr.rkey = mr_b_->rkey();
+  wr.sg_list = {{mr_a_->addr(), 256, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  EXPECT_EQ(net_.progress(), 1);
+
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(wc.wr_id, 42u);
+  EXPECT_EQ(wc.byte_len, 256u);
+  EXPECT_EQ(wc.opcode, WcOpcode::kWrite);
+  EXPECT_EQ(std::memcmp(buf_b_.data() + 1024, buf_a_.data(), 256), 0);
+}
+
+TEST_F(VerbsTest, RdmaReadPullsBytes) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  for (int i = 0; i < 512; ++i) buf_b_[static_cast<std::size_t>(i)] = 7;
+
+  SendWr wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = mr_b_->rkey();
+  wr.sg_list = {{mr_a_->addr() + 2048, 512, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(buf_a_[2048], 7);
+  EXPECT_EQ(buf_a_[2048 + 511], 7);
+}
+
+TEST_F(VerbsTest, SendRecvWithScatterGather) {
+  auto [qa, qb] = connected_pair();
+  RecvWr rwr;
+  rwr.wr_id = 9;
+  rwr.sg_list = {{mr_b_->addr(), 128, mr_b_->lkey()},
+                 {mr_b_->addr() + 4096, 4096, mr_b_->lkey()}};
+  ASSERT_TRUE(qb->post_recv({rwr}));
+
+  std::iota(buf_a_.begin(), buf_a_.begin() + 300, u8{1});
+  SendWr wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.sg_list = {{mr_a_->addr(), 300, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+
+  Wc wc;
+  ASSERT_EQ(cq_b_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(wc.opcode, WcOpcode::kRecv);
+  EXPECT_EQ(wc.wr_id, 9u);
+  EXPECT_EQ(wc.byte_len, 300u);
+  // First 128 bytes land in the first SGE, the rest spill into the second.
+  EXPECT_EQ(std::memcmp(buf_b_.data(), buf_a_.data(), 128), 0);
+  EXPECT_EQ(std::memcmp(buf_b_.data() + 4096, buf_a_.data() + 128, 172), 0);
+}
+
+TEST_F(VerbsTest, RnrWhenNoReceivePosted) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  SendWr wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.sg_list = {{mr_a_->addr(), 64, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kRnrRetryExcErr);
+}
+
+TEST_F(VerbsTest, UdDropsWhenNoReceivePosted) {
+  QpCap cap;
+  Qp* qa = a_->create_qp(pd_a_, cq_a_, cq_a_, QpType::kUD, cap);
+  Qp* qb = b_->create_qp(pd_b_, cq_b_, cq_b_, QpType::kUD, cap);
+  for (Qp* qp : {qa, qb}) {
+    QpAttr attr;
+    attr.mtu = 2048;
+    attr.state = QpState::kInit;
+    ASSERT_TRUE(qp->modify(attr));
+    attr.state = QpState::kRtr;
+    ASSERT_TRUE(qp->modify(attr));
+    attr.state = QpState::kRts;
+    ASSERT_TRUE(qp->modify(attr));
+  }
+  SendWr wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.remote_qpn = qb->qp_num();
+  wr.sg_list = {{mr_a_->addr(), 64, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  // Sender still completes successfully (fire-and-forget datagram)...
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  // ...but nothing arrives.
+  EXPECT_EQ(cq_b_->poll(&wc, 1), 0);
+}
+
+TEST_F(VerbsTest, RemoteAccessErrors) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.sg_list = {{mr_a_->addr(), 64, mr_a_->lkey()}};
+
+  // Bad rkey.
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = 0xdead;
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessErr);
+
+  // Out-of-bounds remote address.
+  wr.rkey = mr_b_->rkey();
+  wr.remote_addr = mr_b_->addr() + mr_b_->length() - 8;
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessErr);
+}
+
+TEST_F(VerbsTest, PermissionEnforcement) {
+  // MR without remote-write access rejects RDMA WRITE.
+  std::vector<u8> guarded(4096, 0);
+  Mr* ro = b_->reg_mr(pd_b_, guarded.data(), guarded.size(),
+                      kLocalWrite | kRemoteRead);
+  ASSERT_NE(ro, nullptr);
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = ro->addr();
+  wr.rkey = ro->rkey();
+  wr.sg_list = {{mr_a_->addr(), 64, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessErr);
+  // READ against the same MR succeeds.
+  wr.opcode = WrOpcode::kRead;
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+}
+
+TEST_F(VerbsTest, LocalProtectionError) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = mr_b_->rkey();
+  wr.sg_list = {{mr_a_->addr(), 64, 0xbadbeef}};  // bad lkey
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  ASSERT_EQ(cq_a_->poll(&wc, 1), 1);
+  EXPECT_EQ(wc.status, WcStatus::kLocalProtErr);
+}
+
+TEST_F(VerbsTest, UnsignaledSendsSkipCompletion) {
+  auto [qa, qb] = connected_pair();
+  (void)qb;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = mr_b_->rkey();
+  wr.signaled = false;
+  wr.sg_list = {{mr_a_->addr(), 64, mr_a_->lkey()}};
+  ASSERT_TRUE(qa->post_send({wr}));
+  net_.progress();
+  Wc wc;
+  EXPECT_EQ(cq_a_->poll(&wc, 1), 0);
+}
+
+TEST_F(VerbsTest, ProgressRoundRobinsAcrossQps) {
+  auto [q1a, q1b] = connected_pair();
+  auto [q2a, q2b] = connected_pair();
+  (void)q1b;
+  (void)q2b;
+  SendWr wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.remote_addr = mr_b_->addr();
+  wr.rkey = mr_b_->rkey();
+  wr.sg_list = {{mr_a_->addr(), 8, mr_a_->lkey()}};
+  ASSERT_TRUE(q1a->post_send({wr, wr}));
+  ASSERT_TRUE(q2a->post_send({wr}));
+  EXPECT_EQ(net_.progress(), 3);
+  Wc wc[8];
+  EXPECT_EQ(cq_a_->poll(wc, 8), 3);
+}
+
+}  // namespace
+}  // namespace collie::verbs

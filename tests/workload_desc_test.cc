@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+
+namespace collie {
+namespace {
+
+Workload base() {
+  Workload w;
+  w.pattern = {4 * KiB};
+  w.mr_size = 64 * KiB;
+  return w;
+}
+
+TEST(Workload, TransportOpcodeMatrix) {
+  EXPECT_TRUE(transport_supports(QpType::kRC, Opcode::kSend));
+  EXPECT_TRUE(transport_supports(QpType::kRC, Opcode::kWrite));
+  EXPECT_TRUE(transport_supports(QpType::kRC, Opcode::kRead));
+  EXPECT_TRUE(transport_supports(QpType::kUC, Opcode::kSend));
+  EXPECT_TRUE(transport_supports(QpType::kUC, Opcode::kWrite));
+  EXPECT_FALSE(transport_supports(QpType::kUC, Opcode::kRead));
+  EXPECT_TRUE(transport_supports(QpType::kUD, Opcode::kSend));
+  EXPECT_FALSE(transport_supports(QpType::kUD, Opcode::kWrite));
+  EXPECT_FALSE(transport_supports(QpType::kUD, Opcode::kRead));
+}
+
+TEST(Workload, WqeGrouping) {
+  Workload w = base();
+  w.pattern = {128, 64 * KiB, 1024};
+  w.sge_per_wqe = 3;
+  w.mr_size = 1 * MiB;
+  EXPECT_EQ(w.wqes_per_round(), 1);
+  EXPECT_EQ(w.message_bytes(0), 128u + 64 * KiB + 1024u);
+
+  w.sge_per_wqe = 1;
+  EXPECT_EQ(w.wqes_per_round(), 3);
+  EXPECT_EQ(w.message_bytes(0), 128u);
+  EXPECT_EQ(w.message_bytes(1), 64 * KiB);
+
+  w.sge_per_wqe = 2;  // ragged tail WQE
+  EXPECT_EQ(w.wqes_per_round(), 2);
+  EXPECT_EQ(w.message_bytes(1), 1024u);
+}
+
+TEST(Workload, ValidityChecks) {
+  std::string why;
+  Workload w = base();
+  EXPECT_TRUE(w.valid(&why)) << why;
+
+  w.qp_type = QpType::kUD;
+  w.opcode = Opcode::kWrite;
+  EXPECT_FALSE(w.valid(&why));
+
+  w = base();
+  w.pattern.clear();
+  EXPECT_FALSE(w.valid());
+
+  w = base();
+  w.pattern = {0};
+  EXPECT_FALSE(w.valid());
+
+  w = base();
+  w.pattern = {128 * KiB};  // SGE larger than MR
+  EXPECT_FALSE(w.valid());
+
+  w = base();
+  w.wqe_batch = 256;
+  w.send_wq_depth = 128;
+  EXPECT_FALSE(w.valid(&why));
+
+  w = base();
+  w.mtu = 128;
+  EXPECT_FALSE(w.valid());
+  w.mtu = 8192;
+  EXPECT_FALSE(w.valid());
+
+  w = base();
+  w.qp_type = QpType::kUD;
+  w.opcode = Opcode::kSend;
+  w.mtu = 2048;
+  w.pattern = {4096};  // UD datagram > MTU
+  EXPECT_FALSE(w.valid(&why));
+  w.pattern = {2048};
+  EXPECT_TRUE(w.valid(&why)) << why;
+
+  w = base();
+  w.loopback = true;
+  w.opcode = Opcode::kRead;
+  EXPECT_FALSE(w.valid());
+}
+
+TEST(PatternStats, MixedPattern) {
+  Workload w = base();
+  w.mr_size = 1 * MiB;
+  w.mtu = 1024;
+  w.pattern = {64 * KiB, 128, 128, 128};
+  w.sge_per_wqe = 1;
+  const PatternStats p = analyze_pattern(w);
+  EXPECT_DOUBLE_EQ(p.wqes_per_round, 4.0);
+  EXPECT_DOUBLE_EQ(p.frac_small_msgs, 0.75);
+  EXPECT_DOUBLE_EQ(p.frac_large_msgs, 0.25);
+  EXPECT_DOUBLE_EQ(p.pkts_per_round, 64.0 + 3.0);
+  EXPECT_NEAR(p.avg_msg_bytes, (64.0 * KiB + 3 * 128) / 4.0, 1e-6);
+}
+
+TEST(PatternStats, SgeLevelFractions) {
+  Workload w = base();
+  w.mr_size = 1 * MiB;
+  w.pattern = {128, 64 * KiB, 1024};
+  w.sge_per_wqe = 3;
+  const PatternStats p = analyze_pattern(w);
+  // Message-level: one 65.1KB message, neither small nor (just) large...
+  EXPECT_DOUBLE_EQ(p.frac_small_msgs, 0.0);
+  EXPECT_DOUBLE_EQ(p.frac_large_msgs, 1.0);
+  // SGE-level: 2 of 3 are small, 1 of 3 is large.
+  EXPECT_NEAR(p.frac_small_sges, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p.frac_large_sges, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Workload, DescribeMentionsKeyFields) {
+  Workload w = base();
+  w.bidirectional = true;
+  w.num_qps = 320;
+  const std::string d = w.describe();
+  EXPECT_NE(d.find("Bi-"), std::string::npos);
+  EXPECT_NE(d.find("qps=320"), std::string::npos);
+  EXPECT_NE(d.find("RC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace collie

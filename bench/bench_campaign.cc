@@ -1,0 +1,150 @@
+// Campaign scaling bench: the full (subsystem x guidance-mode) grid of the
+// paper's Figure 4/5 runs, fanned over 1..8 workers.
+//
+// Two claims are checked:
+//   * serial equivalence — a fixed-seed one-worker campaign reproduces the
+//     serial SearchDriver runs of every cell exactly (same experiments,
+//     same anomalies, same simulated elapsed time);
+//   * scaling — with per-cell budgets fixed, N workers cut the campaign
+//     makespan by ~N (speedup >= 3x at 4 workers on the 16-cell grid).
+//
+// Time is simulated testbed seconds throughout (the same accounting
+// core/search uses: every experiment costs 20-60 s of testbed time).  The
+// "real ms" column is host wall-clock for the whole campaign run.
+//
+//   $ ./bench_campaign [--hours 2] [--seed 1]
+#include <chrono>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/search.h"
+#include "harness.h"
+#include "orchestrator/campaign.h"
+#include "orchestrator/campaign_report.h"
+#include "sim/subsystem.h"
+
+using namespace collie;
+using namespace collie::orchestrator;
+
+namespace {
+
+CampaignConfig grid_config(double hours, u64 seed) {
+  CampaignConfig config;
+  config.subsystems = sim::all_subsystem_ids();
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.budget.seconds = hours * 3600.0;
+  config.campaign_seed = seed;
+  config.engine.run_functional_pass = false;  // bench the orchestration
+  return config;
+}
+
+// Serial baseline: every cell as its own SearchDriver run, exactly as the
+// per-subsystem figure benches do it, with the campaign's stream splitting.
+std::vector<core::SearchResult> run_serial(const CampaignConfig& config,
+                                           const std::vector<CampaignCell>& cells) {
+  std::vector<core::SearchResult> results;
+  const Rng root(config.campaign_seed);
+  for (const CampaignCell& cell : cells) {
+    const sim::Subsystem& sys = sim::subsystem(cell.subsystem);
+    const workload::Engine engine(sys, config.engine);
+    const core::SearchSpace space(sys);
+    core::SearchDriver driver(engine, space);
+    core::SaConfig sa = config.sa;
+    sa.mode = cell.mode;
+    Rng rng = root.split(cell.stream);
+    results.push_back(driver.run_simulated_annealing(sa, config.budget, rng));
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double hours = args.get_double("hours", 2.0);
+  const u64 seed = static_cast<u64>(args.get_int("seed", 1));
+
+  CampaignConfig config = grid_config(hours, seed);
+  const Campaign planner(config);
+  const auto cells = planner.plan();
+  std::printf("grid: %zu cells (%zu subsystems x %zu modes), %.1f simulated "
+              "hours each\n\n",
+              cells.size(), config.subsystems.size(), config.modes.size(),
+              hours);
+
+  const auto serial = run_serial(config, cells);
+  double serial_seconds = 0.0;
+  int serial_found = 0;
+  for (const auto& r : serial) {
+    serial_seconds += r.elapsed_seconds;
+    serial_found += static_cast<int>(r.found.size());
+  }
+  std::printf("serial baseline: %.1f simulated hours, %d anomalies\n\n",
+              serial_seconds / 3600.0, serial_found);
+
+  TextTable table({"workers", "makespan (h)", "speedup", "anomalies",
+                   "experiments", "real (ms)"});
+  bool equivalence_ok = true;
+  double speedup_at_4 = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    config.workers = workers;
+    config.share = ShareScope::kCell;  // private stores: serial semantics
+    Campaign campaign(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    const CampaignResult result = campaign.run();
+    const auto real_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    int found = 0, experiments = 0;
+    for (const auto& cr : result.cells) {
+      found += static_cast<int>(cr.result.found.size());
+      experiments += cr.result.experiments;
+    }
+    if (workers == 1) {
+      // Serial-equivalence check, cell by cell.
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const core::SearchResult& a = result.cells[i].result;
+        const core::SearchResult& b = serial[i];
+        if (a.experiments != b.experiments ||
+            a.found.size() != b.found.size() ||
+            a.elapsed_seconds != b.elapsed_seconds) {
+          equivalence_ok = false;
+          std::printf("MISMATCH cell %s: experiments %d vs %d, found %zu vs "
+                      "%zu\n",
+                      cells[i].label().c_str(), a.experiments, b.experiments,
+                      a.found.size(), b.found.size());
+        } else {
+          for (std::size_t f = 0; f < a.found.size(); ++f) {
+            if (!(a.found[f].mfs.witness == b.found[f].mfs.witness)) {
+              equivalence_ok = false;
+              std::printf("MISMATCH cell %s anomaly %zu witness\n",
+                          cells[i].label().c_str(), f);
+            }
+          }
+        }
+      }
+    }
+    if (workers == 4) speedup_at_4 = result.speedup();
+    table.add_row({std::to_string(workers),
+                   fmt_double(result.makespan_seconds / 3600.0, 1),
+                   fmt_double(result.speedup(), 2), std::to_string(found),
+                   std::to_string(experiments), std::to_string(real_ms)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("serial equivalence at 1 worker: %s\n",
+              equivalence_ok ? "OK" : "FAILED");
+  std::printf("speedup at 4 workers: %.2fx (target >= 3x): %s\n\n",
+              speedup_at_4, speedup_at_4 >= 3.0 ? "OK" : "FAILED");
+
+  // The shared pool at fleet scale: same grid, subsystem-scoped sharing.
+  config.workers = 4;
+  config.share = ShareScope::kSubsystem;
+  const CampaignResult shared = Campaign(config).run();
+  const CampaignReport report = build_report(shared);
+  std::printf("shared-pool campaign (4 workers, subsystem scopes)\n%s\n",
+              report.render().c_str());
+
+  return (equivalence_ok && speedup_at_4 >= 3.0) ? 0 : 1;
+}

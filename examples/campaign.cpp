@@ -1,0 +1,114 @@
+// Campaign CLI: fan a fleet of search workers over a (subsystem x
+// guidance-mode x seed) grid with a shared MFS pool, then print the
+// aggregated report.
+//
+//   $ ./campaign                                # full catalog, Diag, 4 workers
+//   $ ./campaign --sys BF --modes diag,perf --workers 2 --hours 4
+//   $ ./campaign --sys F --seeds 3 --share subsystem --json
+//   $ ./campaign --sys B --trace-csv            # fleet-wide Figure-6 trace
+//
+// Flags:
+//   --sys <ids>        subsystem letters, e.g. "BF" or "all" (default all)
+//   --modes <list>     comma list of diag,perf (default diag)
+//   --strategy <s>     sa | random (default sa)
+//   --workers <n>      fleet size (default 4)
+//   --seeds <n>        replicas per (subsystem, mode) cell (default 1)
+//   --hours <h>        simulated testbed hours per cell (default 10, the
+//                      paper's Figure 4/5 budget)
+//   --seed <s>         campaign seed; cells get split() streams (default 1)
+//   --share <scope>    subsystem | cell (default subsystem)
+//   --exec <mode>      threads | deterministic (default threads)
+//   --functional       run the engine's functional verbs pass too (slower)
+//   --json             print the report as JSON instead of tables
+//   --trace-csv        print the merged fleet trace as CSV and exit
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/strings.h"
+#include "orchestrator/campaign.h"
+#include "orchestrator/campaign_report.h"
+#include "sim/subsystem.h"
+
+using namespace collie;
+using namespace collie::orchestrator;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+
+  CampaignConfig config;
+  const std::string sys = args.get("sys", "all");
+  if (sys != "all") {
+    config.subsystems.clear();
+    const auto known = sim::all_subsystem_ids();
+    for (const char c : sys) {
+      if (std::find(known.begin(), known.end(), c) == known.end()) {
+        std::fprintf(stderr, "unknown subsystem '%c' (valid: A-%c)\n", c,
+                     known.back());
+        return 2;
+      }
+      config.subsystems.push_back(c);
+    }
+  }
+  config.modes.clear();
+  for (const std::string& m : split(args.get("modes", "diag"), ',')) {
+    if (m == "perf") {
+      config.modes.push_back(core::GuidanceMode::kPerf);
+    } else if (m == "diag") {
+      config.modes.push_back(core::GuidanceMode::kDiag);
+    } else {
+      std::fprintf(stderr, "unknown mode '%s' (valid: diag, perf)\n",
+                   m.c_str());
+      return 2;
+    }
+  }
+  const std::string strategy = args.get("strategy", "sa");
+  if (strategy != "sa" && strategy != "random") {
+    std::fprintf(stderr, "unknown strategy '%s' (valid: sa, random)\n",
+                 strategy.c_str());
+    return 2;
+  }
+  config.strategy = strategy == "random" ? Strategy::kRandom
+                                         : Strategy::kSimulatedAnnealing;
+  config.workers = static_cast<int>(args.get_int("workers", 4));
+  config.seeds_per_cell = static_cast<int>(args.get_int("seeds", 1));
+  config.budget.seconds = args.get_double("hours", 10.0) * 3600.0;
+  config.campaign_seed = static_cast<u64>(args.get_int("seed", 1));
+  const std::string share = args.get("share", "subsystem");
+  if (share != "subsystem" && share != "cell") {
+    std::fprintf(stderr, "unknown share scope '%s' (valid: subsystem, cell)\n",
+                 share.c_str());
+    return 2;
+  }
+  config.share = share == "cell" ? ShareScope::kCell : ShareScope::kSubsystem;
+  const std::string exec = args.get("exec", "threads");
+  if (exec != "threads" && exec != "deterministic") {
+    std::fprintf(stderr,
+                 "unknown exec mode '%s' (valid: threads, deterministic)\n",
+                 exec.c_str());
+    return 2;
+  }
+  config.execution = exec == "deterministic" ? ExecutionMode::kDeterministic
+                                             : ExecutionMode::kThreads;
+  config.engine.run_functional_pass = args.get_bool("functional", false);
+
+  Campaign campaign(config);
+  std::printf("campaign: %zu cells, %d workers, %s scope, %s execution\n",
+              campaign.plan().size(), campaign.config().workers,
+              to_string(config.share), to_string(config.execution));
+
+  const CampaignResult result = campaign.run();
+
+  if (args.get_bool("trace-csv", false)) {
+    std::printf("%s", aggregate_trace_csv(result).c_str());
+    return 0;
+  }
+  const CampaignReport report = build_report(result);
+  if (args.get_bool("json", false)) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("\n%s", report.render().c_str());
+  }
+  return 0;
+}

@@ -23,7 +23,7 @@ double log_scale(double v, double lo, double hi) {
 // accounting so Figure 4 compares like with like).
 struct BoState {
   core::SearchResult result;
-  std::vector<Mfs> mfs_set;
+  core::LocalMfsStore mfs_store;
   double elapsed = 0.0;
 
   bool exhausted(const core::SearchBudget& b) const {
@@ -49,9 +49,7 @@ Verdict measure(const workload::Engine& engine,
   state.result.trace.push_back(tp);
 
   if (!v.anomalous()) return v;
-  for (const Mfs& known : state.mfs_set) {
-    if (known.matches(space, w)) return v;
-  }
+  if (use_mfs && state.mfs_store.covers(space, w)) return v;
 
   core::FoundAnomaly found;
   found.verdict = v;
@@ -73,8 +71,7 @@ Verdict measure(const workload::Engine& engine,
       return monitor.judge(pm).symptom;
     };
     Mfs mfs = core::construct_mfs(space, w, symptom, probe);
-    mfs.index = static_cast<int>(state.mfs_set.size());
-    state.mfs_set.push_back(mfs);
+    mfs.index = state.mfs_store.insert(space, mfs);
     found.mfs = std::move(mfs);
   } else {
     Mfs bare;
@@ -163,14 +160,7 @@ core::SearchResult run_bayesian_optimization(
         // the loop: after a few skipped candidates fall back to a fresh
         // random point and measure it.
         for (int attempt = 0; attempt < 16; ++attempt) {
-          bool skip = false;
-          for (const Mfs& known : state.mfs_set) {
-            if (known.matches(space, w)) {
-              skip = true;
-              break;
-            }
-          }
-          if (!skip) break;
+          if (!state.mfs_store.covers(space, w)) break;
           state.result.mfs_skips += 1;
           w = space.random_point(rng);
         }

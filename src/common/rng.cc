@@ -100,4 +100,17 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::split(u64 stream_index) const {
+  // Fold the four state words into one, then push the SplitMix sequence to a
+  // per-stream offset before drawing the child's state.  Seeding through
+  // SplitMix64 (as in the constructor) decorrelates nearby stream indices.
+  u64 sm = s_[0] ^ rotl(s_[1], 16) ^ rotl(s_[2], 32) ^ rotl(s_[3], 48);
+  sm += (stream_index + 1) * 0xd1342543de82ef95ULL;
+  Rng child(0);
+  for (auto& s : child.s_) s = splitmix64(sm);
+  child.has_spare_normal_ = false;
+  child.spare_normal_ = 0.0;
+  return child;
+}
+
 }  // namespace collie

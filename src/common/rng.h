@@ -45,7 +45,15 @@ class Rng {
   std::size_t weighted_index(const std::vector<double>& weights);
 
   // Derive an independent stream (for per-seed fan-out in benches).
+  // Mutates this generator: two forks from the same parent differ.
   Rng fork();
+
+  // Derive the stream_index-th child stream as a pure function of the
+  // current state: unlike fork(), splitting neither advances this generator
+  // nor depends on how many children were split before.  A campaign derives
+  // one child per (subsystem x mode x seed) cell up front, so per-cell
+  // streams are identical no matter how worker threads are later scheduled.
+  Rng split(u64 stream_index) const;
 
  private:
   u64 s_[4];

@@ -1,0 +1,20 @@
+#include "core/mfs_store.h"
+
+namespace collie::core {
+
+bool LocalMfsStore::covers(const SearchSpace& space, const Workload& w) {
+  for (const Mfs& known : set_) {
+    if (known.matches(space, w)) return true;
+  }
+  return false;
+}
+
+int LocalMfsStore::insert(const SearchSpace& space, Mfs mfs) {
+  (void)space;  // a serial run's covers() check already ran; no race
+  const int index = static_cast<int>(set_.size());
+  mfs.index = index;
+  set_.push_back(std::move(mfs));
+  return index;
+}
+
+}  // namespace collie::core

@@ -1,0 +1,49 @@
+// Pluggable MatchMFS backend (Algorithm 1 line 5).
+//
+// The search driver consults a store before spending an experiment and
+// registers every freshly-extracted MFS with it.  A serial run owns a
+// per-run LocalMfsStore (the behaviour the paper describes); the campaign
+// orchestrator instead injects a view onto a shared concurrent pool, so one
+// worker's extraction immediately prunes every other worker's search.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mfs.h"
+
+namespace collie::core {
+
+class MfsStore {
+ public:
+  virtual ~MfsStore() = default;
+
+  // MatchMFS: true when a known MFS covers `w`.  Non-const because
+  // implementations record hit provenance (e.g. cross-worker skips).
+  virtual bool covers(const SearchSpace& space, const Workload& w) = 0;
+
+  // Register an extracted MFS; returns the index assigned to it (discovery
+  // order within this store).  `space` is the search space the MFS was
+  // extracted from — implementations use it to detect overlapping inserts
+  // from racing workers.
+  virtual int insert(const SearchSpace& space, Mfs mfs) = 0;
+
+  virtual std::size_t size() const = 0;
+
+  // Stable copy of the current contents, in insertion order.
+  virtual std::vector<Mfs> snapshot() const = 0;
+};
+
+// The per-run store of a serial search: a plain vector, no synchronisation.
+class LocalMfsStore final : public MfsStore {
+ public:
+  bool covers(const SearchSpace& space, const Workload& w) override;
+  int insert(const SearchSpace& space, Mfs mfs) override;
+  std::size_t size() const override { return set_.size(); }
+  std::vector<Mfs> snapshot() const override { return set_; }
+
+ private:
+  std::vector<Mfs> set_;
+};
+
+}  // namespace collie::core

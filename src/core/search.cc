@@ -67,9 +67,11 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
   if (!v.anomalous()) return v;
 
   // Already covered by a known anomaly's region?  Then it is not new.
-  for (const Mfs& known : state.mfs_set) {
-    if (known.matches(space_, w)) return v;
-  }
+  // Under a shared store "known" includes other workers' extractions, so a
+  // region explained anywhere in the campaign is extracted only once.  The
+  // w/o-MFS ablation must keep recording everything even if the injected
+  // store was pre-seeded (e.g. a warm-started campaign).
+  if (use_mfs && state.store->covers(space_, w)) return v;
 
   FoundAnomaly found;
   found.verdict = v;
@@ -98,8 +100,7 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
       return pv.symptom;
     };
     Mfs mfs = construct_mfs(space_, w, symptom, probe);
-    mfs.index = static_cast<int>(state.mfs_set.size());
-    state.mfs_set.push_back(mfs);
+    mfs.index = state.store->insert(space_, mfs);
     found.mfs = std::move(mfs);
   } else {
     Mfs bare;
@@ -116,21 +117,20 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
 
 SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
                                       bool use_mfs) {
-  RunState state;
+  LocalMfsStore store;
+  return run_random(budget, rng, use_mfs, store);
+}
+
+SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
+                                      bool use_mfs, MfsStore& store) {
+  RunState state(store);
   int consecutive_skips = 0;
   while (!state.exhausted(budget)) {
     const Workload w = space_.random_point(rng);
     // Skips are free, but bound them so a pathologically broad MFS set can
     // never starve the loop.
     if (use_mfs && consecutive_skips < 10000) {
-      bool skip = false;
-      for (const Mfs& known : state.mfs_set) {
-        if (known.matches(space_, w)) {
-          skip = true;
-          break;
-        }
-      }
-      if (skip) {
+      if (state.store->covers(space_, w)) {
         state.result.mfs_skips += 1;
         ++consecutive_skips;
         continue;
@@ -146,7 +146,14 @@ SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
 SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
                                                    const SearchBudget& budget,
                                                    Rng& rng) {
-  RunState state;
+  LocalMfsStore store;
+  return run_simulated_annealing(config, budget, rng, store);
+}
+
+SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
+                                                   const SearchBudget& budget,
+                                                   Rng& rng, MfsStore& store) {
+  RunState state(store);
 
   // ---- Build the counter schedule ----
   std::vector<CounterRef> schedule;
@@ -216,14 +223,7 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
            ++i) {
         Workload p_new = space_.mutate(p_old, rng);
         if (config.use_mfs) {
-          bool skip = false;
-          for (const Mfs& known : state.mfs_set) {
-            if (known.matches(space_, p_new)) {
-              skip = true;
-              break;
-            }
-          }
-          if (skip) {
+          if (state.store->covers(space_, p_new)) {
             state.result.mfs_skips += 1;
             // Optimizing the counter tends to pull the walk back INTO known
             // anomaly regions; when the neighbourhood is exhausted, restart

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/mfs.h"
+#include "core/mfs_store.h"
 #include "core/monitor.h"
 #include "core/space.h"
 #include "workload/engine.h"
@@ -81,14 +82,24 @@ class SearchDriver {
   SearchDriver(const workload::Engine& engine, const SearchSpace& space,
                AnomalyMonitor monitor = AnomalyMonitor{});
 
-  // Collie / Collie w/o MFS (Algorithm 1).
+  // Collie / Collie w/o MFS (Algorithm 1).  Without an explicit store the
+  // run owns a fresh LocalMfsStore (the paper's per-run behaviour); pass a
+  // store to share MFS knowledge across runs — the campaign orchestrator
+  // injects a view onto its concurrent pool here.  RNG consumption is
+  // independent of the store's contents' origin, so a single-worker campaign
+  // replays a serial run exactly.
   SearchResult run_simulated_annealing(const SaConfig& config,
                                        const SearchBudget& budget, Rng& rng);
+  SearchResult run_simulated_annealing(const SaConfig& config,
+                                       const SearchBudget& budget, Rng& rng,
+                                       MfsStore& store);
 
   // Random-input generation over the same search space (black-box fuzzing
   // baseline; finds only simple-condition anomalies, §7.2).
   SearchResult run_random(const SearchBudget& budget, Rng& rng,
                           bool use_mfs = true);
+  SearchResult run_random(const SearchBudget& budget, Rng& rng, bool use_mfs,
+                          MfsStore& store);
 
   // Single-shot: measure one workload and judge it (used by the examples
   // and the §7.3 prevention workflow).
@@ -97,8 +108,9 @@ class SearchDriver {
 
  private:
   struct RunState {
+    explicit RunState(MfsStore& s) : store(&s) {}
     SearchResult result;
-    std::vector<Mfs> mfs_set;
+    MfsStore* store;  // MatchMFS backend; never null
     double elapsed = 0.0;
     bool exhausted(const SearchBudget& b) const {
       return elapsed >= b.seconds ||

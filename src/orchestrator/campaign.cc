@@ -1,0 +1,182 @@
+#include "orchestrator/campaign.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.h"
+#include "sim/subsystem.h"
+
+namespace collie::orchestrator {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kSimulatedAnnealing:
+      return "sa";
+    case Strategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+const char* to_string(ShareScope s) {
+  switch (s) {
+    case ShareScope::kCell:
+      return "cell";
+    case ShareScope::kSubsystem:
+      return "subsystem";
+  }
+  return "?";
+}
+
+const char* to_string(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kThreads:
+      return "threads";
+    case ExecutionMode::kDeterministic:
+      return "deterministic";
+  }
+  return "?";
+}
+
+std::string CampaignCell::scope(ShareScope share) const {
+  if (share == ShareScope::kSubsystem) return std::string(1, subsystem);
+  return label();
+}
+
+std::string CampaignCell::label() const {
+  return std::string(1, subsystem) + "/" + core::to_string(mode) + "#" +
+         std::to_string(seed_ordinal);
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+  if (config_.subsystems.empty()) {
+    config_.subsystems = sim::all_subsystem_ids();
+  }
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.seeds_per_cell < 1) config_.seeds_per_cell = 1;
+}
+
+std::vector<CampaignCell> Campaign::plan() const {
+  std::vector<CampaignCell> cells;
+  // Subsystem-major order interleaves same-subsystem cells across adjacent
+  // workers under round-robin assignment, maximising concurrent sharing.
+  for (const char sys : config_.subsystems) {
+    for (const core::GuidanceMode mode : config_.modes) {
+      for (int seed = 0; seed < config_.seeds_per_cell; ++seed) {
+        CampaignCell cell;
+        cell.subsystem = sys;
+        cell.mode = mode;
+        cell.seed_ordinal = seed;
+        cell.stream = static_cast<u64>(cells.size());
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+CellResult Campaign::run_cell(int worker, double start_seconds,
+                              const CampaignCell& cell, Rng rng,
+                              ConcurrentMfsPool& pool) {
+  const sim::Subsystem& sys = sim::subsystem(cell.subsystem);
+  const workload::Engine engine(sys, config_.engine);
+  const core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  ConcurrentMfsPool::View store = pool.view(cell.scope(config_.share), worker);
+
+  CellResult cr;
+  cr.cell = cell;
+  cr.worker = worker;
+  cr.start_seconds = start_seconds;
+  if (config_.strategy == Strategy::kSimulatedAnnealing) {
+    core::SaConfig sa = config_.sa;
+    sa.mode = cell.mode;
+    cr.result = driver.run_simulated_annealing(sa, config_.budget, rng, store);
+  } else {
+    cr.result =
+        driver.run_random(config_.budget, rng, config_.sa.use_mfs, store);
+  }
+  cr.cross_worker_skips = store.cross_worker_hits();
+  LOG_DEBUG << "worker " << worker << " finished cell " << cell.label()
+            << ": " << cr.result.found.size() << " anomalies, "
+            << cr.result.mfs_skips << " skips (" << cr.cross_worker_skips
+            << " cross-worker)";
+  return cr;
+}
+
+void Campaign::run_worker(int worker, const std::vector<CampaignCell>& cells,
+                          const std::vector<Rng>& streams,
+                          ConcurrentMfsPool& pool,
+                          std::vector<CellResult>& out) {
+  double timeline = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(worker); i < cells.size();
+       i += static_cast<std::size_t>(config_.workers)) {
+    out[i] = run_cell(worker, timeline, cells[i], streams[i], pool);
+    timeline += out[i].result.elapsed_seconds;
+  }
+}
+
+CampaignResult Campaign::run() {
+  const std::vector<CampaignCell> cells = plan();
+
+  // Split every cell's stream off the campaign seed up front; the draw a
+  // cell sees is a pure function of (campaign_seed, cell index).
+  const Rng root(config_.campaign_seed);
+  std::vector<Rng> streams;
+  streams.reserve(cells.size());
+  for (const CampaignCell& cell : cells) streams.push_back(root.split(cell.stream));
+
+  ConcurrentMfsPool pool;
+  CampaignResult result;
+  result.workers = config_.workers;
+  result.cells.resize(cells.size());
+
+  const int fleet =
+      std::min<int>(config_.workers, static_cast<int>(cells.size()));
+  if (config_.execution == ExecutionMode::kDeterministic || fleet <= 1) {
+    // Plan-order execution with the fleet's worker attribution and per-
+    // worker timelines: the reference semantics every schedule converges to.
+    std::vector<double> timelines(
+        static_cast<std::size_t>(config_.workers), 0.0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto w =
+          static_cast<std::size_t>(i % static_cast<std::size_t>(config_.workers));
+      result.cells[i] = run_cell(static_cast<int>(w), timelines[w], cells[i],
+                                 streams[i], pool);
+      timelines[w] += result.cells[i].result.elapsed_seconds;
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(fleet));
+    for (int w = 0; w < fleet; ++w) {
+      threads.emplace_back([this, w, &cells, &streams, &pool, &result] {
+        run_worker(w, cells, streams, pool, result.cells);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Aggregate the simulated timelines.
+  std::vector<double> worker_elapsed(static_cast<std::size_t>(config_.workers),
+                                     0.0);
+  for (const CellResult& cr : result.cells) {
+    result.serial_seconds += cr.result.elapsed_seconds;
+    if (cr.worker >= 0) {
+      worker_elapsed[static_cast<std::size_t>(cr.worker)] +=
+          cr.result.elapsed_seconds;
+    }
+  }
+  for (const double t : worker_elapsed) {
+    if (t > result.makespan_seconds) result.makespan_seconds = t;
+  }
+  result.pool = pool.stats();
+  return result;
+}
+
+i64 CampaignResult::total_cross_worker_skips() const {
+  i64 total = 0;
+  for (const CellResult& cr : cells) total += cr.cross_worker_skips;
+  return total;
+}
+
+}  // namespace collie::orchestrator

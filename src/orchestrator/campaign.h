@@ -1,0 +1,135 @@
+// Parallel search-campaign orchestrator.
+//
+// The paper's headline results come from independent 10-hour searches run
+// one per testbed subsystem.  A Campaign runs that grid as a fleet: the
+// (subsystem x guidance-mode x seed) cells fan out over a configurable
+// number of worker threads, every cell drives its own SearchDriver, and all
+// workers share one ConcurrentMfsPool so an MFS extracted anywhere
+// immediately prunes every other search of the same subsystem.
+//
+// Reproducibility: each cell's RNG is split off the campaign seed by cell
+// index (Rng::split), so the stream a cell consumes never depends on which
+// worker runs it or in what order.  Under ShareScope::kCell every pool scope
+// is private to one cell and campaigns are bitwise reproducible — a
+// one-worker campaign replays serial SearchDriver runs exactly.  Under
+// ShareScope::kSubsystem cells of the same subsystem prune each other, so
+// per-cell discovery paths depend on insert timing; the deduped anomaly set
+// the report surfaces is what converges.
+//
+// Time accounting: budgets and elapsed times are simulated testbed seconds
+// (like core/search).  Each worker runs its cells back-to-back on its own
+// simulated timeline; the campaign makespan is the slowest worker's
+// timeline, and speedup is serial-sum / makespan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/search.h"
+#include "orchestrator/mfs_pool.h"
+#include "workload/engine.h"
+
+namespace collie::orchestrator {
+
+enum class Strategy {
+  kSimulatedAnnealing,  // Collie (Algorithm 1)
+  kRandom,              // black-box fuzzing baseline
+};
+
+enum class ShareScope {
+  kCell,       // pool scopes private per cell: bitwise-reproducible
+  kSubsystem,  // shared across modes/seeds of one subsystem: max pruning
+};
+
+enum class ExecutionMode {
+  // Real worker threads.  Under ShareScope::kSubsystem, which MFS a cell
+  // sees depends on insert timing, so per-cell trajectories vary run to run
+  // (the deduped report is what converges).  Under kCell scopes the threaded
+  // run is bitwise identical to the deterministic one.
+  kThreads,
+  // Run cells in plan order on the calling thread, with the same worker
+  // attribution, pool scoping and timeline accounting the threaded fleet
+  // uses.  This is the reference semantics: cell i observes the pool state
+  // after cells 0..i-1, independent of any scheduler.
+  kDeterministic,
+};
+
+const char* to_string(Strategy s);
+const char* to_string(ShareScope s);
+const char* to_string(ExecutionMode m);
+
+struct CampaignCell {
+  char subsystem = 'F';
+  core::GuidanceMode mode = core::GuidanceMode::kDiag;
+  int seed_ordinal = 0;  // which replica of this (subsystem, mode)
+  u64 stream = 0;        // rng stream index, assigned by plan()
+
+  // Pool scope this cell reads and writes under the given sharing policy.
+  std::string scope(ShareScope share) const;
+  std::string label() const;  // "B/Diag#0"
+};
+
+struct CampaignConfig {
+  std::vector<char> subsystems;  // defaults to the full Table 1 catalog
+  std::vector<core::GuidanceMode> modes{core::GuidanceMode::kDiag};
+  Strategy strategy = Strategy::kSimulatedAnnealing;
+  int seeds_per_cell = 1;  // replicas per (subsystem, mode)
+  int workers = 4;
+  u64 campaign_seed = 1;
+  ShareScope share = ShareScope::kSubsystem;
+  ExecutionMode execution = ExecutionMode::kThreads;
+  core::SearchBudget budget;  // per cell
+  core::SaConfig sa;          // template; mode is overridden per cell
+  workload::EngineOptions engine;
+};
+
+struct CellResult {
+  CampaignCell cell;
+  core::SearchResult result;
+  int worker = -1;
+  // Offset of this cell on its worker's simulated timeline.
+  double start_seconds = 0.0;
+  // MatchMFS hits served from MFSes another worker inserted.
+  i64 cross_worker_skips = 0;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;  // in plan() order
+  PoolStats pool;
+  int workers = 0;
+  double serial_seconds = 0.0;    // sum of all cells' simulated elapsed
+  double makespan_seconds = 0.0;  // slowest worker's simulated timeline
+
+  double speedup() const {
+    return makespan_seconds > 0.0 ? serial_seconds / makespan_seconds : 1.0;
+  }
+  i64 total_cross_worker_skips() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  const CampaignConfig& config() const { return config_; }
+
+  // The deterministic cell list: subsystems x modes x seeds, with rng stream
+  // indices assigned in list order.
+  std::vector<CampaignCell> plan() const;
+
+  // Run the fleet.  Cells are assigned round-robin (cell i -> worker
+  // i % workers), which balances equal-budget cells exactly and keeps the
+  // cell -> worker mapping deterministic.
+  CampaignResult run();
+
+ private:
+  CellResult run_cell(int worker, double start_seconds,
+                      const CampaignCell& cell, Rng rng,
+                      ConcurrentMfsPool& pool);
+  void run_worker(int worker, const std::vector<CampaignCell>& cells,
+                  const std::vector<Rng>& streams, ConcurrentMfsPool& pool,
+                  std::vector<CellResult>& out);
+
+  CampaignConfig config_;
+};
+
+}  // namespace collie::orchestrator

@@ -1,0 +1,228 @@
+#include "orchestrator/campaign_report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/table.h"
+#include "core/report.h"
+
+namespace collie::orchestrator {
+namespace {
+
+struct Discovery {
+  const CellResult* cell;
+  const core::FoundAnomaly* found;
+  double campaign_t;
+};
+
+// Two discoveries on one subsystem explain the same anomaly when they share
+// a symptom and either MFS covers the other's witness.  Runs without MFS
+// extraction produce bare witnesses (no conditions, which never match);
+// those collapse only on identical witness workloads.
+bool same_region(const core::SearchSpace& space, const core::Mfs& a,
+                 const core::Mfs& b) {
+  if (a.symptom != b.symptom) return false;
+  if (a.matches(space, b.witness)) return true;
+  if (b.matches(space, a.witness)) return true;
+  return a.conditions.empty() && b.conditions.empty() && a.witness == b.witness;
+}
+
+}  // namespace
+
+CampaignReport build_report(const CampaignResult& result) {
+  CampaignReport report;
+  report.pool = result.pool;
+  report.workers = result.workers;
+  report.serial_seconds = result.serial_seconds;
+  report.makespan_seconds = result.makespan_seconds;
+  report.speedup = result.speedup();
+
+  // Collect discoveries per subsystem, ordered by campaign timeline so the
+  // dedup representative is the campaign's true first finder.
+  std::map<char, std::vector<Discovery>> by_subsystem;
+  std::vector<char> subsystem_order;
+  for (const CellResult& cr : result.cells) {
+    if (by_subsystem.find(cr.cell.subsystem) == by_subsystem.end()) {
+      subsystem_order.push_back(cr.cell.subsystem);
+    }
+    auto& list = by_subsystem[cr.cell.subsystem];
+    for (const core::FoundAnomaly& f : cr.result.found) {
+      list.push_back(
+          Discovery{&cr, &f, cr.start_seconds + f.found_at_seconds});
+    }
+    report.total_experiments += cr.result.experiments;
+  }
+
+  for (const char sys : subsystem_order) {
+    const core::SearchSpace space(sim::subsystem(sys));
+    auto& discoveries = by_subsystem[sys];
+    std::stable_sort(discoveries.begin(), discoveries.end(),
+                     [](const Discovery& a, const Discovery& b) {
+                       return a.campaign_t < b.campaign_t;
+                     });
+
+    std::vector<std::size_t> rep_indices;  // into report.anomalies
+    for (const Discovery& d : discoveries) {
+      bool merged = false;
+      for (const std::size_t ri : rep_indices) {
+        DedupedAnomaly& rep = report.anomalies[ri];
+        if (same_region(space, rep.representative, d.found->mfs)) {
+          rep.occurrences += 1;
+          merged = true;
+          break;
+        }
+      }
+      if (merged) continue;
+      DedupedAnomaly rep;
+      rep.subsystem = sys;
+      rep.symptom = d.found->mfs.symptom;
+      rep.representative = d.found->mfs;
+      rep.dominant = d.found->dominant;
+      rep.occurrences = 1;
+      rep.first_cell = d.cell->cell.label();
+      rep.first_found_at = d.campaign_t;
+      rep_indices.push_back(report.anomalies.size());
+      report.anomalies.push_back(std::move(rep));
+    }
+
+    SubsystemCoverage cov;
+    cov.subsystem = sys;
+    cov.distinct_anomalies = static_cast<int>(rep_indices.size());
+    for (const CellResult& cr : result.cells) {
+      if (cr.cell.subsystem != sys) continue;
+      cov.cells += 1;
+      cov.experiments += cr.result.experiments;
+      cov.anomalies_found += static_cast<int>(cr.result.found.size());
+      cov.mfs_skips += cr.result.mfs_skips;
+      cov.cross_worker_skips += cr.cross_worker_skips;
+      cov.elapsed_seconds += cr.result.elapsed_seconds;
+    }
+    report.coverage.push_back(cov);
+  }
+
+  std::stable_sort(report.anomalies.begin(), report.anomalies.end(),
+                   [](const DedupedAnomaly& a, const DedupedAnomaly& b) {
+                     return a.first_found_at < b.first_found_at;
+                   });
+  return report;
+}
+
+std::string CampaignReport::render() const {
+  std::ostringstream os;
+
+  TextTable cov({"sys", "cells", "experiments", "found", "distinct", "skips",
+                 "cross-skips", "testbed-hours"});
+  for (const SubsystemCoverage& c : coverage) {
+    cov.add_row({std::string(1, c.subsystem), std::to_string(c.cells),
+                 std::to_string(c.experiments),
+                 std::to_string(c.anomalies_found),
+                 std::to_string(c.distinct_anomalies),
+                 std::to_string(c.mfs_skips),
+                 std::to_string(c.cross_worker_skips),
+                 fmt_double(c.elapsed_seconds / 3600.0, 1)});
+  }
+  os << "Per-subsystem coverage\n" << cov.render() << "\n";
+
+  TextTable an({"sys", "symptom", "first cell", "found at (h)", "hits",
+                "conditions"});
+  for (const DedupedAnomaly& a : anomalies) {
+    an.add_row({std::string(1, a.subsystem), core::to_string(a.symptom),
+                a.first_cell, fmt_double(a.first_found_at / 3600.0, 2),
+                std::to_string(a.occurrences),
+                std::to_string(a.representative.conditions.size())});
+  }
+  os << "Distinct anomalies (deduped by MFS region)\n" << an.render() << "\n";
+
+  os << "Campaign: " << workers << " workers, " << total_experiments
+     << " experiments, " << anomalies.size() << " distinct anomalies\n";
+  os << "  simulated testbed time: serial "
+     << fmt_double(serial_seconds / 3600.0, 1) << " h, makespan "
+     << fmt_double(makespan_seconds / 3600.0, 1) << " h, speedup "
+     << fmt_double(speedup, 2) << "x\n";
+  os << "  shared MFS pool: " << pool.entries << " entries, " << pool.hits
+     << " hits (" << pool.cross_worker_hits << " cross-worker), "
+     << pool.duplicate_inserts << " duplicate inserts\n";
+  return os.str();
+}
+
+std::string CampaignReport::to_json() const {
+  core::JsonWriter json;
+  json.begin_object();
+  json.field("workers", workers);
+  json.field("total_experiments", total_experiments);
+  json.field("serial_seconds", serial_seconds);
+  json.field("makespan_seconds", makespan_seconds);
+  json.field("speedup", speedup);
+  json.key("pool");
+  json.begin_object();
+  json.field("entries", pool.entries);
+  json.field("hits", pool.hits);
+  json.field("cross_worker_hits", pool.cross_worker_hits);
+  json.field("duplicate_inserts", pool.duplicate_inserts);
+  json.end_object();
+  json.begin_array("coverage");
+  for (const SubsystemCoverage& c : coverage) {
+    json.begin_object();
+    json.field("subsystem", std::string(1, c.subsystem));
+    json.field("cells", c.cells);
+    json.field("experiments", c.experiments);
+    json.field("anomalies_found", c.anomalies_found);
+    json.field("distinct_anomalies", c.distinct_anomalies);
+    json.field("mfs_skips", c.mfs_skips);
+    json.field("cross_worker_skips", c.cross_worker_skips);
+    json.field("elapsed_seconds", c.elapsed_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("anomalies");
+  for (const DedupedAnomaly& a : anomalies) {
+    json.begin_object();
+    json.field("subsystem", std::string(1, a.subsystem));
+    json.field("symptom", core::to_string(a.symptom));
+    json.field("first_cell", a.first_cell);
+    json.field("first_found_at_seconds", a.first_found_at);
+    json.field("occurrences", a.occurrences);
+    json.field("conditions", static_cast<i64>(a.representative.conditions.size()));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::vector<CampaignTracePoint> aggregate_trace(const CampaignResult& result) {
+  std::vector<CampaignTracePoint> out;
+  for (const CellResult& cr : result.cells) {
+    for (const core::TracePoint& tp : cr.result.trace) {
+      CampaignTracePoint p;
+      p.t_seconds = cr.start_seconds + tp.t_seconds;
+      p.cell = cr.cell.label();
+      p.worker = cr.worker;
+      p.counter_value = tp.counter_value;
+      p.anomaly_found = tp.anomaly_found;
+      p.in_mfs_extraction = tp.in_mfs_extraction;
+      out.push_back(std::move(p));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CampaignTracePoint& a, const CampaignTracePoint& b) {
+                     if (a.t_seconds != b.t_seconds)
+                       return a.t_seconds < b.t_seconds;
+                     return a.worker < b.worker;
+                   });
+  return out;
+}
+
+std::string aggregate_trace_csv(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "t_seconds,worker,cell,counter_value,anomaly_found,in_mfs_extraction\n";
+  for (const CampaignTracePoint& p : aggregate_trace(result)) {
+    os << p.t_seconds << "," << p.worker << "," << p.cell << ","
+       << p.counter_value << "," << (p.anomaly_found ? 1 : 0) << ","
+       << (p.in_mfs_extraction ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace collie::orchestrator

@@ -1,0 +1,73 @@
+// Campaign-level aggregation: dedupes anomalies by MFS region, rolls up
+// per-subsystem coverage and the shared-pool statistics, merges per-cell
+// traces onto the campaign timeline, and renders it all through
+// common/table (text) and core/report (JSON).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orchestrator/campaign.h"
+
+namespace collie::orchestrator {
+
+// One distinct anomaly after MFS-region dedup.  Two discoveries on the same
+// subsystem collapse when they share a symptom and either one's MFS covers
+// the other's witness.
+struct DedupedAnomaly {
+  char subsystem = '?';
+  core::Symptom symptom = core::Symptom::kNone;
+  core::Mfs representative;       // first discovery's MFS
+  sim::Bottleneck dominant = sim::Bottleneck::kNone;
+  int occurrences = 0;            // discoveries that collapsed into this
+  std::string first_cell;         // label of the first cell to find it
+  double first_found_at = 0.0;    // campaign-timeline seconds
+};
+
+struct SubsystemCoverage {
+  char subsystem = '?';
+  int cells = 0;
+  int experiments = 0;
+  int anomalies_found = 0;   // raw discoveries
+  int distinct_anomalies = 0;
+  int mfs_skips = 0;
+  i64 cross_worker_skips = 0;
+  double elapsed_seconds = 0.0;
+};
+
+// One point of the fleet-wide Figure-6-style trace: a cell's trace point
+// placed on the campaign timeline (its worker's simulated clock).
+struct CampaignTracePoint {
+  double t_seconds = 0.0;  // campaign timeline
+  std::string cell;
+  int worker = -1;
+  double counter_value = 0.0;
+  bool anomaly_found = false;
+  bool in_mfs_extraction = false;
+};
+
+struct CampaignReport {
+  std::vector<DedupedAnomaly> anomalies;   // discovery order
+  std::vector<SubsystemCoverage> coverage; // subsystem order of the config
+  PoolStats pool;
+  int workers = 0;
+  int total_experiments = 0;
+  double serial_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double speedup = 1.0;
+
+  // Human-readable tables: coverage per subsystem, deduped anomalies, and
+  // the campaign summary (speedup, pool stats).
+  std::string render() const;
+  std::string to_json() const;
+};
+
+CampaignReport build_report(const CampaignResult& result);
+
+// The merged trace, ordered by campaign-timeline seconds (ties broken by
+// worker id).  Kept out of CampaignReport: traces are big and most callers
+// only want the tables.
+std::vector<CampaignTracePoint> aggregate_trace(const CampaignResult& result);
+std::string aggregate_trace_csv(const CampaignResult& result);
+
+}  // namespace collie::orchestrator

@@ -1,0 +1,107 @@
+#include "orchestrator/mfs_pool.h"
+
+#include <mutex>
+
+namespace collie::orchestrator {
+
+bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
+                                     const Workload& w) {
+  bool cross = false;
+  if (!pool_->covers(scope_, space, w, worker_, &cross)) return false;
+  hits_ += 1;
+  if (cross) cross_hits_ += 1;
+  return true;
+}
+
+int ConcurrentMfsPool::View::insert(const core::SearchSpace& space,
+                                    core::Mfs mfs) {
+  return pool_->insert(scope_, space, std::move(mfs), worker_);
+}
+
+std::size_t ConcurrentMfsPool::View::size() const {
+  return pool_->size(scope_);
+}
+
+std::vector<core::Mfs> ConcurrentMfsPool::View::snapshot() const {
+  return pool_->snapshot(scope_);
+}
+
+bool ConcurrentMfsPool::covers(const std::string& scope,
+                               const core::SearchSpace& space,
+                               const Workload& w, int requester, bool* cross) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return false;
+  for (const Entry& e : it->second) {
+    if (e.mfs.matches(space, w)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      const bool is_cross = e.origin_worker != requester;
+      if (is_cross) cross_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cross != nullptr) *cross = is_cross;
+      return true;
+    }
+  }
+  return false;
+}
+
+int ConcurrentMfsPool::insert(const std::string& scope,
+                              const core::SearchSpace& space, core::Mfs mfs,
+                              int origin_worker) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<Entry>& entries = scopes_[scope];
+  // Two workers can race past their covers() checks and extract overlapping
+  // MFSes for the same region.  Keep both — each is a valid explanation and
+  // the campaign report dedupes — but count the overlap for the stats.
+  // Same symmetric overlap criterion the campaign report dedupes by.
+  for (const Entry& e : entries) {
+    if (e.mfs.symptom == mfs.symptom &&
+        (e.mfs.matches(space, mfs.witness) ||
+         mfs.matches(space, e.mfs.witness))) {
+      duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  const int index = static_cast<int>(entries.size());
+  mfs.index = index;
+  entries.push_back(Entry{std::move(mfs), origin_worker});
+  return index;
+}
+
+std::size_t ConcurrentMfsPool::size(const std::string& scope) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  return it == scopes_.end() ? 0 : it->second.size();
+}
+
+std::vector<core::Mfs> ConcurrentMfsPool::snapshot(
+    const std::string& scope) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return {};
+  std::vector<core::Mfs> out;
+  out.reserve(it->second.size());
+  for (const Entry& e : it->second) out.push_back(e.mfs);
+  return out;
+}
+
+std::vector<std::string> ConcurrentMfsPool::scopes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(scopes_.size());
+  for (const auto& [scope, entries] : scopes_) out.push_back(scope);
+  return out;
+}
+
+PoolStats ConcurrentMfsPool::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PoolStats s;
+  for (const auto& [scope, entries] : scopes_) {
+    s.entries += static_cast<i64>(entries.size());
+  }
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.cross_worker_hits = cross_hits_.load(std::memory_order_relaxed);
+  s.duplicate_inserts = duplicate_inserts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace collie::orchestrator

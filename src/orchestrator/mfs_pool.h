@@ -1,0 +1,99 @@
+// Shared concurrent MFS pool: the campaign-wide MatchMFS backend.
+//
+// The pool holds extracted MFSes partitioned into named scopes.  All cells
+// of a campaign that search the same subsystem map to the same scope (under
+// ShareScope::kSubsystem), so one worker's extraction immediately prunes
+// every other worker's search of that subsystem — Algorithm 1's
+// "skip already-explained regions" lifted to fleet scale.  An MFS is a
+// region of one subsystem's search space, so scopes never span subsystems:
+// condition indices (memory placements, MTU grids) are only meaningful
+// against the space they were extracted from.
+//
+// Workers never touch the pool directly; each cell gets a View — a scoped,
+// worker-bound handle implementing core::MfsStore that the SearchDriver
+// consults.  Views attribute MatchMFS hits: a hit on an MFS inserted by a
+// different worker is a cross-worker skip, the quantity the campaign report
+// surfaces as the benefit of sharing.
+//
+// Concurrency: reads (covers/size/snapshot) take a shared lock, inserts an
+// exclusive one.  MatchMFS runs on every mutation, inserts only on anomaly
+// discovery, so the read path dominates and readers never block each other.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/mfs_store.h"
+
+namespace collie::orchestrator {
+
+struct PoolStats {
+  i64 entries = 0;            // MFSes currently stored, all scopes
+  i64 hits = 0;               // MatchMFS hits served
+  i64 cross_worker_hits = 0;  // hits on an MFS inserted by another worker
+  i64 duplicate_inserts = 0;  // inserts whose witness was already covered
+};
+
+class ConcurrentMfsPool {
+ public:
+  // A scoped, worker-bound core::MfsStore handle.  Hit counters are owned by
+  // the worker thread driving the view; pool-wide aggregates are atomic on
+  // the pool.  Movable so Campaign can stage views per cell.
+  class View final : public core::MfsStore {
+   public:
+    View(ConcurrentMfsPool* pool, std::string scope, int worker)
+        : pool_(pool), scope_(std::move(scope)), worker_(worker) {}
+
+    bool covers(const core::SearchSpace& space, const Workload& w) override;
+    int insert(const core::SearchSpace& space, core::Mfs mfs) override;
+    std::size_t size() const override;
+    std::vector<core::Mfs> snapshot() const override;
+
+    // Hits this view served from MFSes another worker inserted.
+    i64 cross_worker_hits() const { return cross_hits_; }
+    i64 hits() const { return hits_; }
+    const std::string& scope() const { return scope_; }
+
+   private:
+    ConcurrentMfsPool* pool_;
+    std::string scope_;
+    int worker_;
+    i64 hits_ = 0;
+    i64 cross_hits_ = 0;
+  };
+
+  View view(std::string scope, int worker) {
+    return View(this, std::move(scope), worker);
+  }
+
+  // `requester` is the worker asking; when the matching MFS was inserted by
+  // a different worker, *cross is set.
+  bool covers(const std::string& scope, const core::SearchSpace& space,
+              const Workload& w, int requester, bool* cross);
+  int insert(const std::string& scope, const core::SearchSpace& space,
+             core::Mfs mfs, int origin_worker);
+
+  std::size_t size(const std::string& scope) const;
+  std::vector<core::Mfs> snapshot(const std::string& scope) const;
+  std::vector<std::string> scopes() const;
+  PoolStats stats() const;
+
+ private:
+  struct Entry {
+    core::Mfs mfs;
+    int origin_worker = -1;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::vector<Entry>> scopes_;
+  // Atomic so the covers() read path can record hits under the shared lock.
+  std::atomic<i64> hits_{0};
+  std::atomic<i64> cross_hits_{0};
+  std::atomic<i64> duplicate_inserts_{0};
+};
+
+}  // namespace collie::orchestrator

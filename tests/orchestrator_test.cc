@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "catalog/anomalies.h"
+#include "core/search.h"
+#include "orchestrator/campaign.h"
+#include "orchestrator/campaign_report.h"
+#include "orchestrator/mfs_pool.h"
+#include "sim/subsystem.h"
+
+namespace collie::orchestrator {
+namespace {
+
+workload::EngineOptions fast_engine_opts() {
+  workload::EngineOptions opts;
+  opts.run_functional_pass = false;  // keep orchestration tests quick
+  return opts;
+}
+
+// An MFS whose single unconstrained numeric condition covers every workload.
+core::Mfs cover_all_mfs(core::Symptom symptom) {
+  core::Mfs mfs;
+  mfs.symptom = symptom;
+  core::FeatureCondition cond;
+  cond.feature = core::Feature::kNumQps;
+  cond.categorical = false;
+  mfs.conditions.push_back(cond);
+  return mfs;
+}
+
+// ---- ConcurrentMfsPool ------------------------------------------------------
+
+TEST(ConcurrentMfsPoolTest, CoversOnlyWithinScope) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(1);
+  const Workload w = space.random_point(rng);
+
+  ConcurrentMfsPool pool;
+  EXPECT_FALSE(pool.covers("F", space, w, 0, nullptr));
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+  EXPECT_TRUE(pool.covers("F", space, w, 0, nullptr));
+  EXPECT_FALSE(pool.covers("B", space, w, 0, nullptr));
+  EXPECT_EQ(pool.size("F"), 1u);
+  EXPECT_EQ(pool.size("B"), 0u);
+}
+
+TEST(ConcurrentMfsPoolTest, AttributesCrossWorkerHits) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(2);
+  const Workload w = space.random_point(rng);
+
+  ConcurrentMfsPool pool;
+  ConcurrentMfsPool::View inserter = pool.view("F", /*worker=*/0);
+  ConcurrentMfsPool::View same_worker = pool.view("F", /*worker=*/0);
+  ConcurrentMfsPool::View other_worker = pool.view("F", /*worker=*/1);
+
+  inserter.insert(space, cover_all_mfs(core::Symptom::kLowThroughput));
+  EXPECT_TRUE(same_worker.covers(space, w));
+  EXPECT_EQ(same_worker.cross_worker_hits(), 0);
+  EXPECT_TRUE(other_worker.covers(space, w));
+  EXPECT_EQ(other_worker.cross_worker_hits(), 1);
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.cross_worker_hits, 1);
+}
+
+TEST(ConcurrentMfsPoolTest, CountsDuplicateInserts) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(3);
+
+  ConcurrentMfsPool pool;
+  core::Mfs a = cover_all_mfs(core::Symptom::kPauseFrames);
+  a.witness = space.random_point(rng);
+  core::Mfs b = cover_all_mfs(core::Symptom::kPauseFrames);
+  b.witness = space.random_point(rng);
+
+  EXPECT_EQ(pool.insert("F", space, a, 0), 0);
+  EXPECT_EQ(pool.insert("F", space, b, 1), 1);  // a already covers b's witness
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.duplicate_inserts, 1);
+}
+
+TEST(ConcurrentMfsPoolTest, SnapshotPreservesInsertionOrder) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  ConcurrentMfsPool pool;
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kLowThroughput), 1);
+  const auto snap = pool.snapshot("F");
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].index, 0);
+  EXPECT_EQ(snap[0].symptom, core::Symptom::kPauseFrames);
+  EXPECT_EQ(snap[1].index, 1);
+  EXPECT_EQ(snap[1].symptom, core::Symptom::kLowThroughput);
+}
+
+// ---- Engine const-safety ----------------------------------------------------
+
+TEST(ParallelEvaluationTest, SharedEngineGivesIdenticalResultsAcrossThreads) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const workload::Engine engine(sys, fast_engine_opts());
+  const core::SearchSpace space(sys);
+
+  const Rng root(11);
+  constexpr int kWorkloads = 24;
+  std::vector<Workload> workloads;
+  {
+    Rng sampler = root.split(0);
+    for (int i = 0; i < kWorkloads; ++i) {
+      workloads.push_back(space.random_point(sampler));
+    }
+  }
+
+  auto evaluate_all = [&](std::vector<workload::Measurement>& out) {
+    out.resize(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      Rng rng = root.split(1 + i);  // per-workload stream
+      out[i] = engine.run(workloads[i], rng);
+    }
+  };
+
+  std::vector<workload::Measurement> serial;
+  evaluate_all(serial);
+
+  // Two threads evaluating the same sequence against the shared const
+  // engine; per-workload rng streams make each evaluation self-contained.
+  std::vector<workload::Measurement> t1_out, t2_out;
+  std::thread t1([&] { evaluate_all(t1_out); });
+  std::thread t2([&] { evaluate_all(t2_out); });
+  t1.join();
+  t2.join();
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    for (const auto* par : {&t1_out, &t2_out}) {
+      EXPECT_DOUBLE_EQ((*par)[i].rx_goodput_bps, serial[i].rx_goodput_bps);
+      EXPECT_DOUBLE_EQ((*par)[i].pause_duration_ratio,
+                       serial[i].pause_duration_ratio);
+      EXPECT_DOUBLE_EQ((*par)[i].cost_seconds, serial[i].cost_seconds);
+      EXPECT_EQ((*par)[i].dominant, serial[i].dominant);
+    }
+  }
+}
+
+// ---- Campaign ---------------------------------------------------------------
+
+TEST(CampaignTest, PlanIsDeterministicAndCoversTheGrid) {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.seeds_per_cell = 2;
+  const Campaign campaign(config);
+
+  const auto plan = campaign.plan();
+  ASSERT_EQ(plan.size(), 8u);
+  const auto plan2 = campaign.plan();
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].label(), plan2[i].label());
+    EXPECT_EQ(plan[i].stream, static_cast<u64>(i));
+    labels.insert(plan[i].label());
+  }
+  EXPECT_EQ(labels.size(), 8u);  // no duplicate cells
+  EXPECT_EQ(plan[0].label(), "B/Diag#0");
+  EXPECT_EQ(plan[0].scope(ShareScope::kSubsystem), "B");
+  EXPECT_EQ(plan[0].scope(ShareScope::kCell), "B/Diag#0");
+}
+
+CampaignConfig small_campaign_config() {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.budget.seconds = 2 * 3600.0;
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  return config;
+}
+
+TEST(CampaignTest, OneWorkerCampaignReproducesSerialDriverExactly) {
+  CampaignConfig config = small_campaign_config();
+  config.workers = 1;
+  config.share = ShareScope::kCell;
+  Campaign campaign(config);
+  const CampaignResult result = campaign.run();
+  ASSERT_EQ(result.cells.size(), 2u);
+
+  const Rng root(config.campaign_seed);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cr = result.cells[i];
+    const sim::Subsystem& sys = sim::subsystem(cr.cell.subsystem);
+    const workload::Engine engine(sys, fast_engine_opts());
+    const core::SearchSpace space(sys);
+    core::SearchDriver driver(engine, space);
+    core::SaConfig sa = config.sa;
+    sa.mode = cr.cell.mode;
+    Rng rng = root.split(static_cast<u64>(i));
+    const core::SearchResult serial =
+        driver.run_simulated_annealing(sa, config.budget, rng);
+
+    EXPECT_EQ(cr.result.experiments, serial.experiments);
+    EXPECT_EQ(cr.result.mfs_skips, serial.mfs_skips);
+    EXPECT_DOUBLE_EQ(cr.result.elapsed_seconds, serial.elapsed_seconds);
+    ASSERT_EQ(cr.result.found.size(), serial.found.size());
+    for (std::size_t f = 0; f < serial.found.size(); ++f) {
+      EXPECT_EQ(cr.result.found[f].mfs.witness, serial.found[f].mfs.witness);
+      EXPECT_DOUBLE_EQ(cr.result.found[f].found_at_seconds,
+                       serial.found[f].found_at_seconds);
+    }
+    EXPECT_EQ(cr.cross_worker_skips, 0);
+  }
+}
+
+TEST(CampaignTest, ThreadedKCellCampaignMatchesDeterministicMode) {
+  CampaignConfig config = small_campaign_config();
+  config.workers = 2;
+  config.share = ShareScope::kCell;  // private scopes: schedule-independent
+
+  config.execution = ExecutionMode::kDeterministic;
+  const CampaignResult reference = Campaign(config).run();
+  config.execution = ExecutionMode::kThreads;
+  const CampaignResult threaded = Campaign(config).run();
+
+  ASSERT_EQ(threaded.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+    EXPECT_EQ(threaded.cells[i].worker, reference.cells[i].worker);
+    EXPECT_EQ(threaded.cells[i].result.experiments,
+              reference.cells[i].result.experiments);
+    EXPECT_EQ(threaded.cells[i].result.found.size(),
+              reference.cells[i].result.found.size());
+    EXPECT_DOUBLE_EQ(threaded.cells[i].result.elapsed_seconds,
+                     reference.cells[i].result.elapsed_seconds);
+  }
+  EXPECT_DOUBLE_EQ(threaded.makespan_seconds, reference.makespan_seconds);
+}
+
+TEST(CampaignTest, DeterministicSharedCampaignIsReproducible) {
+  CampaignConfig config = small_campaign_config();
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.workers = 2;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult a = Campaign(config).run();
+  const CampaignResult b = Campaign(config).run();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].result.experiments, b.cells[i].result.experiments);
+    EXPECT_EQ(a.cells[i].result.found.size(), b.cells[i].result.found.size());
+    EXPECT_EQ(a.cells[i].cross_worker_skips, b.cells[i].cross_worker_skips);
+  }
+  EXPECT_EQ(a.pool.cross_worker_hits, b.pool.cross_worker_hits);
+}
+
+// Ground-truth anomaly identity of every discovery, per subsystem — the
+// same labeling the figure benches use (bench/harness.h).  "Deduped anomaly
+// set" below means this: distinct catalogued anomalies, not raw MFS regions
+// (one true anomaly yields many overlapping regions across runs).
+std::map<char, std::set<int>> catalog_id_sets(const CampaignResult& result) {
+  const auto to_catalog = [](core::Symptom s) {
+    return s == core::Symptom::kPauseFrames ? catalog::Symptom::kPauseFrames
+                                            : catalog::Symptom::kLowThroughput;
+  };
+  std::map<char, std::set<int>> out;
+  for (const CellResult& cr : result.cells) {
+    const std::string chip = sim::subsystem(cr.cell.subsystem).nicm.chip;
+    for (const core::FoundAnomaly& f : cr.result.found) {
+      int id = catalog::label_by_mechanism(chip, f.mfs.witness, f.dominant,
+                                           to_catalog(f.mfs.symptom));
+      if (id == 0) {
+        const auto labels =
+            catalog::label(chip, f.mfs.witness, to_catalog(f.mfs.symptom));
+        if (!labels.empty()) id = labels.front();
+      }
+      if (id != 0) out[cr.cell.subsystem].insert(id);
+    }
+  }
+  return out;
+}
+
+// The satellite requirement: on subsystems B and F, a 2-worker campaign with
+// a shared MFS pool finds the same deduped anomaly set as independent serial
+// runs of the same cells, and the sharing shows up as cross-worker skips.
+// Deterministic execution makes this exact-match assertion schedule-proof.
+TEST(CampaignTest, TwoWorkerSharedPoolMatchesSerialDedupedAnomalySet) {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.budget.seconds = 8 * 3600.0;
+  config.campaign_seed = 3;
+  config.engine = fast_engine_opts();
+  config.workers = 2;
+  config.execution = ExecutionMode::kDeterministic;
+
+  config.share = ShareScope::kSubsystem;
+  const CampaignResult shared = Campaign(config).run();
+  config.share = ShareScope::kCell;  // serial semantics: private stores
+  const CampaignResult serial = Campaign(config).run();
+
+  // Cross-worker pruning happened...
+  EXPECT_GE(shared.total_cross_worker_skips(), 1);
+  EXPECT_GE(shared.pool.cross_worker_hits, 1);
+  EXPECT_EQ(serial.total_cross_worker_skips(), 0);
+
+  // ...and the campaign still finds exactly the anomalies the serial runs
+  // find, on both subsystems.
+  const auto shared_ids = catalog_id_sets(shared);
+  const auto serial_ids = catalog_id_sets(serial);
+  EXPECT_FALSE(serial_ids.at('B').empty());
+  EXPECT_FALSE(serial_ids.at('F').empty());
+  EXPECT_EQ(shared_ids, serial_ids);
+
+  // Sharing reduces re-explanations: raw discoveries collapse onto fewer or
+  // equal distinct regions than the serial runs needed.
+  const CampaignReport shared_report = build_report(shared);
+  const CampaignReport serial_report = build_report(serial);
+  EXPECT_GT(shared_report.total_experiments, 0);
+  EXPECT_GT(serial_report.total_experiments, 0);
+}
+
+TEST(CampaignTest, ThreadedSharedCampaignRunsAllCellsConsistently) {
+  CampaignConfig config = small_campaign_config();
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.workers = 2;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kThreads;
+
+  const CampaignResult result = Campaign(config).run();
+  ASSERT_EQ(result.cells.size(), 4u);
+  double serial_sum = 0.0;
+  for (const CellResult& cr : result.cells) {
+    EXPECT_GE(cr.worker, 0);
+    EXPECT_GT(cr.result.experiments, 0);
+    EXPECT_GE(cr.result.elapsed_seconds, config.budget.seconds);
+    serial_sum += cr.result.elapsed_seconds;
+  }
+  EXPECT_DOUBLE_EQ(result.serial_seconds, serial_sum);
+  EXPECT_LE(result.makespan_seconds, result.serial_seconds);
+  EXPECT_GE(result.pool.hits, result.pool.cross_worker_hits);
+  EXPECT_GE(result.pool.entries, 1);
+}
+
+TEST(CampaignTest, SpeedupAccountsSimulatedMakespan) {
+  CampaignConfig config = small_campaign_config();
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.workers = 2;
+  config.share = ShareScope::kCell;
+  config.budget.seconds = 1 * 3600.0;
+
+  const CampaignResult result = Campaign(config).run();
+  ASSERT_EQ(result.cells.size(), 4u);
+  // Four equal-budget cells over two workers: close to 2x.
+  EXPECT_GE(result.speedup(), 1.7);
+  EXPECT_LE(result.speedup(), 2.3);
+  EXPECT_GT(result.makespan_seconds, 0.0);
+  EXPECT_LT(result.makespan_seconds, result.serial_seconds);
+}
+
+// ---- CampaignReport ---------------------------------------------------------
+
+TEST(CampaignReportTest, DedupesCollapseRepeatDiscoveries) {
+  CampaignConfig config = small_campaign_config();
+  config.subsystems = {'F'};
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.workers = 2;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kDeterministic;
+  config.budget.seconds = 4 * 3600.0;
+
+  const CampaignResult result = Campaign(config).run();
+  const CampaignReport report = build_report(result);
+
+  int raw_found = 0;
+  for (const CellResult& cr : result.cells) {
+    raw_found += static_cast<int>(cr.result.found.size());
+  }
+  int occurrences = 0;
+  for (const DedupedAnomaly& a : report.anomalies) {
+    occurrences += a.occurrences;
+    EXPECT_EQ(a.subsystem, 'F');
+    EXPECT_NE(a.symptom, core::Symptom::kNone);
+    EXPECT_GE(a.occurrences, 1);
+  }
+  EXPECT_EQ(occurrences, raw_found);
+  EXPECT_LE(static_cast<int>(report.anomalies.size()), raw_found);
+  ASSERT_EQ(report.coverage.size(), 1u);
+  EXPECT_EQ(report.coverage[0].anomalies_found, raw_found);
+  EXPECT_EQ(report.coverage[0].distinct_anomalies,
+            static_cast<int>(report.anomalies.size()));
+}
+
+TEST(CampaignReportTest, RenderAndJsonCarryTheSummary) {
+  CampaignConfig config = small_campaign_config();
+  config.workers = 2;
+  config.budget.seconds = 1 * 3600.0;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult result = Campaign(config).run();
+  const CampaignReport report = build_report(result);
+
+  const std::string text = report.render();
+  EXPECT_NE(text.find("Per-subsystem coverage"), std::string::npos);
+  EXPECT_NE(text.find("speedup"), std::string::npos);
+  EXPECT_NE(text.find("shared MFS pool"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"anomalies\""), std::string::npos);
+}
+
+TEST(CampaignReportTest, AggregateTraceIsMergedAndOrdered) {
+  CampaignConfig config = small_campaign_config();
+  config.workers = 2;
+  config.budget.seconds = 1 * 3600.0;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult result = Campaign(config).run();
+  const auto trace = aggregate_trace(result);
+
+  std::size_t expected = 0;
+  for (const CellResult& cr : result.cells) expected += cr.result.trace.size();
+  EXPECT_EQ(trace.size(), expected);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].t_seconds, trace[i].t_seconds);
+  }
+  const std::string csv = aggregate_trace_csv(result);
+  EXPECT_NE(csv.find("t_seconds,worker,cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace collie::orchestrator

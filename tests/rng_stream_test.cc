@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace collie {
+namespace {
+
+std::vector<u64> draw(Rng rng, int n) {
+  std::vector<u64> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.next_u64());
+  return out;
+}
+
+TEST(RngStreamTest, SameSeedSameStreamIndexIdenticalStreams) {
+  const Rng a(12345);
+  const Rng b(12345);
+  for (u64 stream = 0; stream < 8; ++stream) {
+    EXPECT_EQ(draw(a.split(stream), 256), draw(b.split(stream), 256))
+        << "stream " << stream;
+  }
+}
+
+TEST(RngStreamTest, DistinctStreamIndicesDoNotOverlap) {
+  const Rng root(7);
+  constexpr int kStreams = 16;
+  constexpr int kDraws = 4096;
+  std::set<u64> seen;
+  for (u64 stream = 0; stream < kStreams; ++stream) {
+    for (const u64 v : draw(root.split(stream), kDraws)) {
+      EXPECT_TRUE(seen.insert(v).second)
+          << "value repeated across streams (stream " << stream << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kStreams * kDraws));
+}
+
+TEST(RngStreamTest, SplitDoesNotAdvanceParent) {
+  Rng with_split(99);
+  Rng without_split(99);
+  (void)with_split.split(0);
+  (void)with_split.split(41);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(with_split.next_u64(), without_split.next_u64());
+  }
+}
+
+TEST(RngStreamTest, SplitIsPureFunctionOfStateAndIndex) {
+  // Unlike fork(), the i-th child does not depend on how many other children
+  // were split before it.
+  const Rng root(2024);
+  const auto direct = draw(root.split(5), 128);
+  const Rng root2(2024);
+  for (u64 s = 0; s < 5; ++s) (void)root2.split(s);
+  EXPECT_EQ(draw(root2.split(5), 128), direct);
+}
+
+TEST(RngStreamTest, ChildStreamsDifferFromParentStream) {
+  const Rng root(31337);
+  const auto parent = draw(root, 1024);
+  const auto child = draw(root.split(0), 1024);
+  EXPECT_NE(parent, child);
+}
+
+TEST(RngStreamTest, DifferentSeedsGiveDifferentStreams) {
+  EXPECT_NE(draw(Rng(1).split(0), 64), draw(Rng(2).split(0), 64));
+}
+
+TEST(RngStreamTest, ForkStillDerivesFreshStreams) {
+  Rng root(5);
+  Rng a = root.fork();
+  Rng b = root.fork();
+  EXPECT_NE(draw(a, 64), draw(b, 64));
+}
+
+}  // namespace
+}  // namespace collie

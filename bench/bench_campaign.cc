@@ -146,5 +146,21 @@ int main(int argc, char** argv) {
   std::printf("shared-pool campaign (4 workers, subsystem scopes)\n%s\n",
               report.render().c_str());
 
+  // Fabric-scenario sweep: the same subsystem searched under the paper's
+  // pair, the heterogeneous-rate pair and the 4:1 ToR fan-in, as campaign
+  // dimensions (per-scenario coverage in the report).
+  CampaignConfig fabric_config;
+  fabric_config.subsystems = {'F'};
+  fabric_config.fabrics = {"pair", "hetero", "fanin4"};
+  fabric_config.budget.seconds = hours * 3600.0;
+  fabric_config.campaign_seed = seed;
+  fabric_config.engine.run_functional_pass = false;
+  fabric_config.workers = 3;
+  const CampaignResult fabric_result = Campaign(fabric_config).run();
+  const CampaignReport fabric_report = build_report(fabric_result);
+  std::printf("fabric-scenario campaign (subsystem F x {pair, hetero, "
+              "fanin4})\n%s\n",
+              fabric_report.render().c_str());
+
   return (equivalence_ok && speedup_at_4 >= 3.0) ? 0 : 1;
 }

@@ -5,10 +5,13 @@
 //   $ ./campaign                                # full catalog, Diag, 4 workers
 //   $ ./campaign --sys BF --modes diag,perf --workers 2 --hours 4
 //   $ ./campaign --sys F --seeds 3 --share subsystem --json
+//   $ ./campaign --sys F --fabric pair,hetero,fanin4   # fabric scenario sweep
 //   $ ./campaign --sys B --trace-csv            # fleet-wide Figure-6 trace
 //
 // Flags:
 //   --sys <ids>        subsystem letters, e.g. "BF" or "all" (default all)
+//   --fabric <list>    comma list of fabric scenarios (pair,hetero,fanin4)
+//                      or "all"; default pair, the paper's testbed
 //   --modes <list>     comma list of diag,perf (default diag)
 //   --strategy <s>     sa | random (default sa)
 //   --workers <n>      fleet size (default 4)
@@ -27,6 +30,7 @@
 
 #include "common/cli.h"
 #include "common/strings.h"
+#include "net/fabric.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "sim/subsystem.h"
@@ -49,6 +53,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.subsystems.push_back(c);
+    }
+  }
+  const std::string fabric_arg = args.get("fabric", "pair");
+  config.fabrics.clear();
+  if (fabric_arg == "all") {
+    config.fabrics = net::fabric_scenario_names();
+  } else {
+    for (const std::string& f : split(fabric_arg, ',')) {
+      if (net::find_fabric_scenario(f) == nullptr) {
+        std::fprintf(stderr, "unknown fabric scenario '%s' (valid: %s)\n",
+                     f.c_str(),
+                     join(net::fabric_scenario_names(), ", ").c_str());
+        return 2;
+      }
+      config.fabrics.push_back(f);
     }
   }
   config.modes.clear();

@@ -124,13 +124,40 @@ core::SearchResult run_bayesian_optimization(
     const core::SearchBudget& budget, Rng& rng) {
   BoState state;
 
-  // Rank diagnostic counters exactly like Collie (§7.2).
+  // Every measurement feeds one shared GP design (sliding window): the
+  // ranking probes and earlier phases are real observations of all nine
+  // counters, so later phases start guided instead of re-seeding from
+  // scratch.  The seed re-drew a fresh random design per phase, which —
+  // together with MFS-extraction costs — routinely consumed every phase
+  // deadline before a single EI-selected candidate was measured, leaving
+  // the "BO" rows byte-identical to plain random search.
+  std::vector<std::vector<double>> design_xs;
+  std::vector<sim::CounterSample> design_cs;
+  std::vector<Workload> design_ws;
+  auto record = [&](const Workload& w, const sim::CounterSample& cs) {
+    design_xs.push_back(encode_workload(space, w));
+    design_cs.push_back(cs);
+    design_ws.push_back(w);
+    if (static_cast<int>(design_xs.size()) > config.gp_window) {
+      design_xs.erase(design_xs.begin());
+      design_cs.erase(design_cs.begin());
+      design_ws.erase(design_ws.begin());
+    }
+  };
+
+  // Rank diagnostic counters exactly like Collie (§7.2), but never let the
+  // probes (plus any extraction they trigger) eat more than a slice of the
+  // budget.
   std::vector<sim::CounterSample> probes;
-  for (int i = 0; i < config.ranking_probes && !state.exhausted(budget);
+  const double ranking_deadline =
+      budget.seconds * config.ranking_budget_fraction;
+  for (int i = 0; i < config.ranking_probes && !state.exhausted(budget) &&
+                  state.elapsed < ranking_deadline;
        ++i) {
+    const Workload w = space.random_point(rng);
     sim::CounterSample cs;
-    measure(engine, space, monitor, space.random_point(rng), config.use_mfs,
-            rng, state, &cs);
+    measure(engine, space, monitor, w, config.use_mfs, rng, state, &cs);
+    record(w, cs);
     probes.push_back(cs);
   }
   std::vector<std::pair<double, int>> ranked;
@@ -149,55 +176,69 @@ core::SearchResult run_bayesian_optimization(
         state.elapsed + (budget.seconds - state.elapsed) /
                             static_cast<double>(ranked.size() - ci);
 
-    std::vector<std::vector<double>> xs;
-    std::vector<double> ys;
-    std::vector<Workload> ws;
-
-    auto observe = [&](const Workload& candidate) {
-      Workload w = candidate;
-      if (config.use_mfs) {
-        // MatchMFS skips cost nothing, so they must not be able to starve
-        // the loop: after a few skipped candidates fall back to a fresh
-        // random point and measure it.
-        for (int attempt = 0; attempt < 16; ++attempt) {
-          if (!state.mfs_store.covers(space, w)) break;
-          state.result.mfs_skips += 1;
-          w = space.random_point(rng);
-        }
-      }
+    auto observe = [&](const Workload& w) {
       sim::CounterSample cs;
       measure(engine, space, monitor, w, config.use_mfs, rng, state, &cs);
-      const double y = cs.diag[static_cast<std::size_t>(counter)];
-      state.result.trace.back().counter_value = y;
-      xs.push_back(encode_workload(space, w));
-      ys.push_back(y);
-      ws.push_back(w);
-      if (static_cast<int>(xs.size()) > config.gp_window) {
-        xs.erase(xs.begin());
-        ys.erase(ys.begin());
-        ws.erase(ws.begin());
+      state.result.trace.back().counter_value =
+          cs.diag[static_cast<std::size_t>(counter)];
+      record(w, cs);
+    };
+    // The phase's targets come from the shared design.
+    auto phase_ys = [&] {
+      std::vector<double> ys;
+      ys.reserve(design_cs.size());
+      for (const auto& cs : design_cs) {
+        ys.push_back(cs.diag[static_cast<std::size_t>(counter)]);
       }
+      return ys;
     };
 
-    for (int i = 0; i < config.initial_random && state.elapsed < deadline &&
-                    !state.exhausted(budget);
-         ++i) {
+    // Top up the design with random points only until the GP has enough to
+    // fit; phases after the first usually start guided immediately.
+    while (static_cast<int>(design_xs.size()) < config.min_design &&
+           state.elapsed < deadline && !state.exhausted(budget)) {
       observe(space.random_point(rng));
     }
 
     GaussianProcess gp;
+    int consecutive_skips = 0;
     while (state.elapsed < deadline && !state.exhausted(budget)) {
-      Workload next = space.random_point(rng);
-      if (xs.size() >= 4 && gp.fit(xs, ys)) {
+      const std::vector<double> ys = phase_ys();
+      Workload next;
+      bool guided = false;
+      if (static_cast<int>(design_xs.size()) >= config.min_design &&
+          gp.fit(design_xs, ys)) {
         // Candidate pool: random exploration plus mutations of the best
-        // observed workload; pick the expected-improvement maximizer.
-        const std::size_t best_idx = static_cast<std::size_t>(
+        // observed workload; pick the expected-improvement maximizer among
+        // candidates MatchMFS does not already explain.  The seed scored
+        // covered candidates too and then silently measured a fresh random
+        // point instead — the EI choice never reached the engine.  Mutations
+        // grow from the best *unexplained* observation: the global best is
+        // usually inside an extracted MFS region, and orbiting its border
+        // only produces skips.
+        std::size_t best_idx = static_cast<std::size_t>(
             std::max_element(ys.begin(), ys.end()) - ys.begin());
+        if (config.use_mfs) {
+          double best_y = -1e300;
+          std::size_t best_uncovered = design_ws.size();
+          for (std::size_t i = 0; i < design_ws.size(); ++i) {
+            if (ys[i] > best_y && !state.mfs_store.covers(space, design_ws[i])) {
+              best_y = ys[i];
+              best_uncovered = i;
+            }
+          }
+          if (best_uncovered < design_ws.size()) best_idx = best_uncovered;
+        }
         double best_ei = -1.0;
+        bool any_filtered = false;
         for (int c = 0; c < config.candidates; ++c) {
-          const Workload cand = (c % 3 == 0)
+          const Workload cand = (c % 2 == 0)
                                     ? space.random_point(rng)
-                                    : space.mutate(ws[best_idx], rng);
+                                    : space.mutate(design_ws[best_idx], rng);
+          if (config.use_mfs && state.mfs_store.covers(space, cand)) {
+            any_filtered = true;
+            continue;
+          }
           double mu = 0.0;
           double sigma = 0.0;
           gp.predict(encode_workload(space, cand), &mu, &sigma);
@@ -206,9 +247,25 @@ core::SearchResult run_bayesian_optimization(
           if (ei > best_ei) {
             best_ei = ei;
             next = cand;
+            guided = true;
           }
         }
+        // One measurement opportunity was pruned by MatchMFS, however many
+        // candidates fell to it — keeps the skip stat comparable with the
+        // once-per-point accounting of run_random and the SA driver.
+        if (any_filtered) state.result.mfs_skips += 1;
       }
+      if (!guided) {
+        next = space.random_point(rng);
+        // Random fallback skips are free but bounded, like run_random.
+        if (config.use_mfs && consecutive_skips < 10000 &&
+            state.mfs_store.covers(space, next)) {
+          state.result.mfs_skips += 1;
+          ++consecutive_skips;
+          continue;
+        }
+      }
+      consecutive_skips = 0;
       observe(next);
     }
   }

@@ -17,7 +17,11 @@ namespace collie::baseline {
 struct BoConfig {
   bool use_mfs = true;
   int ranking_probes = 10;   // same diagnostic-counter ranking as Collie
-  int initial_random = 8;    // seed design per counter phase
+  // Budget fraction the ranking probes may spend.  An anomaly found while
+  // probing triggers MFS extraction worth dozens of experiments; uncapped,
+  // that regularly consumed the whole short-budget run before any guidance.
+  double ranking_budget_fraction = 0.2;
+  int min_design = 4;        // observations required before the GP takes over
   int candidates = 192;      // EI candidate pool per iteration
   int gp_window = 96;        // sliding window on GP observations
 };

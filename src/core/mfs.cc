@@ -66,6 +66,15 @@ bool Mfs::matches(const SearchSpace& space, const Workload& w) const {
   return !conditions.empty();
 }
 
+bool same_anomaly_region(const SearchSpace& space, const Mfs& a,
+                         const Mfs& b) {
+  if (a.symptom != b.symptom) return false;
+  if (a.matches(space, b.witness)) return true;
+  if (b.matches(space, a.witness)) return true;
+  return a.conditions.empty() && b.conditions.empty() &&
+         a.witness == b.witness;
+}
+
 std::string Mfs::describe(const SearchSpace& space) const {
   std::ostringstream os;
   os << "MFS#" << index << " [" << to_string(symptom) << "]";

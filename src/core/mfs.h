@@ -49,6 +49,14 @@ struct Mfs {
   std::string describe(const SearchSpace& space) const;
 };
 
+// Symmetric-overlap criterion shared by the campaign report's dedup and the
+// concurrent pool's duplicate-insert accounting: two extractions explain the
+// same anomaly region when they share a symptom and either MFS covers the
+// other's witness.  Bare witnesses (no conditions, e.g. w/o-MFS ablation
+// runs) never match workloads, so they collapse only on identical witnesses.
+bool same_anomaly_region(const SearchSpace& space, const Mfs& a,
+                         const Mfs& b);
+
 // Runs workload experiments to decide whether a candidate still triggers the
 // anomaly.  Returns the observed symptom and charges the experiment cost.
 using ProbeFn = std::function<Symptom(const Workload&)>;

@@ -20,7 +20,13 @@ Verdict AnomalyMonitor::judge(const workload::Measurement& m) const {
   v.wire_utilization = m.wire_utilization;
   v.pps_utilization = m.pps_utilization;
   // Pause frames take precedence: they threaten the whole fabric (§2.1).
-  if (m.pause_duration_ratio > config_.pause_threshold) {
+  // Under scenario fabrics part of the pause is plain congestion the fabric
+  // itself explains; only pause beyond that share (plus a small jitter
+  // margin on it) indicts the subsystem.
+  const double pause_allowance =
+      config_.pause_threshold +
+      m.fabric_pause_ratio * (1.0 + config_.fabric_headroom);
+  if (m.pause_duration_ratio > pause_allowance) {
     v.symptom = Symptom::kPauseFrames;
   } else if (m.wire_utilization < config_.util_threshold &&
              m.pps_utilization < config_.util_threshold) {

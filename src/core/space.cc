@@ -82,6 +82,12 @@ SearchSpace::SearchSpace(const sim::Subsystem& sys, SpaceConfig config)
     if (p.kind == topo::MemKind::kGpu && !config_.allow_gpu) continue;
     placements_.push_back(p);
   }
+  // Remote buffers live on host B, which heterogeneous fabric scenarios may
+  // give a different device set.
+  for (const auto& p : sys_.host_b.accessible_placements()) {
+    if (p.kind == topo::MemKind::kGpu && !config_.allow_gpu) continue;
+    remote_placements_.push_back(p);
+  }
   pattern_len_ = sys_.nicm.pattern_window();
 }
 
@@ -91,7 +97,8 @@ double SearchSpace::log10_size() const {
   log10 += std::log10(3.0);                                // QP type
   log10 += std::log10(3.0);                                // opcode
   log10 += std::log10(4.0);                                // direction x loop
-  log10 += 2.0 * std::log10(double(placements_.size()));   // placements
+  log10 += std::log10(double(placements_.size()));         // local placement
+  log10 += std::log10(double(remote_placements_.size()));  // remote placement
   log10 += std::log10(double(config_.max_qps));            // #QP
   log10 += std::log10(double(config_.max_mrs_per_qp));     // #MR
   log10 += std::log10(11.0);                               // MR sizes
@@ -139,15 +146,16 @@ Workload SearchSpace::random_point(Rng& rng) const {
 
   // Dimension 1: host topology.  DRAM placements are weighted above GPU
   // ones: production traffic is mostly host memory.
-  auto pick_placement = [&](Rng& r) {
+  auto pick_placement = [](const std::vector<topo::MemPlacement>& list,
+                           Rng& r) {
     std::vector<double> weights;
-    for (const auto& p : placements_) {
+    for (const auto& p : list) {
       weights.push_back(p.kind == topo::MemKind::kDram ? 3.0 : 1.0);
     }
-    return placements_[r.weighted_index(weights)];
+    return list[r.weighted_index(weights)];
   };
-  w.local_mem = pick_placement(rng);
-  w.remote_mem = pick_placement(rng);
+  w.local_mem = pick_placement(placements_, rng);
+  w.remote_mem = pick_placement(remote_placements_, rng);
   w.loopback = config_.allow_loopback && rng.bernoulli(0.08);
 
   // Dimension 4: message pattern.
@@ -180,9 +188,10 @@ Workload SearchSpace::mutate(const Workload& w, Rng& rng) const {
       if (which == 0 && !placements_.empty()) {
         m.local_mem = placements_[static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<i64>(placements_.size()) - 1))];
-      } else if (which == 1 && !placements_.empty()) {
-        m.remote_mem = placements_[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<i64>(placements_.size()) - 1))];
+      } else if (which == 1 && !remote_placements_.empty()) {
+        m.remote_mem =
+            remote_placements_[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<i64>(remote_placements_.size()) - 1))];
       } else if (config_.allow_loopback) {
         m.loopback = !m.loopback;
       }
@@ -304,7 +313,7 @@ void SearchSpace::fixup(Workload& w) const {
     for (u64& s : w.pattern) s = std::min(s, per_sge);
   }
   if (!sys_.host.placement_valid(w.local_mem)) w.local_mem = {};
-  if (!sys_.host.placement_valid(w.remote_mem)) w.remote_mem = {};
+  if (!sys_.host_b.placement_valid(w.remote_mem)) w.remote_mem = {};
   if (!config_.allow_gpu) {
     if (w.local_mem.kind == topo::MemKind::kGpu) w.local_mem = {};
     if (w.remote_mem.kind == topo::MemKind::kGpu) w.remote_mem = {};
@@ -357,8 +366,9 @@ int SearchSpace::categorical_value(const Workload& w, Feature f) const {
     case Feature::kRemoteMem: {
       const topo::MemPlacement p =
           f == Feature::kLocalMem ? w.local_mem : w.remote_mem;
-      for (std::size_t i = 0; i < placements_.size(); ++i) {
-        if (placements_[i] == p) return static_cast<int>(i);
+      const auto& list = placements_of(f);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == p) return static_cast<int>(i);
       }
       return 0;
     }
@@ -394,7 +404,7 @@ std::vector<int> SearchSpace::categorical_alternatives(Feature f) const {
     case Feature::kLocalMem:
     case Feature::kRemoteMem: {
       std::vector<int> out;
-      for (std::size_t i = 0; i < placements_.size(); ++i) {
+      for (std::size_t i = 0; i < placements_of(f).size(); ++i) {
         out.push_back(static_cast<int>(i));
       }
       return out;
@@ -418,9 +428,10 @@ std::string SearchSpace::categorical_name(Feature f, int value) const {
       return value ? "loopback" : "no-loopback";
     case Feature::kLocalMem:
     case Feature::kRemoteMem:
-      if (value >= 0 && value < static_cast<int>(placements_.size())) {
+      if (value >= 0 &&
+          value < static_cast<int>(placements_of(f).size())) {
         return topo::to_string(
-            placements_[static_cast<std::size_t>(value)]);
+            placements_of(f)[static_cast<std::size_t>(value)]);
       }
       return "?";
     case Feature::kPatternMix:
@@ -484,7 +495,7 @@ Workload SearchSpace::with_categorical(const Workload& w, Feature f,
       m.local_mem = placements_.at(static_cast<std::size_t>(value));
       break;
     case Feature::kRemoteMem:
-      m.remote_mem = placements_.at(static_cast<std::size_t>(value));
+      m.remote_mem = remote_placements_.at(static_cast<std::size_t>(value));
       break;
     case Feature::kPatternMix: {
       // Rewrite the pattern into the requested mix class, preserving length.

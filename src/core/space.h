@@ -116,16 +116,26 @@ class SearchSpace {
   Workload with_categorical(const Workload& w, Feature f, int value) const;
   Workload with_numeric(const Workload& w, Feature f, double value) const;
 
+  // Placements of host A (kLocalMem) and host B (kRemoteMem).  The lists
+  // coincide on identical pairs; heterogeneous fabric scenarios give host B
+  // its own device set.
   const std::vector<topo::MemPlacement>& placements() const {
     return placements_;
+  }
+  const std::vector<topo::MemPlacement>& remote_placements() const {
+    return remote_placements_;
   }
 
  private:
   u64 random_size(Rng& rng, u64 cap) const;
+  const std::vector<topo::MemPlacement>& placements_of(Feature f) const {
+    return f == Feature::kRemoteMem ? remote_placements_ : placements_;
+  }
 
   sim::Subsystem sys_;
   SpaceConfig config_;
   std::vector<topo::MemPlacement> placements_;
+  std::vector<topo::MemPlacement> remote_placements_;
   int pattern_len_;
 };
 

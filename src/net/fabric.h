@@ -1,44 +1,123 @@
-// The two-server / single-switch fabric of the paper's experiment platform.
+// The switched fabric between the experiment hosts.
 //
-// The switch is lossless and runs at line rate, so it never originates
-// congestion itself; its role in the model is to carry PFC pause frames from
-// the receiving RNIC back to the sender and account for pause time per port.
+// The seed modelled exactly the paper's platform: two identical servers on
+// one lossless switch (§4).  That testbed is now one point of a scenario
+// space: an N-port `FabricSpec` carries per-port rates (heterogeneous
+// 100G<->200G pairs) and a ToR fan-in section (k sender ports converging on
+// one receiver port behind an oversubscribed uplink), and a `FabricScenario`
+// catalog names the shapes a campaign can sweep.  The switch itself stays
+// lossless and never drops: when an egress section is overcommitted it
+// backpressures the senders with PFC, which is exactly the pause accounting
+// `Fabric` tracks per port.
 #pragma once
 
-#include <array>
+#include <string>
+#include <vector>
 
 #include "common/units.h"
 
 namespace collie::net {
 
 struct FabricSpec {
-  double port_rate_bps = gbps(200);
+  // Per-port line rates.  Port 0 carries host A (every fan-in sender runs at
+  // port 0's rate), port 1 carries host B (the receiver port of fan-in
+  // scenarios).  Defaults reproduce the paper's identical 200G pair.
+  std::vector<double> port_rate_bps{gbps(200), gbps(200)};
   // Paper §4: "two RNICs connected by a single switch, and there is no
   // packet drop on the switch."
   bool lossless = true;
+  // Sender hosts converging on host B's port (1 = the plain pair).  The
+  // senders are identical replicas of host A; the performance model solves
+  // one of them and scales the receiver-side contention.
+  int fan_in = 1;
+  // ToR downlink:uplink ratio of the fan-in section.  With fan_in senders at
+  // port-0 rate behind a `oversubscription`:1 uplink, the aggregate toward
+  // host B is capped at fan_in * rate / oversubscription.
+  double oversubscription = 1.0;
+
+  int num_ports() const { return static_cast<int>(port_rate_bps.size()); }
+  bool valid_port(int port) const {
+    return port >= 0 && port < num_ports();
+  }
+  // Rate of `port`, or 0 for an out-of-range port (never UB).
+  double port_rate(int port) const {
+    return valid_port(port) ? port_rate_bps[static_cast<std::size_t>(port)]
+                            : 0.0;
+  }
+
+  // Aggregate capacity of the ToR uplink feeding host B's port.
+  double uplink_bps() const;
+  // Per-sender share of the path into host B: min(receiver port, uplink)
+  // divided across the fan-in senders.
+  double receiver_share_bps() const;
+
+  // The paper's testbed shape: one sender per receiver, no oversubscription,
+  // and no port slower than the NIC line rate.  The performance model keeps
+  // its seed behaviour bit-for-bit on trivial fabrics.
+  bool trivial_pair(double line_rate_bps) const;
+
+  static FabricSpec identical_pair(double rate_bps);
+  static FabricSpec heterogeneous_pair(double rate_a_bps, double rate_b_bps);
+  static FabricSpec tor_fanin(int senders, double sender_rate_bps,
+                              double receiver_rate_bps,
+                              double oversubscription);
 };
 
-// Per-port pause bookkeeping for one measurement run.
+// Per-port pause bookkeeping for one measurement run.  Out-of-range ports
+// are rejected, not UB: `record_pause` reports failure and reads return 0 —
+// the old assert-only guards compiled out in Release builds and let bad
+// indices silently corrupt neighbouring ports' accounting.
 class Fabric {
  public:
-  explicit Fabric(const FabricSpec& spec) : spec_(spec) {}
+  explicit Fabric(const FabricSpec& spec)
+      : spec_(spec),
+        pause_s_(static_cast<std::size_t>(spec_.num_ports()), 0.0),
+        total_s_(static_cast<std::size_t>(spec_.num_ports()), 0.0) {}
 
   const FabricSpec& spec() const { return spec_; }
+  int num_ports() const { return spec_.num_ports(); }
 
-  // Record that `port` (0 = host A, 1 = host B) was paused for
-  // `pause_fraction` of an epoch lasting `dt` seconds.
-  void record_pause(int port, double dt, double pause_fraction);
+  // Record that `port` (0 = host A, 1 = host B, 2.. = extra fan-in senders)
+  // was paused for `pause_fraction` of an epoch lasting `dt` seconds.
+  // Returns false (recording nothing) for an out-of-range port.
+  bool record_pause(int port, double dt, double pause_fraction);
 
   double pause_seconds(int port) const;
   double total_seconds(int port) const;
   double pause_duration_ratio(int port) const;
+  // Worst pause duration ratio across all ports.
+  double max_pause_duration_ratio() const;
 
   void reset();
 
  private:
   FabricSpec spec_;
-  std::array<double, 2> pause_s_{0.0, 0.0};
-  std::array<double, 2> total_s_{0.0, 0.0};
+  std::vector<double> pause_s_;
+  std::vector<double> total_s_;
 };
+
+// A named point of the fabric scenario space.  Port rates scale the
+// subsystem's NIC line rate so one scenario applies across the catalog
+// (subsystem A's "hetero" pair is 25G<->12.5G, subsystem F's 200G<->100G).
+struct FabricScenario {
+  std::string name = "pair";
+  double rate_scale_a = 1.0;  // host A / fan-in sender ports
+  double rate_scale_b = 1.0;  // host B / receiver port
+  int fan_in = 1;
+  double oversubscription = 1.0;
+  // Optional topo factory name (topo::host_by_name) for host B; empty keeps
+  // host B identical to host A, the paper's pairing.
+  std::string host_b_topology;
+
+  FabricSpec materialize(double line_rate_bps) const;
+};
+
+// Scenario catalog: "pair" (the paper's testbed), "hetero" (full-rate host A
+// against a half-rate host B of a different host generation) and "fanin4"
+// (four senders into one receiver port behind a 4:1 oversubscribed uplink).
+const FabricScenario* find_fabric_scenario(const std::string& name);
+// Throwing lookup for callers that already validated the name.
+const FabricScenario& fabric_scenario(const std::string& name);
+std::vector<std::string> fabric_scenario_names();
 
 }  // namespace collie::net

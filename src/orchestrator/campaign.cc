@@ -38,19 +38,36 @@ const char* to_string(ExecutionMode m) {
   return "?";
 }
 
+std::string CampaignCell::subsystem_label() const {
+  // The default pair keeps the seed's plain-subsystem labels and scopes.
+  if (fabric == "pair") return std::string(1, subsystem);
+  return std::string(1, subsystem) + "@" + fabric;
+}
+
 std::string CampaignCell::scope(ShareScope share) const {
-  if (share == ShareScope::kSubsystem) return std::string(1, subsystem);
+  // MFS conditions only transfer within one (subsystem, fabric) space, so
+  // even the widest sharing scope carries the scenario.
+  if (share == ShareScope::kSubsystem) return subsystem_label();
   return label();
 }
 
 std::string CampaignCell::label() const {
-  return std::string(1, subsystem) + "/" + core::to_string(mode) + "#" +
+  return subsystem_label() + "/" + core::to_string(mode) + "#" +
          std::to_string(seed_ordinal);
+}
+
+sim::Subsystem CampaignCell::materialize() const {
+  return sim::with_fabric(sim::subsystem(subsystem),
+                          net::fabric_scenario(fabric));
 }
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   if (config_.subsystems.empty()) {
     config_.subsystems = sim::all_subsystem_ids();
+  }
+  if (config_.fabrics.empty()) config_.fabrics = {"pair"};
+  for (const std::string& fabric : config_.fabrics) {
+    net::fabric_scenario(fabric);  // throws on an unknown scenario name
   }
   if (config_.workers < 1) config_.workers = 1;
   if (config_.seeds_per_cell < 1) config_.seeds_per_cell = 1;
@@ -61,14 +78,17 @@ std::vector<CampaignCell> Campaign::plan() const {
   // Subsystem-major order interleaves same-subsystem cells across adjacent
   // workers under round-robin assignment, maximising concurrent sharing.
   for (const char sys : config_.subsystems) {
-    for (const core::GuidanceMode mode : config_.modes) {
-      for (int seed = 0; seed < config_.seeds_per_cell; ++seed) {
-        CampaignCell cell;
-        cell.subsystem = sys;
-        cell.mode = mode;
-        cell.seed_ordinal = seed;
-        cell.stream = static_cast<u64>(cells.size());
-        cells.push_back(cell);
+    for (const std::string& fabric : config_.fabrics) {
+      for (const core::GuidanceMode mode : config_.modes) {
+        for (int seed = 0; seed < config_.seeds_per_cell; ++seed) {
+          CampaignCell cell;
+          cell.subsystem = sys;
+          cell.fabric = fabric;
+          cell.mode = mode;
+          cell.seed_ordinal = seed;
+          cell.stream = static_cast<u64>(cells.size());
+          cells.push_back(cell);
+        }
       }
     }
   }
@@ -78,7 +98,7 @@ std::vector<CampaignCell> Campaign::plan() const {
 CellResult Campaign::run_cell(int worker, double start_seconds,
                               const CampaignCell& cell, Rng rng,
                               ConcurrentMfsPool& pool) {
-  const sim::Subsystem& sys = sim::subsystem(cell.subsystem);
+  const sim::Subsystem sys = cell.materialize();
   const workload::Engine engine(sys, config_.engine);
   const core::SearchSpace space(sys);
   core::SearchDriver driver(engine, space);

@@ -60,20 +60,32 @@ const char* to_string(ExecutionMode m);
 
 struct CampaignCell {
   char subsystem = 'F';
+  // Fabric scenario this cell searches under (net::fabric_scenario names).
+  // An MFS is a region of one (subsystem, fabric) search space, so scopes
+  // and report grouping carry the scenario alongside the subsystem.
+  std::string fabric = "pair";
   core::GuidanceMode mode = core::GuidanceMode::kDiag;
-  int seed_ordinal = 0;  // which replica of this (subsystem, mode)
+  int seed_ordinal = 0;  // which replica of this (subsystem, fabric, mode)
   u64 stream = 0;        // rng stream index, assigned by plan()
 
+  // "B" for the default pair scenario (the seed's labels), "B@hetero" etc.
+  // otherwise.
+  std::string subsystem_label() const;
   // Pool scope this cell reads and writes under the given sharing policy.
   std::string scope(ShareScope share) const;
-  std::string label() const;  // "B/Diag#0"
+  std::string label() const;  // "B/Diag#0", "B@hetero/Diag#0"
+
+  // The subsystem with this cell's fabric scenario applied.
+  sim::Subsystem materialize() const;
 };
 
 struct CampaignConfig {
   std::vector<char> subsystems;  // defaults to the full Table 1 catalog
+  // Fabric scenarios to sweep; defaults to the paper's identical pair.
+  std::vector<std::string> fabrics{"pair"};
   std::vector<core::GuidanceMode> modes{core::GuidanceMode::kDiag};
   Strategy strategy = Strategy::kSimulatedAnnealing;
-  int seeds_per_cell = 1;  // replicas per (subsystem, mode)
+  int seeds_per_cell = 1;  // replicas per (subsystem, fabric, mode)
   int workers = 4;
   u64 campaign_seed = 1;
   ShareScope share = ShareScope::kSubsystem;

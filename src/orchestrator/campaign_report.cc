@@ -16,18 +16,6 @@ struct Discovery {
   double campaign_t;
 };
 
-// Two discoveries on one subsystem explain the same anomaly when they share
-// a symptom and either MFS covers the other's witness.  Runs without MFS
-// extraction produce bare witnesses (no conditions, which never match);
-// those collapse only on identical witness workloads.
-bool same_region(const core::SearchSpace& space, const core::Mfs& a,
-                 const core::Mfs& b) {
-  if (a.symptom != b.symptom) return false;
-  if (a.matches(space, b.witness)) return true;
-  if (b.matches(space, a.witness)) return true;
-  return a.conditions.empty() && b.conditions.empty() && a.witness == b.witness;
-}
-
 }  // namespace
 
 CampaignReport build_report(const CampaignResult& result) {
@@ -38,15 +26,17 @@ CampaignReport build_report(const CampaignResult& result) {
   report.makespan_seconds = result.makespan_seconds;
   report.speedup = result.speedup();
 
-  // Collect discoveries per subsystem, ordered by campaign timeline so the
-  // dedup representative is the campaign's true first finder.
-  std::map<char, std::vector<Discovery>> by_subsystem;
-  std::vector<char> subsystem_order;
+  // Collect discoveries per (subsystem, fabric scenario), ordered by
+  // campaign timeline so the dedup representative is the campaign's true
+  // first finder.  Scenarios are distinct search spaces: their MFS regions
+  // never dedup against each other.
+  using GroupKey = std::pair<char, std::string>;
+  std::map<GroupKey, std::vector<Discovery>> by_group;
+  std::vector<GroupKey> group_order;
   for (const CellResult& cr : result.cells) {
-    if (by_subsystem.find(cr.cell.subsystem) == by_subsystem.end()) {
-      subsystem_order.push_back(cr.cell.subsystem);
-    }
-    auto& list = by_subsystem[cr.cell.subsystem];
+    const GroupKey key{cr.cell.subsystem, cr.cell.fabric};
+    if (by_group.find(key) == by_group.end()) group_order.push_back(key);
+    auto& list = by_group[key];
     for (const core::FoundAnomaly& f : cr.result.found) {
       list.push_back(
           Discovery{&cr, &f, cr.start_seconds + f.found_at_seconds});
@@ -54,9 +44,11 @@ CampaignReport build_report(const CampaignResult& result) {
     report.total_experiments += cr.result.experiments;
   }
 
-  for (const char sys : subsystem_order) {
-    const core::SearchSpace space(sim::subsystem(sys));
-    auto& discoveries = by_subsystem[sys];
+  for (const GroupKey& key : group_order) {
+    const auto& [sys, fabric] = key;
+    const core::SearchSpace space(sim::with_fabric(
+        sim::subsystem(sys), net::fabric_scenario(fabric)));
+    auto& discoveries = by_group[key];
     std::stable_sort(discoveries.begin(), discoveries.end(),
                      [](const Discovery& a, const Discovery& b) {
                        return a.campaign_t < b.campaign_t;
@@ -67,7 +59,8 @@ CampaignReport build_report(const CampaignResult& result) {
       bool merged = false;
       for (const std::size_t ri : rep_indices) {
         DedupedAnomaly& rep = report.anomalies[ri];
-        if (same_region(space, rep.representative, d.found->mfs)) {
+        if (core::same_anomaly_region(space, rep.representative,
+                                      d.found->mfs)) {
           rep.occurrences += 1;
           merged = true;
           break;
@@ -76,6 +69,7 @@ CampaignReport build_report(const CampaignResult& result) {
       if (merged) continue;
       DedupedAnomaly rep;
       rep.subsystem = sys;
+      rep.fabric = fabric;
       rep.symptom = d.found->mfs.symptom;
       rep.representative = d.found->mfs;
       rep.dominant = d.found->dominant;
@@ -88,9 +82,10 @@ CampaignReport build_report(const CampaignResult& result) {
 
     SubsystemCoverage cov;
     cov.subsystem = sys;
+    cov.fabric = fabric;
     cov.distinct_anomalies = static_cast<int>(rep_indices.size());
     for (const CellResult& cr : result.cells) {
-      if (cr.cell.subsystem != sys) continue;
+      if (cr.cell.subsystem != sys || cr.cell.fabric != fabric) continue;
       cov.cells += 1;
       cov.experiments += cr.result.experiments;
       cov.anomalies_found += static_cast<int>(cr.result.found.size());
@@ -111,11 +106,11 @@ CampaignReport build_report(const CampaignResult& result) {
 std::string CampaignReport::render() const {
   std::ostringstream os;
 
-  TextTable cov({"sys", "cells", "experiments", "found", "distinct", "skips",
-                 "cross-skips", "testbed-hours"});
+  TextTable cov({"sys", "fabric", "cells", "experiments", "found",
+                 "distinct", "skips", "cross-skips", "testbed-hours"});
   for (const SubsystemCoverage& c : coverage) {
-    cov.add_row({std::string(1, c.subsystem), std::to_string(c.cells),
-                 std::to_string(c.experiments),
+    cov.add_row({std::string(1, c.subsystem), c.fabric,
+                 std::to_string(c.cells), std::to_string(c.experiments),
                  std::to_string(c.anomalies_found),
                  std::to_string(c.distinct_anomalies),
                  std::to_string(c.mfs_skips),
@@ -124,11 +119,12 @@ std::string CampaignReport::render() const {
   }
   os << "Per-subsystem coverage\n" << cov.render() << "\n";
 
-  TextTable an({"sys", "symptom", "first cell", "found at (h)", "hits",
-                "conditions"});
+  TextTable an({"sys", "fabric", "symptom", "first cell", "found at (h)",
+                "hits", "conditions"});
   for (const DedupedAnomaly& a : anomalies) {
-    an.add_row({std::string(1, a.subsystem), core::to_string(a.symptom),
-                a.first_cell, fmt_double(a.first_found_at / 3600.0, 2),
+    an.add_row({std::string(1, a.subsystem), a.fabric,
+                core::to_string(a.symptom), a.first_cell,
+                fmt_double(a.first_found_at / 3600.0, 2),
                 std::to_string(a.occurrences),
                 std::to_string(a.representative.conditions.size())});
   }
@@ -165,6 +161,7 @@ std::string CampaignReport::to_json() const {
   for (const SubsystemCoverage& c : coverage) {
     json.begin_object();
     json.field("subsystem", std::string(1, c.subsystem));
+    json.field("fabric", c.fabric);
     json.field("cells", c.cells);
     json.field("experiments", c.experiments);
     json.field("anomalies_found", c.anomalies_found);
@@ -179,6 +176,7 @@ std::string CampaignReport::to_json() const {
   for (const DedupedAnomaly& a : anomalies) {
     json.begin_object();
     json.field("subsystem", std::string(1, a.subsystem));
+    json.field("fabric", a.fabric);
     json.field("symptom", core::to_string(a.symptom));
     json.field("first_cell", a.first_cell);
     json.field("first_found_at_seconds", a.first_found_at);

@@ -16,6 +16,7 @@ namespace collie::orchestrator {
 // the other's witness.
 struct DedupedAnomaly {
   char subsystem = '?';
+  std::string fabric = "pair";    // fabric scenario the discovery ran under
   core::Symptom symptom = core::Symptom::kNone;
   core::Mfs representative;       // first discovery's MFS
   sim::Bottleneck dominant = sim::Bottleneck::kNone;
@@ -24,8 +25,12 @@ struct DedupedAnomaly {
   double first_found_at = 0.0;    // campaign-timeline seconds
 };
 
+// Coverage rolls up per (subsystem, fabric scenario): an MFS region is only
+// meaningful within one scenario's search space, so scenarios never dedup
+// against each other.
 struct SubsystemCoverage {
   char subsystem = '?';
+  std::string fabric = "pair";
   int cells = 0;
   int experiments = 0;
   int anomalies_found = 0;   // raw discoveries

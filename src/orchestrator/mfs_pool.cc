@@ -51,12 +51,10 @@ int ConcurrentMfsPool::insert(const std::string& scope,
   std::vector<Entry>& entries = scopes_[scope];
   // Two workers can race past their covers() checks and extract overlapping
   // MFSes for the same region.  Keep both — each is a valid explanation and
-  // the campaign report dedupes — but count the overlap for the stats.
-  // Same symmetric overlap criterion the campaign report dedupes by.
+  // the campaign report dedupes — but count the overlap for the stats,
+  // using the exact criterion the report dedupes by.
   for (const Entry& e : entries) {
-    if (e.mfs.symptom == mfs.symptom &&
-        (e.mfs.matches(space, mfs.witness) ||
-         mfs.matches(space, e.mfs.witness))) {
+    if (core::same_anomaly_region(space, e.mfs, mfs)) {
       duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
       break;
     }

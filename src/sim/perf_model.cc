@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "net/fabric.h"
 #include "net/wire.h"
 #include "nic/pfc.h"
 
@@ -41,6 +42,8 @@ const char* to_string(Bottleneck b) {
       return "nic_incast";
     case Bottleneck::kMtuSchedulerQuirk:
       return "mtu_scheduler_quirk";
+    case Bottleneck::kFabricCongestion:
+      return "fabric_congestion";
     case Bottleneck::kCount:
       break;
   }
@@ -113,16 +116,21 @@ struct BuiltModel {
   std::vector<Resource> resources;
 };
 
-double path_factor(const Subsystem& sys, const topo::MemPlacement& mem) {
-  return sys.host.path_to_nic(mem).bandwidth_factor;
+// DMA-path lookups resolve against the host the placement lives on: host A
+// and host B may be different platforms under scenario fabrics.
+double path_factor(const Subsystem& sys, int host,
+                   const topo::MemPlacement& mem) {
+  return sys.host_of(host).path_to_nic(mem).bandwidth_factor;
 }
 
-bool crosses_socket(const Subsystem& sys, const topo::MemPlacement& mem) {
-  return sys.host.path_to_nic(mem).crosses_socket;
+bool crosses_socket(const Subsystem& sys, int host,
+                    const topo::MemPlacement& mem) {
+  return sys.host_of(host).path_to_nic(mem).crosses_socket;
 }
 
-bool via_root_complex(const Subsystem& sys, const topo::MemPlacement& mem) {
-  return sys.host.path_to_nic(mem).via_root_complex;
+bool via_root_complex(const Subsystem& sys, int host,
+                      const topo::MemPlacement& mem) {
+  return sys.host_of(host).path_to_nic(mem).via_root_complex;
 }
 
 // ---- Per-flow mechanism coefficients ------------------------------------
@@ -345,6 +353,14 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
   const double pkt_time_ns = 1e9 / nicm.max_pps;
   (void)pkt_time_ns;
 
+  // Non-trivial fabrics add switch-port constraints; the paper's identical
+  // pair must keep the seed's resource set bit-for-bit.
+  const bool scenario_fabric = !sys.fabric.trivial_pair(nicm.line_rate_bps);
+  // k identical senders share host B: B-side resources see k times one
+  // sender's demand, and the solver yields the per-sender rate.
+  const double fan_in =
+      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
+
   auto add = [&m](Resource r) { m.resources.push_back(std::move(r)); };
 
   for (int h = 0; h < 2; ++h) {
@@ -355,16 +371,38 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
       if (f.dst == h) rx_here = true;
     }
     if (!tx_here && !rx_here) continue;
+    // Aggregation multiplier for every coefficient charged to this host.
+    const double agg = h == 1 ? fan_in : 1.0;
 
     // ---- Wire egress ----
     {
       Resource r;
       r.name = std::string("wire_out[") + char('A' + h) + "]";
       r.tag = Bottleneck::kNone;  // wire-limited is the healthy case
-      r.capacity = nicm.line_rate_bps;
+      r.capacity = std::min(nicm.line_rate_bps, sys.fabric.port_rate(h));
       for (std::size_t i = 0; i < flows.size(); ++i) {
         if (flows[i].src == h && !flows[i].is_loop) {
-          r.coeff[i] = flows[i].wire_bytes_per_msg * 8.0;
+          r.coeff[i] = agg * flows[i].wire_bytes_per_msg * 8.0;
+        }
+      }
+      add(r);
+    }
+
+    // ---- Wire ingress through the switch (scenario fabrics only) ----
+    // Into host B this is the per-aggregate share of min(receiver port, ToR
+    // uplink); into host A it is A's own port.  Binding here is fabric
+    // congestion: the switch backpressures the senders with PFC.
+    if (scenario_fabric && rx_here) {
+      Resource r;
+      r.name = std::string("wire_in[") + char('A' + h) + "]";
+      r.tag = Bottleneck::kFabricCongestion;
+      r.rx_stall = true;
+      r.pause_port = h;
+      r.capacity = h == 1 ? fan_in * sys.fabric.receiver_share_bps()
+                          : sys.fabric.port_rate(0);
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (flows[i].dst == h && !flows[i].is_loop) {
+          r.coeff[i] = agg * flows[i].wire_bytes_per_msg * 8.0;
         }
       }
       add(r);
@@ -413,7 +451,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
             r.tag = Bottleneck::kRequestTracker;
           }
         }
-        r.coeff[i] = c;
+        r.coeff[i] = agg * c;
       }
       add(r);
     }
@@ -429,7 +467,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         const Flow& f = flows[i];
         double bytes = 0.0;
         if (f.src == h) {
-          bytes += f.bytes_per_msg / path_factor(sys, f.src_mem);
+          bytes += f.bytes_per_msg / path_factor(sys, h, f.src_mem);
         }
         if (f.initiator == h) {
           bytes += f.wqe_bytes;
@@ -437,7 +475,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         if (f.dst == h && f.is_send) {
           bytes += 64.0 * (f.steady_miss + f.burst_miss);
         }
-        r.coeff[i] = bytes * 8.0;
+        r.coeff[i] = agg * bytes * 8.0;
       }
       add(r);
     }
@@ -453,7 +491,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         if (f.dst == h) {
           load.small_write_rate += f.qps > 0 ? f.smalls_per_msg : 0.0;
           load.large_write_rate += f.larges_per_msg;
-          if (via_root_complex(sys, f.dst_mem)) rc_amp = 2.0;
+          if (via_root_complex(sys, h, f.dst_mem)) rc_amp = 2.0;
         }
         if (f.src == h) load.completion_rate += 1.0;
       }
@@ -471,13 +509,13 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         const Flow& f = flows[i];
         double bytes = 0.0;
         if (f.dst == h) {
-          const double pf = path_factor(sys, f.dst_mem);
+          const double pf = path_factor(sys, h, f.dst_mem);
           worst_path = std::min(worst_path, pf);
           bytes += f.bytes_per_msg / pf + 64.0;  // data + CQE
         } else if (f.initiator == h) {
           bytes += 64.0;  // completion of egress traffic
         }
-        r.coeff[i] = bytes * 8.0;
+        r.coeff[i] = agg * bytes * 8.0;
       }
       if (stall > 0.05) {
         r.tag = Bottleneck::kPcieOrdering;
@@ -493,32 +531,32 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     {
       bool any_cross = false;
       for (const Flow& f : flows) {
-        if ((f.src == h && crosses_socket(sys, f.src_mem)) ||
-            (f.dst == h && crosses_socket(sys, f.dst_mem))) {
+        if ((f.src == h && crosses_socket(sys, h, f.src_mem)) ||
+            (f.dst == h && crosses_socket(sys, h, f.dst_mem))) {
           any_cross = true;
         }
       }
       if (any_cross) {
         const bool bidir_cross = tx_here && rx_here;
         const double quality =
-            bidir_cross ? sys.host.cross_socket_quality : 1.0;
+            bidir_cross ? sys.host_of(h).cross_socket_quality : 1.0;
         Resource in;
         in.name = std::string("xsocket_in[") + char('A' + h) + "]";
         in.tag = Bottleneck::kHostTopologyPath;
         in.rx_stall = true;
         in.pause_port = h;
-        in.capacity = sys.host.cross_socket_bw_bps * quality;
+        in.capacity = sys.host_of(h).cross_socket_bw_bps * quality;
         Resource out;
         out.name = std::string("xsocket_out[") + char('A' + h) + "]";
         out.tag = Bottleneck::kHostTopologyPath;
-        out.capacity = sys.host.cross_socket_bw_bps * quality;
+        out.capacity = sys.host_of(h).cross_socket_bw_bps * quality;
         for (std::size_t i = 0; i < flows.size(); ++i) {
           const Flow& f = flows[i];
-          if (f.dst == h && crosses_socket(sys, f.dst_mem)) {
-            in.coeff[i] = f.bytes_per_msg * 8.0;
+          if (f.dst == h && crosses_socket(sys, h, f.dst_mem)) {
+            in.coeff[i] = agg * f.bytes_per_msg * 8.0;
           }
-          if (f.src == h && crosses_socket(sys, f.src_mem)) {
-            out.coeff[i] = f.bytes_per_msg * 8.0;
+          if (f.src == h && crosses_socket(sys, h, f.src_mem)) {
+            out.coeff[i] = agg * f.bytes_per_msg * 8.0;
           }
         }
         add(in);
@@ -535,7 +573,9 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
       r.pause_port = h;
       r.capacity = nicm.line_rate_bps * 1.4;
       for (std::size_t i = 0; i < flows.size(); ++i) {
-        if (flows[i].dst == h) r.coeff[i] = flows[i].bytes_per_msg * 8.0;
+        if (flows[i].dst == h) {
+          r.coeff[i] = agg * flows[i].bytes_per_msg * 8.0;
+        }
       }
       add(r);
       if (q.loopback_rate_limiter) {
@@ -545,7 +585,9 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         // The limiter must leave PCIe-write headroom even on gen3 slots.
         lim.capacity = nicm.line_rate_bps * 0.15;
         for (std::size_t i = 0; i < flows.size(); ++i) {
-          if (flows[i].is_loop) lim.coeff[i] = flows[i].bytes_per_msg * 8.0;
+          if (flows[i].is_loop) {
+            lim.coeff[i] = agg * flows[i].bytes_per_msg * 8.0;
+          }
         }
         add(lim);
       }
@@ -561,7 +603,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
       for (std::size_t i = 0; i < flows.size(); ++i) {
         const Flow& f = flows[i];
         if (f.initiator == h) {
-          r.coeff[i] = f.qpc_miss_exposed + f.mtt_miss_exposed;
+          r.coeff[i] = agg * (f.qpc_miss_exposed + f.mtt_miss_exposed);
           qpc_total += f.qpc_miss_exposed;
           mtt_total += f.mtt_miss_exposed;
         }
@@ -675,7 +717,13 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   // Utilization against the anomaly-definition upper bounds, using
   // *delivered* traffic (what the application observes).  The wire bound is
   // per direction; the packets/s spec bound is per NIC, so a bidirectional
-  // workload counts both directions against one engine.
+  // workload counts both directions against one engine.  Scenario fabrics
+  // lower the achievable bounds (slower ports, fan-in shares): a workload
+  // saturating its fair share of the fabric is healthy, not anomalous.
+  const bool scenario_fabric =
+      !sys.fabric.trivial_pair(sys.nicm.line_rate_bps);
+  const double fan_in =
+      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
   double wire_util = 0.0;
   for (int d = 0; d < 2; ++d) {
     if (dir_offered[d] <= 0.0) continue;
@@ -683,7 +731,9 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         dir_wire[d] * (dir_goodput[d] > 0
                            ? dir_delivered[d] / dir_goodput[d]
                            : 1.0);
-    wire_util = std::max(wire_util, deliv_wire / sys.wire_bps_cap());
+    // Direction 0 lands in host 1 and vice versa.
+    const double cap = sys.dir_wire_cap(d == 0 ? 1 : 0);
+    wire_util = std::max(wire_util, deliv_wire / cap);
   }
   double pps_util = 0.0;
   for (int h = 0; h < 2; ++h) {
@@ -694,7 +744,10 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         host_pps += f.rate * (1.0 - f.steady_loss) * f.pkts_per_msg;
       }
     }
-    pps_util = std::max(pps_util, host_pps / sys.pps_cap());
+    // Host B's packet engine is split across the fan-in senders; the fair
+    // per-sender bound is 1/k of the spec.
+    const double cap = h == 1 ? sys.pps_cap() / fan_in : sys.pps_cap();
+    pps_util = std::max(pps_util, host_pps / cap);
   }
   out.wire_utilization = wire_util;
   out.pps_utilization = pps_util;
@@ -726,6 +779,20 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     rx_stalled[h] = arrival_bps[h] > drain_bps[h] * 1.02;
   }
 
+  // Pause duration the fabric alone would produce: what the senders offer
+  // against the switch-path capacity, before any NIC-internal receive limit.
+  // The monitor treats this share as *expected* congestion, not an anomaly.
+  if (scenario_fabric) {
+    const double cap_in[2] = {sys.fabric.port_rate(0),
+                              sys.fabric.receiver_share_bps()};
+    for (int h = 0; h < 2; ++h) {
+      if (arrival_bps[h] > cap_in[h] && arrival_bps[h] > 0.0) {
+        out.fabric_pause_ratio = std::max(
+            out.fabric_pause_ratio, 1.0 - cap_in[h] / arrival_bps[h]);
+      }
+    }
+  }
+
   if (binding >= 0) {
     const Resource& b = model.resources[static_cast<std::size_t>(binding)];
     if (b.utilization(flows) > 0.999 && b.tag != Bottleneck::kNone) {
@@ -755,6 +822,10 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   pfc_params.buffer_bytes = sys.nicm.rx_buffer_bytes;
   double pause_accum = 0.0;
   double pause_time = 0.0;
+  // Per-port pause bookkeeping across the whole fabric.  The headline
+  // pause_duration_ratio keeps the seed's accounting (worst port per epoch,
+  // averaged over post-warmup epochs); the fabric tracks each port.
+  net::Fabric fabric(sys.fabric);
   std::vector<CounterSample> steady_samples;
 
   // Pre-compute steady counter values (per second).
@@ -838,6 +909,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     }
 
     double worst_pause = 0.0;
+    double host_duty[2] = {0.0, 0.0};
     double occupancy = 0.0;
     for (int h = 0; h < 2; ++h) {
       if (!rx_stalled[h] || arrival_bps[h] <= 0.0) continue;
@@ -847,6 +919,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
           drain_bps[h] * std::max(0.2, rng.normal(1.0, cfg.jitter));
       if (arrive <= drain) continue;
       const double duty = 1.0 - drain / arrive;
+      host_duty[h] = duty;
       worst_pause = std::max(worst_pause, duty);
       // While pausing, occupancy oscillates between XON and XOFF.
       occupancy = std::max(
@@ -865,11 +938,20 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
       pause_accum += worst_pause * cfg.epoch_dt;
       pause_time += cfg.epoch_dt;
       steady_samples.push_back(es.counters);
+      // Every fan-in sender mirrors host A's port by symmetry.
+      for (int p = 0; p < fabric.num_ports(); ++p) {
+        fabric.record_pause(p, cfg.epoch_dt, host_duty[p == 1 ? 1 : 0]);
+      }
     }
     out.epochs.push_back(std::move(es));
   }
 
   out.pause_duration_ratio = pause_time > 0 ? pause_accum / pause_time : 0.0;
+  out.port_pause_ratio.resize(static_cast<std::size_t>(fabric.num_ports()));
+  for (int p = 0; p < fabric.num_ports(); ++p) {
+    out.port_pause_ratio[static_cast<std::size_t>(p)] =
+        fabric.pause_duration_ratio(p);
+  }
   out.counters = CounterSample::average(steady_samples);
   return out;
 }

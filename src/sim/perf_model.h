@@ -40,6 +40,7 @@ enum class Bottleneck {
   kHostTopologyPath,      // root cause #5 (anomalies #11, #12)
   kNicIncast,             // root cause #6 (anomaly #13)
   kMtuSchedulerQuirk,     // anomaly #14
+  kFabricCongestion,      // switch port / ToR fan-in bound (scenario fabric)
   kCount,
 };
 
@@ -67,7 +68,15 @@ struct SimResult {
   double rx_wire_bps = 0.0;
   double tx_pps = 0.0;
   double rx_pps = 0.0;
-  double pause_duration_ratio = 0.0;  // max over the two switch ports
+  double pause_duration_ratio = 0.0;  // max over the host-pair switch ports
+  // Pause duration the fabric alone explains (overcommitted port rates /
+  // ToR fan-in).  Zero on the paper's trivial identical pair; the anomaly
+  // monitor discounts this share so scenario fabrics don't drown the search
+  // in expected congestion pause.
+  double fabric_pause_ratio = 0.0;
+  // Per-port pause accounting across the whole fabric (0 = host A, 1 =
+  // host B, 2.. = extra fan-in senders mirroring port 0).
+  std::vector<double> port_pause_ratio;
 
   // Fraction of the anomaly-definition upper bounds actually achieved:
   // wire bits/s against line rate, packets/s against the spec pps cap.

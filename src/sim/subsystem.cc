@@ -1,5 +1,6 @@
 #include "sim/subsystem.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -137,10 +138,20 @@ Subsystem make_h() {
   return s;
 }
 
+// Pair the subsystem with an identical host B on a line-rate switch — the
+// paper's testbed shape — after the factory applied its platform quirks.
+Subsystem finalize(Subsystem s) {
+  s.host_b = s.host;
+  s.fabric = net::FabricSpec::identical_pair(s.nicm.line_rate_bps);
+  return s;
+}
+
 const std::map<char, Subsystem>& catalog() {
   static const std::map<char, Subsystem> kCatalog = {
-      {'A', make_a()}, {'B', make_b()}, {'C', make_c()}, {'D', make_d()},
-      {'E', make_e()}, {'F', make_f()}, {'G', make_g()}, {'H', make_h()},
+      {'A', finalize(make_a())}, {'B', finalize(make_b())},
+      {'C', finalize(make_c())}, {'D', finalize(make_d())},
+      {'E', finalize(make_e())}, {'F', finalize(make_f())},
+      {'G', finalize(make_g())}, {'H', finalize(make_h())},
   };
   return kCatalog;
 }
@@ -159,6 +170,31 @@ std::vector<char> all_subsystem_ids() {
   std::vector<char> ids;
   for (const auto& [id, _] : catalog()) ids.push_back(id);
   return ids;
+}
+
+double Subsystem::dir_wire_cap(int dst_host) const {
+  // Both directions traverse host A's port and host B's fan-in section:
+  // toward B the senders share min(receiver port, ToR uplink), and toward A
+  // host B's egress is shared by every sender's reverse traffic, so one
+  // sender's achievable rate is the same share either way.
+  (void)dst_host;
+  return std::min({nicm.line_rate_bps, fabric.port_rate(0),
+                   fabric.receiver_share_bps()});
+}
+
+Subsystem with_fabric(const Subsystem& base,
+                      const net::FabricScenario& scenario) {
+  Subsystem s = base;
+  s.fabric = scenario.materialize(base.nicm.line_rate_bps);
+  if (!scenario.host_b_topology.empty()) {
+    topo::HostTopology host_b;
+    if (!topo::host_by_name(scenario.host_b_topology, &host_b)) {
+      throw std::out_of_range("unknown host topology: " +
+                              scenario.host_b_topology);
+    }
+    s.host_b = host_b;
+  }
+  return s;
 }
 
 std::string Subsystem::summary() const {

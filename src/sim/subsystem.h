@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "mem/memory_model.h"
+#include "net/fabric.h"
 #include "nic/nic_model.h"
 #include "pcie/pcie.h"
 #include "topo/host_topology.h"
@@ -16,7 +17,14 @@ namespace collie::sim {
 struct Subsystem {
   char id = 'F';
   nic::NicModel nicm;
-  topo::HostTopology host;
+  topo::HostTopology host;    // host A
+  // Host B of the experiment pair.  The Table 1 catalog pairs identical
+  // hosts (the paper's testbed); fabric scenarios may substitute another
+  // platform here (see with_fabric).
+  topo::HostTopology host_b;
+  // Switch ports / fan-in between the hosts; the catalog default is the
+  // trivial identical pair at NIC line rate.
+  net::FabricSpec fabric;
   pcie::LinkSpec link;
   mem::MemoryModel memory;
   std::string cpu_label;  // "Intel(R) Xeon(R) CPU 3" — blinded like Table 1
@@ -24,10 +32,19 @@ struct Subsystem {
   std::string kernel;
   u64 dram_bytes = 768ULL * GiB;
 
+  const topo::HostTopology& host_of(int h) const {
+    return h == 0 ? host : host_b;
+  }
+
   // Anomaly-definition upper bounds (§3): an un-anomalous subsystem is
   // bottlenecked either by wire bits/s or by packets/s per the NIC spec.
   double wire_bps_cap() const { return nicm.line_rate_bps; }
   double pps_cap() const { return nicm.max_pps; }
+
+  // Achievable wire rate toward `dst_host` once the fabric is in the
+  // picture: NIC line rate capped by the source and destination port rates
+  // and, toward host B, by this sender's share of the ToR fan-in section.
+  double dir_wire_cap(int dst_host) const;
 
   std::string summary() const;
 };
@@ -36,5 +53,11 @@ struct Subsystem {
 // the paper's testbed.
 const Subsystem& subsystem(char id);  // 'A'..'H'
 std::vector<char> all_subsystem_ids();
+
+// Apply a fabric scenario to a catalog subsystem: materializes per-port
+// rates against the subsystem's line rate and swaps host B's platform when
+// the scenario names one.  The "pair" scenario reproduces `base` exactly.
+Subsystem with_fabric(const Subsystem& base,
+                      const net::FabricScenario& scenario);
 
 }  // namespace collie::sim

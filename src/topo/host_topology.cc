@@ -167,4 +167,38 @@ HostTopology amd_2socket_nps2() {
   return h;
 }
 
+namespace {
+
+struct NamedFactory {
+  const char* name;
+  HostTopology (*make)();
+};
+
+constexpr NamedFactory kHostFactories[] = {
+    {"intel_1socket", intel_1socket},
+    {"intel_2socket", intel_2socket},
+    {"intel_2socket_gpu", intel_2socket_gpu},
+    {"intel_2socket_a100", intel_2socket_a100},
+    {"amd_1socket_a100", amd_1socket_a100},
+    {"amd_2socket_nps2", amd_2socket_nps2},
+};
+
+}  // namespace
+
+bool host_by_name(const std::string& name, HostTopology* out) {
+  for (const NamedFactory& f : kHostFactories) {
+    if (name == f.name) {
+      if (out != nullptr) *out = f.make();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> host_topology_names() {
+  std::vector<std::string> out;
+  for (const NamedFactory& f : kHostFactories) out.emplace_back(f.name);
+  return out;
+}
+
 }  // namespace collie::topo

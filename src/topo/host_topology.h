@@ -116,4 +116,10 @@ HostTopology amd_1socket_a100();
 // weak cross-socket path of anomaly #11.
 HostTopology amd_2socket_nps2();
 
+// Factory lookup by name ("intel_2socket", ...), used by fabric scenarios to
+// pair heterogeneous hosts.  Returns false and leaves `out` untouched for an
+// unknown name.
+bool host_by_name(const std::string& name, HostTopology* out);
+std::vector<std::string> host_topology_names();
+
 }  // namespace collie::topo

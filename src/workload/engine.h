@@ -37,6 +37,11 @@ struct Measurement {
 
   // Primary metrics (§5.2: throughput and pause duration).
   double pause_duration_ratio = 0.0;
+  // Pause share explained by the fabric scenario itself (port-rate mismatch
+  // or ToR fan-in); the monitor discounts it.  Zero on the paper's testbed.
+  // (Per-port pause stays on sim::SimResult — the monitor only needs the
+  // fabric-explained share.)
+  double fabric_pause_ratio = 0.0;
   double wire_utilization = 0.0;
   double pps_utilization = 0.0;
   double rx_goodput_bps = 0.0;

@@ -107,6 +107,68 @@ TEST(Bo, EncodingIsNormalized) {
   }
 }
 
+// Regression for the no-op guidance path: the seed's BO produced runs
+// byte-identical to plain random search at short budgets (subsystem F,
+// 90-150 sim-minutes) because the per-phase random re-seeding plus MFS
+// extraction consumed every phase deadline before a single EI-selected
+// candidate reached the engine.
+TEST(Bo, DivergesFromRandomAtShortBudgets) {
+  workload::EngineOptions opts;
+  opts.run_functional_pass = false;
+  const sim::Subsystem& sys = sim::subsystem('F');
+  workload::Engine engine(sys, opts);
+  core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  core::SearchBudget budget;
+  budget.seconds = 90 * 60.0;
+
+  for (const u64 seed : {u64{3}, u64{7}}) {
+    Rng rng_random(seed);
+    const core::SearchResult random = driver.run_random(budget, rng_random);
+    Rng rng_bo(seed);
+    const core::SearchResult bo = run_bayesian_optimization(
+        engine, space, core::AnomalyMonitor{}, BoConfig{}, budget, rng_bo);
+
+    // The guided search must consult its surrogate: EI-skipped candidates
+    // show up as MatchMFS hits random search cannot produce this way.
+    EXPECT_GT(bo.mfs_skips, 0) << "seed " << seed;
+    // And the measured experiment sequence must differ from random's.
+    const bool same_shape = bo.experiments == random.experiments &&
+                            bo.trace.size() == random.trace.size() &&
+                            bo.elapsed_seconds == random.elapsed_seconds;
+    EXPECT_FALSE(same_shape) << "seed " << seed
+                             << ": bo is byte-identical to random";
+  }
+}
+
+// Figure 4's premise: MFS-enhanced BO is at parity or better with random
+// input generation on discoveries per budget.  Aggregated over seeds so a
+// single lucky random run cannot flip the comparison.
+TEST(Bo, ParityOrBetterDiscoveriesPerBudget) {
+  workload::EngineOptions opts;
+  opts.run_functional_pass = false;
+  const sim::Subsystem& sys = sim::subsystem('F');
+  workload::Engine engine(sys, opts);
+  core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  core::SearchBudget budget;
+  budget.seconds = 120 * 60.0;
+
+  std::size_t random_found = 0;
+  std::size_t bo_found = 0;
+  for (const u64 seed : {u64{1}, u64{2}, u64{3}}) {
+    Rng rng_random(seed);
+    random_found += driver.run_random(budget, rng_random).found.size();
+    Rng rng_bo(seed);
+    bo_found += run_bayesian_optimization(engine, space,
+                                          core::AnomalyMonitor{}, BoConfig{},
+                                          budget, rng_bo)
+                    .found.size();
+  }
+  EXPECT_GE(bo_found, random_found);
+  EXPECT_GT(bo_found, 0u);
+}
+
 TEST(Bo, RunsWithinBudget) {
   workload::EngineOptions opts;
   opts.run_functional_pass = false;

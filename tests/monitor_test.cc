@@ -61,5 +61,26 @@ TEST(Monitor, ThresholdsConfigurable) {
   EXPECT_TRUE(mon.judge(measurement(0.0, 0.4, 0.1)).anomalous());
 }
 
+TEST(Monitor, FabricExplainedPauseIsDiscounted) {
+  AnomalyMonitor mon;
+  // A 4:1 fan-in explains a 75% pause duty: that much (plus a small jitter
+  // margin) is expected congestion, not a subsystem anomaly.
+  workload::Measurement m = measurement(0.7505, 0.9, 0.1);
+  m.fabric_pause_ratio = 0.75;
+  EXPECT_FALSE(mon.judge(m).anomalous());
+
+  // But a subsystem stall riding on top of the congested fabric still must
+  // surface — the allowance is a margin on the fabric share, not a
+  // multiplier that swallows the whole duty cycle.
+  m.pause_duration_ratio = 0.773;
+  EXPECT_EQ(mon.judge(m).symptom, Symptom::kPauseFrames);
+
+  // Zero fabric share reproduces the seed thresholds exactly.
+  workload::Measurement clean = measurement(0.002, 0.99, 0.5);
+  EXPECT_EQ(mon.judge(clean).symptom, Symptom::kPauseFrames);
+  clean.pause_duration_ratio = 0.0005;
+  EXPECT_FALSE(mon.judge(clean).anomalous());
+}
+
 }  // namespace
 }  // namespace collie::core

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/fabric.h"
 #include "net/wire.h"
 
@@ -33,14 +35,78 @@ TEST(Wire, RoundTripConversions) {
 
 TEST(Fabric, PauseAccounting) {
   Fabric f(FabricSpec{});
-  f.record_pause(0, 1.0, 0.25);
-  f.record_pause(0, 1.0, 0.75);
-  f.record_pause(1, 2.0, 0.0);
+  EXPECT_TRUE(f.record_pause(0, 1.0, 0.25));
+  EXPECT_TRUE(f.record_pause(0, 1.0, 0.75));
+  EXPECT_TRUE(f.record_pause(1, 2.0, 0.0));
   EXPECT_DOUBLE_EQ(f.pause_duration_ratio(0), 0.5);
   EXPECT_DOUBLE_EQ(f.pause_duration_ratio(1), 0.0);
   EXPECT_DOUBLE_EQ(f.pause_seconds(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_pause_duration_ratio(), 0.5);
   f.reset();
   EXPECT_DOUBLE_EQ(f.pause_duration_ratio(0), 0.0);
+}
+
+// The seed guarded port indices with assert() alone, which Release builds
+// compile out: an out-of-range port silently corrupted the neighbouring
+// port's accounting.  Bounds are now real behaviour in every build type.
+TEST(Fabric, RejectsOutOfRangePorts) {
+  Fabric f(FabricSpec{});
+  EXPECT_FALSE(f.record_pause(-1, 1.0, 0.5));
+  EXPECT_FALSE(f.record_pause(2, 1.0, 0.5));
+  EXPECT_DOUBLE_EQ(f.pause_seconds(-1), 0.0);
+  EXPECT_DOUBLE_EQ(f.pause_seconds(2), 0.0);
+  EXPECT_DOUBLE_EQ(f.total_seconds(7), 0.0);
+  EXPECT_DOUBLE_EQ(f.pause_duration_ratio(-3), 0.0);
+  // Valid ports are untouched by the rejected calls.
+  EXPECT_DOUBLE_EQ(f.pause_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.pause_seconds(1), 0.0);
+}
+
+TEST(FabricSpec, FactoriesAndShares) {
+  const FabricSpec pair = FabricSpec::identical_pair(gbps(200));
+  EXPECT_EQ(pair.num_ports(), 2);
+  EXPECT_TRUE(pair.trivial_pair(gbps(200)));
+  EXPECT_DOUBLE_EQ(pair.receiver_share_bps(), gbps(200));
+
+  const FabricSpec hetero =
+      FabricSpec::heterogeneous_pair(gbps(200), gbps(100));
+  EXPECT_FALSE(hetero.trivial_pair(gbps(200)));
+  EXPECT_DOUBLE_EQ(hetero.port_rate(0), gbps(200));
+  EXPECT_DOUBLE_EQ(hetero.port_rate(1), gbps(100));
+  EXPECT_DOUBLE_EQ(hetero.port_rate(2), 0.0);  // out of range
+  EXPECT_DOUBLE_EQ(hetero.receiver_share_bps(), gbps(100));
+
+  const FabricSpec fanin =
+      FabricSpec::tor_fanin(4, gbps(200), gbps(200), 4.0);
+  EXPECT_EQ(fanin.num_ports(), 5);  // host A + host B + 3 co-senders
+  EXPECT_EQ(fanin.fan_in, 4);
+  EXPECT_FALSE(fanin.trivial_pair(gbps(200)));
+  EXPECT_DOUBLE_EQ(fanin.uplink_bps(), gbps(200));
+  EXPECT_DOUBLE_EQ(fanin.receiver_share_bps(), gbps(50));
+}
+
+TEST(FabricScenario, CatalogAndMaterialize) {
+  const auto names = fabric_scenario_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "pair");
+  EXPECT_EQ(names[1], "hetero");
+  EXPECT_EQ(names[2], "fanin4");
+  EXPECT_EQ(find_fabric_scenario("no-such-fabric"), nullptr);
+  EXPECT_THROW(fabric_scenario("no-such-fabric"), std::invalid_argument);
+
+  // Scenarios scale with the subsystem's line rate.
+  const FabricSpec pair = fabric_scenario("pair").materialize(gbps(25));
+  EXPECT_TRUE(pair.trivial_pair(gbps(25)));
+
+  const FabricSpec hetero = fabric_scenario("hetero").materialize(gbps(200));
+  EXPECT_DOUBLE_EQ(hetero.port_rate(0), gbps(200));
+  EXPECT_DOUBLE_EQ(hetero.port_rate(1), gbps(100));
+  EXPECT_EQ(fabric_scenario("hetero").host_b_topology, "intel_2socket");
+
+  const FabricSpec fanin = fabric_scenario("fanin4").materialize(gbps(100));
+  EXPECT_EQ(fanin.fan_in, 4);
+  EXPECT_DOUBLE_EQ(fanin.oversubscription, 4.0);
+  EXPECT_DOUBLE_EQ(fanin.receiver_share_bps(), gbps(25));
 }
 
 }  // namespace

@@ -100,6 +100,84 @@ TEST(ConcurrentMfsPoolTest, SnapshotPreservesInsertionOrder) {
   EXPECT_EQ(snap[1].symptom, core::Symptom::kLowThroughput);
 }
 
+// ---- MFS-overlap criterion --------------------------------------------------
+
+// An MFS pinning num_qps to [lo, hi]; witnesses fall at the low edge.
+core::Mfs qps_range_mfs(core::Symptom symptom, const core::SearchSpace& space,
+                        double lo, double hi) {
+  core::Mfs mfs;
+  mfs.symptom = symptom;
+  core::FeatureCondition cond;
+  cond.feature = core::Feature::kNumQps;
+  cond.categorical = false;
+  cond.lo = lo;
+  cond.hi = hi;
+  mfs.conditions.push_back(cond);
+  Rng rng(5);
+  mfs.witness = space.random_point(rng);
+  mfs.witness.num_qps = static_cast<int>(lo);
+  space.fixup(mfs.witness);
+  return mfs;
+}
+
+// The pool's duplicate-insert accounting and the campaign report's dedup
+// must agree on what "the same anomaly region" means — both delegate to
+// core::same_anomaly_region, and this pins them to identical verdicts on
+// shared fixtures.
+TEST(MfsOverlapCriterion, PoolAndReportAgree) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  using core::Symptom;
+
+  struct Fixture {
+    core::Mfs a;
+    core::Mfs b;
+    bool overlap;
+  };
+  std::vector<Fixture> fixtures;
+  // Overlapping ranges with witnesses inside each other's region.
+  fixtures.push_back({qps_range_mfs(Symptom::kPauseFrames, space, 8, 128),
+                      qps_range_mfs(Symptom::kPauseFrames, space, 8, 64),
+                      true});
+  // Disjoint ranges.
+  fixtures.push_back({qps_range_mfs(Symptom::kPauseFrames, space, 8, 64),
+                      qps_range_mfs(Symptom::kPauseFrames, space, 512, 1024),
+                      false});
+  // Same region, different symptom: never the same anomaly.
+  fixtures.push_back({qps_range_mfs(Symptom::kPauseFrames, space, 8, 128),
+                      qps_range_mfs(Symptom::kLowThroughput, space, 8, 64),
+                      false});
+
+  for (std::size_t fi = 0; fi < fixtures.size(); ++fi) {
+    const Fixture& fx = fixtures[fi];
+    EXPECT_EQ(core::same_anomaly_region(space, fx.a, fx.b), fx.overlap)
+        << "fixture " << fi;
+
+    // Pool path: the second insert counts a duplicate iff the regions
+    // overlap.
+    ConcurrentMfsPool pool;
+    pool.insert("F", space, fx.a, 0);
+    pool.insert("F", space, fx.b, 1);
+    EXPECT_EQ(pool.stats().duplicate_inserts, fx.overlap ? 1 : 0)
+        << "fixture " << fi;
+
+    // Report path: two single-discovery cells collapse iff the regions
+    // overlap.
+    CampaignResult result;
+    for (const core::Mfs* mfs : {&fx.a, &fx.b}) {
+      CellResult cr;
+      cr.cell.subsystem = 'F';
+      cr.worker = 0;
+      core::FoundAnomaly found;
+      found.mfs = *mfs;
+      cr.result.found.push_back(std::move(found));
+      result.cells.push_back(std::move(cr));
+    }
+    const CampaignReport report = build_report(result);
+    EXPECT_EQ(report.anomalies.size(), fx.overlap ? 1u : 2u)
+        << "fixture " << fi;
+  }
+}
+
 // ---- Engine const-safety ----------------------------------------------------
 
 TEST(ParallelEvaluationTest, SharedEngineGivesIdenticalResultsAcrossThreads) {
@@ -169,6 +247,87 @@ TEST(CampaignTest, PlanIsDeterministicAndCoversTheGrid) {
   EXPECT_EQ(plan[0].label(), "B/Diag#0");
   EXPECT_EQ(plan[0].scope(ShareScope::kSubsystem), "B");
   EXPECT_EQ(plan[0].scope(ShareScope::kCell), "B/Diag#0");
+}
+
+TEST(CampaignTest, FabricScenariosAreCampaignDimensions) {
+  CampaignConfig config;
+  config.subsystems = {'F'};
+  config.fabrics = {"pair", "hetero", "fanin4"};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.seeds_per_cell = 1;
+  const Campaign campaign(config);
+
+  const auto plan = campaign.plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].label(), "F/Diag#0");  // pair keeps the seed's labels
+  EXPECT_EQ(plan[1].label(), "F@hetero/Diag#0");
+  EXPECT_EQ(plan[2].label(), "F@fanin4/Diag#0");
+  // MFS regions only transfer within one scenario's space, so even the
+  // widest scope separates scenarios.
+  EXPECT_EQ(plan[0].scope(ShareScope::kSubsystem), "F");
+  EXPECT_EQ(plan[1].scope(ShareScope::kSubsystem), "F@hetero");
+
+  // Unknown scenarios are rejected at construction.
+  CampaignConfig bad = config;
+  bad.fabrics = {"no-such-fabric"};
+  EXPECT_THROW(Campaign{bad}, std::invalid_argument);
+}
+
+// The tentpole acceptance: a campaign over the three catalog scenarios runs
+// to completion with per-scenario coverage rows, and the pair cell inside
+// the mixed campaign reproduces the standalone serial driver exactly.
+TEST(CampaignTest, ThreeFabricScenarioCampaignRunsWithPerScenarioCoverage) {
+  CampaignConfig config;
+  config.subsystems = {'F'};
+  config.fabrics = {"pair", "hetero", "fanin4"};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.budget.seconds = 2 * 3600.0;
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 1;
+  config.share = ShareScope::kCell;
+
+  const CampaignResult result = Campaign(config).run();
+  ASSERT_EQ(result.cells.size(), 3u);
+  for (const CellResult& cr : result.cells) {
+    EXPECT_GT(cr.result.experiments, 0) << cr.cell.label();
+    EXPECT_GE(cr.result.elapsed_seconds, config.budget.seconds)
+        << cr.cell.label();
+  }
+
+  const CampaignReport report = build_report(result);
+  ASSERT_EQ(report.coverage.size(), 3u);
+  EXPECT_EQ(report.coverage[0].fabric, "pair");
+  EXPECT_EQ(report.coverage[1].fabric, "hetero");
+  EXPECT_EQ(report.coverage[2].fabric, "fanin4");
+  for (const SubsystemCoverage& cov : report.coverage) {
+    EXPECT_EQ(cov.subsystem, 'F');
+    EXPECT_EQ(cov.cells, 1);
+    EXPECT_GT(cov.experiments, 0) << cov.fabric;
+  }
+  const std::string text = report.render();
+  EXPECT_NE(text.find("fanin4"), std::string::npos);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"fabric\":\"hetero\""), std::string::npos);
+
+  // Serial (1-worker) equivalence preserved: the pair cell replays a plain
+  // SearchDriver run on the unmodified catalog subsystem, stream 0.
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const workload::Engine engine(sys, fast_engine_opts());
+  const core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  core::SaConfig sa = config.sa;
+  sa.mode = core::GuidanceMode::kDiag;
+  Rng rng = Rng(config.campaign_seed).split(0);
+  const core::SearchResult serial =
+      driver.run_simulated_annealing(sa, config.budget, rng);
+  const core::SearchResult& pair_cell = result.cells[0].result;
+  EXPECT_EQ(pair_cell.experiments, serial.experiments);
+  EXPECT_DOUBLE_EQ(pair_cell.elapsed_seconds, serial.elapsed_seconds);
+  ASSERT_EQ(pair_cell.found.size(), serial.found.size());
+  for (std::size_t f = 0; f < serial.found.size(); ++f) {
+    EXPECT_EQ(pair_cell.found[f].mfs.witness, serial.found[f].mfs.witness);
+  }
 }
 
 CampaignConfig small_campaign_config() {

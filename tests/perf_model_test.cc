@@ -278,5 +278,83 @@ TEST_P(PerfModelPropertyTest, InvariantsHoldOnRandomWorkloads) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PerfModelPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---- Fabric scenarios -----------------------------------------------------
+
+// The acceptance bar for the N-port generalization: applying the "pair"
+// scenario must reproduce the catalog subsystem bit-for-bit, pause ratios
+// included.
+TEST(PerfModelFabric, PairScenarioReproducesBaselineExactly) {
+  for (char id : {'A', 'F', 'H'}) {
+    const Subsystem& base = subsystem(id);
+    const Subsystem paired = with_fabric(base, net::fabric_scenario("pair"));
+    for (const u64 seed : {u64{7}, u64{19}}) {
+      for (const Workload& w :
+           {clean_write(), clean_write(2048, 512), clean_write(64, 4 * KiB)}) {
+        Rng rng_a(seed);
+        Rng rng_b(seed);
+        const SimResult a = evaluate(base, w, rng_a);
+        const SimResult b = evaluate(paired, w, rng_b);
+        EXPECT_DOUBLE_EQ(a.pause_duration_ratio, b.pause_duration_ratio);
+        EXPECT_DOUBLE_EQ(a.rx_goodput_bps, b.rx_goodput_bps);
+        EXPECT_DOUBLE_EQ(a.wire_utilization, b.wire_utilization);
+        EXPECT_DOUBLE_EQ(a.pps_utilization, b.pps_utilization);
+        EXPECT_EQ(a.dominant, b.dominant);
+        EXPECT_DOUBLE_EQ(a.fabric_pause_ratio, 0.0);
+        EXPECT_DOUBLE_EQ(b.fabric_pause_ratio, 0.0);
+      }
+    }
+  }
+}
+
+TEST(PerfModelFabric, HeteroPairCongestsTheSlowPort) {
+  const Subsystem hetero =
+      with_fabric(subsystem('F'), net::fabric_scenario("hetero"));
+  // Host B runs a GPU-less platform in the catalog hetero scenario.
+  EXPECT_TRUE(hetero.host_b.gpus.empty());
+  EXPECT_FALSE(hetero.host.gpus.empty());
+  // A wire-saturating sender offers 200G into the 100G port: the switch
+  // backpressures it with PFC, and the model attributes that pause to the
+  // fabric, not to the subsystem.
+  Rng rng(7);
+  const SimResult r = evaluate(hetero, clean_write(), rng);
+  EXPECT_GT(r.fabric_pause_ratio, 0.2);
+  EXPECT_GT(r.pause_duration_ratio, 0.2);
+  // Delivered traffic saturates the achievable (port-capped) wire bound, so
+  // the workload is healthy by the utilization condition.
+  EXPECT_GT(r.wire_utilization, 0.9);
+}
+
+TEST(PerfModelFabric, TorFanInScalesExpectedPause) {
+  const Subsystem fanin =
+      with_fabric(subsystem('F'), net::fabric_scenario("fanin4"));
+  Rng rng(7);
+  const SimResult r = evaluate(fanin, clean_write(), rng);
+  // Four senders share one 4:1-oversubscribed receiver: each gets a quarter
+  // share, so three quarters of the offered load is paused away.
+  EXPECT_GT(r.fabric_pause_ratio, 0.6);
+  EXPECT_GT(r.pause_duration_ratio, 0.6);
+  // Per-port accounting covers every fabric port (A, B, 3 co-senders).
+  ASSERT_EQ(r.port_pause_ratio.size(), 5u);
+
+  // The reverse direction shares host B's egress the same way: a READ
+  // workload (data flows B -> A) saturating its quarter share is healthy,
+  // not a low-throughput anomaly.
+  Workload read = clean_write();
+  read.opcode = Opcode::kRead;
+  Rng rng_read(7);
+  const SimResult rr = evaluate(fanin, read, rng_read);
+  EXPECT_GT(rr.wire_utilization, 0.9);
+  EXPECT_LT(rr.pause_duration_ratio, 0.001);
+
+  // Against a milder 2:1 fan-in the expected pause shrinks.
+  net::FabricScenario mild = net::fabric_scenario("fanin4");
+  mild.fan_in = 2;
+  mild.oversubscription = 2.0;
+  Rng rng2(7);
+  const SimResult r2 =
+      evaluate(with_fabric(subsystem('F'), mild), clean_write(), rng2);
+  EXPECT_LT(r2.fabric_pause_ratio, r.fabric_pause_ratio);
+}
+
 }  // namespace
 }  // namespace collie::sim

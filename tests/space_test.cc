@@ -175,5 +175,37 @@ TEST_F(SpaceTest, NumericGridsAreSorted) {
   }
 }
 
+// Heterogeneous pairs: remote buffers live on host B's device set, which
+// the catalog hetero scenario makes a GPU-less platform.
+TEST_F(SpaceTest, HeterogeneousPairSplitsPlacementLists) {
+  const SearchSpace hetero(sim::with_fabric(
+      sim::subsystem('F'), net::fabric_scenario("hetero")));
+  // Identical pairs share one list.
+  EXPECT_EQ(space_.placements().size(), space_.remote_placements().size());
+  // The hetero pair does not: host A keeps its GPUs, host B has DRAM only.
+  EXPECT_LT(hetero.remote_placements().size(), hetero.placements().size());
+  for (const auto& p : hetero.remote_placements()) {
+    EXPECT_EQ(p.kind, topo::MemKind::kDram);
+  }
+
+  // Sampling and mutation only ever produce remote placements valid on
+  // host B.
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    Workload w = hetero.random_point(rng);
+    EXPECT_EQ(w.remote_mem.kind, topo::MemKind::kDram) << w.describe();
+    w = hetero.mutate(w, rng);
+    EXPECT_EQ(w.remote_mem.kind, topo::MemKind::kDram) << w.describe();
+  }
+
+  // Feature access indexes the remote list.
+  const auto alts = hetero.categorical_alternatives(Feature::kRemoteMem);
+  EXPECT_EQ(alts.size(), hetero.remote_placements().size());
+  const Workload w = hetero.random_point(rng);
+  const Workload forced =
+      hetero.with_categorical(w, Feature::kRemoteMem, alts.back());
+  EXPECT_EQ(forced.remote_mem, hetero.remote_placements().back());
+}
+
 }  // namespace
 }  // namespace collie::core

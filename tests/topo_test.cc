@@ -99,5 +99,24 @@ TEST(HostTopology, PlacementToString) {
   EXPECT_EQ(to_string(MemPlacement{MemKind::kGpu, 3}), "gpu3");
 }
 
+TEST(HostTopology, FactoryLookupByName) {
+  const auto names = host_topology_names();
+  EXPECT_GE(names.size(), 6u);
+  for (const std::string& name : names) {
+    HostTopology host;
+    ASSERT_TRUE(host_by_name(name, &host)) << name;
+    EXPECT_FALSE(host.name.empty()) << name;
+  }
+  HostTopology untouched;
+  untouched.name = "sentinel";
+  EXPECT_FALSE(host_by_name("no-such-host", &untouched));
+  EXPECT_EQ(untouched.name, "sentinel");
+  // Spot-check one mapping.
+  HostTopology b;
+  ASSERT_TRUE(host_by_name("intel_2socket", &b));
+  EXPECT_EQ(b.sockets, 2);
+  EXPECT_TRUE(b.gpus.empty());
+}
+
 }  // namespace
 }  // namespace collie::topo

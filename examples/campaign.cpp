@@ -6,12 +6,17 @@
 //   $ ./campaign --sys BF --modes diag,perf --workers 2 --hours 4
 //   $ ./campaign --sys F --seeds 3 --share subsystem --json
 //   $ ./campaign --sys F --fabric pair,hetero,fanin4   # fabric scenario sweep
+//   $ ./campaign --sys F --fabric fanin4 --cc off,dcqcn,mistuned  # CC sweep
 //   $ ./campaign --sys B --trace-csv            # fleet-wide Figure-6 trace
 //
 // Flags:
 //   --sys <ids>        subsystem letters, e.g. "BF" or "all" (default all)
 //   --fabric <list>    comma list of fabric scenarios (pair,hetero,fanin4)
 //                      or "all"; default pair, the paper's testbed
+//   --cc <list>        comma list of congestion-control scenarios
+//                      (off,dcqcn,mistuned) or "all"; default off, the
+//                      seed's PFC-only switch.  Armed scenarios open the
+//                      DCQCN knobs as search dimensions
 //   --modes <list>     comma list of diag,perf (default diag)
 //   --strategy <s>     sa | random (default sa)
 //   --workers <n>      fleet size (default 4)
@@ -31,6 +36,7 @@
 #include "common/cli.h"
 #include "common/strings.h"
 #include "net/fabric.h"
+#include "nic/dcqcn.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "sim/subsystem.h"
@@ -68,6 +74,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.fabrics.push_back(f);
+    }
+  }
+  const std::string cc_arg = args.get("cc", "off");
+  config.ccs.clear();
+  if (cc_arg == "all") {
+    config.ccs = nic::cc_scenario_names();
+  } else {
+    for (const std::string& c : split(cc_arg, ',')) {
+      if (nic::find_cc_scenario(c) == nullptr) {
+        std::fprintf(stderr, "unknown cc scenario '%s' (valid: %s)\n",
+                     c.c_str(), join(nic::cc_scenario_names(), ", ").c_str());
+        return 2;
+      }
+      config.ccs.push_back(c);
     }
   }
   config.modes.clear();

@@ -29,6 +29,7 @@ inline constexpr double kGbps = 1e9;
 // Packet-rate units.
 inline constexpr double kMpps = 1e6;
 
+constexpr double mbps(double v) { return v * kMbps; }
 constexpr double gbps(double v) { return v * kGbps; }
 constexpr double mpps(double v) { return v * kMpps; }
 

@@ -16,7 +16,11 @@ std::string fmt_value(Feature f, double v) {
     return format_bytes(static_cast<u64>(v));
   }
   std::ostringstream os;
-  os << static_cast<long long>(v);
+  if (f == Feature::kCcAlphaG) {
+    os << v;  // EWMA gains are fractional
+  } else {
+    os << static_cast<long long>(v);
+  }
   return os.str();
 }
 

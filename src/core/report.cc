@@ -24,6 +24,10 @@ JsonWriter& JsonWriter::end_object() {
   assert(!needs_comma_.empty());
   needs_comma_.pop_back();
   out_ += "}";
+  // The enclosing container has an element now: a following sibling needs a
+  // comma.  (key() clears the flag for its value, so without this every
+  // sibling after a nested container lost its separator.)
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
   return *this;
 }
 
@@ -42,6 +46,7 @@ JsonWriter& JsonWriter::end_array() {
   assert(!needs_comma_.empty());
   needs_comma_.pop_back();
   out_ += "]";
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
   return *this;
 }
 
@@ -126,6 +131,11 @@ void workload_to_json(const Workload& w, JsonWriter* json) {
   json->field("loopback", w.loopback);
   json->field("local_mem", topo::to_string(w.local_mem));
   json->field("remote_mem", topo::to_string(w.remote_mem));
+  json->field("dcqcn", w.dcqcn);
+  if (w.dcqcn) {
+    json->field("dcqcn_rate_ai_mbps", w.dcqcn_rate_ai_mbps);
+    json->field("dcqcn_g", w.dcqcn_g);
+  }
   json->begin_array("pattern");
   for (u64 s : w.pattern) json->value(static_cast<i64>(s));
   json->end_array();

@@ -55,6 +55,12 @@ const char* to_string(Feature f) {
       return "mtu";
     case Feature::kMsgSize:
       return "msg_size";
+    case Feature::kDcqcn:
+      return "dcqcn";
+    case Feature::kCcRateAi:
+      return "cc_rate_ai";
+    case Feature::kCcAlphaG:
+      return "cc_alpha_g";
     case Feature::kCount:
       break;
   }
@@ -70,6 +76,7 @@ bool is_categorical(Feature f) {
     case Feature::kLocalMem:
     case Feature::kRemoteMem:
     case Feature::kPatternMix:
+    case Feature::kDcqcn:
       return true;
     default:
       return false;
@@ -89,6 +96,9 @@ SearchSpace::SearchSpace(const sim::Subsystem& sys, SpaceConfig config)
     remote_placements_.push_back(p);
   }
   pattern_len_ = sys_.nicm.pattern_window();
+  cc_searchable_ = config_.allow_dcqcn && sys_.cc_armed() &&
+                   !config_.cc_rate_ai_mbps.empty() &&
+                   !config_.cc_alpha_g.empty();
 }
 
 double SearchSpace::log10_size() const {
@@ -107,6 +117,11 @@ double SearchSpace::log10_size() const {
   log10 += 2.0 * std::log10(7.0);                          // WQ depths
   log10 += std::log10(double(config_.mtus.size()));        // MTU
   log10 += pattern_len_ * std::log10(double(config_.size_grid.size()));
+  if (cc_searchable_) {
+    log10 += std::log10(2.0);  // DCQCN on/off
+    log10 += std::log10(double(config_.cc_rate_ai_mbps.size()));
+    log10 += std::log10(double(config_.cc_alpha_g.size()));
+  }
   return log10;
 }
 
@@ -169,14 +184,27 @@ Workload SearchSpace::random_point(Rng& rng) const {
       (!config_.allow_unidirectional || rng.bernoulli(0.4))) {
     w.bidirectional = true;
   }
+
+  // Dimension 5: congestion control.  Disarmed spaces draw nothing here, so
+  // their RNG streams match the seed's exactly.
+  if (cc_searchable_) {
+    w.dcqcn = rng.bernoulli(0.5);
+    w.dcqcn_rate_ai_mbps = config_.cc_rate_ai_mbps[static_cast<std::size_t>(
+        rng.uniform_int(0,
+                        static_cast<i64>(config_.cc_rate_ai_mbps.size()) - 1))];
+    w.dcqcn_g = config_.cc_alpha_g[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<i64>(config_.cc_alpha_g.size()) - 1))];
+  }
   fixup(w);
   return w;
 }
 
 Workload SearchSpace::mutate(const Workload& w, Rng& rng) const {
   Workload m = w;
-  // Pick one of the four search dimensions, then one factor inside it.
-  const int dim = static_cast<int>(rng.uniform_int(0, 3));
+  // Pick one of the search dimensions (four from the paper, plus the CC
+  // dimension on CC-armed subsystems), then one factor inside it.
+  const int dim =
+      static_cast<int>(rng.uniform_int(0, cc_searchable_ ? 4 : 3));
   auto step_pow2 = [&](int v, int lo, int hi) {
     const int dir = rng.bernoulli(0.5) ? 2 : -2;
     int nv = dir > 0 ? v * 2 : v / 2;
@@ -258,7 +286,7 @@ Workload SearchSpace::mutate(const Workload& w, Rng& rng) const {
       }
       break;
     }
-    default: {  // message pattern
+    case 3: {  // message pattern
       const int which = static_cast<int>(rng.uniform_int(0, 2));
       if (which == 0) {
         // Re-draw one request size.
@@ -270,6 +298,31 @@ Workload SearchSpace::mutate(const Workload& w, Rng& rng) const {
             0, static_cast<i64>(config_.mtus.size()) - 1))];
       } else if (config_.allow_bidirectional && config_.allow_unidirectional) {
         m.bidirectional = !m.bidirectional;
+      }
+      break;
+    }
+    default: {  // congestion control (reachable only when cc_searchable_)
+      const int which = static_cast<int>(rng.uniform_int(0, 2));
+      auto step_grid = [&rng](double v, const std::vector<double>& grid) {
+        // Move one grid notch up or down from the nearest entry.
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+          if (std::fabs(grid[i] - v) < std::fabs(grid[idx] - v)) idx = i;
+        }
+        if (rng.bernoulli(0.5)) {
+          idx = std::min(idx + 1, grid.size() - 1);
+        } else if (idx > 0) {
+          --idx;
+        }
+        return grid[idx];
+      };
+      if (which == 0) {
+        m.dcqcn = !m.dcqcn;
+      } else if (which == 1) {
+        m.dcqcn_rate_ai_mbps =
+            step_grid(m.dcqcn_rate_ai_mbps, config_.cc_rate_ai_mbps);
+      } else {
+        m.dcqcn_g = step_grid(m.dcqcn_g, config_.cc_alpha_g);
       }
       break;
     }
@@ -318,6 +371,19 @@ void SearchSpace::fixup(Workload& w) const {
     if (w.local_mem.kind == topo::MemKind::kGpu) w.local_mem = {};
     if (w.remote_mem.kind == topo::MemKind::kGpu) w.remote_mem = {};
   }
+  if (cc_searchable_) {
+    w.dcqcn_rate_ai_mbps =
+        std::clamp(w.dcqcn_rate_ai_mbps, config_.cc_rate_ai_mbps.front(),
+                   config_.cc_rate_ai_mbps.back());
+    w.dcqcn_g = std::clamp(w.dcqcn_g, config_.cc_alpha_g.front(),
+                           config_.cc_alpha_g.back());
+  } else {
+    // Disarmed spaces pin the CC dimension to the workload defaults.
+    static const Workload kDefaults;
+    w.dcqcn = false;
+    w.dcqcn_rate_ai_mbps = kDefaults.dcqcn_rate_ai_mbps;
+    w.dcqcn_g = kDefaults.dcqcn_g;
+  }
 }
 
 bool SearchSpace::in_space(const Workload& w) const {
@@ -346,6 +412,10 @@ double SearchSpace::numeric_value(const Workload& w, Feature f) const {
       return w.mtu;
     case Feature::kMsgSize:
       return analyze_pattern(w).avg_msg_bytes;
+    case Feature::kCcRateAi:
+      return w.dcqcn_rate_ai_mbps;
+    case Feature::kCcAlphaG:
+      return w.dcqcn_g;
     default:
       assert(false && "not a numeric feature");
       return 0.0;
@@ -374,6 +444,8 @@ int SearchSpace::categorical_value(const Workload& w, Feature f) const {
     }
     case Feature::kPatternMix:
       return pattern_mix_class(w);
+    case Feature::kDcqcn:
+      return w.dcqcn ? 1 : 0;
     default:
       assert(false && "not a categorical feature");
       return 0;
@@ -411,6 +483,8 @@ std::vector<int> SearchSpace::categorical_alternatives(Feature f) const {
     }
     case Feature::kPatternMix:
       return {0, 1, 2, 3};
+    case Feature::kDcqcn:
+      return cc_searchable_ ? std::vector<int>{0, 1} : std::vector<int>{0};
     default:
       return {};
   }
@@ -445,6 +519,8 @@ std::string SearchSpace::categorical_name(Feature f, int value) const {
         default:
           return "mix small+large";
       }
+    case Feature::kDcqcn:
+      return value ? "dcqcn-on" : "dcqcn-off";
     default:
       return "?";
   }
@@ -470,6 +546,12 @@ std::vector<double> SearchSpace::numeric_grid(Feature f) const {
     case Feature::kMsgSize:
       return {64,       512,      2.0 * KiB,  8.0 * KiB,
               64.0 * KiB, 256.0 * KiB, 1.0 * MiB};
+    case Feature::kCcRateAi:
+      // Empty on disarmed spaces: MFS extraction must not spend probe
+      // experiments on an inert dimension.
+      return cc_searchable_ ? config_.cc_rate_ai_mbps : std::vector<double>{};
+    case Feature::kCcAlphaG:
+      return cc_searchable_ ? config_.cc_alpha_g : std::vector<double>{};
     default:
       return {};
   }
@@ -518,6 +600,9 @@ Workload SearchSpace::with_categorical(const Workload& w, Feature f,
       }
       break;
     }
+    case Feature::kDcqcn:
+      m.dcqcn = value != 0;
+      break;
     default:
       assert(false && "not a categorical feature");
   }
@@ -565,6 +650,12 @@ Workload SearchSpace::with_numeric(const Workload& w, Feature f,
       }
       break;
     }
+    case Feature::kCcRateAi:
+      m.dcqcn_rate_ai_mbps = value;
+      break;
+    case Feature::kCcAlphaG:
+      m.dcqcn_g = value;
+      break;
     default:
       assert(false && "not a numeric feature");
   }

@@ -44,6 +44,10 @@ enum class Feature : int {
   kMrSize,
   kMtu,
   kMsgSize,  // average message bytes; probes rescale the pattern
+  // congestion control (Dimension 5; live only on CC-armed subsystems)
+  kDcqcn,     // categorical: 0 = off, 1 = per-QP DCQCN armed
+  kCcRateAi,  // numeric: additive-increase step, Mbps
+  kCcAlphaG,  // numeric: congestion-estimate EWMA gain
   kCount,
 };
 
@@ -73,6 +77,14 @@ struct SpaceConfig {
   u64 min_mr_size = 4 * KiB;
   u64 max_mr_size = 4 * MiB;
   std::vector<u32> mtus{256, 512, 1024, 2048, 4096};
+  // ---- Dimension 5: congestion control ----
+  // The CC features are searched only when the subsystem arms CC
+  // (sim::Subsystem::cc_armed) AND this stays true.  A disarmed space pins
+  // them to "off", exposes empty probe grids, and consumes no extra RNG
+  // draws — non-CC search streams stay bit-for-bit identical to the seed.
+  bool allow_dcqcn = true;
+  std::vector<double> cc_rate_ai_mbps{1, 10, 40, 200, 1000, 5000};
+  std::vector<double> cc_alpha_g{0.001, 0.004, 0.016, 0.25, 1.0};
   // Request sizes are discretized "based on MTU and the burst size" (§4);
   // finer grids are trivially pluggable.
   std::vector<u64> size_grid{64,        128,      256,       512,
@@ -88,6 +100,8 @@ class SearchSpace {
   const SpaceConfig& config() const { return config_; }
   // Pattern length n = PUs x pipeline stages (§4, Dimension 4).
   int pattern_length() const { return pattern_len_; }
+  // Is the congestion-control dimension live (subsystem armed + allowed)?
+  bool cc_searchable() const { return cc_searchable_; }
 
   // log10 of the approximate number of distinct points (the paper quotes
   // ~10^36 for the full space).
@@ -137,6 +151,7 @@ class SearchSpace {
   std::vector<topo::MemPlacement> placements_;
   std::vector<topo::MemPlacement> remote_placements_;
   int pattern_len_;
+  bool cc_searchable_ = false;
 };
 
 }  // namespace collie::core

@@ -5,6 +5,49 @@
 
 namespace collie::net {
 
+double EcnParams::mark_probability(double queue_bytes) const {
+  if (!enabled || pmax <= 0.0) return 0.0;
+  if (queue_bytes < kmin_bytes) return 0.0;
+  if (queue_bytes >= kmax_bytes) return 1.0;
+  const double span = std::max(kmax_bytes - kmin_bytes, 1.0);
+  return pmax * (queue_bytes - kmin_bytes) / span;
+}
+
+double EcnParams::cnps_per_second(double queue_bytes, double pkts_per_s,
+                                  double flows,
+                                  double cnp_interval_s) const {
+  const double p = mark_probability(queue_bytes);
+  if (p <= 0.0 || pkts_per_s <= 0.0) return 0.0;
+  const double pace_cap = cnp_interval_s > 0.0
+                              ? std::max(flows, 1.0) / cnp_interval_s
+                              : p * pkts_per_s;
+  return std::min(p * pkts_per_s, pace_cap);
+}
+
+void FabricSpec::set_ecn(const EcnParams& ecn) {
+  port_ecn.assign(static_cast<std::size_t>(num_ports()), ecn);
+}
+
+const EcnParams& FabricSpec::ecn(int port) const {
+  static const EcnParams kDisabled{};
+  if (port < 0 || port >= static_cast<int>(port_ecn.size())) return kDisabled;
+  return port_ecn[static_cast<std::size_t>(port)];
+}
+
+bool FabricSpec::ecn_enabled() const {
+  for (const EcnParams& e : port_ecn) {
+    if (e.enabled) return true;
+  }
+  return false;
+}
+
+double FabricSpec::cnps_per_second(int port, double queue_bytes,
+                                   double pkts_per_s, double flows,
+                                   double cnp_interval_s) const {
+  return ecn(port).cnps_per_second(queue_bytes, pkts_per_s, flows,
+                                   cnp_interval_s);
+}
+
 double FabricSpec::uplink_bps() const {
   const double senders = std::max(fan_in, 1);
   const double over = std::max(oversubscription, 1e-9);

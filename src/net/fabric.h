@@ -18,6 +18,43 @@
 
 namespace collie::net {
 
+// RED-style ECN marking curve of one switch egress queue (DCQCN's congestion
+// point, Zhu et al. SIGCOMM'15).  Below Kmin nothing is marked; between Kmin
+// and Kmax the marking probability ramps linearly up to Pmax; at or beyond
+// Kmax every packet is marked.  A lossless queue also backpressures with PFC
+// once it fills, so thresholds above the usable queue depth describe a
+// mistuned switch: PFC fires long before ECN ever reacts.
+struct EcnParams {
+  bool enabled = false;
+  double kmin_bytes = 100.0 * KiB;
+  double kmax_bytes = 400.0 * KiB;
+  double pmax = 0.2;
+  // Physical depth of the egress queue the thresholds refer to.
+  double queue_cap_bytes = 2.0 * MiB;
+  // The lossless queue never grows past the PFC XOFF point: once occupancy
+  // reaches it, upstream pause holds it there.  Thresholds at or beyond
+  // this ceiling are therefore dead — the mistuned configuration where PFC
+  // storms do the work ECN should have done.
+  double xoff_bytes = 0.7 * 2.0 * MiB;
+
+  double mark_probability(double queue_bytes) const;
+  // CNP generation from this queue: marking probability times the packet
+  // rate, paced to at most one CNP per flow per `cnp_interval_s` (the
+  // single definition of the notification-point formula — the fabric API
+  // and the DCQCN co-simulation both call it).
+  double cnps_per_second(double queue_bytes, double pkts_per_s, double flows,
+                         double cnp_interval_s) const;
+  // Highest occupancy the queue can actually reach under PFC.
+  double occupancy_ceiling_bytes() const {
+    return xoff_bytes > 0.0 && xoff_bytes < queue_cap_bytes ? xoff_bytes
+                                                            : queue_cap_bytes;
+  }
+  // Can this queue mark at all before PFC takes over?
+  bool can_mark() const {
+    return enabled && pmax > 0.0 && kmin_bytes < occupancy_ceiling_bytes();
+  }
+};
+
 struct FabricSpec {
   // Per-port line rates.  Port 0 carries host A (every fan-in sender runs at
   // port 0's rate), port 1 carries host B (the receiver port of fan-in
@@ -35,6 +72,11 @@ struct FabricSpec {
   // host B is capped at fan_in * rate / oversubscription.
   double oversubscription = 1.0;
 
+  // Per-port ECN marking thresholds.  Empty (the default, and the paper's
+  // PFC-only switch) means no port marks; `set_ecn` arms every port.  A
+  // shorter vector than `port_rate_bps` leaves the tail ports unmarked.
+  std::vector<EcnParams> port_ecn;
+
   int num_ports() const { return static_cast<int>(port_rate_bps.size()); }
   bool valid_port(int port) const {
     return port >= 0 && port < num_ports();
@@ -44,6 +86,20 @@ struct FabricSpec {
     return valid_port(port) ? port_rate_bps[static_cast<std::size_t>(port)]
                             : 0.0;
   }
+
+  // Arm every port with the given marking curve.
+  void set_ecn(const EcnParams& ecn);
+  // Marking curve of `port`; a disabled default for unarmed/out-of-range
+  // ports (never UB, like port_rate).
+  const EcnParams& ecn(int port) const;
+  // Does any port mark ECN?
+  bool ecn_enabled() const;
+  // CNP generation at `port`'s egress queue: the rate of congestion
+  // notifications the switch sends back to the traffic sources, given the
+  // queue depth and the delivered packet rate.  DCQCN notification points
+  // pace CNPs to at most one per flow per `cnp_interval_s`.
+  double cnps_per_second(int port, double queue_bytes, double pkts_per_s,
+                         double flows, double cnp_interval_s) const;
 
   // Aggregate capacity of the ToR uplink feeding host B's port.
   double uplink_bps() const;

@@ -1,0 +1,140 @@
+// DCQCN congestion control (Zhu et al., SIGCOMM'15): the per-QP reaction
+// point RoCEv2 deployments layer under PFC so that ECN, not pause frames,
+// absorbs fabric congestion.
+//
+// The seed's NIC model exposed PFC only, which left the paper's "network is
+// not congested" boundary unexplored: congestion control both *masks*
+// subsystem anomalies (rate-limiting senders before a receive-side stall can
+// pause the fabric) and *manufactures* them (mistuned parameters leave path
+// capacity idle — the Noisy Neighbor failure mode).  This header models the
+// reaction point:
+//
+//   * `DcqcnRateLimiter` — one sender aggregate's rate state.  Congestion
+//     notifications (CNPs) cut the rate multiplicatively through the EWMA
+//     congestion estimate `alpha`; CNP-free update periods decay alpha and
+//     recover the rate, first by fast recovery (halving toward the pre-cut
+//     target), then by additive increase.
+//   * `solve_cc_steady_state` — co-simulates the limiter against a switch
+//     egress queue with a RED/ECN marking curve (net::EcnParams) until the
+//     admitted rate converges; the performance model folds the result into
+//     its ingress fixed point.
+//   * `CcScenario` — named (ECN-threshold, DCQCN-default) points a campaign
+//     sweeps as its `cc` axis, including the mistuned thresholds that leave
+//     PFC storms where ECN should have reacted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "net/fabric.h"
+
+namespace collie::nic {
+
+struct DcqcnParams {
+  // Is the reaction point armed at all?  Disabled reproduces the seed's
+  // PFC-only behaviour bit-for-bit (no CC code runs).
+  bool enabled = false;
+  // EWMA gain of the congestion estimate: alpha <- (1-g)*alpha + g on a
+  // marked update period, alpha <- (1-g)*alpha on an unmarked one.
+  double g = 1.0 / 256.0;
+  // Additive-increase step applied to the rate target once fast recovery is
+  // exhausted (the DCQCN R_AI knob; mistuning this low is the classic
+  // "victim flow never recovers" misconfiguration).
+  double rate_ai_bps = mbps(40);
+  // Update period shared by the rate-reduction window, the alpha timer and
+  // the recovery timer (the reference implementation's 55us).
+  double update_interval_s = 55e-6;
+  // Notification-point pacing: at most one CNP per flow per interval.
+  double cnp_interval_s = 50e-6;
+  // Fast-recovery rounds (F): halving steps toward the pre-cut target
+  // before additive increase takes over.
+  int fast_recovery_rounds = 5;
+  // The limiter never cuts below this floor (hardware minimum rate).
+  double min_rate_bps = mbps(10);
+};
+
+// One sender aggregate's DCQCN rate state.  Drive it with step(): the
+// limiter quantizes time into update periods; a period that saw at least one
+// CNP cuts the rate, a CNP-free period recovers it.
+//
+// Invariants (pinned by tests/dcqcn_property_test.cc):
+//   * alpha stays in [0, 1];
+//   * the rate stays in [min_rate_bps, line_rate_bps];
+//   * with no CNPs arriving, the rate is monotonically non-decreasing.
+class DcqcnRateLimiter {
+ public:
+  DcqcnRateLimiter(const DcqcnParams& params, double line_rate_bps,
+                   double initial_rate_bps);
+
+  // Advance by `dt` seconds during which CNPs arrive at `cnp_rate` per
+  // second.  Returns the admitted rate after the step.
+  double step(double dt, double cnp_rate);
+
+  double rate_bps() const { return rate_; }
+  double target_bps() const { return target_; }
+  double alpha() const { return alpha_; }
+  const DcqcnParams& params() const { return params_; }
+
+ private:
+  void update_period(bool marked);
+
+  DcqcnParams params_;
+  double line_rate_;
+  double rate_;
+  double target_;
+  double alpha_ = 0.0;
+  double period_acc_s_ = 0.0;  // time into the current update period
+  double cnp_acc_ = 0.0;       // fractional CNPs accumulated this period
+  int recovery_rounds_ = 0;
+};
+
+// Converged operating point of one congested path under DCQCN/ECN.
+struct CcSteadyState {
+  double rate_bps = 0.0;          // time-averaged admitted sender rate
+  double alpha = 0.0;             // final congestion estimate
+  double mark_probability = 0.0;  // time-averaged ECN marking probability
+  double queue_bytes = 0.0;       // time-averaged switch queue depth
+  bool throttled = false;         // did CC withhold any offered demand?
+};
+
+// Co-simulate the reaction point against one switch egress queue: the queue
+// fills at the admitted rate and drains at `capacity_bps`; its depth drives
+// the ECN marking curve, whose CNPs drive the limiter.  `flows` bounds CNP
+// pacing (one per flow per interval) and `pkt_bytes` converts rates to
+// packet rates for marking.  Returns the time-averaged steady state; when
+// the path is uncongested, ECN is disarmed, or the thresholds cannot mark
+// before the queue fills, the offered rate passes through untouched (the
+// PFC-storm regime).
+CcSteadyState solve_cc_steady_state(double offered_bps, double capacity_bps,
+                                    double line_rate_bps, double flows,
+                                    const net::EcnParams& ecn,
+                                    const DcqcnParams& params,
+                                    double pkt_bytes);
+
+// A named point of the congestion-control scenario space, swept as a
+// campaign axis alongside fabric scenarios.  ECN thresholds are fractions
+// of the switch queue so one scenario applies across port speeds.
+struct CcScenario {
+  std::string name = "off";
+  bool enabled = false;
+  double kmin_frac = 0.05;
+  double kmax_frac = 0.20;
+  double pmax = 0.2;
+  // Defaults for workloads that arm DCQCN; the per-QP g / R_AI knobs are
+  // search dimensions layered on top of these.
+  DcqcnParams dcqcn;
+
+  net::EcnParams materialize_ecn(double queue_cap_bytes) const;
+};
+
+// Scenario catalog: "off" (the seed's PFC-only switch), "dcqcn" (thresholds
+// well below the PFC XOFF point: ECN absorbs congestion), and "mistuned"
+// (thresholds at the top of the queue: PFC fires long before ECN, the
+// fanin4 PFC-storm configuration).
+const CcScenario* find_cc_scenario(const std::string& name);
+// Throwing lookup for callers that already validated the name.
+const CcScenario& cc_scenario(const std::string& name);
+std::vector<std::string> cc_scenario_names();
+
+}  // namespace collie::nic

@@ -39,14 +39,17 @@ const char* to_string(ExecutionMode m) {
 }
 
 std::string CampaignCell::subsystem_label() const {
-  // The default pair keeps the seed's plain-subsystem labels and scopes.
-  if (fabric == "pair") return std::string(1, subsystem);
-  return std::string(1, subsystem) + "@" + fabric;
+  // The default pair + CC-off keeps the seed's plain-subsystem labels and
+  // scopes.
+  std::string out(1, subsystem);
+  if (fabric != "pair") out += "@" + fabric;
+  if (cc != "off") out += "+" + cc;
+  return out;
 }
 
 std::string CampaignCell::scope(ShareScope share) const {
-  // MFS conditions only transfer within one (subsystem, fabric) space, so
-  // even the widest sharing scope carries the scenario.
+  // MFS conditions only transfer within one (subsystem, fabric, cc) space,
+  // so even the widest sharing scope carries both scenarios.
   if (share == ShareScope::kSubsystem) return subsystem_label();
   return label();
 }
@@ -57,8 +60,9 @@ std::string CampaignCell::label() const {
 }
 
 sim::Subsystem CampaignCell::materialize() const {
-  return sim::with_fabric(sim::subsystem(subsystem),
-                          net::fabric_scenario(fabric));
+  return sim::with_cc(sim::with_fabric(sim::subsystem(subsystem),
+                                       net::fabric_scenario(fabric)),
+                      nic::cc_scenario(cc));
 }
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
@@ -68,6 +72,10 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   if (config_.fabrics.empty()) config_.fabrics = {"pair"};
   for (const std::string& fabric : config_.fabrics) {
     net::fabric_scenario(fabric);  // throws on an unknown scenario name
+  }
+  if (config_.ccs.empty()) config_.ccs = {"off"};
+  for (const std::string& cc : config_.ccs) {
+    nic::cc_scenario(cc);  // throws on an unknown scenario name
   }
   if (config_.workers < 1) config_.workers = 1;
   if (config_.seeds_per_cell < 1) config_.seeds_per_cell = 1;
@@ -79,15 +87,18 @@ std::vector<CampaignCell> Campaign::plan() const {
   // workers under round-robin assignment, maximising concurrent sharing.
   for (const char sys : config_.subsystems) {
     for (const std::string& fabric : config_.fabrics) {
-      for (const core::GuidanceMode mode : config_.modes) {
-        for (int seed = 0; seed < config_.seeds_per_cell; ++seed) {
-          CampaignCell cell;
-          cell.subsystem = sys;
-          cell.fabric = fabric;
-          cell.mode = mode;
-          cell.seed_ordinal = seed;
-          cell.stream = static_cast<u64>(cells.size());
-          cells.push_back(cell);
+      for (const std::string& cc : config_.ccs) {
+        for (const core::GuidanceMode mode : config_.modes) {
+          for (int seed = 0; seed < config_.seeds_per_cell; ++seed) {
+            CampaignCell cell;
+            cell.subsystem = sys;
+            cell.fabric = fabric;
+            cell.cc = cc;
+            cell.mode = mode;
+            cell.seed_ordinal = seed;
+            cell.stream = static_cast<u64>(cells.size());
+            cells.push_back(cell);
+          }
         }
       }
     }
@@ -98,25 +109,38 @@ std::vector<CampaignCell> Campaign::plan() const {
 CellResult Campaign::run_cell(int worker, double start_seconds,
                               const CampaignCell& cell, Rng rng,
                               ConcurrentMfsPool& pool) {
-  const sim::Subsystem sys = cell.materialize();
-  const workload::Engine engine(sys, config_.engine);
-  const core::SearchSpace space(sys);
-  core::SearchDriver driver(engine, space);
-  ConcurrentMfsPool::View store = pool.view(cell.scope(config_.share), worker);
-
   CellResult cr;
   cr.cell = cell;
   cr.worker = worker;
   cr.start_seconds = start_seconds;
-  if (config_.strategy == Strategy::kSimulatedAnnealing) {
-    core::SaConfig sa = config_.sa;
-    sa.mode = cell.mode;
-    cr.result = driver.run_simulated_annealing(sa, config_.budget, rng, store);
-  } else {
-    cr.result =
-        driver.run_random(config_.budget, rng, config_.sa.use_mfs, store);
+  // A cell that throws (bad catalog id, scenario materialization failure,
+  // engine error) must not take the worker thread — and with it the whole
+  // fleet — down.  It is recorded as failed; the report counts it
+  // separately from covered cells.
+  try {
+    const sim::Subsystem sys = cell.materialize();
+    const workload::Engine engine(sys, config_.engine);
+    const core::SearchSpace space(sys);
+    core::SearchDriver driver(engine, space);
+    ConcurrentMfsPool::View store =
+        pool.view(cell.scope(config_.share), worker);
+
+    if (config_.strategy == Strategy::kSimulatedAnnealing) {
+      core::SaConfig sa = config_.sa;
+      sa.mode = cell.mode;
+      cr.result =
+          driver.run_simulated_annealing(sa, config_.budget, rng, store);
+    } else {
+      cr.result =
+          driver.run_random(config_.budget, rng, config_.sa.use_mfs, store);
+    }
+    cr.cross_worker_skips = store.cross_worker_hits();
+  } catch (const std::exception& e) {
+    cr.error = e.what();
+    LOG_WARN << "worker " << worker << " cell " << cell.label()
+             << " failed: " << cr.error;
+    return cr;
   }
-  cr.cross_worker_skips = store.cross_worker_hits();
   LOG_DEBUG << "worker " << worker << " finished cell " << cell.label()
             << ": " << cr.result.found.size() << " anomalies, "
             << cr.result.mfs_skips << " skips (" << cr.cross_worker_skips

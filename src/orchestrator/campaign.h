@@ -61,15 +61,19 @@ const char* to_string(ExecutionMode m);
 struct CampaignCell {
   char subsystem = 'F';
   // Fabric scenario this cell searches under (net::fabric_scenario names).
-  // An MFS is a region of one (subsystem, fabric) search space, so scopes
-  // and report grouping carry the scenario alongside the subsystem.
+  // An MFS is a region of one (subsystem, fabric, cc) search space, so
+  // scopes and report grouping carry both scenarios alongside the
+  // subsystem.
   std::string fabric = "pair";
+  // Congestion-control scenario (nic::cc_scenario names): arms switch-side
+  // ECN marking and the DCQCN defaults, and opens the CC search dimension.
+  std::string cc = "off";
   core::GuidanceMode mode = core::GuidanceMode::kDiag;
-  int seed_ordinal = 0;  // which replica of this (subsystem, fabric, mode)
+  int seed_ordinal = 0;  // replica of this (subsystem, fabric, cc, mode)
   u64 stream = 0;        // rng stream index, assigned by plan()
 
-  // "B" for the default pair scenario (the seed's labels), "B@hetero" etc.
-  // otherwise.
+  // "B" for the default pair scenario (the seed's labels), "B@hetero",
+  // "B@fanin4+dcqcn" etc. otherwise.
   std::string subsystem_label() const;
   // Pool scope this cell reads and writes under the given sharing policy.
   std::string scope(ShareScope share) const;
@@ -83,9 +87,12 @@ struct CampaignConfig {
   std::vector<char> subsystems;  // defaults to the full Table 1 catalog
   // Fabric scenarios to sweep; defaults to the paper's identical pair.
   std::vector<std::string> fabrics{"pair"};
+  // Congestion-control scenarios to sweep; defaults to the seed's PFC-only
+  // switch.
+  std::vector<std::string> ccs{"off"};
   std::vector<core::GuidanceMode> modes{core::GuidanceMode::kDiag};
   Strategy strategy = Strategy::kSimulatedAnnealing;
-  int seeds_per_cell = 1;  // replicas per (subsystem, fabric, mode)
+  int seeds_per_cell = 1;  // replicas per (subsystem, fabric, cc, mode)
   int workers = 4;
   u64 campaign_seed = 1;
   ShareScope share = ShareScope::kSubsystem;
@@ -103,6 +110,12 @@ struct CellResult {
   double start_seconds = 0.0;
   // MatchMFS hits served from MFSes another worker inserted.
   i64 cross_worker_skips = 0;
+  // Non-empty when the cell aborted mid-run (what() of the exception).  A
+  // failed cell keeps any partial results for debugging, but the campaign
+  // report must not count it as covered search time.
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
 };
 
 struct CampaignResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "common/table.h"
 #include "core/report.h"
@@ -26,17 +27,19 @@ CampaignReport build_report(const CampaignResult& result) {
   report.makespan_seconds = result.makespan_seconds;
   report.speedup = result.speedup();
 
-  // Collect discoveries per (subsystem, fabric scenario), ordered by
+  // Collect discoveries per (subsystem, fabric, cc scenario), ordered by
   // campaign timeline so the dedup representative is the campaign's true
   // first finder.  Scenarios are distinct search spaces: their MFS regions
-  // never dedup against each other.
-  using GroupKey = std::pair<char, std::string>;
+  // never dedup against each other.  Failed cells contribute no
+  // discoveries and no experiments — only a failure tally.
+  using GroupKey = std::tuple<char, std::string, std::string>;
   std::map<GroupKey, std::vector<Discovery>> by_group;
   std::vector<GroupKey> group_order;
   for (const CellResult& cr : result.cells) {
-    const GroupKey key{cr.cell.subsystem, cr.cell.fabric};
+    const GroupKey key{cr.cell.subsystem, cr.cell.fabric, cr.cell.cc};
     if (by_group.find(key) == by_group.end()) group_order.push_back(key);
     auto& list = by_group[key];
+    if (cr.failed()) continue;
     for (const core::FoundAnomaly& f : cr.result.found) {
       list.push_back(
           Discovery{&cr, &f, cr.start_seconds + f.found_at_seconds});
@@ -45,9 +48,7 @@ CampaignReport build_report(const CampaignResult& result) {
   }
 
   for (const GroupKey& key : group_order) {
-    const auto& [sys, fabric] = key;
-    const core::SearchSpace space(sim::with_fabric(
-        sim::subsystem(sys), net::fabric_scenario(fabric)));
+    const auto& [sys, fabric, cc] = key;
     auto& discoveries = by_group[key];
     std::stable_sort(discoveries.begin(), discoveries.end(),
                      [](const Discovery& a, const Discovery& b) {
@@ -55,37 +56,57 @@ CampaignReport build_report(const CampaignResult& result) {
                      });
 
     std::vector<std::size_t> rep_indices;  // into report.anomalies
-    for (const Discovery& d : discoveries) {
-      bool merged = false;
-      for (const std::size_t ri : rep_indices) {
-        DedupedAnomaly& rep = report.anomalies[ri];
-        if (core::same_anomaly_region(space, rep.representative,
-                                      d.found->mfs)) {
-          rep.occurrences += 1;
-          merged = true;
-          break;
+    if (!discoveries.empty()) {
+      // Built lazily — a group whose every cell failed (e.g. an unknown
+      // subsystem id) cannot materialize a search space at all — and via
+      // the same recipe the cells ran under, so dedup judges regions in
+      // exactly the space that was searched.
+      CampaignCell group_cell;
+      group_cell.subsystem = sys;
+      group_cell.fabric = fabric;
+      group_cell.cc = cc;
+      const core::SearchSpace space(group_cell.materialize());
+      for (const Discovery& d : discoveries) {
+        bool merged = false;
+        for (const std::size_t ri : rep_indices) {
+          DedupedAnomaly& rep = report.anomalies[ri];
+          if (core::same_anomaly_region(space, rep.representative,
+                                        d.found->mfs)) {
+            rep.occurrences += 1;
+            merged = true;
+            break;
+          }
         }
+        if (merged) continue;
+        DedupedAnomaly rep;
+        rep.subsystem = sys;
+        rep.fabric = fabric;
+        rep.cc = cc;
+        rep.symptom = d.found->mfs.symptom;
+        rep.representative = d.found->mfs;
+        rep.dominant = d.found->dominant;
+        rep.occurrences = 1;
+        rep.first_cell = d.cell->cell.label();
+        rep.first_found_at = d.campaign_t;
+        rep_indices.push_back(report.anomalies.size());
+        report.anomalies.push_back(std::move(rep));
       }
-      if (merged) continue;
-      DedupedAnomaly rep;
-      rep.subsystem = sys;
-      rep.fabric = fabric;
-      rep.symptom = d.found->mfs.symptom;
-      rep.representative = d.found->mfs;
-      rep.dominant = d.found->dominant;
-      rep.occurrences = 1;
-      rep.first_cell = d.cell->cell.label();
-      rep.first_found_at = d.campaign_t;
-      rep_indices.push_back(report.anomalies.size());
-      report.anomalies.push_back(std::move(rep));
     }
 
     SubsystemCoverage cov;
     cov.subsystem = sys;
     cov.fabric = fabric;
+    cov.cc = cc;
     cov.distinct_anomalies = static_cast<int>(rep_indices.size());
     for (const CellResult& cr : result.cells) {
-      if (cr.cell.subsystem != sys || cr.cell.fabric != fabric) continue;
+      if (cr.cell.subsystem != sys || cr.cell.fabric != fabric ||
+          cr.cell.cc != cc) {
+        continue;
+      }
+      if (cr.failed()) {
+        cov.failed_cells += 1;
+        continue;
+      }
       cov.cells += 1;
       cov.experiments += cr.result.experiments;
       cov.anomalies_found += static_cast<int>(cr.result.found.size());
@@ -106,11 +127,13 @@ CampaignReport build_report(const CampaignResult& result) {
 std::string CampaignReport::render() const {
   std::ostringstream os;
 
-  TextTable cov({"sys", "fabric", "cells", "experiments", "found",
-                 "distinct", "skips", "cross-skips", "testbed-hours"});
+  TextTable cov({"sys", "fabric", "cc", "cells", "failed", "experiments",
+                 "found", "distinct", "skips", "cross-skips",
+                 "testbed-hours"});
   for (const SubsystemCoverage& c : coverage) {
-    cov.add_row({std::string(1, c.subsystem), c.fabric,
-                 std::to_string(c.cells), std::to_string(c.experiments),
+    cov.add_row({std::string(1, c.subsystem), c.fabric, c.cc,
+                 std::to_string(c.cells), std::to_string(c.failed_cells),
+                 std::to_string(c.experiments),
                  std::to_string(c.anomalies_found),
                  std::to_string(c.distinct_anomalies),
                  std::to_string(c.mfs_skips),
@@ -119,10 +142,10 @@ std::string CampaignReport::render() const {
   }
   os << "Per-subsystem coverage\n" << cov.render() << "\n";
 
-  TextTable an({"sys", "fabric", "symptom", "first cell", "found at (h)",
-                "hits", "conditions"});
+  TextTable an({"sys", "fabric", "cc", "symptom", "first cell",
+                "found at (h)", "hits", "conditions"});
   for (const DedupedAnomaly& a : anomalies) {
-    an.add_row({std::string(1, a.subsystem), a.fabric,
+    an.add_row({std::string(1, a.subsystem), a.fabric, a.cc,
                 core::to_string(a.symptom), a.first_cell,
                 fmt_double(a.first_found_at / 3600.0, 2),
                 std::to_string(a.occurrences),
@@ -162,7 +185,9 @@ std::string CampaignReport::to_json() const {
     json.begin_object();
     json.field("subsystem", std::string(1, c.subsystem));
     json.field("fabric", c.fabric);
+    json.field("cc", c.cc);
     json.field("cells", c.cells);
+    json.field("failed_cells", c.failed_cells);
     json.field("experiments", c.experiments);
     json.field("anomalies_found", c.anomalies_found);
     json.field("distinct_anomalies", c.distinct_anomalies);
@@ -177,6 +202,7 @@ std::string CampaignReport::to_json() const {
     json.begin_object();
     json.field("subsystem", std::string(1, a.subsystem));
     json.field("fabric", a.fabric);
+    json.field("cc", a.cc);
     json.field("symptom", core::to_string(a.symptom));
     json.field("first_cell", a.first_cell);
     json.field("first_found_at_seconds", a.first_found_at);

@@ -17,6 +17,7 @@ namespace collie::orchestrator {
 struct DedupedAnomaly {
   char subsystem = '?';
   std::string fabric = "pair";    // fabric scenario the discovery ran under
+  std::string cc = "off";         // congestion-control scenario
   core::Symptom symptom = core::Symptom::kNone;
   core::Mfs representative;       // first discovery's MFS
   sim::Bottleneck dominant = sim::Bottleneck::kNone;
@@ -25,13 +26,18 @@ struct DedupedAnomaly {
   double first_found_at = 0.0;    // campaign-timeline seconds
 };
 
-// Coverage rolls up per (subsystem, fabric scenario): an MFS region is only
-// meaningful within one scenario's search space, so scenarios never dedup
-// against each other.
+// Coverage rolls up per (subsystem, fabric, cc scenario): an MFS region is
+// only meaningful within one scenario's search space, so scenarios never
+// dedup against each other.  Cells that aborted mid-run are tallied in
+// `failed_cells` and contribute nothing to the covered counts — a failed
+// cell searched nothing, and counting it as covered used to make a crashed
+// campaign look like a clean sweep.
 struct SubsystemCoverage {
   char subsystem = '?';
   std::string fabric = "pair";
-  int cells = 0;
+  std::string cc = "off";
+  int cells = 0;             // cells that ran to completion
+  int failed_cells = 0;      // cells that errored mid-run
   int experiments = 0;
   int anomalies_found = 0;   // raw discoveries
   int distinct_anomalies = 0;

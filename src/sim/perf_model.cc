@@ -8,6 +8,7 @@
 
 #include "net/fabric.h"
 #include "net/wire.h"
+#include "nic/dcqcn.h"
 #include "nic/pfc.h"
 
 namespace collie::sim {
@@ -44,6 +45,8 @@ const char* to_string(Bottleneck b) {
       return "mtu_scheduler_quirk";
     case Bottleneck::kFabricCongestion:
       return "fabric_congestion";
+    case Bottleneck::kCcThrottled:
+      return "cc_throttled";
     case Bottleneck::kCount:
       break;
   }
@@ -107,7 +110,11 @@ struct Resource {
     for (std::size_t i = 0; i < flows.size(); ++i) {
       demand += coeff[i] * flows[i].rate;
     }
-    return capacity > 0.0 ? demand / capacity : 0.0;
+    // A dead resource (zero-rate fabric port) with live demand is
+    // infinitely overloaded, not idle: the solver must squash its flows
+    // instead of ignoring the constraint.
+    if (capacity <= 0.0) return demand > 0.0 ? 1e18 : 0.0;
+    return demand / capacity;
   }
 };
 
@@ -687,8 +694,91 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   BuiltModel model = build_model(sys, w);
   const int binding = solve(model, /*include_rx_stall=*/true);
 
-  const auto& flows = model.flows;
+  auto& flows = model.flows;
   const auto& offered = offered_model.flows;
+
+  // Scenario fabrics lower the achievable bounds and add fabric-attributed
+  // pause; the paper's identical pair keeps the seed behaviour bit-for-bit.
+  const bool scenario_fabric =
+      !sys.fabric.trivial_pair(sys.nicm.line_rate_bps);
+  const double fan_in =
+      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
+
+  // ---- Pause-accounting inputs ----
+  // Receivers whose binding rx-stall resources reduced the admitted rate
+  // below the offered rate accumulate RX-buffer backlog -> PFC.
+  double arrival_bps[2] = {0.0, 0.0};
+  double drain_bps[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& f = flows[i];
+    const int h = f.dst;
+    if (f.is_loop) {
+      // Loopback traffic competes inside the NIC but does not arrive from
+      // the switch port; it only steals drain capacity.
+      continue;
+    }
+    arrival_bps[h] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
+    drain_bps[h] += f.rate * f.wire_bytes_per_msg * 8.0;
+  }
+
+  // ---- Congestion control (DCQCN reaction point vs switch ECN) ----
+  // With the fabric marking ECN and the workload's QPs running DCQCN, CNP
+  // feedback rate-limits the senders before PFC has to fire: the converged
+  // limiter rate replaces the raw offer in every pause account below (the
+  // rate-limited demand iterated into the ingress fixed point), and caps
+  // what the receive side can deliver.  A limiter that undershoots the
+  // path leaves capacity idle — the Noisy Neighbor-style misconfiguration
+  // anomaly.  When CC is off this block is skipped entirely, preserving
+  // the seed's outputs bit-for-bit.
+  bool cc_leaves_capacity_idle = false;
+  if (sys.cc_armed() && w.dcqcn) {
+    nic::DcqcnParams prm = sys.cc;
+    prm.rate_ai_bps = mbps(w.dcqcn_rate_ai_mbps);
+    prm.g = w.dcqcn_g;
+    const double path_in[2] = {
+        std::min(sys.fabric.port_rate(0), sys.nicm.line_rate_bps),
+        sys.fabric.receiver_share_bps()};
+    for (int h = 0; h < 2; ++h) {
+      if (arrival_bps[h] <= 0.0) continue;
+      // The ECN queue toward this port drains at the end-to-end admitted
+      // rate: the fabric path in, further capped by what the receive side
+      // actually drains — a stalled NIC backpressures the switch with
+      // PFC, so the switch queue sees NIC-side congestion too.  This is
+      // exactly how congestion control can *mask* a subsystem stall.
+      const double ecn_drain = std::min(
+          path_in[h], drain_bps[h] > 0.0 ? drain_bps[h] : path_in[h]);
+      double pkts = 0.0;
+      double wire_bytes = 0.0;
+      double cc_flows = 0.0;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (flows[i].dst != h || flows[i].is_loop) continue;
+        pkts += offered[i].rate * offered[i].pkts_per_msg;
+        wire_bytes += offered[i].rate * offered[i].wire_bytes_per_msg;
+        cc_flows += flows[i].qps;
+      }
+      const double pkt_bytes = pkts > 0.0 ? wire_bytes / pkts : 4096.0;
+      const nic::CcSteadyState ss = nic::solve_cc_steady_state(
+          arrival_bps[h], ecn_drain, sys.nicm.line_rate_bps, cc_flows,
+          sys.fabric.ecn(h), prm, pkt_bytes);
+      if (!ss.throttled) continue;
+      out.cc_suppressed_ratio = std::max(
+          out.cc_suppressed_ratio, 1.0 - ss.rate_bps / arrival_bps[h]);
+      out.cc_mark_probability =
+          std::max(out.cc_mark_probability, ss.mark_probability);
+      arrival_bps[h] = ss.rate_bps;
+      if (ss.rate_bps < 0.85 * ecn_drain) cc_leaves_capacity_idle = true;
+      // Receivers cannot deliver more than the throttled senders offer.
+      if (drain_bps[h] > ss.rate_bps && drain_bps[h] > 0.0) {
+        const double scale = ss.rate_bps / drain_bps[h];
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (flows[i].dst == h && !flows[i].is_loop) {
+            flows[i].rate *= scale;
+          }
+        }
+        drain_bps[h] = ss.rate_bps;
+      }
+    }
+  }
 
   // ---- Primary metrics (steady state, pre-jitter) ----
   double dir_wire[2] = {0.0, 0.0};      // wire bps into host 1 / host 0
@@ -720,10 +810,6 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   // workload counts both directions against one engine.  Scenario fabrics
   // lower the achievable bounds (slower ports, fan-in shares): a workload
   // saturating its fair share of the fabric is healthy, not anomalous.
-  const bool scenario_fabric =
-      !sys.fabric.trivial_pair(sys.nicm.line_rate_bps);
-  const double fan_in =
-      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
   double wire_util = 0.0;
   for (int d = 0; d < 2; ++d) {
     if (dir_offered[d] <= 0.0) continue;
@@ -731,8 +817,10 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         dir_wire[d] * (dir_goodput[d] > 0
                            ? dir_delivered[d] / dir_goodput[d]
                            : 1.0);
-    // Direction 0 lands in host 1 and vice versa.
+    // Direction 0 lands in host 1 and vice versa.  A zero-capacity
+    // direction (dead port) can deliver nothing and bounds nothing.
     const double cap = sys.dir_wire_cap(d == 0 ? 1 : 0);
+    if (cap <= 0.0) continue;
     wire_util = std::max(wire_util, deliv_wire / cap);
   }
   double pps_util = 0.0;
@@ -753,21 +841,6 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   out.pps_utilization = pps_util;
 
   // ---- Pause accounting ----
-  // Receivers whose binding rx-stall resources reduced the admitted rate
-  // below the offered rate accumulate RX-buffer backlog -> PFC.
-  double arrival_bps[2] = {0.0, 0.0};
-  double drain_bps[2] = {0.0, 0.0};
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    const Flow& f = flows[i];
-    const int h = f.dst;
-    if (f.is_loop) {
-      // Loopback traffic competes inside the NIC but does not arrive from
-      // the switch port; it only steals drain capacity.
-      continue;
-    }
-    arrival_bps[h] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
-    drain_bps[h] += f.rate * f.wire_bytes_per_msg * 8.0;
-  }
   // A port pauses only when the senders genuinely offer more than the
   // receive side can drain: the pass-1 solve (sender/wire constraints only)
   // admits measurably more than the full solve.  A resource sitting *at*
@@ -810,6 +883,13 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         break;
       }
     }
+  }
+  // A rate limiter that converged well below the achievable path rate is
+  // the real binding constraint: the throttled flows leave every hardware
+  // resource under capacity, so the binding check above cannot see it.
+  if (cc_leaves_capacity_idle) {
+    out.dominant = Bottleneck::kCcThrottled;
+    out.bottleneck_note = "dcqcn_rate_limiter";
   }
 
   // ---- Epoch rollout ----

@@ -41,6 +41,7 @@ enum class Bottleneck {
   kNicIncast,             // root cause #6 (anomaly #13)
   kMtuSchedulerQuirk,     // anomaly #14
   kFabricCongestion,      // switch port / ToR fan-in bound (scenario fabric)
+  kCcThrottled,           // DCQCN rate limiter leaves path capacity idle
   kCount,
 };
 
@@ -74,6 +75,15 @@ struct SimResult {
   // monitor discounts this share so scenario fabrics don't drown the search
   // in expected congestion pause.
   double fabric_pause_ratio = 0.0;
+  // Demand share the DCQCN reaction point withheld: senders rate-limited
+  // below their offered load by ECN feedback.  Zero whenever CC is off.
+  // Distinct from pause on purpose — CC-suppressed demand never reaches the
+  // wire, so it must not inflate the fabric-congestion pause allowance the
+  // monitor grants (fabric_pause_ratio is computed on the *throttled*
+  // arrival).
+  double cc_suppressed_ratio = 0.0;
+  // Converged ECN marking probability at the hottest port (diagnostics).
+  double cc_mark_probability = 0.0;
   // Per-port pause accounting across the whole fabric (0 = host A, 1 =
   // host B, 2.. = extra fan-in senders mirroring port 0).
   std::vector<double> port_pause_ratio;

@@ -182,6 +182,17 @@ double Subsystem::dir_wire_cap(int dst_host) const {
                    fabric.receiver_share_bps()});
 }
 
+Subsystem with_cc(const Subsystem& base, const nic::CcScenario& scenario) {
+  Subsystem s = base;
+  if (!scenario.enabled) return s;
+  // The switch egress queues are sized like the NIC RX buffer; the marking
+  // thresholds scale against that depth so one scenario fits every port
+  // speed in the catalog.
+  s.fabric.set_ecn(scenario.materialize_ecn(s.nicm.rx_buffer_bytes));
+  s.cc = scenario.dcqcn;
+  return s;
+}
+
 Subsystem with_fabric(const Subsystem& base,
                       const net::FabricScenario& scenario) {
   Subsystem s = base;

@@ -8,6 +8,7 @@
 #include "common/units.h"
 #include "mem/memory_model.h"
 #include "net/fabric.h"
+#include "nic/dcqcn.h"
 #include "nic/nic_model.h"
 #include "pcie/pcie.h"
 #include "topo/host_topology.h"
@@ -25,6 +26,10 @@ struct Subsystem {
   // Switch ports / fan-in between the hosts; the catalog default is the
   // trivial identical pair at NIC line rate.
   net::FabricSpec fabric;
+  // Congestion-control layer: DCQCN defaults (timers, recovery policy) for
+  // workloads that arm the per-QP rate limiter.  Disabled in the catalog —
+  // the seed's PFC-only testbed — until a CC scenario arms it (with_cc).
+  nic::DcqcnParams cc;
   pcie::LinkSpec link;
   mem::MemoryModel memory;
   std::string cpu_label;  // "Intel(R) Xeon(R) CPU 3" — blinded like Table 1
@@ -35,6 +40,11 @@ struct Subsystem {
   const topo::HostTopology& host_of(int h) const {
     return h == 0 ? host : host_b;
   }
+
+  // Is the congestion-control layer live?  Needs both halves: switch-side
+  // ECN marking and a reaction point armed on the NIC.  When false the
+  // performance model runs the seed's PFC-only path bit-for-bit.
+  bool cc_armed() const { return cc.enabled && fabric.ecn_enabled(); }
 
   // Anomaly-definition upper bounds (§3): an un-anomalous subsystem is
   // bottlenecked either by wire bits/s or by packets/s per the NIC spec.
@@ -59,5 +69,11 @@ std::vector<char> all_subsystem_ids();
 // the scenario names one.  The "pair" scenario reproduces `base` exactly.
 Subsystem with_fabric(const Subsystem& base,
                       const net::FabricScenario& scenario);
+
+// Apply a congestion-control scenario: arms every switch port with the
+// scenario's ECN marking curve and installs its DCQCN defaults.  The "off"
+// scenario reproduces `base` exactly.  Composes with with_fabric — apply
+// the fabric scenario first so every materialized port gets the curve.
+Subsystem with_cc(const Subsystem& base, const nic::CcScenario& scenario);
 
 }  // namespace collie::sim

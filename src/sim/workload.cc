@@ -89,6 +89,10 @@ bool Workload::valid(std::string* why) const {
   if (loopback && opcode == Opcode::kRead) {
     return fail("loopback co-traffic modeled for SEND/WRITE only");
   }
+  if (dcqcn_rate_ai_mbps <= 0.0) return fail("dcqcn_rate_ai_mbps <= 0");
+  if (dcqcn_g <= 0.0 || dcqcn_g > 1.0) {
+    return fail("dcqcn_g outside (0, 1]");
+  }
   return true;
 }
 
@@ -100,7 +104,11 @@ std::string Workload::describe() const {
      << send_wq_depth << " rwq=" << recv_wq_depth << " mrs=" << mrs_per_qp
      << "x" << format_bytes(mr_size) << " mem=" << topo::to_string(local_mem)
      << "->" << topo::to_string(remote_mem)
-     << (loopback ? " +loopback" : "") << " pattern=[";
+     << (loopback ? " +loopback" : "");
+  if (dcqcn) {
+    os << " +dcqcn(ai=" << dcqcn_rate_ai_mbps << "M,g=" << dcqcn_g << ")";
+  }
+  os << " pattern=[";
   for (std::size_t i = 0; i < pattern.size(); ++i) {
     if (i) os << ",";
     os << format_bytes(pattern[i]);

@@ -60,6 +60,15 @@ struct Workload {
   u32 mtu = 4096;
   bool bidirectional = false;
 
+  // ---- Dimension 5: congestion control (CC-armed scenarios only) ----
+  // Per-QP DCQCN tuning the application configures at connection setup.
+  // Inert unless the subsystem's fabric arms ECN (sim::Subsystem::cc_armed):
+  // on the seed's PFC-only switch these fields change nothing, which is the
+  // bit-for-bit compatibility contract of the CC layer.
+  bool dcqcn = false;
+  double dcqcn_rate_ai_mbps = 40.0;     // additive-increase step (R_AI)
+  double dcqcn_g = 1.0 / 256.0;         // congestion-estimate EWMA gain
+
   // Number of WQEs (wire work requests) in one pattern round.
   int wqes_per_round() const;
   // Message size of the i-th WQE in a round (sum of its SGEs).

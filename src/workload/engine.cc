@@ -265,6 +265,7 @@ Measurement Engine::run(const Workload& w, Rng& rng) const {
     m.average = sim::CounterSample::average(m.samples);
     m.pause_duration_ratio = r.pause_duration_ratio;
     m.fabric_pause_ratio = r.fabric_pause_ratio;
+    m.cc_suppressed_ratio = r.cc_suppressed_ratio;
     m.wire_utilization = r.wire_utilization;
     m.pps_utilization = r.pps_utilization;
     m.rx_goodput_bps = r.rx_goodput_bps;

@@ -42,6 +42,10 @@ struct Measurement {
   // (Per-port pause stays on sim::SimResult — the monitor only needs the
   // fabric-explained share.)
   double fabric_pause_ratio = 0.0;
+  // Demand share the DCQCN rate limiter withheld (CC-armed scenarios only).
+  // Deliberately NOT folded into fabric_pause_ratio: suppressed demand
+  // never reached the wire, so it explains missing throughput, not pause.
+  double cc_suppressed_ratio = 0.0;
   double wire_utilization = 0.0;
   double pps_utilization = 0.0;
   double rx_goodput_bps = 0.0;

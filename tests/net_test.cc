@@ -109,5 +109,72 @@ TEST(FabricScenario, CatalogAndMaterialize) {
   EXPECT_DOUBLE_EQ(fanin.receiver_share_bps(), gbps(25));
 }
 
+// ---- ECN marking (the CC layer's congestion point) ------------------------
+
+// Golden compatibility: the default FabricSpec carries no marking curves,
+// so every seed-era spec behaves exactly as before the CC layer — no ECN,
+// no CNPs, and trivial_pair judgement untouched by arming.
+TEST(FabricEcn, DefaultSpecHasNoEcnAndArmingKeepsTrivialPair) {
+  const FabricSpec spec = FabricSpec::identical_pair(gbps(200));
+  EXPECT_TRUE(spec.port_ecn.empty());
+  EXPECT_FALSE(spec.ecn_enabled());
+  EXPECT_FALSE(spec.ecn(0).enabled);
+  EXPECT_FALSE(spec.ecn(99).enabled);  // out of range: disabled, not UB
+  EXPECT_DOUBLE_EQ(spec.cnps_per_second(0, 1.0 * MiB, 1e6, 8, 50e-6), 0.0);
+
+  // Arming ECN is orthogonal to the port-rate shape: the paper's pair stays
+  // "trivial" (same resource model) with marking layered on top.
+  FabricSpec armed = spec;
+  EcnParams ecn;
+  ecn.enabled = true;
+  armed.set_ecn(ecn);
+  EXPECT_TRUE(armed.ecn_enabled());
+  EXPECT_EQ(static_cast<int>(armed.port_ecn.size()), armed.num_ports());
+  EXPECT_TRUE(armed.trivial_pair(gbps(200)));
+}
+
+TEST(FabricEcn, RedMarkingCurve) {
+  EcnParams ecn;
+  ecn.enabled = true;
+  ecn.kmin_bytes = 100.0 * KiB;
+  ecn.kmax_bytes = 400.0 * KiB;
+  ecn.pmax = 0.2;
+  EXPECT_DOUBLE_EQ(ecn.mark_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecn.mark_probability(99.0 * KiB), 0.0);
+  EXPECT_DOUBLE_EQ(ecn.mark_probability(250.0 * KiB), 0.1);  // mid-ramp
+  EXPECT_DOUBLE_EQ(ecn.mark_probability(400.0 * KiB), 1.0);  // >= Kmax
+  EXPECT_DOUBLE_EQ(ecn.mark_probability(2.0 * MiB), 1.0);
+
+  EcnParams off = ecn;
+  off.enabled = false;
+  EXPECT_DOUBLE_EQ(off.mark_probability(2.0 * MiB), 0.0);
+
+  // The PFC XOFF point caps reachable occupancy: thresholds beyond it are
+  // dead (the mistuned configuration).
+  EcnParams mistuned = ecn;
+  mistuned.kmin_bytes = 0.95 * mistuned.queue_cap_bytes;
+  EXPECT_TRUE(ecn.can_mark());
+  EXPECT_FALSE(mistuned.can_mark());
+}
+
+TEST(FabricEcn, CnpGenerationIsMarkTimesPpsWithPerFlowPacing) {
+  FabricSpec spec = FabricSpec::identical_pair(gbps(200));
+  EcnParams ecn;
+  ecn.enabled = true;
+  ecn.kmin_bytes = 100.0 * KiB;
+  ecn.kmax_bytes = 400.0 * KiB;
+  ecn.pmax = 0.2;
+  spec.set_ecn(ecn);
+  // Mid-ramp: p = 0.1 of 1Mpps = 100k CNPs/s, below the pacing cap of
+  // 8 flows / 50us = 160k/s.
+  EXPECT_DOUBLE_EQ(spec.cnps_per_second(0, 250.0 * KiB, 1e6, 8, 50e-6),
+                   1e5);
+  // Saturated marking is clipped by per-flow pacing: 2 flows / 50us.
+  EXPECT_DOUBLE_EQ(spec.cnps_per_second(0, 1.0 * MiB, 1e6, 2, 50e-6),
+                   2.0 / 50e-6);
+  // Below Kmin nothing is marked.
+  EXPECT_DOUBLE_EQ(spec.cnps_per_second(0, 10.0 * KiB, 1e6, 8, 50e-6), 0.0);
+}
+
 }  // namespace
 }  // namespace collie::net

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <thread>
@@ -330,6 +331,121 @@ TEST(CampaignTest, ThreeFabricScenarioCampaignRunsWithPerScenarioCoverage) {
   }
 }
 
+TEST(CampaignTest, CcScenariosAreCampaignDimensions) {
+  CampaignConfig config;
+  config.subsystems = {'F'};
+  config.fabrics = {"fanin4"};
+  config.ccs = {"off", "dcqcn", "mistuned"};
+  config.modes = {core::GuidanceMode::kDiag};
+  const Campaign campaign(config);
+
+  const auto plan = campaign.plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].label(), "F@fanin4/Diag#0");  // cc=off keeps old labels
+  EXPECT_EQ(plan[1].label(), "F@fanin4+dcqcn/Diag#0");
+  EXPECT_EQ(plan[2].label(), "F@fanin4+mistuned/Diag#0");
+  // CC scenarios are distinct search spaces: scopes separate them.
+  EXPECT_EQ(plan[0].scope(ShareScope::kSubsystem), "F@fanin4");
+  EXPECT_EQ(plan[1].scope(ShareScope::kSubsystem), "F@fanin4+dcqcn");
+
+  // Materialization arms both halves of the CC layer (or neither).
+  EXPECT_FALSE(plan[0].materialize().cc_armed());
+  EXPECT_TRUE(plan[1].materialize().cc_armed());
+  EXPECT_TRUE(core::SearchSpace(plan[1].materialize()).cc_searchable());
+  // The mistuned scenario arms the NIC but its thresholds cannot mark.
+  const sim::Subsystem mist = plan[2].materialize();
+  EXPECT_TRUE(mist.cc_armed());
+  EXPECT_FALSE(mist.fabric.ecn(1).can_mark());
+
+  CampaignConfig bad = config;
+  bad.ccs = {"no-such-cc"};
+  EXPECT_THROW(Campaign{bad}, std::invalid_argument);
+}
+
+// Regression: a cell that errors mid-run (here: a subsystem id missing from
+// the catalog) used to take down the fleet — and, if it had been recorded,
+// the report would have counted it as covered search time.  Now the failure
+// is captured on the CellResult and the coverage rows separate covered
+// cells from failed ones.
+TEST(CampaignTest, FailedCellDoesNotCountAsCovered) {
+  CampaignConfig config;
+  config.subsystems = {'B', 'Z'};  // 'Z' does not exist
+  config.modes = {core::GuidanceMode::kDiag};
+  config.strategy = Strategy::kRandom;
+  config.budget.seconds = 600.0;
+  config.engine = fast_engine_opts();
+  config.workers = 2;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult result = Campaign(config).run();  // must not throw
+  ASSERT_EQ(result.cells.size(), 2u);
+  const CellResult& good = result.cells[0];
+  const CellResult& bad = result.cells[1];
+  EXPECT_FALSE(good.failed());
+  EXPECT_TRUE(bad.failed());
+  EXPECT_NE(bad.error.find('Z'), std::string::npos);
+  EXPECT_EQ(bad.result.experiments, 0);
+
+  const CampaignReport report = build_report(result);
+  ASSERT_EQ(report.coverage.size(), 2u);
+  const SubsystemCoverage& cov_b = report.coverage[0];
+  const SubsystemCoverage& cov_z = report.coverage[1];
+  EXPECT_EQ(cov_b.subsystem, 'B');
+  EXPECT_EQ(cov_b.cells, 1);
+  EXPECT_EQ(cov_b.failed_cells, 0);
+  EXPECT_GT(cov_b.experiments, 0);
+  EXPECT_EQ(cov_z.subsystem, 'Z');
+  EXPECT_EQ(cov_z.cells, 0);  // an aborted cell covered nothing
+  EXPECT_EQ(cov_z.failed_cells, 1);
+  EXPECT_EQ(cov_z.experiments, 0);
+  EXPECT_DOUBLE_EQ(cov_z.elapsed_seconds, 0.0);
+  EXPECT_EQ(report.total_experiments, cov_b.experiments);
+
+  // The failure is visible in both renderings.
+  EXPECT_NE(report.render().find("failed"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"failed_cells\":1"), std::string::npos);
+
+  // Worker threads survive failing cells too.
+  config.execution = ExecutionMode::kThreads;
+  const CampaignResult threaded = Campaign(config).run();
+  ASSERT_EQ(threaded.cells.size(), 2u);
+  EXPECT_TRUE(threaded.cells[1].failed());
+}
+
+// The CC acceptance: a campaign over (subsystem x fabric x cc x mode x
+// seed) discovers at least one anomaly region with a necessary condition
+// in a CC-parameter dimension — the search found a workload whose anomaly
+// appears or disappears with the DCQCN configuration.
+TEST(CampaignTest, CcCampaignDiscoversCcParameterAnomalyRegion) {
+  CampaignConfig config;
+  config.subsystems = {'F'};
+  config.fabrics = {"fanin4"};
+  config.ccs = {"dcqcn"};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.budget.seconds = 2 * 3600.0;
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 1;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult result = Campaign(config).run();
+  const CampaignReport report = build_report(result);
+  ASSERT_FALSE(report.anomalies.empty());
+  bool cc_conditioned = false;
+  for (const DedupedAnomaly& a : report.anomalies) {
+    EXPECT_EQ(a.cc, "dcqcn");
+    for (const core::FeatureCondition& c : a.representative.conditions) {
+      if (c.feature == core::Feature::kDcqcn ||
+          c.feature == core::Feature::kCcRateAi ||
+          c.feature == core::Feature::kCcAlphaG) {
+        cc_conditioned = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cc_conditioned)
+      << "no discovered anomaly region has a CC-parameter condition";
+}
+
 CampaignConfig small_campaign_config() {
   CampaignConfig config;
   config.subsystems = {'B', 'F'};
@@ -573,6 +689,16 @@ TEST(CampaignReportTest, RenderAndJsonCarryTheSummary) {
   EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
   EXPECT_NE(json.find("\"coverage\""), std::string::npos);
   EXPECT_NE(json.find("\"anomalies\""), std::string::npos);
+  // Structural well-formedness: no value string in this document contains
+  // brackets, so a container-close immediately followed by a quote means a
+  // missing separator (the JsonWriter regression that made campaign --json
+  // unparseable).
+  EXPECT_EQ(json.find("]\""), std::string::npos);
+  EXPECT_EQ(json.find("}\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 TEST(CampaignReportTest, AggregateTraceIsMergedAndOrdered) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "sim/perf_model.h"
 #include "sim/subsystem.h"
 
@@ -354,6 +357,243 @@ TEST(PerfModelFabric, TorFanInScalesExpectedPause) {
   const SimResult r2 =
       evaluate(with_fabric(subsystem('F'), mild), clean_write(), rng2);
   EXPECT_LT(r2.fabric_pause_ratio, r.fabric_pause_ratio);
+}
+
+// ---- Pinned pre-CC golden outputs -----------------------------------------
+
+// The CC layer's compatibility contract: with congestion control disabled
+// (the default), every scenario's perf-model outputs are bit-for-bit
+// identical to the pre-CC model.  The table below was captured from the
+// model BEFORE the DCQCN/ECN layer landed (hexfloat, exact); the compares
+// are exact double equality, not ULP-tolerant.
+struct GoldenRow {
+  char sys;
+  const char* fabric;
+  int workload;  // 0 = clean_write(), 1 = clean_write(2048, 512), 2 = deep UD
+  double rx_goodput_bps;
+  double tx_wire_bps;
+  double pause_duration_ratio;
+  double fabric_pause_ratio;
+  double wire_utilization;
+  double pps_utilization;
+  const char* dominant;
+};
+
+Workload golden_workload(int index) {
+  switch (index) {
+    case 0:
+      return clean_write();
+    case 1:
+      return clean_write(2048, 512);
+    default: {
+      Workload w = clean_write(2048, 512);
+      w.qp_type = QpType::kUD;
+      w.opcode = Opcode::kSend;
+      w.recv_wq_depth = 1024;
+      w.mtu = 1024;
+      return w;
+    }
+  }
+}
+
+const GoldenRow kGoldenRows[] = {
+    {'B', "pair", 0, 0x1.6d37b114771d8p+36, 0x1.74876e7ffffffp+36, 0x0p+0, 0x0p+0, 0x1.fffffffffffffp-1, 0x1.105370cf9f0d4p-5, "none"},
+    {'B', "pair", 1, 0x1.89641a9641a97p+35, 0x1.c86522d8522d9p+35, 0x0p+0, 0x0p+0, 0x1.39a1de5aa0f82p-1, 0x1.255567aaabd01p-3, "mtt_cache_miss"},
+    {'B', "pair", 2, 0x1.2728944f68d4fp+35, 0x1.c86522d8522d9p+35, 0x0p+0, 0x0p+0, 0x1.d6a1d7d5bb17ep-2, 0x1.b82c1a691544fp-4, "mtt_cache_miss"},
+    {'B', "hetero", 0, 0x1.6d37b114771d8p+35, 0x1.74876e7ffffffp+35, 0x1.0025e6316c861p-1, 0x1.ffffffffffffep-2, 0x1.fffffffffffffp-1, 0x1.105370cf9f0d4p-6, "fabric_congestion"},
+    {'B', "hetero", 1, 0x1.411a3b0b34944p+35, 0x1.74876e8p+35, 0x1.794d59fb3db99p-3, 0x1.7855df3eec2dp-3, 0x1p+0, 0x1.dedcd9fa71f82p-4, "fabric_congestion"},
+    {'B', "hetero", 2, 0x1.e1d781b2203f9p+34, 0x1.74876e8p+35, 0x1.794d59fb3db99p-3, 0x1.7855df3eec2dp-3, 0x1.802665709372ep-1, 0x1.67498cbfde48p-4, "fabric_congestion"},
+    {'B', "fanin4", 0, 0x1.6d37b114771d8p+34, 0x1.74876e7ffffffp+34, 0x1.8012f318b643p-1, 0x1.8p-1, 0x1.fffffffffffffp-1, 0x1.105370cf9f0d4p-5, "fabric_congestion"},
+    {'B', "fanin4", 1, 0x1.411a3b0b34944p+34, 0x1.74876e8p+34, 0x1.2f29ab3f67b73p-1, 0x1.2f0abbe7dd85ap-1, 0x1p+0, 0x1.dedcd9fa71f82p-3, "fabric_congestion"},
+    {'B', "fanin4", 2, 0x1.e1d781b2203f9p+33, 0x1.74876e8p+34, 0x1.2f29ab3f67b73p-1, 0x1.2f0abbe7dd85ap-1, 0x1.802665709372ep-1, 0x1.67498cbfde48p-3, "fabric_congestion"},
+    {'F', "pair", 0, 0x1.6d37b114771d8p+37, 0x1.74876e7ffffffp+37, 0x0p+0, 0x0p+0, 0x1.fffffffffffffp-1, 0x1.c7fcd4b4f2816p-6, "none"},
+    {'F', "pair", 1, 0x1.5d1cfe1af473ep+35, 0x1.9506a2cd459a7p+35, 0x0p+0, 0x0p+0, 0x1.1654e9e609dd3p-2, 0x1.b3e17d0cc39dap-5, "mtt_cache_miss"},
+    {'F', "pair", 2, 0x1.17f1f2553ad1fp+34, 0x1.9506a2cd459a7p+35, 0x0p+0, 0x0p+0, 0x1.be5fd3533d284p-4, 0x1.5d8596190c11p-6, "mtt_cache_miss"},
+    {'F', "hetero", 0, 0x1.6d37b114771d8p+36, 0x1.74876e7ffffffp+36, 0x1.0025e6316c861p-1, 0x1.ffffffffffffep-2, 0x1.fffffffffffffp-1, 0x1.c7fcd4b4f2816p-7, "fabric_congestion"},
+    {'F', "hetero", 1, 0x1.5d1cfe1af473ep+35, 0x1.9506a2cd459a7p+35, 0x0p+0, 0x0p+0, 0x1.1654e9e609dd3p-1, 0x1.b3e17d0cc39dap-5, "mtt_cache_miss"},
+    {'F', "hetero", 2, 0x1.17f1f2553ad1fp+34, 0x1.9506a2cd459a7p+35, 0x0p+0, 0x0p+0, 0x1.be5fd3533d284p-3, 0x1.5d8596190c11p-6, "mtt_cache_miss"},
+    {'F', "fanin4", 0, 0x1.6d37b114771d8p+35, 0x1.74876e7ffffffp+35, 0x1.8012f318b643p-1, 0x1.8p-1, 0x1.fffffffffffffp-1, 0x1.c7fcd4b4f2816p-6, "fabric_congestion"},
+    {'F', "fanin4", 1, 0x1.411a3b0b34944p+35, 0x1.74876e8p+35, 0x1.4ad14a29b94e8p-4, 0x1.48a38e38e38dp-4, 0x1p+0, 0x1.90e886dd94ff6p-3, "fabric_congestion"},
+    {'F', "fanin4", 2, 0x1.017be4c42c34fp+34, 0x1.74876e8p+35, 0x1.4ad14a29b94e8p-4, 0x1.48a38e38e38dp-4, 0x1.9a8f53f714534p-2, 0x1.417a6eb04527ep-4, "fabric_congestion"},
+    {'H', "pair", 0, 0x1.6d37b114771d8p+36, 0x1.74876e7ffffffp+36, 0x0p+0, 0x0p+0, 0x1.fffffffffffffp-1, 0x1.bd9fcfdf615b9p-6, "none"},
+    {'H', "pair", 1, 0x1.52d8600b1a708p+34, 0x1.891d076ce1ac8p+34, 0x0p+0, 0x0p+0, 0x1.0e253d5f45cf3p-2, 0x1.9d721e2493e68p-5, "mtt_cache_miss"},
+    {'H', "pair", 2, 0x1.9101cfe424edcp+32, 0x1.d13b1a2faed7dp+32, 0x1.689b115f3ad7ap-1, 0x0p+0, 0x1.3fb447a6f0172p-4, 0x1.e94b134fe3435p-7, "rwqe_burst_miss"},
+    {'H', "hetero", 0, 0x1.6d37b114771d8p+35, 0x1.74876e7ffffffp+35, 0x1.0025e6316c861p-1, 0x1.ffffffffffffep-2, 0x1.fffffffffffffp-1, 0x1.bd9fcfdf615b9p-7, "fabric_congestion"},
+    {'H', "hetero", 1, 0x1.52d8600b1a708p+34, 0x1.891d076ce1ac8p+34, 0x0p+0, 0x0p+0, 0x1.0e253d5f45cf3p-1, 0x1.9d721e2493e68p-5, "mtt_cache_miss"},
+    {'H', "hetero", 2, 0x1.9101cfe424edcp+32, 0x1.d13b1a2faed7dp+32, 0x1.689b115f3ad7ap-1, 0x0p+0, 0x1.3fb447a6f0172p-3, 0x1.e94b134fe3435p-7, "rwqe_burst_miss"},
+    {'H', "fanin4", 0, 0x1.6d37b114771d8p+34, 0x1.74876e7ffffffp+34, 0x1.8012f318b643p-1, 0x1.8p-1, 0x1.fffffffffffffp-1, 0x1.bd9fcfdf615b9p-6, "fabric_congestion"},
+    {'H', "fanin4", 1, 0x1.411a3b0b34944p+34, 0x1.74876e8p+34, 0x1.b17133f8e2b1ap-5, 0x1.acf3eec2cd23p-5, 0x1p+0, 0x1.87cbf82a00282p-3, "fabric_congestion"},
+    {'H', "fanin4", 2, 0x1.9101cfe424edcp+30, 0x1.d13b1a2faed7dp+30, 0x1.da26c457ceb5ep-1, 0x1.acf3eec2cd23p-5, 0x1.3fb447a6f0172p-4, 0x1.e94b134fe3435p-7, "rwqe_burst_miss"},
+};
+
+TEST(PerfModelGolden, CcDisabledScenariosMatchPrePrOutputsBitForBit) {
+  for (const GoldenRow& row : kGoldenRows) {
+    const Subsystem sys = with_fabric(subsystem(row.sys),
+                                      net::fabric_scenario(row.fabric));
+    Rng rng(7);
+    const SimResult r = evaluate(sys, golden_workload(row.workload), rng);
+    const std::string tag = std::string(1, row.sys) + "/" + row.fabric +
+                            "/w" + std::to_string(row.workload);
+    EXPECT_EQ(r.rx_goodput_bps, row.rx_goodput_bps) << tag;
+    EXPECT_EQ(r.tx_wire_bps, row.tx_wire_bps) << tag;
+    EXPECT_EQ(r.pause_duration_ratio, row.pause_duration_ratio) << tag;
+    EXPECT_EQ(r.fabric_pause_ratio, row.fabric_pause_ratio) << tag;
+    EXPECT_EQ(r.wire_utilization, row.wire_utilization) << tag;
+    EXPECT_EQ(r.pps_utilization, row.pps_utilization) << tag;
+    EXPECT_STREQ(to_string(r.dominant), row.dominant) << tag;
+    EXPECT_EQ(r.cc_suppressed_ratio, 0.0) << tag;
+  }
+}
+
+// Arming the fabric+NIC with a CC scenario changes nothing as long as the
+// workload leaves its DCQCN reaction point off.
+TEST(PerfModelGolden, CcArmedButWorkloadOffStillMatchesGoldens) {
+  for (const GoldenRow& row : kGoldenRows) {
+    const Subsystem sys = with_cc(
+        with_fabric(subsystem(row.sys), net::fabric_scenario(row.fabric)),
+        nic::cc_scenario("dcqcn"));
+    ASSERT_TRUE(sys.cc_armed());
+    Rng rng(7);
+    Workload w = golden_workload(row.workload);
+    w.dcqcn = false;
+    const SimResult r = evaluate(sys, w, rng);
+    EXPECT_EQ(r.rx_goodput_bps, row.rx_goodput_bps);
+    EXPECT_EQ(r.pause_duration_ratio, row.pause_duration_ratio);
+    EXPECT_EQ(r.fabric_pause_ratio, row.fabric_pause_ratio);
+    EXPECT_EQ(r.wire_utilization, row.wire_utilization);
+  }
+}
+
+// ---- Fan-in demand aggregation edge cases ---------------------------------
+
+TEST(PerfModelFabric, SingleHotSenderBehindOversubscribedUplink) {
+  // fan_in = 1 but a 2:1 uplink: the lone sender gets half its port rate.
+  // This is the degenerate fan-in where the aggregation multiplier is 1 and
+  // only the uplink constraint bites.
+  Subsystem sys = subsystem('F');
+  const double r = sys.nicm.line_rate_bps;
+  sys.fabric = net::FabricSpec::tor_fanin(1, r, r, 2.0);
+  EXPECT_DOUBLE_EQ(sys.fabric.uplink_bps(), r / 2.0);
+  EXPECT_DOUBLE_EQ(sys.fabric.receiver_share_bps(), r / 2.0);
+  Rng rng(7);
+  const SimResult res = evaluate(sys, clean_write(), rng);
+  // Half the offered load is paused away, all of it fabric-explained, and
+  // the sender saturates its achievable share (healthy).
+  EXPECT_NEAR(res.fabric_pause_ratio, 0.5, 0.02);
+  EXPECT_GT(res.pause_duration_ratio, 0.45);
+  EXPECT_GT(res.wire_utilization, 0.95);
+  ASSERT_EQ(res.port_pause_ratio.size(), 2u);
+}
+
+TEST(PerfModelFabric, ZeroRatePortDeliversNothingWithoutNanOrUb) {
+  // A dead receiver port: degenerate but must stay finite — the solver
+  // treats a zero-capacity resource with live demand as infinitely
+  // overloaded instead of ignoring it.
+  Subsystem sys = subsystem('F');
+  const double r = sys.nicm.line_rate_bps;
+  sys.fabric = net::FabricSpec::heterogeneous_pair(r, 0.0);
+  EXPECT_DOUBLE_EQ(sys.fabric.receiver_share_bps(), 0.0);
+  Rng rng(7);
+  const SimResult res = evaluate(sys, clean_write(), rng);
+  EXPECT_TRUE(std::isfinite(res.wire_utilization));
+  EXPECT_TRUE(std::isfinite(res.pps_utilization));
+  EXPECT_TRUE(std::isfinite(res.rx_goodput_bps));
+  EXPECT_LT(res.rx_goodput_bps, 0.01 * r);
+  // Everything the sender offers is fabric-explained congestion.
+  EXPECT_GT(res.fabric_pause_ratio, 0.95);
+}
+
+TEST(PerfModelFabric, UnityOversubscriptionLeavesUplinkUnbinding) {
+  // fan_in = 4 with a 1:1 uplink: the receiver port itself, not the ToR
+  // uplink, is what divides into per-sender shares.
+  Subsystem sys = subsystem('F');
+  const double r = sys.nicm.line_rate_bps;
+  sys.fabric = net::FabricSpec::tor_fanin(4, r, r, 1.0);
+  EXPECT_DOUBLE_EQ(sys.fabric.uplink_bps(), 4.0 * r);
+  EXPECT_DOUBLE_EQ(sys.fabric.receiver_share_bps(), r / 4.0);
+  Rng rng(7);
+  const SimResult res = evaluate(sys, clean_write(), rng);
+  EXPECT_NEAR(res.fabric_pause_ratio, 0.75, 0.02);
+  EXPECT_GT(res.wire_utilization, 0.95);  // saturates the quarter share
+  ASSERT_EQ(res.port_pause_ratio.size(), 5u);
+
+  // The fully degenerate fan-in — one sender, matched rates, 1:1 uplink —
+  // IS the paper's trivial pair, and must reproduce the seed bit-for-bit.
+  sys.fabric = net::FabricSpec::tor_fanin(1, r, r, 1.0);
+  EXPECT_TRUE(sys.fabric.trivial_pair(r));
+  EXPECT_DOUBLE_EQ(sys.fabric.receiver_share_bps(), r);
+  Rng rng2(7);
+  const SimResult degenerate = evaluate(sys, clean_write(), rng2);
+  Rng rng3(7);
+  const SimResult base = evaluate(subsystem('F'), clean_write(), rng3);
+  EXPECT_EQ(degenerate.rx_goodput_bps, base.rx_goodput_bps);
+  EXPECT_EQ(degenerate.pause_duration_ratio, base.pause_duration_ratio);
+  EXPECT_EQ(degenerate.fabric_pause_ratio, 0.0);
+}
+
+// ---- Congestion control ---------------------------------------------------
+
+TEST(PerfModelCc, WellTunedDcqcnAbsorbsFanInCongestionWithoutPause) {
+  const Subsystem sys =
+      with_cc(with_fabric(subsystem('F'), net::fabric_scenario("fanin4")),
+              nic::cc_scenario("dcqcn"));
+  Workload w = clean_write();
+  w.dcqcn = true;
+  Rng rng(7);
+  const SimResult r = evaluate(sys, w, rng);
+  // ECN feedback rate-limits the senders to their fair share: the PFC storm
+  // of the CC-off fanin4 run disappears, the suppressed demand is recorded,
+  // and the flow still saturates its achievable share (healthy).
+  EXPECT_LT(r.pause_duration_ratio, 0.01);
+  EXPECT_GT(r.cc_suppressed_ratio, 0.5);
+  EXPECT_GT(r.wire_utilization, 0.95);
+  EXPECT_GT(r.cc_mark_probability, 0.0);
+}
+
+TEST(PerfModelCc, MistunedEcnThresholdsLeaveFabricAttributedPfcStorm) {
+  // The acceptance scenario: DCQCN armed on fanin4, but the switch marking
+  // thresholds sit beyond the PFC XOFF point.  ECN never reacts, the PFC
+  // storm persists, and the model attributes it to the fabric — the
+  // monitor sees heavy pause but must not call the subsystem anomalous.
+  const Subsystem sys =
+      with_cc(with_fabric(subsystem('F'), net::fabric_scenario("fanin4")),
+              nic::cc_scenario("mistuned"));
+  Workload w = clean_write();
+  w.dcqcn = true;
+  Rng rng(7);
+  const SimResult r = evaluate(sys, w, rng);
+  EXPECT_GT(r.pause_duration_ratio, 0.5);  // monitor-visible pause
+  EXPECT_DOUBLE_EQ(r.cc_suppressed_ratio, 0.0);
+  // ...all of it fabric-explained (within the monitor's headroom).
+  EXPECT_GT(r.fabric_pause_ratio, 0.99 * r.pause_duration_ratio - 0.01);
+  EXPECT_EQ(r.dominant, Bottleneck::kFabricCongestion);
+}
+
+TEST(PerfModelCc, MistunedReactionPointManufacturesLowThroughputAnomaly) {
+  // Noisy Neighbor-style CC misconfiguration: a crippled additive-increase
+  // step with a maximal EWMA gain leaves most of the path idle.
+  const Subsystem sys =
+      with_cc(with_fabric(subsystem('F'), net::fabric_scenario("fanin4")),
+              nic::cc_scenario("dcqcn"));
+  Workload w = clean_write();
+  w.dcqcn = true;
+  w.dcqcn_rate_ai_mbps = 1.0;
+  w.dcqcn_g = 1.0;
+  Rng rng(7);
+  const SimResult r = evaluate(sys, w, rng);
+  EXPECT_LT(r.wire_utilization, 0.8);
+  EXPECT_LT(r.pps_utilization, 0.8);
+  EXPECT_LT(r.pause_duration_ratio, 0.001);
+  EXPECT_EQ(r.dominant, Bottleneck::kCcThrottled);
+  EXPECT_GT(r.cc_suppressed_ratio, 0.9);
+
+  // Healthier per-QP tuning on the same path restores the fair share.
+  Workload good = w;
+  good.dcqcn_rate_ai_mbps = 1000.0;
+  good.dcqcn_g = 1.0 / 256.0;
+  Rng rng2(7);
+  const SimResult ok = evaluate(sys, good, rng2);
+  EXPECT_GT(ok.wire_utilization, 0.9);
 }
 
 }  // namespace

@@ -18,6 +18,23 @@ TEST(Json, BasicDocument) {
   EXPECT_EQ(j.str(), R"({"a":1,"b":"x\"y","c":true,"xs":[1,2.5]})");
 }
 
+// Regression: closing a nested container must re-arm the parent's comma —
+// every sibling that followed an object/array used to lose its separator,
+// producing invalid documents like `{"xs":[]"b":2}`.
+TEST(Json, SiblingAfterNestedContainerGetsComma) {
+  JsonWriter j;
+  j.begin_object();
+  j.begin_array("xs").end_array();
+  j.field("b", 2);
+  j.key("o");
+  j.begin_object().field("c", 3).end_object();
+  j.begin_array("ys");
+  j.value(1);
+  j.end_array();
+  j.field("d", 4).end_object();
+  EXPECT_EQ(j.str(), R"({"xs":[],"b":2,"o":{"c":3},"ys":[1],"d":4})");
+}
+
 TEST(Json, EscapesControlCharacters) {
   EXPECT_EQ(JsonWriter::escape("a\nb\\c\"d"), "a\\nb\\\\c\\\"d");
 }

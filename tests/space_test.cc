@@ -166,10 +166,27 @@ TEST_F(SpaceTest, CategoricalNamesAreHumanReadable) {
 }
 
 TEST_F(SpaceTest, NumericGridsAreSorted) {
+  // CC features expose empty grids on a CC-disarmed space (no probe
+  // experiments are ever spent on the inert dimension); everything else
+  // must have a sorted, non-empty probe grid.
   for (int fi = 0; fi < kNumFeatures; ++fi) {
     const Feature f = static_cast<Feature>(fi);
     if (is_categorical(f)) continue;
     const auto grid = space_.numeric_grid(f);
+    if (f == Feature::kCcRateAi || f == Feature::kCcAlphaG) {
+      EXPECT_TRUE(grid.empty()) << to_string(f);
+      continue;
+    }
+    EXPECT_FALSE(grid.empty()) << to_string(f);
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end())) << to_string(f);
+  }
+
+  // A CC-armed subsystem exposes the CC grids too.
+  const SearchSpace armed(
+      sim::with_cc(sim::subsystem('F'), nic::cc_scenario("dcqcn")));
+  ASSERT_TRUE(armed.cc_searchable());
+  for (const Feature f : {Feature::kCcRateAi, Feature::kCcAlphaG}) {
+    const auto grid = armed.numeric_grid(f);
     EXPECT_FALSE(grid.empty()) << to_string(f);
     EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end())) << to_string(f);
   }

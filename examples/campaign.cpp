@@ -8,6 +8,10 @@
 //   $ ./campaign --sys F --fabric pair,hetero,fanin4   # fabric scenario sweep
 //   $ ./campaign --sys F --fabric fanin4 --cc off,dcqcn,mistuned  # CC sweep
 //   $ ./campaign --sys B --trace-csv            # fleet-wide Figure-6 trace
+//   $ ./campaign --sys BF --hours 8,2 --schedule lpt   # mixed budgets, LPT
+//   $ ./campaign --sys B --checkpoint today.json       # persist the pool
+//   $ ./campaign --sys B --warm-start today.json       # skip known regions
+//   $ ./campaign --sys BF --replay sched.json          # record, then replay
 //
 // Flags:
 //   --sys <ids>        subsystem letters, e.g. "BF" or "all" (default all)
@@ -21,28 +25,66 @@
 //   --strategy <s>     sa | random (default sa)
 //   --workers <n>      fleet size (default 4)
 //   --seeds <n>        replicas per (subsystem, mode) cell (default 1)
-//   --hours <h>        simulated testbed hours per cell (default 10, the
-//                      paper's Figure 4/5 budget)
+//   --hours <h[,h..]>  simulated testbed hours per cell (default 10, the
+//                      paper's Figure 4/5 budget).  A comma list cycles
+//                      over plan cells — a mixed-budget campaign; pair it
+//                      with --schedule lpt
+//   --schedule <p>     rr | lpt (default rr).  LPT packs mixed budgets onto
+//                      the least-loaded worker (virtual-time work stealing)
 //   --seed <s>         campaign seed; cells get split() streams (default 1)
 //   --share <scope>    subsystem | cell (default subsystem)
 //   --exec <mode>      threads | deterministic (default threads)
+//   --warm-start <f>   load a checkpoint: its pool scopes pre-seed MatchMFS
+//                      (zero probes inside already-explained regions) and
+//                      its completed cells are skipped outright
+//   --checkpoint <f>   write pool scopes + completed cells after the run
+//   --replay <f>       if <f> exists, execute exactly its recorded steal
+//                      schedule (bit-for-bit at any --workers count under
+//                      --share cell); otherwise run normally and record
+//                      this run's schedule to <f>
 //   --functional       run the engine's functional verbs pass too (slower)
 //   --json             print the report as JSON instead of tables
 //   --trace-csv        print the merged fleet trace as CSV and exit
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/cli.h"
 #include "common/strings.h"
+#include "core/json_reader.h"
 #include "net/fabric.h"
 #include "nic/dcqcn.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
+#include "orchestrator/checkpoint.h"
+#include "orchestrator/scheduler.h"
 #include "sim/subsystem.h"
 
 using namespace collie;
 using namespace collie::orchestrator;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
@@ -112,7 +154,38 @@ int main(int argc, char** argv) {
                                          : Strategy::kSimulatedAnnealing;
   config.workers = static_cast<int>(args.get_int("workers", 4));
   config.seeds_per_cell = static_cast<int>(args.get_int("seeds", 1));
-  config.budget.seconds = args.get_double("hours", 10.0) * 3600.0;
+  {
+    // --hours is a single budget or a comma list cycled over plan cells.
+    const std::string hours_arg = args.get("hours", "10");
+    std::vector<double> hours;
+    for (const std::string& h : split(hours_arg, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(h.c_str(), &end);
+      if (end != h.c_str() + h.size() || v <= 0.0) {
+        std::fprintf(stderr, "bad --hours entry '%s'\n", h.c_str());
+        return 2;
+      }
+      hours.push_back(v);
+    }
+    if (hours.empty()) {
+      std::fprintf(stderr, "--hours needs at least one value\n");
+      return 2;
+    }
+    config.budget.seconds = hours[0] * 3600.0;
+    if (hours.size() > 1) {
+      for (const double h : hours) {
+        config.budget_cycle_seconds.push_back(h * 3600.0);
+      }
+    }
+  }
+  const std::string sched = args.get("schedule", "rr");
+  if (sched != "rr" && sched != "lpt") {
+    std::fprintf(stderr, "unknown schedule '%s' (valid: rr, lpt)\n",
+                 sched.c_str());
+    return 2;
+  }
+  config.schedule =
+      sched == "lpt" ? SchedulePolicy::kLpt : SchedulePolicy::kRoundRobin;
   config.campaign_seed = static_cast<u64>(args.get_int("seed", 1));
   const std::string share = args.get("share", "subsystem");
   if (share != "subsystem" && share != "cell") {
@@ -132,12 +205,84 @@ int main(int argc, char** argv) {
                                              : ExecutionMode::kThreads;
   config.engine.run_functional_pass = args.get_bool("functional", false);
 
-  Campaign campaign(config);
-  std::printf("campaign: %zu cells, %d workers, %s scope, %s execution\n",
-              campaign.plan().size(), campaign.config().workers,
-              to_string(config.share), to_string(config.execution));
+  const std::string warm_path = args.get("warm-start", "");
+  if (!warm_path.empty()) {
+    std::string text;
+    if (!read_file(warm_path, &text)) {
+      std::fprintf(stderr, "cannot read warm-start checkpoint '%s'\n",
+                   warm_path.c_str());
+      return 2;
+    }
+    try {
+      config.warm_start = CampaignCheckpoint::from_json(text);
+    } catch (const core::JsonError& e) {
+      std::fprintf(stderr, "bad checkpoint '%s': %s\n", warm_path.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
 
-  const CampaignResult result = campaign.run();
+  // --replay <f>: an existing file is a recorded schedule to re-execute; a
+  // missing one means "record this run's schedule there".
+  const std::string replay_path = args.get("replay", "");
+  bool replaying = false;
+  if (!replay_path.empty()) {
+    std::string text;
+    if (read_file(replay_path, &text)) {
+      try {
+        config.replay = schedule_from_json(text);
+        replaying = true;
+      } catch (const core::JsonError& e) {
+        std::fprintf(stderr, "bad schedule '%s': %s\n", replay_path.c_str(),
+                     e.what());
+        return 2;
+      }
+    }
+  }
+
+  Campaign campaign(config);
+  std::printf("campaign: %zu cells, %d workers, %s scope, %s execution, %s "
+              "schedule%s\n",
+              campaign.plan().size(), campaign.config().workers,
+              to_string(config.share), to_string(config.execution),
+              replaying ? "replayed" : to_string(config.schedule),
+              config.warm_start ? ", warm-started" : "");
+
+  CampaignResult result;
+  try {
+    result = campaign.run();
+  } catch (const std::invalid_argument& e) {
+    // Warm-start share mismatch or replay-vs-plan drift: reject loudly.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  if (!replay_path.empty() && !replaying) {
+    std::vector<std::string> labels;
+    std::vector<double> budgets;
+    for (const CampaignCell& cell : campaign.plan()) {
+      labels.push_back(cell.label());
+      budgets.push_back(cell.budget_seconds);
+    }
+    if (!write_file(replay_path,
+                    schedule_to_json(result.schedule, labels, budgets))) {
+      std::fprintf(stderr, "cannot record schedule to '%s'\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    std::printf("recorded steal schedule to %s\n", replay_path.c_str());
+  }
+
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    if (!write_file(checkpoint_path, make_checkpoint(result).to_json())) {
+      std::fprintf(stderr, "cannot write checkpoint '%s'\n",
+                   checkpoint_path.c_str());
+      return 2;
+    }
+    std::printf("checkpointed %zu pool scopes to %s\n",
+                result.pool_scopes.size(), checkpoint_path.c_str());
+  }
 
   if (args.get_bool("trace-csv", false)) {
     std::printf("%s", aggregate_trace_csv(result).c_str());

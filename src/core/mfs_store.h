@@ -22,6 +22,20 @@ class MfsStore {
   // implementations record hit provenance (e.g. cross-worker skips).
   virtual bool covers(const SearchSpace& space, const Workload& w) = 0;
 
+  // True when a *pre-loaded* MFS covers `w` — an entry that was in the
+  // store before this run started (a warm-started campaign's regions from
+  // yesterday's checkpoint).  The search drivers consult this for sampled
+  // points that deliberately bypass the full MatchMFS skip (counter-ranking
+  // probes, SA phase starts and restarts, necessity probes), so a
+  // warm-started run spends zero experiments inside loaded regions while a
+  // fresh run keeps the seed's bit-exact trajectories (no store can be
+  // pre-loaded unless an implementation opts in).
+  virtual bool covers_preloaded(const SearchSpace& space, const Workload& w) {
+    (void)space;
+    (void)w;
+    return false;
+  }
+
   // Register an extracted MFS; returns the index assigned to it (discovery
   // order within this store).  `space` is the search space the MFS was
   // extracted from — implementations use it to detect overlapping inserts

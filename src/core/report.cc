@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <iomanip>
 #include <sstream>
 
 namespace collie::core {
@@ -73,9 +75,18 @@ JsonWriter& JsonWriter::value(double v) {
     out_ += "null";
     return *this;
   }
-  std::ostringstream os;
-  os << v;
-  out_ += os.str();
+  // Shortest decimal that parses back to the same double.  Checkpointed MFS
+  // bounds must reload bit-exact: the default 6-significant-digit printing
+  // silently moved warm-start region boundaries (1048576 became 1.04858e+06
+  // = 1048580), so workloads at a region's edge were re-probed or masked.
+  std::string s;
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    s = os.str();
+    if (std::strtod(s.c_str(), nullptr) == v) break;
+  }
+  out_ += s;
   return *this;
 }
 
@@ -131,11 +142,12 @@ void workload_to_json(const Workload& w, JsonWriter* json) {
   json->field("loopback", w.loopback);
   json->field("local_mem", topo::to_string(w.local_mem));
   json->field("remote_mem", topo::to_string(w.remote_mem));
+  // The DCQCN knobs are emitted unconditionally: they are inert while
+  // dcqcn is false, but the persistence layer round-trips workloads
+  // losslessly (a checkpointed witness must reload bit-for-bit).
   json->field("dcqcn", w.dcqcn);
-  if (w.dcqcn) {
-    json->field("dcqcn_rate_ai_mbps", w.dcqcn_rate_ai_mbps);
-    json->field("dcqcn_g", w.dcqcn_g);
-  }
+  json->field("dcqcn_rate_ai_mbps", w.dcqcn_rate_ai_mbps);
+  json->field("dcqcn_g", w.dcqcn_g);
   json->begin_array("pattern");
   for (u64 s : w.pattern) json->value(static_cast<i64>(s));
   json->end_array();

@@ -87,6 +87,14 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
     // experiment; the Figure-6 trace shows them as a flat stretch.
     const double flat = state.result.trace.back().rx_wqe_cache_miss;
     auto probe = [&](const Workload& candidate) -> Symptom {
+      // A necessity probe that lands inside a pre-loaded region is already
+      // explained: the loaded MFS asserts the anomaly persists there, so
+      // answer from the checkpoint instead of spending an experiment
+      // (warm-started runs re-probe nothing a previous campaign covered).
+      if (state.store->covers_preloaded(space_, candidate)) {
+        state.result.mfs_skips += 1;
+        return symptom;
+      }
       const workload::Measurement pm = engine_.run(candidate, rng);
       state.elapsed += pm.cost_seconds;
       state.result.experiments += 1;
@@ -127,14 +135,14 @@ SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
   int consecutive_skips = 0;
   while (!state.exhausted(budget)) {
     const Workload w = space_.random_point(rng);
-    // Skips are free, but bound them so a pathologically broad MFS set can
-    // never starve the loop.
-    if (use_mfs && consecutive_skips < 10000) {
-      if (state.store->covers(space_, w)) {
-        state.result.mfs_skips += 1;
-        ++consecutive_skips;
-        continue;
-      }
+    if (use_mfs && state.store->covers(space_, w)) {
+      state.result.mfs_skips += 1;
+      // Skips are free, but bound them: 10000 consecutive covered samples
+      // mean the reachable space is explained by known regions, and the run
+      // ends rather than measuring inside one (a warm-started campaign must
+      // spend zero probes in loaded regions).
+      if (++consecutive_skips >= 10000) break;
+      continue;
     }
     consecutive_skips = 0;
     step(w, rng, state, use_mfs, nullptr);
@@ -155,6 +163,33 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
                                                    Rng& rng, MfsStore& store) {
   RunState state(store);
 
+  // Sampled points (ranking probes, phase starts, restarts) bypass the full
+  // MatchMFS skip by design — they double as energy baselines — but never a
+  // *pre-loaded* region: a warm-started run spends zero experiments inside
+  // regions a previous campaign already explained.  On a fresh store
+  // covers_preloaded is constant-false and the draws below are bit-exact
+  // with the seed behaviour.
+  auto warm_covered = [&](const Workload& w) {
+    if (!config.use_mfs) return false;
+    if (!state.store->covers_preloaded(space_, w)) return false;
+    state.result.mfs_skips += 1;
+    return true;
+  };
+  // Sample outside every pre-loaded region; false when 10000 consecutive
+  // draws all land inside one (the reachable space is already explained and
+  // the caller should stop instead of measuring a known region).
+  auto sample_fresh = [&](Workload* out) {
+    for (int tries = 0; tries < 10000; ++tries) {
+      Workload w = space_.random_point(rng);
+      if (!warm_covered(w)) {
+        *out = std::move(w);
+        return true;
+      }
+    }
+    return false;
+  };
+  bool space_explained = false;
+
   // ---- Build the counter schedule ----
   std::vector<CounterRef> schedule;
   if (config.mode == GuidanceMode::kPerf) {
@@ -167,8 +202,10 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
     std::vector<sim::CounterSample> probes;
     for (int i = 0; i < config.ranking_probes && !state.exhausted(budget);
          ++i) {
+      Workload w = space_.random_point(rng);
+      if (warm_covered(w)) continue;
       sim::CounterSample cs;
-      step(space_.random_point(rng), rng, state, config.use_mfs, &cs);
+      step(w, rng, state, config.use_mfs, &cs);
       probes.push_back(cs);
     }
     std::vector<std::pair<double, int>> ranked;
@@ -192,7 +229,8 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
   }
 
   // ---- One SA phase per counter, splitting the remaining budget ----
-  for (std::size_t ci = 0; ci < schedule.size() && !state.exhausted(budget);
+  for (std::size_t ci = 0; ci < schedule.size() && !state.exhausted(budget) &&
+                           !space_explained;
        ++ci) {
     const CounterRef counter = schedule[ci];
     const double remaining = budget.seconds - state.elapsed;
@@ -208,7 +246,11 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
     };
 
     // Measure an initial random point (Algorithm 1 line 1).
-    Workload p_old = space_.random_point(rng);
+    Workload p_old;
+    if (!sample_fresh(&p_old)) {
+      space_explained = true;
+      break;
+    }
     sim::CounterSample cs_old;
     Verdict v = step(p_old, rng, state, config.use_mfs, &cs_old);
     double e_old = counter.value(cs_old);
@@ -216,10 +258,11 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
 
     double temperature = config.t0;
     int consecutive_skips = 0;
-    while (state.elapsed < deadline && !state.exhausted(budget)) {
+    while (state.elapsed < deadline && !state.exhausted(budget) &&
+           !space_explained) {
       for (int i = 0;
            i < config.iters_per_temperature && state.elapsed < deadline &&
-           !state.exhausted(budget);
+           !state.exhausted(budget) && !space_explained;
            ++i) {
         Workload p_new = space_.mutate(p_old, rng);
         if (config.use_mfs) {
@@ -230,7 +273,10 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
             // from a fresh point instead of orbiting the border.
             if (++consecutive_skips >= 24) {
               consecutive_skips = 0;
-              p_old = space_.random_point(rng);
+              if (!sample_fresh(&p_old)) {
+                space_explained = true;
+                break;
+              }
               sim::CounterSample cs;
               v = step(p_old, rng, state, config.use_mfs, &cs);
               e_old = counter.value(cs);
@@ -247,7 +293,10 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
 
         if (v.anomalous() && config.use_mfs) {
           // Restart from a fresh random point (Algorithm 1 line 17).
-          p_old = space_.random_point(rng);
+          if (!sample_fresh(&p_old)) {
+            space_explained = true;
+            break;
+          }
           if (state.exhausted(budget)) break;
           step(p_old, rng, state, config.use_mfs, &cs_old);
           e_old = counter.value(cs_old);

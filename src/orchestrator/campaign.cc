@@ -79,6 +79,11 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   }
   if (config_.workers < 1) config_.workers = 1;
   if (config_.seeds_per_cell < 1) config_.seeds_per_cell = 1;
+  for (const double seconds : config_.budget_cycle_seconds) {
+    if (seconds <= 0.0) {
+      throw std::invalid_argument("budget cycle entries must be positive");
+    }
+  }
 }
 
 std::vector<CampaignCell> Campaign::plan() const {
@@ -97,6 +102,11 @@ std::vector<CampaignCell> Campaign::plan() const {
             cell.mode = mode;
             cell.seed_ordinal = seed;
             cell.stream = static_cast<u64>(cells.size());
+            cell.budget_seconds =
+                config_.budget_cycle_seconds.empty()
+                    ? config_.budget.seconds
+                    : config_.budget_cycle_seconds[cells.size() %
+                          config_.budget_cycle_seconds.size()];
             cells.push_back(cell);
           }
         }
@@ -124,17 +134,18 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
     core::SearchDriver driver(engine, space);
     ConcurrentMfsPool::View store =
         pool.view(cell.scope(config_.share), worker);
+    core::SearchBudget budget = config_.budget;
+    budget.seconds = cell.budget_seconds;
 
     if (config_.strategy == Strategy::kSimulatedAnnealing) {
       core::SaConfig sa = config_.sa;
       sa.mode = cell.mode;
-      cr.result =
-          driver.run_simulated_annealing(sa, config_.budget, rng, store);
+      cr.result = driver.run_simulated_annealing(sa, budget, rng, store);
     } else {
-      cr.result =
-          driver.run_random(config_.budget, rng, config_.sa.use_mfs, store);
+      cr.result = driver.run_random(budget, rng, config_.sa.use_mfs, store);
     }
     cr.cross_worker_skips = store.cross_worker_hits();
+    cr.warm_start_skips = store.warm_hits();
   } catch (const std::exception& e) {
     cr.error = e.what();
     LOG_WARN << "worker " << worker << " cell " << cell.label()
@@ -148,20 +159,108 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
   return cr;
 }
 
-void Campaign::run_worker(int worker, const std::vector<CampaignCell>& cells,
-                          const std::vector<Rng>& streams,
-                          ConcurrentMfsPool& pool,
-                          std::vector<CellResult>& out) {
+void Campaign::run_queue(int logical_worker,
+                         const std::vector<std::size_t>& queue,
+                         const std::vector<CampaignCell>& cells,
+                         const std::vector<Rng>& streams,
+                         ConcurrentMfsPool& pool,
+                         std::vector<CellResult>& out) {
   double timeline = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(worker); i < cells.size();
-       i += static_cast<std::size_t>(config_.workers)) {
-    out[i] = run_cell(worker, timeline, cells[i], streams[i], pool);
+  for (const std::size_t i : queue) {
+    out[i] = run_cell(logical_worker, timeline, cells[i], streams[i], pool);
     timeline += out[i].result.elapsed_seconds;
+  }
+}
+
+void Campaign::validate_replay(const Schedule& schedule,
+                               const std::vector<CampaignCell>& cells,
+                               const std::vector<bool>& runnable) const {
+  std::vector<bool> seen(cells.size(), false);
+  for (std::size_t w = 0; w < schedule.queues.size(); ++w) {
+    for (std::size_t qi = 0; qi < schedule.queues[w].size(); ++qi) {
+      const std::size_t i = schedule.queues[w][qi];
+      if (i >= cells.size()) {
+        throw std::invalid_argument(
+            "replay schedule references cell index " + std::to_string(i) +
+            " outside the plan");
+      }
+      if (seen[i]) {
+        throw std::invalid_argument("replay schedule runs cell " +
+                                    cells[i].label() + " twice");
+      }
+      seen[i] = true;
+      if (!runnable[i]) {
+        throw std::invalid_argument(
+            "replay schedule runs warm-start-completed cell " +
+            cells[i].label());
+      }
+      if (w < schedule.labels.size() && qi < schedule.labels[w].size() &&
+          !schedule.labels[w][qi].empty() &&
+          schedule.labels[w][qi] != cells[i].label()) {
+        throw std::invalid_argument(
+            "replay schedule was recorded against a different plan: cell " +
+            std::to_string(i) + " is " + cells[i].label() + ", recorded as " +
+            schedule.labels[w][qi]);
+      }
+      // A recording under different --hours would re-dispatch silently:
+      // same labels, different budgets, different timelines and results.
+      if (w < schedule.budgets.size() && qi < schedule.budgets[w].size() &&
+          schedule.budgets[w][qi] > 0.0 &&
+          schedule.budgets[w][qi] != cells[i].budget_seconds) {
+        throw std::invalid_argument(
+            "replay schedule was recorded under different budgets: cell " +
+            cells[i].label() + " now has " +
+            std::to_string(cells[i].budget_seconds) + " s, recorded with " +
+            std::to_string(schedule.budgets[w][qi]) + " s");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (runnable[i] && !seen[i]) {
+      throw std::invalid_argument("replay schedule never runs cell " +
+                                  cells[i].label());
+    }
   }
 }
 
 CampaignResult Campaign::run() {
   const std::vector<CampaignCell> cells = plan();
+
+  // Warm start: cells the checkpoint records as completed never run.
+  std::vector<bool> runnable(cells.size(), true);
+  if (config_.warm_start) {
+    // Scope keys only mean anything under the sharing policy they were
+    // formed with; loading cell-scoped entries into a subsystem-share
+    // campaign would park them under keys no view queries.
+    if (config_.warm_start->share != to_string(config_.share)) {
+      throw std::invalid_argument(
+          "warm-start checkpoint was taken under --share " +
+          config_.warm_start->share + ", this campaign uses --share " +
+          to_string(config_.share));
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (config_.warm_start->completed(cells[i].label())) {
+        runnable[i] = false;
+      }
+    }
+  }
+
+  std::vector<double> budgets;
+  budgets.reserve(cells.size());
+  for (const CampaignCell& cell : cells) budgets.push_back(cell.budget_seconds);
+
+  // The schedule: replayed (and validated against this plan), or computed
+  // from the policy.  Budgets stand in for durations — searches run to
+  // their wall budget, so the virtual-time assignment matches reality.
+  Schedule schedule;
+  if (config_.replay) {
+    schedule = *config_.replay;
+    validate_replay(schedule, cells, runnable);
+  } else if (config_.schedule == SchedulePolicy::kLpt) {
+    schedule = lpt_schedule(budgets, runnable, config_.workers);
+  } else {
+    schedule = round_robin_schedule(runnable, config_.workers);
+  }
 
   // Split every cell's stream off the campaign seed up front; the draw a
   // cell sees is a pure function of (campaign_seed, cell index).
@@ -171,38 +270,67 @@ CampaignResult Campaign::run() {
   for (const CampaignCell& cell : cells) streams.push_back(root.split(cell.stream));
 
   ConcurrentMfsPool pool;
-  CampaignResult result;
-  result.workers = config_.workers;
-  result.cells.resize(cells.size());
+  if (config_.warm_start) {
+    for (const auto& [scope, entries] : config_.warm_start->scopes) {
+      pool.load_scope(scope, entries);
+    }
+  }
 
-  const int fleet =
-      std::min<int>(config_.workers, static_cast<int>(cells.size()));
+  CampaignResult result;
+  result.workers = schedule.workers;
+  result.schedule = schedule;
+  result.share = config_.share;
+  result.cells.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!runnable[i]) {
+      result.cells[i].cell = cells[i];
+      result.cells[i].skipped = true;
+    }
+  }
+
+  std::size_t queued = 0;
+  for (const auto& queue : schedule.queues) queued += queue.size();
+  // Physical threads: capped by the config and by the number of logical
+  // queues — a recorded 4-worker schedule replays on 1 thread bit-for-bit.
+  const int fleet = std::min<int>(
+      {config_.workers, schedule.workers, static_cast<int>(queued)});
   if (config_.execution == ExecutionMode::kDeterministic || fleet <= 1) {
-    // Plan-order execution with the fleet's worker attribution and per-
-    // worker timelines: the reference semantics every schedule converges to.
+    // Virtual-time dispatch order on the calling thread with the schedule's
+    // worker attribution and per-worker timelines: the reference semantics
+    // every physical execution converges to.  For round-robin schedules
+    // with uniform budgets this is exactly plan order (the seed behaviour).
     std::vector<double> timelines(
-        static_cast<std::size_t>(config_.workers), 0.0);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto w =
-          static_cast<std::size_t>(i % static_cast<std::size_t>(config_.workers));
+        static_cast<std::size_t>(schedule.workers), 0.0);
+    const std::vector<int> worker_of = schedule.worker_of(cells.size());
+    for (const std::size_t i : dispatch_order(schedule, budgets)) {
+      const auto w = static_cast<std::size_t>(worker_of[i]);
       result.cells[i] = run_cell(static_cast<int>(w), timelines[w], cells[i],
                                  streams[i], pool);
       timelines[w] += result.cells[i].result.elapsed_seconds;
     }
   } else {
+    // One physical thread drains logical queues t, t+fleet, ... — queues
+    // are independent (each owns its timeline), so any fleet size yields
+    // the same per-cell results under cell-scoped pools.
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(fleet));
-    for (int w = 0; w < fleet; ++w) {
-      threads.emplace_back([this, w, &cells, &streams, &pool, &result] {
-        run_worker(w, cells, streams, pool, result.cells);
+    for (int t = 0; t < fleet; ++t) {
+      threads.emplace_back([this, t, fleet, &schedule, &cells, &streams,
+                            &pool, &result] {
+        for (std::size_t w = static_cast<std::size_t>(t);
+             w < schedule.queues.size();
+             w += static_cast<std::size_t>(fleet)) {
+          run_queue(static_cast<int>(w), schedule.queues[w], cells, streams,
+                    pool, result.cells);
+        }
       });
     }
     for (std::thread& t : threads) t.join();
   }
 
   // Aggregate the simulated timelines.
-  std::vector<double> worker_elapsed(static_cast<std::size_t>(config_.workers),
-                                     0.0);
+  std::vector<double> worker_elapsed(
+      static_cast<std::size_t>(schedule.workers), 0.0);
   for (const CellResult& cr : result.cells) {
     result.serial_seconds += cr.result.elapsed_seconds;
     if (cr.worker >= 0) {
@@ -214,6 +342,7 @@ CampaignResult Campaign::run() {
     if (t > result.makespan_seconds) result.makespan_seconds = t;
   }
   result.pool = pool.stats();
+  result.pool_scopes = pool.export_scopes();
   return result;
 }
 

@@ -22,11 +22,15 @@
 // timeline, and speedup is serial-sum / makespan.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/search.h"
+#include "orchestrator/checkpoint.h"
 #include "orchestrator/mfs_pool.h"
+#include "orchestrator/scheduler.h"
 #include "workload/engine.h"
 
 namespace collie::orchestrator {
@@ -71,6 +75,9 @@ struct CampaignCell {
   core::GuidanceMode mode = core::GuidanceMode::kDiag;
   int seed_ordinal = 0;  // replica of this (subsystem, fabric, cc, mode)
   u64 stream = 0;        // rng stream index, assigned by plan()
+  // Wall budget of this cell in simulated testbed seconds, assigned by
+  // plan() from the config's budget (or its mixed-budget cycle).
+  double budget_seconds = 0.0;
 
   // "B" for the default pair scenario (the seed's labels), "B@hetero",
   // "B@fanin4+dcqcn" etc. otherwise.
@@ -98,6 +105,22 @@ struct CampaignConfig {
   ShareScope share = ShareScope::kSubsystem;
   ExecutionMode execution = ExecutionMode::kThreads;
   core::SearchBudget budget;  // per cell
+  // Mixed-budget campaigns: plan cell i gets budget_cycle_seconds[i % size]
+  // as its wall budget (empty = every cell gets `budget`).  LPT scheduling
+  // exists for exactly this shape.
+  std::vector<double> budget_cycle_seconds;
+  // Cell -> worker assignment policy.  Round-robin is the seed behaviour
+  // and exact for equal budgets; LPT packs mixed budgets onto the least-
+  // loaded worker (virtual-time work stealing).
+  SchedulePolicy schedule = SchedulePolicy::kRoundRobin;
+  // Warm start: pre-seed the pool with these scopes and skip cells whose
+  // labels the checkpoint records as completed.
+  std::optional<CampaignCheckpoint> warm_start;
+  // Replay: execute exactly this recorded schedule.  Logical workers come
+  // from the schedule; `workers` only caps physical threads, so a replayed
+  // campaign is bit-for-bit identical at any worker count (under
+  // ShareScope::kCell, where cell trajectories are schedule-independent).
+  std::optional<Schedule> replay;
   core::SaConfig sa;          // template; mode is overridden per cell
   workload::EngineOptions engine;
 };
@@ -110,6 +133,12 @@ struct CellResult {
   double start_seconds = 0.0;
   // MatchMFS hits served from MFSes another worker inserted.
   i64 cross_worker_skips = 0;
+  // MatchMFS hits served from warm-start (checkpoint-loaded) MFSes.
+  i64 warm_start_skips = 0;
+  // True when the warm-start checkpoint recorded this cell as completed:
+  // the cell ran zero experiments this campaign and the report counts it
+  // in its own `skipped` column, never as covered.
+  bool skipped = false;
   // Non-empty when the cell aborted mid-run (what() of the exception).  A
   // failed cell keeps any partial results for debugging, but the campaign
   // report must not count it as covered search time.
@@ -121,7 +150,14 @@ struct CellResult {
 struct CampaignResult {
   std::vector<CellResult> cells;  // in plan() order
   PoolStats pool;
-  int workers = 0;
+  // The realized cell -> logical-worker schedule; serialize with
+  // schedule_to_json to record a run for --replay.
+  Schedule schedule;
+  // Every pool scope's final contents, for checkpointing (make_checkpoint),
+  // plus the sharing policy the scope keys were formed under.
+  std::map<std::string, std::vector<core::Mfs>> pool_scopes;
+  ShareScope share = ShareScope::kSubsystem;
+  int workers = 0;                // logical workers of the schedule
   double serial_seconds = 0.0;    // sum of all cells' simulated elapsed
   double makespan_seconds = 0.0;  // slowest worker's simulated timeline
 
@@ -138,21 +174,27 @@ class Campaign {
   const CampaignConfig& config() const { return config_; }
 
   // The deterministic cell list: subsystems x modes x seeds, with rng stream
-  // indices assigned in list order.
+  // indices and per-cell budgets assigned in list order.
   std::vector<CampaignCell> plan() const;
 
-  // Run the fleet.  Cells are assigned round-robin (cell i -> worker
-  // i % workers), which balances equal-budget cells exactly and keeps the
-  // cell -> worker mapping deterministic.
+  // Run the fleet.  The cell -> worker assignment comes from the schedule
+  // policy (round-robin by default, LPT for mixed budgets) or, when
+  // `config.replay` is set, from a recorded schedule — validated against
+  // the plan so a stale recording fails loudly.  Warm-start-completed
+  // cells are skipped before scheduling.
   CampaignResult run();
 
  private:
   CellResult run_cell(int worker, double start_seconds,
                       const CampaignCell& cell, Rng rng,
                       ConcurrentMfsPool& pool);
-  void run_worker(int worker, const std::vector<CampaignCell>& cells,
-                  const std::vector<Rng>& streams, ConcurrentMfsPool& pool,
-                  std::vector<CellResult>& out);
+  void run_queue(int logical_worker, const std::vector<std::size_t>& queue,
+                 const std::vector<CampaignCell>& cells,
+                 const std::vector<Rng>& streams, ConcurrentMfsPool& pool,
+                 std::vector<CellResult>& out);
+  void validate_replay(const Schedule& schedule,
+                       const std::vector<CampaignCell>& cells,
+                       const std::vector<bool>& runnable) const;
 
   CampaignConfig config_;
 };

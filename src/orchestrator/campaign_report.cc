@@ -7,6 +7,7 @@
 
 #include "common/table.h"
 #include "core/report.h"
+#include "core/serialize.h"
 
 namespace collie::orchestrator {
 namespace {
@@ -39,7 +40,7 @@ CampaignReport build_report(const CampaignResult& result) {
     const GroupKey key{cr.cell.subsystem, cr.cell.fabric, cr.cell.cc};
     if (by_group.find(key) == by_group.end()) group_order.push_back(key);
     auto& list = by_group[key];
-    if (cr.failed()) continue;
+    if (cr.failed() || cr.skipped) continue;
     for (const core::FoundAnomaly& f : cr.result.found) {
       list.push_back(
           Discovery{&cr, &f, cr.start_seconds + f.found_at_seconds});
@@ -103,6 +104,12 @@ CampaignReport build_report(const CampaignResult& result) {
           cr.cell.cc != cc) {
         continue;
       }
+      if (cr.skipped) {
+        // Completed by the warm-start checkpoint: this campaign searched
+        // nothing here, so the cell must not inflate `cells` (covered).
+        cov.skipped_cells += 1;
+        continue;
+      }
       if (cr.failed()) {
         cov.failed_cells += 1;
         continue;
@@ -112,6 +119,7 @@ CampaignReport build_report(const CampaignResult& result) {
       cov.anomalies_found += static_cast<int>(cr.result.found.size());
       cov.mfs_skips += cr.result.mfs_skips;
       cov.cross_worker_skips += cr.cross_worker_skips;
+      cov.warm_start_skips += cr.warm_start_skips;
       cov.elapsed_seconds += cr.result.elapsed_seconds;
     }
     report.coverage.push_back(cov);
@@ -127,17 +135,19 @@ CampaignReport build_report(const CampaignResult& result) {
 std::string CampaignReport::render() const {
   std::ostringstream os;
 
-  TextTable cov({"sys", "fabric", "cc", "cells", "failed", "experiments",
-                 "found", "distinct", "skips", "cross-skips",
-                 "testbed-hours"});
+  TextTable cov({"sys", "fabric", "cc", "cells", "failed", "skipped",
+                 "experiments", "found", "distinct", "skips", "cross-skips",
+                 "warm-skips", "testbed-hours"});
   for (const SubsystemCoverage& c : coverage) {
     cov.add_row({std::string(1, c.subsystem), c.fabric, c.cc,
                  std::to_string(c.cells), std::to_string(c.failed_cells),
+                 std::to_string(c.skipped_cells),
                  std::to_string(c.experiments),
                  std::to_string(c.anomalies_found),
                  std::to_string(c.distinct_anomalies),
                  std::to_string(c.mfs_skips),
                  std::to_string(c.cross_worker_skips),
+                 std::to_string(c.warm_start_skips),
                  fmt_double(c.elapsed_seconds / 3600.0, 1)});
   }
   os << "Per-subsystem coverage\n" << cov.render() << "\n";
@@ -162,6 +172,11 @@ std::string CampaignReport::render() const {
   os << "  shared MFS pool: " << pool.entries << " entries, " << pool.hits
      << " hits (" << pool.cross_worker_hits << " cross-worker), "
      << pool.duplicate_inserts << " duplicate inserts\n";
+  if (pool.warm_entries > 0) {
+    os << "  warm start: " << pool.warm_entries
+       << " regions loaded from checkpoint, " << pool.warm_hits
+       << " probes skipped inside them\n";
+  }
   return os.str();
 }
 
@@ -176,8 +191,10 @@ std::string CampaignReport::to_json() const {
   json.key("pool");
   json.begin_object();
   json.field("entries", pool.entries);
+  json.field("warm_entries", pool.warm_entries);
   json.field("hits", pool.hits);
   json.field("cross_worker_hits", pool.cross_worker_hits);
+  json.field("warm_hits", pool.warm_hits);
   json.field("duplicate_inserts", pool.duplicate_inserts);
   json.end_object();
   json.begin_array("coverage");
@@ -188,11 +205,13 @@ std::string CampaignReport::to_json() const {
     json.field("cc", c.cc);
     json.field("cells", c.cells);
     json.field("failed_cells", c.failed_cells);
+    json.field("skipped_cells", c.skipped_cells);
     json.field("experiments", c.experiments);
     json.field("anomalies_found", c.anomalies_found);
     json.field("distinct_anomalies", c.distinct_anomalies);
     json.field("mfs_skips", c.mfs_skips);
     json.field("cross_worker_skips", c.cross_worker_skips);
+    json.field("warm_start_skips", c.warm_start_skips);
     json.field("elapsed_seconds", c.elapsed_seconds);
     json.end_object();
   }
@@ -204,15 +223,76 @@ std::string CampaignReport::to_json() const {
     json.field("fabric", a.fabric);
     json.field("cc", a.cc);
     json.field("symptom", core::to_string(a.symptom));
+    json.field("mechanism", sim::to_string(a.dominant));
     json.field("first_cell", a.first_cell);
     json.field("first_found_at_seconds", a.first_found_at);
     json.field("occurrences", a.occurrences);
     json.field("conditions", static_cast<i64>(a.representative.conditions.size()));
+    json.key("representative");
+    core::mfs_to_json(a.representative, &json);
     json.end_object();
   }
   json.end_array();
   json.end_object();
   return json.str();
+}
+
+CampaignReport campaign_report_from_json(const std::string& text) {
+  const core::JsonValue doc = core::JsonValue::parse(text);
+  CampaignReport report;
+  report.workers = static_cast<int>(doc.at("workers").as_i64());
+  report.total_experiments =
+      static_cast<int>(doc.at("total_experiments").as_i64());
+  report.serial_seconds = doc.at("serial_seconds").as_double();
+  report.makespan_seconds = doc.at("makespan_seconds").as_double();
+  report.speedup = doc.at("speedup").as_double();
+  const core::JsonValue& pool = doc.at("pool");
+  report.pool.entries = pool.at("entries").as_i64();
+  report.pool.warm_entries = pool.at("warm_entries").as_i64();
+  report.pool.hits = pool.at("hits").as_i64();
+  report.pool.cross_worker_hits = pool.at("cross_worker_hits").as_i64();
+  report.pool.warm_hits = pool.at("warm_hits").as_i64();
+  report.pool.duplicate_inserts = pool.at("duplicate_inserts").as_i64();
+  for (const core::JsonValue& c : doc.at("coverage").items()) {
+    SubsystemCoverage cov;
+    const std::string& sys = c.at("subsystem").as_string();
+    if (sys.size() != 1) throw core::JsonError("subsystem must be one char");
+    cov.subsystem = sys[0];
+    cov.fabric = c.at("fabric").as_string();
+    cov.cc = c.at("cc").as_string();
+    cov.cells = static_cast<int>(c.at("cells").as_i64());
+    cov.failed_cells = static_cast<int>(c.at("failed_cells").as_i64());
+    cov.skipped_cells = static_cast<int>(c.at("skipped_cells").as_i64());
+    cov.experiments = static_cast<int>(c.at("experiments").as_i64());
+    cov.anomalies_found = static_cast<int>(c.at("anomalies_found").as_i64());
+    cov.distinct_anomalies =
+        static_cast<int>(c.at("distinct_anomalies").as_i64());
+    cov.mfs_skips = static_cast<int>(c.at("mfs_skips").as_i64());
+    cov.cross_worker_skips = c.at("cross_worker_skips").as_i64();
+    cov.warm_start_skips = c.at("warm_start_skips").as_i64();
+    cov.elapsed_seconds = c.at("elapsed_seconds").as_double();
+    report.coverage.push_back(std::move(cov));
+  }
+  for (const core::JsonValue& a : doc.at("anomalies").items()) {
+    DedupedAnomaly an;
+    const std::string& sys = a.at("subsystem").as_string();
+    if (sys.size() != 1) throw core::JsonError("subsystem must be one char");
+    an.subsystem = sys[0];
+    an.fabric = a.at("fabric").as_string();
+    an.cc = a.at("cc").as_string();
+    an.symptom = core::symptom_from_string(a.at("symptom").as_string());
+    an.dominant = core::bottleneck_from_string(a.at("mechanism").as_string());
+    an.first_cell = a.at("first_cell").as_string();
+    an.first_found_at = a.at("first_found_at_seconds").as_double();
+    an.occurrences = static_cast<int>(a.at("occurrences").as_i64());
+    an.representative = core::mfs_from_json(a.at("representative"));
+    if (a.at("conditions").as_i64() !=
+        static_cast<i64>(an.representative.conditions.size())) {
+      throw core::JsonError("condition count disagrees with representative");
+    }
+    report.anomalies.push_back(std::move(an));
+  }
+  return report;
 }
 
 std::vector<CampaignTracePoint> aggregate_trace(const CampaignResult& result) {

@@ -31,18 +31,23 @@ struct DedupedAnomaly {
 // dedup against each other.  Cells that aborted mid-run are tallied in
 // `failed_cells` and contribute nothing to the covered counts — a failed
 // cell searched nothing, and counting it as covered used to make a crashed
-// campaign look like a clean sweep.
+// campaign look like a clean sweep.  Warm-start-skipped cells likewise get
+// their own `skipped_cells` column: they were covered by a *previous*
+// campaign, and folding them into `cells` would make a warm-started re-run
+// look like it searched regions it deliberately never touched.
 struct SubsystemCoverage {
   char subsystem = '?';
   std::string fabric = "pair";
   std::string cc = "off";
-  int cells = 0;             // cells that ran to completion
+  int cells = 0;             // cells that ran to completion this campaign
   int failed_cells = 0;      // cells that errored mid-run
+  int skipped_cells = 0;     // warm-start-completed cells, never run
   int experiments = 0;
   int anomalies_found = 0;   // raw discoveries
   int distinct_anomalies = 0;
   int mfs_skips = 0;
   i64 cross_worker_skips = 0;
+  i64 warm_start_skips = 0;  // MatchMFS hits on checkpoint-loaded regions
   double elapsed_seconds = 0.0;
 };
 
@@ -70,10 +75,16 @@ struct CampaignReport {
   // Human-readable tables: coverage per subsystem, deduped anomalies, and
   // the campaign summary (speedup, pool stats).
   std::string render() const;
+  // Machine-readable report; embeds each anomaly's full representative MFS
+  // so to_json(campaign_report_from_json(to_json())) is byte-identical.
   std::string to_json() const;
 };
 
 CampaignReport build_report(const CampaignResult& result);
+
+// Inverse of CampaignReport::to_json.  Throws core::JsonError on
+// truncated/garbled documents.
+CampaignReport campaign_report_from_json(const std::string& text);
 
 // The merged trace, ordered by campaign-timeline seconds (ties broken by
 // worker id).  Kept out of CampaignReport: traces are big and most callers

@@ -7,9 +7,19 @@ namespace collie::orchestrator {
 bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
                                      const Workload& w) {
   bool cross = false;
-  if (!pool_->covers(scope_, space, w, worker_, &cross)) return false;
+  bool warm = false;
+  if (!pool_->covers(scope_, space, w, worker_, &cross, &warm)) return false;
   hits_ += 1;
   if (cross) cross_hits_ += 1;
+  if (warm) warm_hits_ += 1;
+  return true;
+}
+
+bool ConcurrentMfsPool::View::covers_preloaded(const core::SearchSpace& space,
+                                               const Workload& w) {
+  if (!pool_->covers_preloaded(scope_, space, w)) return false;
+  hits_ += 1;
+  warm_hits_ += 1;
   return true;
 }
 
@@ -28,20 +38,63 @@ std::vector<core::Mfs> ConcurrentMfsPool::View::snapshot() const {
 
 bool ConcurrentMfsPool::covers(const std::string& scope,
                                const core::SearchSpace& space,
-                               const Workload& w, int requester, bool* cross) {
+                               const Workload& w, int requester, bool* cross,
+                               bool* warm) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = scopes_.find(scope);
   if (it == scopes_.end()) return false;
   for (const Entry& e : it->second) {
     if (e.mfs.matches(space, w)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      const bool is_cross = e.origin_worker != requester;
+      const bool is_warm = e.origin_worker == kWarmStartOrigin;
+      const bool is_cross = !is_warm && e.origin_worker != requester;
       if (is_cross) cross_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (is_warm) warm_hits_.fetch_add(1, std::memory_order_relaxed);
       if (cross != nullptr) *cross = is_cross;
+      if (warm != nullptr) *warm = is_warm;
       return true;
     }
   }
   return false;
+}
+
+bool ConcurrentMfsPool::covers_preloaded(const std::string& scope,
+                                         const core::SearchSpace& space,
+                                         const Workload& w) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return false;
+  for (const Entry& e : it->second) {
+    if (e.origin_worker != kWarmStartOrigin) continue;
+    if (e.mfs.matches(space, w)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      warm_hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentMfsPool::load_scope(const std::string& scope,
+                                   std::vector<core::Mfs> entries) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<Entry>& dst = scopes_[scope];
+  for (core::Mfs& mfs : entries) {
+    mfs.index = static_cast<int>(dst.size());
+    dst.push_back(Entry{std::move(mfs), kWarmStartOrigin});
+  }
+}
+
+std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::map<std::string, std::vector<core::Mfs>> out;
+  for (const auto& [scope, entries] : scopes_) {
+    std::vector<core::Mfs>& dst = out[scope];
+    dst.reserve(entries.size());
+    for (const Entry& e : entries) dst.push_back(e.mfs);
+  }
+  return out;
 }
 
 int ConcurrentMfsPool::insert(const std::string& scope,
@@ -95,9 +148,13 @@ PoolStats ConcurrentMfsPool::stats() const {
   PoolStats s;
   for (const auto& [scope, entries] : scopes_) {
     s.entries += static_cast<i64>(entries.size());
+    for (const Entry& e : entries) {
+      if (e.origin_worker == kWarmStartOrigin) s.warm_entries += 1;
+    }
   }
   s.hits = hits_.load(std::memory_order_relaxed);
   s.cross_worker_hits = cross_hits_.load(std::memory_order_relaxed);
+  s.warm_hits = warm_hits_.load(std::memory_order_relaxed);
   s.duplicate_inserts = duplicate_inserts_.load(std::memory_order_relaxed);
   return s;
 }

@@ -33,13 +33,20 @@ namespace collie::orchestrator {
 
 struct PoolStats {
   i64 entries = 0;            // MFSes currently stored, all scopes
+  i64 warm_entries = 0;       // entries loaded from a warm-start checkpoint
   i64 hits = 0;               // MatchMFS hits served
   i64 cross_worker_hits = 0;  // hits on an MFS inserted by another worker
+  i64 warm_hits = 0;          // hits on a loaded (warm-start) entry
   i64 duplicate_inserts = 0;  // inserts whose witness was already covered
 };
 
 class ConcurrentMfsPool {
  public:
+  // Origin id of entries loaded from a warm-start checkpoint: no live worker
+  // ever carries it, so loaded hits are attributed to the previous campaign
+  // rather than counted as cross-worker sharing.
+  static constexpr int kWarmStartOrigin = -2;
+
   // A scoped, worker-bound core::MfsStore handle.  Hit counters are owned by
   // the worker thread driving the view; pool-wide aggregates are atomic on
   // the pool.  Movable so Campaign can stage views per cell.
@@ -49,12 +56,16 @@ class ConcurrentMfsPool {
         : pool_(pool), scope_(std::move(scope)), worker_(worker) {}
 
     bool covers(const core::SearchSpace& space, const Workload& w) override;
+    bool covers_preloaded(const core::SearchSpace& space,
+                          const Workload& w) override;
     int insert(const core::SearchSpace& space, core::Mfs mfs) override;
     std::size_t size() const override;
     std::vector<core::Mfs> snapshot() const override;
 
     // Hits this view served from MFSes another worker inserted.
     i64 cross_worker_hits() const { return cross_hits_; }
+    // Hits this view served from warm-start (checkpoint-loaded) MFSes.
+    i64 warm_hits() const { return warm_hits_; }
     i64 hits() const { return hits_; }
     const std::string& scope() const { return scope_; }
 
@@ -64,6 +75,7 @@ class ConcurrentMfsPool {
     int worker_;
     i64 hits_ = 0;
     i64 cross_hits_ = 0;
+    i64 warm_hits_ = 0;
   };
 
   View view(std::string scope, int worker) {
@@ -71,11 +83,25 @@ class ConcurrentMfsPool {
   }
 
   // `requester` is the worker asking; when the matching MFS was inserted by
-  // a different worker, *cross is set.
+  // a different worker, *cross is set; when it was loaded from a warm-start
+  // checkpoint, *warm is set instead (never both).
   bool covers(const std::string& scope, const core::SearchSpace& space,
-              const Workload& w, int requester, bool* cross);
+              const Workload& w, int requester, bool* cross,
+              bool* warm = nullptr);
+  // True when a warm-start-loaded entry of `scope` covers `w`.  Counted as
+  // a (warm) hit — this is the MatchMFS path the search drivers use for
+  // sampled points that bypass the full skip.
+  bool covers_preloaded(const std::string& scope,
+                        const core::SearchSpace& space, const Workload& w);
   int insert(const std::string& scope, const core::SearchSpace& space,
              core::Mfs mfs, int origin_worker);
+
+  // Register a checkpointed scope: entries are re-indexed in load order and
+  // attributed to kWarmStartOrigin.  Fresh inserts append after them.
+  void load_scope(const std::string& scope, std::vector<core::Mfs> entries);
+  // Every scope's entries in insertion order — the persistence snapshot a
+  // checkpoint serializes.  std::map keeps scope order deterministic.
+  std::map<std::string, std::vector<core::Mfs>> export_scopes() const;
 
   std::size_t size(const std::string& scope) const;
   std::vector<core::Mfs> snapshot(const std::string& scope) const;
@@ -93,6 +119,7 @@ class ConcurrentMfsPool {
   // Atomic so the covers() read path can record hits under the shared lock.
   std::atomic<i64> hits_{0};
   std::atomic<i64> cross_hits_{0};
+  std::atomic<i64> warm_hits_{0};
   std::atomic<i64> duplicate_inserts_{0};
 };
 

@@ -10,7 +10,9 @@
 #include "core/search.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
+#include "orchestrator/checkpoint.h"
 #include "orchestrator/mfs_pool.h"
+#include "orchestrator/scheduler.h"
 #include "sim/subsystem.h"
 
 namespace collie::orchestrator {
@@ -636,6 +638,280 @@ TEST(CampaignTest, SpeedupAccountsSimulatedMakespan) {
   EXPECT_LE(result.speedup(), 2.3);
   EXPECT_GT(result.makespan_seconds, 0.0);
   EXPECT_LT(result.makespan_seconds, result.serial_seconds);
+}
+
+// ---- Warm start & pool persistence ------------------------------------------
+
+TEST(ConcurrentMfsPoolTest, WarmEntriesAreAttributedToThePreviousCampaign) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(31);
+  const Workload w = space.random_point(rng);
+
+  ConcurrentMfsPool pool;
+  pool.load_scope("F", {cover_all_mfs(core::Symptom::kPauseFrames)});
+  EXPECT_EQ(pool.stats().entries, 1);
+  EXPECT_EQ(pool.stats().warm_entries, 1);
+
+  // A hit on a loaded entry is a warm hit, never a cross-worker one.
+  ConcurrentMfsPool::View view = pool.view("F", /*worker=*/0);
+  EXPECT_TRUE(view.covers(space, w));
+  EXPECT_EQ(view.warm_hits(), 1);
+  EXPECT_EQ(view.cross_worker_hits(), 0);
+  EXPECT_EQ(pool.stats().warm_hits, 1);
+  EXPECT_EQ(pool.stats().cross_worker_hits, 0);
+
+  // covers_preloaded sees loaded entries only: a fresh insert by another
+  // worker does not pre-load anything.
+  ConcurrentMfsPool other;
+  other.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 1);
+  ConcurrentMfsPool::View other_view = other.view("F", /*worker=*/0);
+  EXPECT_FALSE(other_view.covers_preloaded(space, w));
+  EXPECT_TRUE(view.covers_preloaded(space, w));
+}
+
+// The tentpole acceptance, pathological half: when the loaded regions cover
+// the entire space, a warm-started campaign performs literally zero probes —
+// every sampled candidate is a MatchMFS skip and the run ends as explained.
+TEST(CampaignTest, WarmStartSpendsZeroProbesInsideLoadedRegions) {
+  for (const Strategy strategy :
+       {Strategy::kSimulatedAnnealing, Strategy::kRandom}) {
+    CampaignConfig config;
+    config.subsystems = {'B'};
+    config.modes = {core::GuidanceMode::kDiag};
+    config.strategy = strategy;
+    config.budget.seconds = 2 * 3600.0;
+    config.engine = fast_engine_opts();
+    config.workers = 1;
+    config.execution = ExecutionMode::kDeterministic;
+    CampaignCheckpoint warm;
+    warm.scopes["B"] = {cover_all_mfs(core::Symptom::kPauseFrames)};
+    config.warm_start = warm;
+
+    const CampaignResult result = Campaign(config).run();
+    ASSERT_EQ(result.cells.size(), 1u);
+    EXPECT_FALSE(result.cells[0].skipped);  // the cell ran...
+    EXPECT_EQ(result.cells[0].result.experiments, 0)
+        << to_string(strategy) << " probed inside a loaded region";
+    EXPECT_GT(result.cells[0].result.mfs_skips, 0) << to_string(strategy);
+    EXPECT_GT(result.cells[0].warm_start_skips, 0) << to_string(strategy);
+    EXPECT_TRUE(result.cells[0].result.found.empty());
+    EXPECT_EQ(result.pool.warm_entries, 1);
+    EXPECT_GT(result.pool.warm_hits, 0);
+  }
+}
+
+// The tentpole acceptance, realistic half: checkpoint a campaign, re-run it
+// warm-started with an extra seed.  The completed cell is skipped outright
+// (own `skipped` column, not covered), the fresh cell searches with the
+// loaded regions armed, and nothing it probes falls inside one — pinned
+// structurally: every new witness was measured, so MatchMFS must have
+// declined it, so no loaded MFS may cover it.
+TEST(CampaignTest, WarmStartedCampaignSkipsYesterdaysRegionsAndCells) {
+  CampaignConfig config;
+  config.subsystems = {'B'};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.budget.seconds = 6 * 3600.0;
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 1;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult stage1 = Campaign(config).run();
+  ASSERT_EQ(stage1.cells.size(), 1u);
+  ASSERT_FALSE(stage1.cells[0].result.found.empty())
+      << "stage 1 found nothing; the warm-start assertions would be vacuous";
+  const CampaignCheckpoint ck_written = make_checkpoint(stage1);
+  ASSERT_FALSE(ck_written.scopes.at("B").empty());
+  EXPECT_EQ(ck_written.completed_cells,
+            std::vector<std::string>{"B/Diag#0"});
+  // Persist through JSON, as the CLI does.
+  const CampaignCheckpoint ck =
+      CampaignCheckpoint::from_json(ck_written.to_json());
+
+  // Identical re-run from the checkpoint: everything is skipped, zero
+  // experiments ("zero re-probes", the CI smoke in test form).
+  CampaignConfig rerun = config;
+  rerun.warm_start = ck;
+  const CampaignResult replayed = Campaign(rerun).run();
+  ASSERT_EQ(replayed.cells.size(), 1u);
+  EXPECT_TRUE(replayed.cells[0].skipped);
+  EXPECT_EQ(replayed.cells[0].result.experiments, 0);
+  const CampaignReport rerun_report = build_report(replayed);
+  EXPECT_EQ(rerun_report.total_experiments, 0);
+  ASSERT_EQ(rerun_report.coverage.size(), 1u);
+  EXPECT_EQ(rerun_report.coverage[0].cells, 0);
+  EXPECT_EQ(rerun_report.coverage[0].skipped_cells, 1);
+  // A skipped cell stays completed in the next checkpoint (resumability).
+  EXPECT_TRUE(make_checkpoint(replayed).completed("B/Diag#0"));
+
+  // A checkpoint only loads under the sharing policy it was taken with:
+  // cell-scoped keys would never be queried by subsystem-share views.
+  CampaignConfig wrong_share = config;
+  wrong_share.share = ShareScope::kCell;
+  wrong_share.warm_start = ck;
+  EXPECT_THROW(Campaign(wrong_share).run(), std::invalid_argument);
+
+  // Grown grid: the new seed runs against the loaded regions.
+  CampaignConfig stage2 = config;
+  stage2.seeds_per_cell = 2;
+  stage2.warm_start = ck;
+  const CampaignResult result2 = Campaign(stage2).run();
+  ASSERT_EQ(result2.cells.size(), 2u);
+  EXPECT_TRUE(result2.cells[0].skipped);
+  EXPECT_FALSE(result2.cells[1].skipped);
+  EXPECT_GT(result2.cells[1].result.experiments, 0);
+  EXPECT_EQ(result2.pool.warm_entries,
+            static_cast<i64>(ck.scopes.at("B").size()));
+
+  const core::SearchSpace space(sim::subsystem('B'));
+  for (const core::FoundAnomaly& f : result2.cells[1].result.found) {
+    for (const core::Mfs& loaded : ck.scopes.at("B")) {
+      EXPECT_FALSE(loaded.matches(space, f.mfs.witness))
+          << "stage 2 re-explained a loaded region";
+    }
+  }
+
+  const CampaignReport report2 = build_report(result2);
+  ASSERT_EQ(report2.coverage.size(), 1u);
+  EXPECT_EQ(report2.coverage[0].cells, 1);
+  EXPECT_EQ(report2.coverage[0].skipped_cells, 1);
+  EXPECT_EQ(report2.coverage[0].failed_cells, 0);
+  EXPECT_NE(report2.render().find("skipped"), std::string::npos);
+  EXPECT_NE(report2.to_json().find("\"skipped_cells\":1"), std::string::npos);
+  if (result2.pool.warm_hits > 0) {
+    EXPECT_NE(report2.render().find("warm start:"), std::string::npos);
+  }
+}
+
+// Regression for the coverage fix: a warm-start-skipped cell must appear in
+// `skipped`, never inflate `covered`, and contribute no experiments/time.
+TEST(CampaignReportTest, SkippedCellsDoNotInflateCoverage) {
+  CampaignResult result;
+  CellResult ran;
+  ran.cell.subsystem = 'B';
+  ran.worker = 0;
+  ran.result.experiments = 10;
+  ran.result.elapsed_seconds = 600.0;
+  result.cells.push_back(ran);
+  CellResult skipped;
+  skipped.cell.subsystem = 'B';
+  skipped.cell.seed_ordinal = 1;
+  skipped.skipped = true;
+  result.cells.push_back(skipped);
+
+  const CampaignReport report = build_report(result);
+  ASSERT_EQ(report.coverage.size(), 1u);
+  EXPECT_EQ(report.coverage[0].cells, 1);
+  EXPECT_EQ(report.coverage[0].skipped_cells, 1);
+  EXPECT_EQ(report.coverage[0].failed_cells, 0);
+  EXPECT_EQ(report.coverage[0].experiments, 10);
+  EXPECT_EQ(report.total_experiments, 10);
+  EXPECT_DOUBLE_EQ(report.coverage[0].elapsed_seconds, 600.0);
+}
+
+// ---- Scheduling: LPT, work stealing, replay ---------------------------------
+
+// The satellite requirement: on a pinned mixed-budget grid, LPT beats
+// round-robin makespan, while per-cell results stay bit-identical (cells are
+// schedule-independent under cell scopes).
+TEST(CampaignTest, LptBeatsRoundRobinOnMixedBudgetGrid) {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.seeds_per_cell = 3;                          // 6 cells
+  config.budget_cycle_seconds = {4 * 3600.0, 1 * 3600.0};
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 2;
+  config.share = ShareScope::kCell;
+  config.execution = ExecutionMode::kDeterministic;
+
+  config.schedule = SchedulePolicy::kRoundRobin;
+  const CampaignResult rr = Campaign(config).run();
+  config.schedule = SchedulePolicy::kLpt;
+  const CampaignResult lpt = Campaign(config).run();
+
+  // Same cells, same per-cell trajectories — only the packing differs.
+  ASSERT_EQ(rr.cells.size(), 6u);
+  ASSERT_EQ(lpt.cells.size(), 6u);
+  EXPECT_DOUBLE_EQ(rr.serial_seconds, lpt.serial_seconds);
+  for (std::size_t i = 0; i < rr.cells.size(); ++i) {
+    EXPECT_EQ(rr.cells[i].result.experiments,
+              lpt.cells[i].result.experiments);
+    EXPECT_DOUBLE_EQ(rr.cells[i].result.elapsed_seconds,
+                     lpt.cells[i].result.elapsed_seconds);
+  }
+
+  // Round-robin stacks the three 4-hour cells (plan indices 0, 2, 4) onto
+  // worker 0 for a ~12 h makespan; LPT packs them ~8 h.
+  EXPECT_GT(rr.makespan_seconds, 11 * 3600.0);
+  EXPECT_LT(lpt.makespan_seconds, 9 * 3600.0);
+  EXPECT_GT(rr.makespan_seconds, 1.3 * lpt.makespan_seconds);
+  EXPECT_EQ(lpt.schedule.queues[0], (std::vector<std::size_t>{0, 4}));
+  EXPECT_EQ(lpt.schedule.queues[1], (std::vector<std::size_t>{2, 1, 3, 5}));
+}
+
+// The determinism satellite: record a steal schedule once, then replay it at
+// 1/2/4 physical workers — the CampaignReport JSON is bit-for-bit identical
+// every time (golden rows), in both execution modes.
+TEST(CampaignTest, ReplayIsBitForBitIdenticalAcrossWorkerCounts) {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.seeds_per_cell = 2;                          // 4 cells
+  config.budget_cycle_seconds = {2 * 3600.0, 1 * 3600.0};
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 3;
+  config.share = ShareScope::kCell;
+  config.schedule = SchedulePolicy::kLpt;
+  config.execution = ExecutionMode::kDeterministic;
+
+  Campaign recorder(config);
+  const CampaignResult recorded = recorder.run();
+  const CampaignReport golden = build_report(recorded);
+  const std::string golden_json = golden.to_json();
+  EXPECT_NE(golden_json.find("\"workers\":3"), std::string::npos);
+
+  // The schedule survives its JSON round trip (what --replay reloads).
+  std::vector<std::string> labels;
+  std::vector<double> budgets;
+  for (const auto& cell : recorder.plan()) {
+    labels.push_back(cell.label());
+    budgets.push_back(cell.budget_seconds);
+  }
+  const Schedule reloaded = schedule_from_json(
+      schedule_to_json(recorded.schedule, labels, budgets));
+
+  for (const int physical_workers : {1, 2, 4}) {
+    for (const ExecutionMode exec :
+         {ExecutionMode::kDeterministic, ExecutionMode::kThreads}) {
+      CampaignConfig replay_config = config;
+      replay_config.workers = physical_workers;
+      replay_config.execution = exec;
+      replay_config.replay = reloaded;
+      const CampaignResult replayed = Campaign(replay_config).run();
+      EXPECT_EQ(replayed.workers, 3);  // logical workers from the schedule
+      EXPECT_EQ(build_report(replayed).to_json(), golden_json)
+          << "replay diverged at " << physical_workers << " workers, "
+          << to_string(exec);
+    }
+  }
+
+  // A schedule recorded against a different plan is rejected loudly.
+  CampaignConfig drifted = config;
+  drifted.seeds_per_cell = 3;
+  drifted.replay = reloaded;
+  EXPECT_THROW(Campaign(drifted).run(), std::invalid_argument);
+
+  // ...and so is one recorded under different budgets: same labels, but
+  // silently re-dispatching under new --hours would void the bit-for-bit
+  // promise.
+  CampaignConfig rebudgeted = config;
+  rebudgeted.budget_cycle_seconds = {3 * 3600.0, 1 * 3600.0};
+  rebudgeted.replay = reloaded;
+  EXPECT_THROW(Campaign(rebudgeted).run(), std::invalid_argument);
 }
 
 // ---- CampaignReport ---------------------------------------------------------

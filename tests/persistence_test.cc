@@ -1,0 +1,432 @@
+// The persistence layer's contract, fuzzed:
+//   * serialize -> parse -> serialize is byte-identical for workloads, MFS
+//     conditions, full MFS entries, pool-scope checkpoints, schedules and
+//     campaign reports;
+//   * parse rejects truncated and garbled documents with JsonError — never
+//     UB (every prefix of a valid checkpoint must throw, targeted garbles
+//     must throw, random garbles must throw-or-parse, ASan/UBSan CI keeps
+//     this honest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/json_reader.h"
+#include "core/report.h"
+#include "core/serialize.h"
+#include "orchestrator/campaign.h"
+#include "orchestrator/campaign_report.h"
+#include "orchestrator/checkpoint.h"
+#include "orchestrator/mfs_pool.h"
+#include "orchestrator/scheduler.h"
+#include "net/fabric.h"
+#include "nic/dcqcn.h"
+#include "sim/subsystem.h"
+
+namespace collie {
+namespace {
+
+using core::JsonError;
+using core::JsonValue;
+using core::JsonWriter;
+
+std::string workload_json(const Workload& w) {
+  JsonWriter json;
+  core::workload_to_json(w, &json);
+  return json.str();
+}
+
+std::string mfs_json(const core::Mfs& mfs) {
+  JsonWriter json;
+  core::mfs_to_json(mfs, &json);
+  return json.str();
+}
+
+// A random but structurally plausible MFS: space-sampled witness, random
+// subset of features as conditions with random categorical sets / numeric
+// bounds (including half-open and fully unconstrained ranges).
+core::Mfs random_mfs(const core::SearchSpace& space, Rng& rng) {
+  core::Mfs mfs;
+  mfs.index = static_cast<int>(rng.uniform_int(0, 40));
+  mfs.symptom = rng.bernoulli(0.5) ? core::Symptom::kPauseFrames
+                                   : core::Symptom::kLowThroughput;
+  mfs.witness = space.random_point(rng);
+  for (int fi = 0; fi < core::kNumFeatures; ++fi) {
+    if (!rng.bernoulli(0.3)) continue;
+    const auto f = static_cast<core::Feature>(fi);
+    core::FeatureCondition c;
+    c.feature = f;
+    c.categorical = core::is_categorical(f);
+    if (c.categorical) {
+      const int n = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < n; ++i) {
+        c.allowed.push_back(static_cast<int>(rng.uniform_int(0, 8)));
+      }
+    } else {
+      const double inf = std::numeric_limits<double>::infinity();
+      const double a = rng.uniform(0.5, 2e6);
+      const double b = rng.uniform(0.5, 2e6);
+      c.lo = rng.bernoulli(0.2) ? -inf : std::min(a, b);
+      c.hi = rng.bernoulli(0.2) ? inf : std::max(a, b);
+    }
+    mfs.conditions.push_back(std::move(c));
+  }
+  return mfs;
+}
+
+// ---- JsonValue parser -------------------------------------------------------
+
+TEST(JsonReaderTest, ParsesPrimitivesAndContainers) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a":1,"b":-2.5,"c":"x\ny","d":true,"e":null,"f":[1,2,[3]],"g":{}})");
+  EXPECT_EQ(v.at("a").as_i64(), 1);
+  EXPECT_DOUBLE_EQ(v.at("b").as_double(), -2.5);
+  EXPECT_EQ(v.at("c").as_string(), "x\ny");
+  EXPECT_TRUE(v.at("d").as_bool());
+  EXPECT_TRUE(v.at("e").is_null());
+  EXPECT_EQ(v.at("f").items().size(), 3u);
+  EXPECT_EQ(v.at("f").items()[2].items()[0].as_i64(), 3);
+  EXPECT_TRUE(v.at("g").members().empty());
+  EXPECT_FALSE(v.has("zzz"));
+  EXPECT_THROW(v.at("zzz"), JsonError);
+  EXPECT_THROW(v.at("a").as_string(), JsonError);
+  EXPECT_THROW(v.at("b").as_i64(), JsonError);  // non-integral
+}
+
+TEST(JsonReaderTest, RejectsTruncationAtEveryPrefix) {
+  const std::string doc =
+      R"({"key":[1,2,{"s":"a\\b","t":true,"u":null,"v":-1.5e3}]})";
+  ASSERT_NO_THROW(JsonValue::parse(doc));
+  for (std::size_t n = 0; n < doc.size(); ++n) {
+    EXPECT_THROW(JsonValue::parse(doc.substr(0, n)), JsonError)
+        << "prefix of length " << n << " parsed";
+  }
+}
+
+TEST(JsonReaderTest, RejectsGarbledDocuments) {
+  const std::vector<std::string> bad = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{\"a\":1,}",
+      "{\"a\":1}x",
+      "[1 2]",
+      "tru",
+      "nul",
+      "-",
+      "1.",
+      "1e",
+      "01x",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"ctrl \x01\"",
+      "\"\\u12",
+      "\"\\uZZZZ\"",
+      "\"\\ud800\"",  // lone surrogate
+      "{\"a\":1 \"b\":2}",
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW(JsonValue::parse(doc), JsonError) << "accepted: " << doc;
+  }
+  // Deep nesting is a clean error, not a stack overflow.
+  EXPECT_THROW(JsonValue::parse(std::string(5000, '[')), JsonError);
+  const std::string deep =
+      std::string(5000, '[') + "1" + std::string(5000, ']');
+  EXPECT_THROW(JsonValue::parse(deep), JsonError);
+}
+
+TEST(JsonReaderTest, RandomGarblesNeverMisbehave) {
+  core::Mfs mfs;
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(7);
+  mfs = random_mfs(space, rng);
+  const std::string doc = mfs_json(mfs);
+  // Flip random bytes; the parser must either throw JsonError or return a
+  // value — anything else (crash, UB) is caught by the sanitizer jobs.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbled = doc;
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<i64>(doc.size()) - 1));
+    garbled[pos] = static_cast<char>(rng.uniform_int(1, 127));
+    try {
+      (void)JsonValue::parse(garbled);
+    } catch (const JsonError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(JsonReaderTest, UnescapesExactlyWhatTheWriterEscapes) {
+  const std::string nasty = "a\"b\\c\nd\te";
+  JsonWriter json;
+  json.value(nasty);
+  EXPECT_EQ(JsonValue::parse(json.str()).as_string(), nasty);
+}
+
+// Regression: the writer used to print doubles at 6 significant digits, so
+// a checkpointed bound like 1048576 reloaded as 1048580 — a shifted region
+// boundary.  Every double must survive its own JSON round trip bit-exact.
+TEST(JsonReaderTest, DoublesRoundTripBitExact) {
+  Rng rng(41);
+  std::vector<double> values = {1048576.0, 3175683.2, 0.1,  1.0 / 3.0,
+                                1e-9,      12345.678, 0.25, 5e15};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.uniform(-1e9, 1e9));
+    values.push_back(rng.uniform(0.0, 1.0));
+  }
+  for (const double v : values) {
+    JsonWriter json;
+    json.value(v);
+    EXPECT_EQ(JsonValue::parse(json.str()).as_double(), v) << json.str();
+  }
+  // Values expressible in few digits keep the compact spelling.
+  JsonWriter compact;
+  compact.value(1234.5);
+  EXPECT_EQ(compact.str(), "1234.5");
+}
+
+// ---- Typed round trips ------------------------------------------------------
+
+TEST(PersistenceRoundTrip, WorkloadFuzz) {
+  for (const char sys : {'B', 'F', 'C'}) {
+    const core::SearchSpace space(sim::subsystem(sys));
+    Rng rng(11 + sys);
+    for (int i = 0; i < 100; ++i) {
+      const Workload w = space.random_point(rng);
+      const std::string doc = workload_json(w);
+      const Workload parsed = core::workload_from_json(JsonValue::parse(doc));
+      EXPECT_EQ(parsed, w) << doc;
+      EXPECT_EQ(workload_json(parsed), doc);
+    }
+  }
+}
+
+TEST(PersistenceRoundTrip, CcArmedWorkloadKeepsDcqcnKnobs) {
+  const sim::Subsystem armed =
+      sim::with_cc(sim::with_fabric(sim::subsystem('F'),
+                                    net::fabric_scenario("fanin4")),
+                   nic::cc_scenario("dcqcn"));
+  const core::SearchSpace space(armed);
+  Rng rng(13);
+  bool saw_armed = false;
+  for (int i = 0; i < 60; ++i) {
+    const Workload w = space.random_point(rng);
+    saw_armed = saw_armed || w.dcqcn;
+    const std::string doc = workload_json(w);
+    EXPECT_EQ(core::workload_from_json(JsonValue::parse(doc)), w);
+  }
+  EXPECT_TRUE(saw_armed) << "fuzz never sampled an armed workload";
+}
+
+TEST(PersistenceRoundTrip, MfsFuzzIsByteIdentical) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const core::Mfs mfs = random_mfs(space, rng);
+    const std::string doc = mfs_json(mfs);
+    const core::Mfs parsed = core::mfs_from_json(JsonValue::parse(doc));
+    // Byte-identical re-serialization is the checkpoint contract.
+    EXPECT_EQ(mfs_json(parsed), doc);
+    // And the parse is semantically faithful.
+    EXPECT_EQ(parsed.index, mfs.index);
+    EXPECT_EQ(parsed.symptom, mfs.symptom);
+    EXPECT_EQ(parsed.witness, mfs.witness);
+    ASSERT_EQ(parsed.conditions.size(), mfs.conditions.size());
+    for (std::size_t c = 0; c < mfs.conditions.size(); ++c) {
+      EXPECT_EQ(parsed.conditions[c].feature, mfs.conditions[c].feature);
+      EXPECT_EQ(parsed.conditions[c].categorical,
+                mfs.conditions[c].categorical);
+      EXPECT_EQ(parsed.conditions[c].allowed, mfs.conditions[c].allowed);
+      // Bounds reload bit-exact (shortest-round-trip printing): a region
+      // boundary that shifts on reload re-probes or masks edge workloads.
+      EXPECT_EQ(parsed.conditions[c].lo, mfs.conditions[c].lo);
+      EXPECT_EQ(parsed.conditions[c].hi, mfs.conditions[c].hi);
+    }
+    // A parsed MFS must keep judging workloads: matches() agrees on the
+    // original witness.
+    EXPECT_EQ(parsed.matches(space, mfs.witness),
+              mfs.matches(space, mfs.witness));
+  }
+}
+
+TEST(PersistenceRoundTrip, CheckpointScopesAreByteIdentical) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(19);
+  orchestrator::ConcurrentMfsPool pool;
+  for (int i = 0; i < 12; ++i) {
+    const std::string scope = i % 3 == 0 ? "F" : (i % 3 == 1 ? "B" : "F@hetero");
+    pool.insert(scope, space, random_mfs(space, rng), i % 4);
+  }
+
+  orchestrator::CampaignCheckpoint ck;
+  ck.scopes = pool.export_scopes();
+  ck.completed_cells = {"B/Diag#0", "F/Diag#0", "F@hetero/Diag#1"};
+  const std::string doc = ck.to_json();
+  const auto parsed = orchestrator::CampaignCheckpoint::from_json(doc);
+  EXPECT_EQ(parsed.to_json(), doc);
+  EXPECT_EQ(parsed.scopes.size(), 3u);
+  EXPECT_EQ(parsed.scopes.at("F").size(), 4u);
+  EXPECT_TRUE(parsed.completed("F/Diag#0"));
+  EXPECT_FALSE(parsed.completed("F/Diag#9"));
+
+  // Loading the parsed checkpoint reproduces the pool's MatchMFS verdicts.
+  orchestrator::ConcurrentMfsPool reloaded;
+  for (const auto& [scope, entries] : parsed.scopes) {
+    reloaded.load_scope(scope, entries);
+  }
+  EXPECT_EQ(reloaded.stats().entries, pool.stats().entries);
+  EXPECT_EQ(reloaded.stats().warm_entries, pool.stats().entries);
+  Rng probe_rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const Workload w = space.random_point(probe_rng);
+    for (const std::string& scope : {"F", "B", "F@hetero"}) {
+      EXPECT_EQ(reloaded.covers(scope, space, w, 0, nullptr),
+                pool.covers(scope, space, w, 0, nullptr))
+          << scope;
+    }
+  }
+
+  // Truncations of the checkpoint document are rejected, never UB.
+  for (std::size_t n = 0; n < doc.size(); n += 7) {
+    EXPECT_THROW(orchestrator::CampaignCheckpoint::from_json(doc.substr(0, n)),
+                 JsonError);
+  }
+  EXPECT_THROW(orchestrator::CampaignCheckpoint::from_json(doc + "]"),
+               JsonError);
+}
+
+TEST(PersistenceRoundTrip, CheckpointRejectsWrongVersionAndBadEnums) {
+  EXPECT_THROW(orchestrator::CampaignCheckpoint::from_json(
+                   R"({"version":2,"scopes":{},"completed_cells":[]})"),
+               JsonError);
+  // The share scope is recorded and validated: scope keys are meaningless
+  // under a different sharing policy.
+  EXPECT_THROW(
+      orchestrator::CampaignCheckpoint::from_json(
+          R"({"version":1,"share":"galaxy","scopes":{},"completed_cells":[]})"),
+      JsonError);
+  EXPECT_EQ(orchestrator::CampaignCheckpoint::from_json(
+                R"({"version":1,"share":"cell","scopes":{},"completed_cells":[]})")
+                .share,
+            "cell");
+  EXPECT_THROW(core::symptom_from_string("sideways"), JsonError);
+  EXPECT_THROW(core::feature_from_string("warp_factor"), JsonError);
+  EXPECT_THROW(core::qp_type_from_string("XX"), JsonError);
+  EXPECT_THROW(core::placement_from_string("numa"), JsonError);
+  EXPECT_THROW(core::placement_from_string("disk0"), JsonError);
+  EXPECT_EQ(core::placement_from_string("gpu3").kind, topo::MemKind::kGpu);
+  EXPECT_EQ(core::placement_from_string("numa1").index, 1);
+}
+
+TEST(PersistenceRoundTrip, ScheduleJson) {
+  orchestrator::Schedule s;
+  s.workers = 3;
+  s.queues = {{2, 0}, {1}, {}};
+  const std::vector<std::string> labels = {"B/Diag#0", "B/Diag#1", "F/Diag#0"};
+  const std::vector<double> budgets = {7200.0, 3600.0, 900.0};
+  const std::string doc = orchestrator::schedule_to_json(s, labels, budgets);
+  const orchestrator::Schedule parsed = orchestrator::schedule_from_json(doc);
+  EXPECT_EQ(parsed.workers, 3);
+  ASSERT_EQ(parsed.queues.size(), 3u);
+  EXPECT_EQ(parsed.queues[0], (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(parsed.queues[1], (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(parsed.queues[2].empty());
+  ASSERT_EQ(parsed.labels[0].size(), 2u);
+  EXPECT_EQ(parsed.labels[0][0], "F/Diag#0");
+  ASSERT_EQ(parsed.budgets[0].size(), 2u);
+  EXPECT_EQ(parsed.budgets[0][0], 900.0);  // queue entry for plan cell 2
+  EXPECT_EQ(parsed.budgets[1][0], 3600.0);
+  EXPECT_EQ(orchestrator::schedule_to_json(parsed, labels, budgets), doc);
+
+  for (std::size_t n = 0; n < doc.size(); n += 5) {
+    EXPECT_THROW(orchestrator::schedule_from_json(doc.substr(0, n)),
+                 JsonError);
+  }
+  EXPECT_THROW(orchestrator::schedule_from_json(
+                   R"({"workers":2,"queues":[[]]})"),
+               JsonError);  // queue count disagrees
+  EXPECT_THROW(orchestrator::schedule_from_json(
+                   R"({"workers":0,"queues":[]})"),
+               JsonError);
+}
+
+TEST(PersistenceRoundTrip, CampaignReportJsonIsByteIdentical) {
+  // A synthetic campaign result: two cells, one discovery each in the same
+  // region (they dedup), one failed cell, one warm-start-skipped cell.
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(29);
+  orchestrator::CampaignResult result;
+  for (int i = 0; i < 2; ++i) {
+    orchestrator::CellResult cr;
+    cr.cell.subsystem = 'F';
+    cr.cell.seed_ordinal = i;
+    cr.worker = i;
+    cr.start_seconds = i * 100.0;
+    cr.result.experiments = 40 + i;
+    cr.result.elapsed_seconds = 1234.5 + i;
+    core::FoundAnomaly f;
+    f.mfs = random_mfs(space, rng);
+    f.mfs.conditions.clear();  // bare witnesses dedup only on identity
+    f.mfs.symptom = core::Symptom::kPauseFrames;
+    f.dominant = sim::Bottleneck::kRwqeBurstMiss;
+    f.found_at_seconds = 17.25;
+    cr.result.found.push_back(f);
+    result.cells.push_back(std::move(cr));
+  }
+  result.cells[1].result.found[0].mfs.witness =
+      result.cells[0].result.found[0].mfs.witness;
+  {
+    orchestrator::CellResult failed;
+    failed.cell.subsystem = 'F';
+    failed.cell.seed_ordinal = 2;
+    failed.error = "synthetic failure";
+    result.cells.push_back(std::move(failed));
+    orchestrator::CellResult skipped;
+    skipped.cell.subsystem = 'F';
+    skipped.cell.seed_ordinal = 3;
+    skipped.skipped = true;
+    result.cells.push_back(std::move(skipped));
+  }
+  result.workers = 2;
+  result.serial_seconds = 2470.0;
+  result.makespan_seconds = 1235.5;
+  result.pool.entries = 2;
+  result.pool.warm_entries = 1;
+  result.pool.hits = 5;
+  result.pool.warm_hits = 2;
+
+  const orchestrator::CampaignReport report = build_report(result);
+  ASSERT_EQ(report.anomalies.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].occurrences, 2);
+  ASSERT_EQ(report.coverage.size(), 1u);
+  EXPECT_EQ(report.coverage[0].cells, 2);
+  EXPECT_EQ(report.coverage[0].failed_cells, 1);
+  EXPECT_EQ(report.coverage[0].skipped_cells, 1);
+
+  const std::string doc = report.to_json();
+  const orchestrator::CampaignReport parsed =
+      orchestrator::campaign_report_from_json(doc);
+  EXPECT_EQ(parsed.to_json(), doc);
+  EXPECT_EQ(parsed.workers, report.workers);
+  EXPECT_EQ(parsed.total_experiments, report.total_experiments);
+  EXPECT_EQ(parsed.pool.warm_entries, 1);
+  ASSERT_EQ(parsed.anomalies.size(), 1u);
+  EXPECT_EQ(parsed.anomalies[0].representative.witness,
+            report.anomalies[0].representative.witness);
+  EXPECT_EQ(parsed.coverage[0].skipped_cells, 1);
+
+  for (std::size_t n = 0; n < doc.size(); n += 13) {
+    EXPECT_THROW(orchestrator::campaign_report_from_json(doc.substr(0, n)),
+                 JsonError);
+  }
+}
+
+}  // namespace
+}  // namespace collie

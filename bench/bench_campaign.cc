@@ -12,10 +12,17 @@
 // core/search uses: every experiment costs 20-60 s of testbed time).  The
 // "real ms" column is host wall-clock for the whole campaign run.
 //
-//   $ ./bench_campaign [--hours 2] [--seed 1]
+// Throughput is reported both ways: simulated makespan/speedup (the
+// scheduling claim) and real probes/sec wall-clock (the hot-path claim) —
+// a parallel-efficiency regression is invisible in simulated time, because
+// simulated budgets are fixed per cell no matter how slowly the host
+// executes them.
+//
+//   $ ./bench_campaign [--hours 2] [--seed 1] [--json [file]]
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/search.h"
@@ -84,9 +91,13 @@ int main(int argc, char** argv) {
               serial_seconds / 3600.0, serial_found);
 
   TextTable table({"workers", "makespan (h)", "speedup", "anomalies",
-                   "experiments", "real (ms)"});
+                   "experiments", "real (ms)", "probes/s (wall)"});
   bool equivalence_ok = true;
   double speedup_at_4 = 0.0;
+  double wall_probes_1w = 0.0;
+  double wall_probes_4w = 0.0;
+  double wall_ms_4w = 0.0;
+  double makespan_h_4w = 0.0;
   for (const int workers : {1, 2, 4, 8}) {
     config.workers = workers;
     config.share = ShareScope::kCell;  // private stores: serial semantics
@@ -126,11 +137,23 @@ int main(int argc, char** argv) {
         }
       }
     }
-    if (workers == 4) speedup_at_4 = result.speedup();
+    // Real-time throughput: how many probes the host executed per
+    // wall-clock second across the whole fleet.
+    const double wall_probes_per_sec =
+        real_ms > 0 ? experiments / (static_cast<double>(real_ms) / 1000.0)
+                    : 0.0;
+    if (workers == 1) wall_probes_1w = wall_probes_per_sec;
+    if (workers == 4) {
+      speedup_at_4 = result.speedup();
+      wall_probes_4w = wall_probes_per_sec;
+      wall_ms_4w = static_cast<double>(real_ms);
+      makespan_h_4w = result.makespan_seconds / 3600.0;
+    }
     table.add_row({std::to_string(workers),
                    fmt_double(result.makespan_seconds / 3600.0, 1),
                    fmt_double(result.speedup(), 2), std::to_string(found),
-                   std::to_string(experiments), std::to_string(real_ms)});
+                   std::to_string(experiments), std::to_string(real_ms),
+                   fmt_double(wall_probes_per_sec, 0)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("serial equivalence at 1 worker: %s\n",
@@ -154,8 +177,8 @@ int main(int argc, char** argv) {
   mixed.workers = 4;
   mixed.share = ShareScope::kCell;
   mixed.budget_cycle_seconds = {hours * 3600.0, hours * 900.0};
-  TextTable mixed_table(
-      {"schedule", "makespan (h)", "speedup", "real (ms)"});
+  TextTable mixed_table({"schedule", "makespan (h)", "speedup",
+                         "experiments", "real (ms)", "probes/s (wall)"});
   double rr_makespan = 0.0, lpt_makespan = 0.0;
   for (const SchedulePolicy policy :
        {SchedulePolicy::kRoundRobin, SchedulePolicy::kLpt}) {
@@ -167,10 +190,23 @@ int main(int argc, char** argv) {
                              .count();
     (policy == SchedulePolicy::kLpt ? lpt_makespan : rr_makespan) =
         result.makespan_seconds;
+    int mixed_experiments = 0;
+    for (const auto& cr : result.cells) {
+      mixed_experiments += cr.result.experiments;
+    }
+    // Real-time throughput alongside the simulated makespan: LPT packing
+    // that "wins" in virtual time but executes probes slower than
+    // round-robin would regress here and nowhere else.
+    const double wall_probes_per_sec =
+        real_ms > 0
+            ? mixed_experiments / (static_cast<double>(real_ms) / 1000.0)
+            : 0.0;
     mixed_table.add_row({to_string(policy),
                          fmt_double(result.makespan_seconds / 3600.0, 2),
                          fmt_double(result.speedup(), 2),
-                         std::to_string(real_ms)});
+                         std::to_string(mixed_experiments),
+                         std::to_string(real_ms),
+                         fmt_double(wall_probes_per_sec, 0)});
   }
   std::printf("mixed-budget grid (budgets alternate {%.1f, %.2f} h, 4 "
               "workers)\n%s",
@@ -194,6 +230,30 @@ int main(int argc, char** argv) {
   std::printf("fabric-scenario campaign (subsystem F x {pair, hetero, "
               "fanin4})\n%s\n",
               fabric_report.render().c_str());
+
+  // Perf trajectory: the "campaign" section of BENCH_hotpath.json.
+  if (args.has("json")) {
+    std::string path = args.get("json", "");
+    if (path.empty() || path == "true") path = benchjson::kDefaultPath;
+    benchjson::Section campaign_metrics;
+    campaign_metrics["workers"] = 4.0;
+    campaign_metrics["grid_hours_per_cell"] = hours;
+    campaign_metrics["wall_ms_4w"] = wall_ms_4w;
+    campaign_metrics["makespan_hours_4w"] = makespan_h_4w;
+    campaign_metrics["simulated_speedup_4w"] = speedup_at_4;
+    campaign_metrics["wall_probes_per_sec_1w"] = wall_probes_1w;
+    campaign_metrics["wall_probes_per_sec_4w"] = wall_probes_4w;
+    campaign_metrics["parallel_efficiency_4w"] =
+        wall_probes_1w > 0.0 ? wall_probes_4w / wall_probes_1w / 4.0 : 0.0;
+    campaign_metrics["lpt_makespan_hours"] = lpt_makespan / 3600.0;
+    campaign_metrics["rr_makespan_hours"] = rr_makespan / 3600.0;
+    if (benchjson::write_section(path, "campaign", campaign_metrics)) {
+      std::printf("wrote \"campaign\" section of %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
 
   return (equivalence_ok && speedup_at_4 >= 3.0 && lpt_ok) ? 0 : 1;
 }

@@ -1,0 +1,143 @@
+// BENCH_hotpath.json: the repo's machine-readable perf trajectory.
+//
+// Both perf benches write into one document so CI can archive a single
+// artifact per run:
+//
+//   {
+//     "schema": "collie-bench-hotpath-v1",
+//     "micro":    { "<metric>": <number>, ... },   // bench_micro --json
+//     "campaign": { "<metric>": <number>, ... }    // bench_campaign --json
+//   }
+//
+// Each bench owns its section and preserves the other on rewrite (read,
+// merge, emit), so the two can run in either order.  All metrics are plain
+// numbers; the schema is documented in README.md and consumed by
+// bench_micro --check-baseline, which fails on a >20% probes/sec regression
+// against the committed bench/baseline_hotpath.json.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/json_reader.h"
+#include "core/report.h"
+
+namespace collie::benchjson {
+
+inline constexpr const char* kSchema = "collie-bench-hotpath-v1";
+inline constexpr const char* kDefaultPath = "BENCH_hotpath.json";
+
+using Section = std::map<std::string, double>;
+using Document = std::map<std::string, Section>;
+
+// Parse an existing bench document; returns an empty document for a
+// missing/unreadable/foreign file (a bench never refuses to overwrite a
+// stale artifact, it just loses the other section).
+inline Document load_document(const std::string& path) {
+  Document doc;
+  std::ifstream in(path);
+  if (!in) return doc;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const core::JsonValue root = core::JsonValue::parse(buffer.str());
+    for (const auto& [key, value] : root.members()) {
+      if (value.type() != core::JsonValue::Type::kObject) continue;
+      Section& section = doc[key];
+      for (const auto& [metric, num] : value.members()) {
+        if (num.type() == core::JsonValue::Type::kNumber) {
+          section[metric] = num.as_double();
+        }
+      }
+    }
+  } catch (const core::JsonError&) {
+    return {};
+  }
+  return doc;
+}
+
+// Replace `section` and rewrite `path` with every section in sorted order.
+inline bool write_section(const std::string& path, const std::string& section,
+                          const Section& metrics) {
+  Document doc = load_document(path);
+  doc[section] = metrics;
+  core::JsonWriter json;
+  json.begin_object();
+  json.field("schema", kSchema);
+  for (const auto& [name, sec] : doc) {
+    json.key(name);
+    json.begin_object();
+    for (const auto& [metric, value] : sec) {
+      json.field(metric, value);
+    }
+    json.end_object();
+  }
+  json.end_object();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json.str() << "\n";
+  return out.good();
+}
+
+// The per-machine speed probe: the uncompiled reference path, measured in
+// the same run on the same host as every other metric.  Dividing it by the
+// baseline's value yields a hardware scale factor that cancels CPU-SKU
+// variance on shared CI runners.
+inline constexpr const char* kSpeedProbeMetric = "probes_per_sec_uncompiled";
+
+// The regression gate: every metric present in both the baseline's section
+// and `current` whose name ends in "_per_sec" must be at least
+// (1 - tolerance) x baseline, after normalizing the baseline by the
+// machine-speed scale above.  This catches hot-path-specific regressions
+// without flapping on slower runners; a change that slows the compiled and
+// uncompiled paths *uniformly* is indistinguishable from slower hardware
+// and is not gated (the committed absolute numbers still record it for
+// humans).  Returns the number of failures and prints one line per
+// comparison.
+inline int check_against_baseline(const Document& baseline,
+                                  const std::string& section,
+                                  const Section& current,
+                                  double tolerance = 0.20) {
+  const auto it = baseline.find(section);
+  if (it == baseline.end()) {
+    std::printf("baseline has no \"%s\" section: nothing to check\n",
+                section.c_str());
+    return 0;
+  }
+  double scale = 1.0;
+  {
+    const auto base_probe = it->second.find(kSpeedProbeMetric);
+    const auto cur_probe = current.find(kSpeedProbeMetric);
+    if (base_probe != it->second.end() && cur_probe != current.end() &&
+        base_probe->second > 0.0 && cur_probe->second > 0.0) {
+      scale = cur_probe->second / base_probe->second;
+    }
+  }
+  std::printf("machine-speed scale (%s): %.3f\n", kSpeedProbeMetric, scale);
+  int failures = 0;
+  for (const auto& [metric, expected] : it->second) {
+    if (metric.size() < 8 ||
+        metric.compare(metric.size() - 8, 8, "_per_sec") != 0) {
+      continue;
+    }
+    if (metric == kSpeedProbeMetric) continue;  // the normalizer itself
+    const auto cur = current.find(metric);
+    if (cur == current.end()) {
+      std::printf("MISSING  %-34s baseline %.3g\n", metric.c_str(), expected);
+      ++failures;
+      continue;
+    }
+    const double floor = expected * scale * (1.0 - tolerance);
+    const bool ok = cur->second >= floor;
+    std::printf("%-8s %-34s %12.3g vs baseline %12.3g (floor %12.3g)\n",
+                ok ? "OK" : "REGRESSED", metric.c_str(), cur->second,
+                expected, floor);
+    if (!ok) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace collie::benchjson

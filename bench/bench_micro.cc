@@ -1,14 +1,39 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the
 // reproduction: one performance-model evaluation is the unit of work for
 // every search experiment, so its cost bounds how fast the figure harnesses
-// run; mutation, MFS matching, the verbs data path and the GP fit are the
+// run; MatchMFS, mutation, the verbs data path and the GP fit are the
 // other per-iteration costs.
+//
+// BM_PerfModelEvaluate* run the compiled hot path (CompiledScenario +
+// reused EvalScratch) — the way every search driver now probes.  The
+// *Uncompiled twins keep the compile-per-call reference measurable, and
+// the SteadySolve pair isolates the model-build/solve/metrics stage whose
+// per-probe cost the compiled path eliminates (the full evaluation also
+// rolls 24 jittered epochs, whose ~240 bit-pinned RNG draws are a hard
+// floor no scenario compilation can remove).
+//
+// Beyond the google-benchmark registry, this binary has a perf-trajectory
+// mode:
+//
+//   bench_micro --json [file]             measure the headline hot-path
+//                                         metrics and write the "micro"
+//                                         section of BENCH_hotpath.json
+//   bench_micro --check-baseline <file>   also compare *_per_sec metrics
+//                                         against a committed baseline and
+//                                         exit non-zero on a >20% regression
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 #include "baseline/bo.h"
 #include "baseline/gp.h"
+#include "bench_json.h"
 #include "catalog/anomalies.h"
+#include "common/cli.h"
 #include "core/mfs.h"
+#include "core/mfs_store.h"
 #include "core/search.h"
 #include "sim/perf_model.h"
 #include "sim/subsystem.h"
@@ -30,33 +55,90 @@ Workload bulk_workload() {
   return w;
 }
 
+// The solver stage alone: everything evaluate() does before the epoch
+// rollout (whose RNG draw sequence is pinned and irreducible).
+sim::SimConfig steady_solve_config() {
+  sim::SimConfig cfg;
+  cfg.epochs = 0;
+  cfg.warmup_epochs = 0;
+  return cfg;
+}
+
 void BM_PerfModelEvaluateClean(benchmark::State& state) {
   const sim::Subsystem& sys = sim::subsystem('F');
+  const sim::CompiledScenario compiled(sys);
+  sim::EvalScratch scratch;
   const Workload w = bulk_workload();
   Rng rng(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::evaluate(sys, w, rng));
+    benchmark::DoNotOptimize(sim::evaluate(compiled, w, rng, scratch));
   }
 }
 BENCHMARK(BM_PerfModelEvaluateClean);
 
 void BM_PerfModelEvaluateAnomalous(benchmark::State& state) {
   const sim::Subsystem& sys = sim::subsystem('F');
+  const sim::CompiledScenario compiled(sys);
+  sim::EvalScratch scratch;
   const Workload w =
       catalog::anomaly(static_cast<int>(state.range(0))).concrete;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate(compiled, w, rng, scratch));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluateAnomalous)->Arg(1)->Arg(4)->Arg(9)->Arg(13);
+
+void BM_PerfModelEvaluateUncompiled(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const Workload w = bulk_workload();
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::evaluate(sys, w, rng));
   }
 }
-BENCHMARK(BM_PerfModelEvaluateAnomalous)->Arg(1)->Arg(4)->Arg(9)->Arg(13);
+BENCHMARK(BM_PerfModelEvaluateUncompiled);
 
-void BM_EngineRunWithFunctionalPass(benchmark::State& state) {
-  workload::Engine engine(sim::subsystem('F'));
+void BM_PerfModelEvaluateSteadySolve(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const sim::CompiledScenario compiled(sys);
+  sim::EvalScratch scratch;
+  const sim::SimConfig cfg = steady_solve_config();
   const Workload w = bulk_workload();
   Rng rng(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.run(w, rng));
+    benchmark::DoNotOptimize(sim::evaluate(compiled, w, rng, scratch, cfg));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluateSteadySolve);
+
+void BM_PerfModelEvaluateSteadySolveUncompiled(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const sim::SimConfig cfg = steady_solve_config();
+  const Workload w = bulk_workload();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate(sys, w, rng, cfg));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluateSteadySolveUncompiled);
+
+void BM_CompileScenario(benchmark::State& state) {
+  const sim::Subsystem& sys = sim::subsystem('F');
+  for (auto _ : state) {
+    sim::CompiledScenario compiled(sys);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileScenario);
+
+void BM_EngineRunWithFunctionalPass(benchmark::State& state) {
+  workload::Engine engine(sim::subsystem('F'));
+  sim::EvalScratch scratch;
+  const Workload w = bulk_workload();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w, rng, scratch));
   }
 }
 BENCHMARK(BM_EngineRunWithFunctionalPass);
@@ -100,6 +182,76 @@ void BM_MfsMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MfsMatch);
+
+// MFS sets shaped like construct_mfs output: a categorical profile plus the
+// always-bounded scale features in two-octave bands around a witness.
+core::Mfs pool_shaped_mfs(const core::SearchSpace& space, Rng& rng) {
+  const Workload wit = space.random_point(rng);
+  core::Mfs m;
+  m.symptom = core::Symptom::kPauseFrames;
+  m.witness = wit;
+  for (core::Feature f : {core::Feature::kQpType, core::Feature::kOpcode,
+                          core::Feature::kDirection}) {
+    if (!rng.bernoulli(0.6)) continue;
+    core::FeatureCondition c;
+    c.feature = f;
+    c.categorical = true;
+    c.allowed = {space.categorical_value(wit, f)};
+    m.conditions.push_back(std::move(c));
+  }
+  for (core::Feature f :
+       {core::Feature::kNumQps, core::Feature::kWqeBatch,
+        core::Feature::kRecvWqDepth, core::Feature::kMsgSize}) {
+    core::FeatureCondition c;
+    c.feature = f;
+    c.categorical = false;
+    const double v = std::max(1.0, space.numeric_value(wit, f));
+    c.lo = v / 4.0;
+    c.hi = v * 4.0;
+    m.conditions.push_back(std::move(c));
+  }
+  return m;
+}
+
+void BM_MfsCoversIndexed(benchmark::State& state) {
+  core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(1);
+  core::LocalMfsStore store;
+  for (int i = 0; i < state.range(0); ++i) {
+    store.insert(space, pool_shaped_mfs(space, rng));
+  }
+  std::vector<Workload> ws;
+  for (int i = 0; i < 512; ++i) ws.push_back(space.random_point(rng));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.covers(space, ws[q++ & 511]));
+  }
+}
+BENCHMARK(BM_MfsCoversIndexed)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MfsCoversLinearScan(benchmark::State& state) {
+  core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(1);
+  std::vector<core::Mfs> set;
+  for (int i = 0; i < state.range(0); ++i) {
+    set.push_back(pool_shaped_mfs(space, rng));
+  }
+  std::vector<Workload> ws;
+  for (int i = 0; i < 512; ++i) ws.push_back(space.random_point(rng));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const Workload& w = ws[q++ & 511];
+    bool covered = false;
+    for (const core::Mfs& m : set) {
+      if (m.matches(space, w)) {
+        covered = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(covered);
+  }
+}
+BENCHMARK(BM_MfsCoversLinearScan)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_VerbsWritePath(benchmark::State& state) {
   verbs::Network net;
@@ -167,4 +319,141 @@ void BM_ExperimentCostModel(benchmark::State& state) {
 }
 BENCHMARK(BM_ExperimentCostModel);
 
+// ---- Perf-trajectory mode (--json / --check-baseline) ---------------------
+
+// Wall-clock ops/second of `fn`, self-calibrating to ~0.3 s of measurement
+// after a short warmup.
+template <typename Fn>
+double ops_per_second(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  long iters = 64;
+  for (;;) {
+    for (long i = 0; i < iters / 4 + 1; ++i) fn();  // warm
+    const auto t0 = clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (seconds >= 0.3 || iters > (1L << 30)) {
+      return static_cast<double>(iters) / seconds;
+    }
+    iters *= 4;
+  }
+}
+
+benchjson::Section measure_micro_section() {
+  benchjson::Section out;
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const Workload w = bulk_workload();
+
+  {
+    const sim::CompiledScenario compiled(sys);
+    sim::EvalScratch scratch;
+    Rng rng(1);
+    out["probes_per_sec"] = ops_per_second(
+        [&] { benchmark::DoNotOptimize(sim::evaluate(compiled, w, rng, scratch)); });
+  }
+  {
+    Rng rng(1);
+    out["probes_per_sec_uncompiled"] = ops_per_second(
+        [&] { benchmark::DoNotOptimize(sim::evaluate(sys, w, rng)); });
+  }
+  out["probes_speedup_vs_uncompiled"] =
+      out["probes_per_sec"] / out["probes_per_sec_uncompiled"];
+
+  const sim::SimConfig solve_cfg = steady_solve_config();
+  {
+    const sim::CompiledScenario compiled(sys);
+    sim::EvalScratch scratch;
+    Rng rng(1);
+    out["steady_solves_per_sec"] = ops_per_second([&] {
+      benchmark::DoNotOptimize(sim::evaluate(compiled, w, rng, scratch, solve_cfg));
+    });
+  }
+  {
+    Rng rng(1);
+    out["steady_solves_per_sec_uncompiled"] = ops_per_second(
+        [&] { benchmark::DoNotOptimize(sim::evaluate(sys, w, rng, solve_cfg)); });
+  }
+  out["steady_solve_speedup_vs_uncompiled"] =
+      out["steady_solves_per_sec"] / out["steady_solves_per_sec_uncompiled"];
+
+  {
+    core::SearchSpace space(sys);
+    Rng rng(1);
+    core::LocalMfsStore store;
+    std::vector<core::Mfs> set;
+    for (int i = 0; i < 64; ++i) {
+      core::Mfs m = pool_shaped_mfs(space, rng);
+      set.push_back(m);
+      store.insert(space, std::move(m));
+    }
+    std::vector<Workload> ws;
+    for (int i = 0; i < 512; ++i) ws.push_back(space.random_point(rng));
+    std::size_t q1 = 0;
+    out["covers_per_sec"] = ops_per_second(
+        [&] { benchmark::DoNotOptimize(store.covers(space, ws[q1++ & 511])); });
+    std::size_t q2 = 0;
+    out["covers_per_sec_linear"] = ops_per_second([&] {
+      const Workload& probe = ws[q2++ & 511];
+      bool covered = false;
+      for (const core::Mfs& m : set) {
+        if (m.matches(space, probe)) {
+          covered = true;
+          break;
+        }
+      }
+      benchmark::DoNotOptimize(covered);
+    });
+    out["covers_speedup_vs_linear"] =
+        out["covers_per_sec"] / out["covers_per_sec_linear"];
+    out["covers_mfs_entries"] = 64;
+  }
+  return out;
+}
+
+int run_trajectory_mode(const CliArgs& args) {
+  std::string path = args.get("json", "");
+  if (path.empty() || path == "true") path = benchjson::kDefaultPath;
+
+  const benchjson::Section micro = measure_micro_section();
+  std::printf("hot-path micro metrics:\n");
+  for (const auto& [metric, value] : micro) {
+    std::printf("  %-36s %14.4g\n", metric.c_str(), value);
+  }
+  if (!benchjson::write_section(path, "micro", micro)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote \"micro\" section of %s\n", path.c_str());
+
+  const std::string baseline_path = args.get("check-baseline", "");
+  if (!baseline_path.empty() && baseline_path != "true") {
+    const benchjson::Document baseline =
+        benchjson::load_document(baseline_path);
+    std::printf("\nchecking against %s (>20%% probes/sec regression "
+                "fails)\n",
+                baseline_path.c_str());
+    const int failures =
+        benchjson::check_against_baseline(baseline, "micro", micro);
+    if (failures > 0) {
+      std::printf("%d metric(s) regressed\n", failures);
+      return 1;
+    }
+    std::printf("no regression\n");
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("json") || args.has("check-baseline")) {
+    return run_trajectory_mode(args);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

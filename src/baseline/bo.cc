@@ -24,6 +24,8 @@ double log_scale(double v, double lo, double hi) {
 struct BoState {
   core::SearchResult result;
   core::LocalMfsStore mfs_store;
+  // Evaluation buffers reused across every probe of this run.
+  sim::EvalScratch scratch;
   double elapsed = 0.0;
 
   bool exhausted(const core::SearchBudget& b) const {
@@ -36,7 +38,7 @@ Verdict measure(const workload::Engine& engine,
                 const core::AnomalyMonitor& monitor, const Workload& w,
                 bool use_mfs, Rng& rng, BoState& state,
                 sim::CounterSample* counters_out) {
-  const workload::Measurement m = engine.run(w, rng);
+  const workload::Measurement m = engine.run(w, rng, state.scratch);
   state.elapsed += m.cost_seconds;
   state.result.experiments += 1;
   const Verdict v = monitor.judge(m);
@@ -59,7 +61,7 @@ Verdict measure(const workload::Engine& engine,
   const Symptom symptom = v.symptom;
   if (use_mfs) {
     auto probe = [&](const Workload& candidate) -> Symptom {
-      const workload::Measurement pm = engine.run(candidate, rng);
+      const workload::Measurement pm = engine.run(candidate, rng, state.scratch);
       state.elapsed += pm.cost_seconds;
       state.result.experiments += 1;
       TracePoint ptp;

@@ -14,7 +14,7 @@ u64 splitmix64(u64& x) {
   return z ^ (z >> 31);
 }
 
-u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+u64 rotl64(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
@@ -23,55 +23,10 @@ Rng::Rng(u64 seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
-u64 Rng::next_u64() {
-  const u64 result = rotl(s_[1] * 5, 7) * 9;
-  const u64 t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
 i64 Rng::uniform_int(i64 lo, i64 hi) {
   assert(lo <= hi);
   const u64 span = static_cast<u64>(hi - lo) + 1;
   return lo + static_cast<i64>(next_u64() % span);
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
-}
-
-double Rng::normal() {
-  if (has_spare_normal_) {
-    has_spare_normal_ = false;
-    return spare_normal_;
-  }
-  double u1 = 0.0;
-  do {
-    u1 = uniform();
-  } while (u1 <= 1e-300);
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * M_PI * u2;
-  spare_normal_ = r * std::sin(theta);
-  has_spare_normal_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::normal(double mean, double stddev) {
-  return mean + stddev * normal();
 }
 
 i64 Rng::log_uniform_int(i64 lo, i64 hi) {
@@ -104,7 +59,7 @@ Rng Rng::split(u64 stream_index) const {
   // Fold the four state words into one, then push the SplitMix sequence to a
   // per-stream offset before drawing the child's state.  Seeding through
   // SplitMix64 (as in the constructor) decorrelates nearby stream indices.
-  u64 sm = s_[0] ^ rotl(s_[1], 16) ^ rotl(s_[2], 32) ^ rotl(s_[3], 48);
+  u64 sm = s_[0] ^ rotl64(s_[1], 16) ^ rotl64(s_[2], 32) ^ rotl64(s_[3], 48);
   sm += (stream_index + 1) * 0xd1342543de82ef95ULL;
   Rng child(0);
   for (auto& s : child.s_) s = splitmix64(sm);

@@ -1,0 +1,261 @@
+#include "core/mfs_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace collie::core {
+namespace {
+
+// cand &= a | b, where a/b may be shorter than cand (missing words are 0).
+void and_or2(std::vector<u64>& cand, const std::vector<u64>& a,
+             const std::vector<u64>* b) {
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    u64 m = i < a.size() ? a[i] : 0;
+    if (b != nullptr && i < b->size()) m |= (*b)[i];
+    cand[i] &= m;
+  }
+}
+
+bool all_zero(const std::vector<u64>& mask) {
+  for (const u64 w : mask) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+// How expensive it is to derive a workload's value on this feature.  The
+// query walks constrained features cheapest-first so a miss usually empties
+// the candidate set before ever paying for a pattern analysis; answers are
+// order-independent (pure AND), only the constant factor moves.
+int feature_cost_rank(int f) {
+  switch (static_cast<Feature>(f)) {
+    case Feature::kLocalMem:
+    case Feature::kRemoteMem:
+      return 1;  // placement-list scan
+    case Feature::kPatternMix:
+    case Feature::kMsgSize:
+      return 2;  // O(pattern) analysis
+    default:
+      return 0;  // direct field read
+  }
+}
+
+}  // namespace
+
+MfsIndex::MfsIndex(const MfsIndex& other)
+    : n_(other.n_), matchable_(other.matchable_), active_(other.active_) {
+  for (int f = 0; f < kNumFeatures; ++f) {
+    if (other.cat_[f]) {
+      cat_[f] = std::make_unique<CategoricalIndex>(*other.cat_[f]);
+    }
+    if (other.num_[f]) {
+      num_[f] = std::make_unique<NumericIndex>(*other.num_[f]);
+    }
+  }
+}
+
+MfsIndex& MfsIndex::operator=(const MfsIndex& other) {
+  if (this == &other) return *this;
+  MfsIndex copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void MfsIndex::clear() {
+  n_ = 0;
+  matchable_.clear();
+  active_.clear();
+  for (int f = 0; f < kNumFeatures; ++f) {
+    cat_[f].reset();
+    num_[f].reset();
+  }
+}
+
+void MfsIndex::rebuild_regions(NumericIndex& idx) {
+  idx.bounds.clear();
+  for (const NumericIndex::Interval& iv : idx.intervals) {
+    idx.bounds.push_back(iv.lo);
+    idx.bounds.push_back(iv.hi);
+  }
+  std::sort(idx.bounds.begin(), idx.bounds.end());
+  idx.bounds.erase(std::unique(idx.bounds.begin(), idx.bounds.end()),
+                   idx.bounds.end());
+  idx.region.assign(2 * idx.bounds.size() + 1, {});
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const NumericIndex::Interval& iv : idx.intervals) {
+    if (!(iv.lo <= iv.hi)) continue;  // empty after range intersection
+    for (std::size_t r = 0; r < idx.region.size(); ++r) {
+      bool covered;
+      if (r % 2 == 1) {
+        // Point region: the value bounds[r/2] itself.
+        const double p = idx.bounds[r / 2];
+        covered = iv.lo <= p && p <= iv.hi;
+      } else {
+        // Open gap between the neighbouring endpoints (sentinels +-inf).
+        // Every endpoint is in `bounds`, so covering any interior point is
+        // covering the whole gap: lo must sit at/below the gap's floor and
+        // hi at/above its ceiling.
+        const double prev = r == 0 ? -kInf : idx.bounds[r / 2 - 1];
+        const double next =
+            r / 2 == idx.bounds.size() ? kInf : idx.bounds[r / 2];
+        covered = iv.lo <= prev && iv.hi >= next;
+      }
+      if (covered) set_bit(idx.region[r], iv.entry);
+    }
+  }
+}
+
+void MfsIndex::add(const Mfs& mfs) {
+  const std::size_t entry = n_;
+  n_ += 1;
+  if (!mfs.conditions.empty()) set_bit(matchable_, entry);
+
+  // Conjoin this entry's conditions per (feature, kind): intersection of
+  // allowed sets, intersection of tolerance-adjusted ranges.  contains()
+  // evaluates `v >= lo - 1e-9 && v <= hi + 1e-9` per condition; fp
+  // subtraction/addition of the constant is monotone, so intersecting the
+  // adjusted bounds equals adjusting the intersected bounds bit-for-bit.
+  struct CatAgg {
+    bool present = false;
+    std::vector<int> allowed;
+  };
+  struct NumAgg {
+    bool present = false;
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+  };
+  std::array<CatAgg, kNumFeatures> cat_agg;
+  std::array<NumAgg, kNumFeatures> num_agg;
+  for (const FeatureCondition& c : mfs.conditions) {
+    const int f = static_cast<int>(c.feature);
+    if (f < 0 || f >= kNumFeatures) continue;
+    if (c.categorical) {
+      CatAgg& agg = cat_agg[static_cast<std::size_t>(f)];
+      std::vector<int> values = c.allowed;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (!agg.present) {
+        agg.present = true;
+        agg.allowed = std::move(values);
+      } else {
+        std::vector<int> both;
+        std::set_intersection(agg.allowed.begin(), agg.allowed.end(),
+                              values.begin(), values.end(),
+                              std::back_inserter(both));
+        agg.allowed = std::move(both);
+      }
+    } else {
+      NumAgg& agg = num_agg[static_cast<std::size_t>(f)];
+      agg.present = true;
+      agg.lo = std::max(agg.lo, c.lo - 1e-9);
+      agg.hi = std::min(agg.hi, c.hi + 1e-9);
+    }
+  }
+
+  auto activate = [this](int f) {
+    if (std::find(active_.begin(), active_.end(), f) == active_.end()) {
+      active_.push_back(f);
+      std::sort(active_.begin(), active_.end(), [](int a, int b) {
+        const int ra = feature_cost_rank(a);
+        const int rb = feature_cost_rank(b);
+        return ra != rb ? ra < rb : a < b;
+      });
+    }
+  };
+
+  for (int f = 0; f < kNumFeatures; ++f) {
+    const CatAgg& ca = cat_agg[static_cast<std::size_t>(f)];
+    if (ca.present) {
+      if (!cat_[f]) {
+        cat_[f] = std::make_unique<CategoricalIndex>();
+        // Every earlier entry had no categorical condition on f.
+        for (std::size_t e = 0; e < entry; ++e) {
+          set_bit(cat_[f]->unconditioned, e);
+        }
+        activate(f);
+      }
+      for (const int v : ca.allowed) {
+        set_bit(cat_[f]->by_value[v], entry);
+      }
+    } else if (cat_[f]) {
+      set_bit(cat_[f]->unconditioned, entry);
+    }
+
+    const NumAgg& na = num_agg[static_cast<std::size_t>(f)];
+    if (na.present) {
+      if (!num_[f]) {
+        num_[f] = std::make_unique<NumericIndex>();
+        for (std::size_t e = 0; e < entry; ++e) {
+          set_bit(num_[f]->unconditioned, e);
+        }
+        activate(f);
+      }
+      num_[f]->intervals.push_back({na.lo, na.hi, entry});
+      rebuild_regions(*num_[f]);
+    } else if (num_[f]) {
+      set_bit(num_[f]->unconditioned, entry);
+    }
+  }
+}
+
+int MfsIndex::scan_first(std::vector<u64>& cand, const SearchSpace& space,
+                         const Workload& w) const {
+  for (const int f : active_) {
+    if (all_zero(cand)) return -1;
+    const Feature feature = static_cast<Feature>(f);
+    if (cat_[f]) {
+      const int v = space.categorical_value(w, feature);
+      const auto it = cat_[f]->by_value.find(v);
+      and_or2(cand, cat_[f]->unconditioned,
+              it != cat_[f]->by_value.end() ? &it->second : nullptr);
+    }
+    if (num_[f]) {
+      const double v = space.numeric_value(w, feature);
+      const auto& bounds = num_[f]->bounds;
+      const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+      std::size_t r = 2 * static_cast<std::size_t>(it - bounds.begin());
+      if (it != bounds.end() && *it == v) r += 1;  // exact endpoint hit
+      and_or2(cand, num_[f]->unconditioned, &num_[f]->region[r]);
+    }
+  }
+  for (std::size_t word = 0; word < cand.size(); ++word) {
+    if (cand[word] != 0) {
+      return static_cast<int>(word * 64 +
+                              static_cast<std::size_t>(
+                                  std::countr_zero(cand[word])));
+    }
+  }
+  return -1;
+}
+
+int MfsIndex::first_match(const SearchSpace& space, const Workload& w) const {
+  if (n_ == 0) return -1;
+  // Query scratch: reused across calls so the probe hot path allocates
+  // nothing once warm.  thread_local because pool snapshots are queried
+  // concurrently from campaign workers.
+  thread_local std::vector<u64> cand;
+  cand.assign(words(), 0);
+  for (std::size_t i = 0; i < matchable_.size() && i < cand.size(); ++i) {
+    cand[i] = matchable_[i];
+  }
+  return scan_first(cand, space, w);
+}
+
+int MfsIndex::first_match(const SearchSpace& space, const Workload& w,
+                          const std::vector<u64>& filter) const {
+  if (n_ == 0) return -1;
+  thread_local std::vector<u64> cand;
+  cand.assign(words(), 0);
+  for (std::size_t i = 0; i < matchable_.size() && i < cand.size(); ++i) {
+    cand[i] = matchable_[i];
+    if (i < filter.size()) {
+      cand[i] &= filter[i];
+    } else {
+      cand[i] = 0;
+    }
+  }
+  return scan_first(cand, space, w);
+}
+
+}  // namespace collie::core

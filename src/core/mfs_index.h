@@ -1,0 +1,107 @@
+// Per-feature index over a set of MFSes, answering MatchMFS sublinearly.
+//
+// The linear MatchMFS walks every stored MFS and re-derives the workload's
+// feature values per condition; at campaign scale that scan sits inside
+// every probe.  The index flips the loop: the workload's value on each
+// constrained feature is computed once and mapped — through a value bucket
+// (categorical) or an interval-stabbing table (numeric) — to a bitmask of
+// MFSes whose condition on that feature holds.  ANDing the per-feature
+// masks yields every matching MFS at once; the lowest set bit is the first
+// match in insertion order, which preserves the linear scan's first-cover
+// semantics exactly (hit provenance attributes to the same entry).
+//
+// Equivalence contract (property-tested against the linear scan):
+//   * an MFS with no conditions never matches (Mfs::matches semantics);
+//   * categorical conditions match by exact membership of the workload's
+//     value in the allowed set;
+//   * numeric conditions match with the same +-1e-9 tolerance, precomputed
+//     into the interval endpoints with the identical expressions
+//     FeatureCondition::contains evaluates;
+//   * multiple conditions on one feature conjoin (allowed-set intersection /
+//     range intersection).
+//
+// The index is insertion-ordered and append-only: add() never invalidates
+// earlier answers.  It is NOT internally synchronized — the concurrent pool
+// publishes immutable snapshots instead (see orchestrator/mfs_pool.h).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/mfs.h"
+
+namespace collie::core {
+
+class MfsIndex {
+ public:
+  MfsIndex() = default;
+  MfsIndex(const MfsIndex& other);
+  MfsIndex& operator=(const MfsIndex& other);
+  MfsIndex(MfsIndex&&) noexcept = default;
+  MfsIndex& operator=(MfsIndex&&) noexcept = default;
+
+  void clear();
+
+  // Register the next entry (its position is the current size()).
+  void add(const Mfs& mfs);
+
+  std::size_t size() const { return n_; }
+
+  // Position (insertion order) of the first entry matching `w`, or -1.
+  // Equivalent to scanning entries in order calling Mfs::matches.
+  int first_match(const SearchSpace& space, const Workload& w) const;
+
+  // Same, restricted to entries whose bit is set in `filter` (missing high
+  // words read as zero).  Used for warm-start-only (covers_preloaded)
+  // queries.
+  int first_match(const SearchSpace& space, const Workload& w,
+                  const std::vector<u64>& filter) const;
+
+  static void set_bit(std::vector<u64>& mask, std::size_t i) {
+    const std::size_t word = i / 64;
+    if (mask.size() <= word) mask.resize(word + 1, 0);
+    mask[word] |= u64{1} << (i % 64);
+  }
+
+ private:
+  // Entries with a categorical condition on one feature.
+  struct CategoricalIndex {
+    // Entries with no (categorical) condition on this feature: satisfied for
+    // every value.
+    std::vector<u64> unconditioned;
+    // value -> conditioned entries whose allowed set contains it.
+    std::map<int, std::vector<u64>> by_value;
+  };
+
+  // Entries with a numeric condition on one feature, as an interval-stabbing
+  // table over the tolerance-adjusted bounds.
+  struct NumericIndex {
+    std::vector<u64> unconditioned;
+    struct Interval {
+      double lo = 0.0;  // condition lo - 1e-9 (the contains() expression)
+      double hi = 0.0;  // condition hi + 1e-9
+      std::size_t entry = 0;
+    };
+    std::vector<Interval> intervals;
+    // Sorted unique interval endpoints; region r covers, alternating, the
+    // open gap below bounds[r/2] (even r) or the point bounds[r/2] (odd r).
+    std::vector<double> bounds;
+    std::vector<std::vector<u64>> region;  // 2*bounds.size()+1 masks
+  };
+
+  std::size_t words() const { return (n_ + 63) / 64; }
+  int scan_first(std::vector<u64>& cand, const SearchSpace& space,
+                 const Workload& w) const;
+  static void rebuild_regions(NumericIndex& idx);
+
+  std::size_t n_ = 0;
+  std::vector<u64> matchable_;  // entries with >= 1 condition
+  std::array<std::unique_ptr<CategoricalIndex>, kNumFeatures> cat_;
+  std::array<std::unique_ptr<NumericIndex>, kNumFeatures> num_;
+  // Features with any index structure, in first-appearance order.
+  std::vector<int> active_;
+};
+
+}  // namespace collie::core

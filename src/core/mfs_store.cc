@@ -3,16 +3,14 @@
 namespace collie::core {
 
 bool LocalMfsStore::covers(const SearchSpace& space, const Workload& w) {
-  for (const Mfs& known : set_) {
-    if (known.matches(space, w)) return true;
-  }
-  return false;
+  return index_.first_match(space, w) >= 0;
 }
 
 int LocalMfsStore::insert(const SearchSpace& space, Mfs mfs) {
   (void)space;  // a serial run's covers() check already ran; no race
   const int index = static_cast<int>(set_.size());
   mfs.index = index;
+  index_.add(mfs);
   set_.push_back(std::move(mfs));
   return index;
 }

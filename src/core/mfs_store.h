@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mfs.h"
+#include "core/mfs_index.h"
 
 namespace collie::core {
 
@@ -48,7 +49,9 @@ class MfsStore {
   virtual std::vector<Mfs> snapshot() const = 0;
 };
 
-// The per-run store of a serial search: a plain vector, no synchronisation.
+// The per-run store of a serial search: an insertion-ordered vector with a
+// per-feature MatchMFS index alongside (covers() no longer scans), no
+// synchronisation.
 class LocalMfsStore final : public MfsStore {
  public:
   bool covers(const SearchSpace& space, const Workload& w) override;
@@ -58,6 +61,7 @@ class LocalMfsStore final : public MfsStore {
 
  private:
   std::vector<Mfs> set_;
+  MfsIndex index_;
 };
 
 }  // namespace collie::core

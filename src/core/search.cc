@@ -43,14 +43,14 @@ SearchDriver::SearchDriver(const workload::Engine& engine,
 
 Verdict SearchDriver::measure_and_judge(const Workload& w, Rng& rng,
                                         double* cost_seconds) const {
-  const workload::Measurement m = engine_.run(w, rng);
+  const workload::Measurement m = engine_.run(w, rng, scratch_);
   if (cost_seconds != nullptr) *cost_seconds = m.cost_seconds;
   return monitor_.judge(m);
 }
 
 Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
                            bool use_mfs, sim::CounterSample* counters_out) {
-  const workload::Measurement m = engine_.run(w, rng);
+  const workload::Measurement m = engine_.run(w, rng, scratch_);
   state.elapsed += m.cost_seconds;
   state.result.experiments += 1;
   const Verdict v = monitor_.judge(m);
@@ -95,7 +95,7 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
         state.result.mfs_skips += 1;
         return symptom;
       }
-      const workload::Measurement pm = engine_.run(candidate, rng);
+      const workload::Measurement pm = engine_.run(candidate, rng, scratch_);
       state.elapsed += pm.cost_seconds;
       state.result.experiments += 1;
       TracePoint ptp;

@@ -127,6 +127,11 @@ class SearchDriver {
   const workload::Engine& engine_;
   const SearchSpace& space_;
   AnomalyMonitor monitor_;
+  // Per-driver evaluation buffers, reused across every probe of a run so the
+  // steady-state measurement path performs no heap allocations.  A driver is
+  // single-threaded state (each campaign cell owns its own); mutable because
+  // measure_and_judge() is logically const.
+  mutable sim::EvalScratch scratch_;
 };
 
 }  // namespace collie::core

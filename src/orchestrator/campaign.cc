@@ -129,7 +129,12 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
   // separately from covered cells.
   try {
     const sim::Subsystem sys = cell.materialize();
-    const workload::Engine engine(sys, config_.engine);
+    workload::EngineOptions engine_opts = config_.engine;
+    // Nothing in the campaign reads per-epoch series; skipping the copy
+    // keeps the probe loop free of per-experiment allocations.  Verdicts,
+    // traces and RNG streams are unaffected.
+    engine_opts.keep_epochs = false;
+    const workload::Engine engine(sys, engine_opts);
     const core::SearchSpace space(sys);
     core::SearchDriver driver(engine, space);
     ConcurrentMfsPool::View store =

@@ -1,14 +1,22 @@
 #include "orchestrator/mfs_pool.h"
 
-#include <mutex>
-
 namespace collie::orchestrator {
+
+// ---- View -----------------------------------------------------------------
+
+const ConcurrentMfsPool::ScopeHandle* ConcurrentMfsPool::View::handle() {
+  if (!handle_) handle_ = pool_->handle(scope_);
+  return handle_.get();
+}
 
 bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
                                      const Workload& w) {
+  const Snapshot* snap = handle()->snap.load(std::memory_order_acquire);
   bool cross = false;
   bool warm = false;
-  if (!pool_->covers(scope_, space, w, worker_, &cross, &warm)) return false;
+  if (!pool_->covers_snapshot(snap, space, w, worker_, &cross, &warm)) {
+    return false;
+  }
   hits_ += 1;
   if (cross) cross_hits_ += 1;
   if (warm) warm_hits_ += 1;
@@ -17,7 +25,8 @@ bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
 
 bool ConcurrentMfsPool::View::covers_preloaded(const core::SearchSpace& space,
                                                const Workload& w) {
-  if (!pool_->covers_preloaded(scope_, space, w)) return false;
+  const Snapshot* snap = handle()->snap.load(std::memory_order_acquire);
+  if (!pool_->covers_preloaded_snapshot(snap, space, w)) return false;
   hits_ += 1;
   warm_hits_ += 1;
   return true;
@@ -36,121 +45,204 @@ std::vector<core::Mfs> ConcurrentMfsPool::View::snapshot() const {
   return pool_->snapshot(scope_);
 }
 
+// ---- Snapshot queries -----------------------------------------------------
+
+bool ConcurrentMfsPool::covers_snapshot(const Snapshot* snap,
+                                        const core::SearchSpace& space,
+                                        const Workload& w, int requester,
+                                        bool* cross, bool* warm) {
+  if (snap == nullptr) return false;
+  const int idx = snap->index.first_match(space, w);
+  if (idx < 0) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  const Entry& e = snap->entries[static_cast<std::size_t>(idx)];
+  const bool is_warm = e.origin_worker == kWarmStartOrigin;
+  const bool is_cross = !is_warm && e.origin_worker != requester;
+  if (is_cross) cross_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (is_warm) warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (cross != nullptr) *cross = is_cross;
+  if (warm != nullptr) *warm = is_warm;
+  return true;
+}
+
+bool ConcurrentMfsPool::covers_preloaded_snapshot(
+    const Snapshot* snap, const core::SearchSpace& space, const Workload& w) {
+  if (snap == nullptr || snap->warm_entries == 0) return false;
+  if (snap->index.first_match(space, w, snap->warm_mask) < 0) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---- Scope handles --------------------------------------------------------
+
+std::shared_ptr<ConcurrentMfsPool::ScopeHandle> ConcurrentMfsPool::handle(
+    const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<ScopeHandle>& h = scopes_[scope];
+  if (!h) h = std::make_shared<ScopeHandle>();
+  return h;
+}
+
+const ConcurrentMfsPool::Snapshot* ConcurrentMfsPool::peek(
+    const std::string& scope) const {
+  std::shared_ptr<ScopeHandle> h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = scopes_.find(scope);
+    if (it == scopes_.end()) return nullptr;
+    h = it->second;
+  }
+  return h->snap.load(std::memory_order_acquire);
+}
+
+const ConcurrentMfsPool::Snapshot* ConcurrentMfsPool::publish(
+    ScopeHandle& h, std::unique_ptr<Snapshot> next) {
+  const Snapshot* published = next.get();
+  h.history.push_back(std::move(next));
+  h.snap.store(published, std::memory_order_release);
+  return published;
+}
+
+// ---- Pool-level API -------------------------------------------------------
+
 bool ConcurrentMfsPool::covers(const std::string& scope,
                                const core::SearchSpace& space,
                                const Workload& w, int requester, bool* cross,
                                bool* warm) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto it = scopes_.find(scope);
-  if (it == scopes_.end()) return false;
-  for (const Entry& e : it->second) {
-    if (e.mfs.matches(space, w)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      const bool is_warm = e.origin_worker == kWarmStartOrigin;
-      const bool is_cross = !is_warm && e.origin_worker != requester;
-      if (is_cross) cross_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (is_warm) warm_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (cross != nullptr) *cross = is_cross;
-      if (warm != nullptr) *warm = is_warm;
-      return true;
-    }
-  }
-  return false;
+  return covers_snapshot(peek(scope), space, w, requester, cross, warm);
 }
 
 bool ConcurrentMfsPool::covers_preloaded(const std::string& scope,
                                          const core::SearchSpace& space,
                                          const Workload& w) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto it = scopes_.find(scope);
-  if (it == scopes_.end()) return false;
-  for (const Entry& e : it->second) {
-    if (e.origin_worker != kWarmStartOrigin) continue;
-    if (e.mfs.matches(space, w)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      warm_hits_.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
-  }
-  return false;
-}
-
-void ConcurrentMfsPool::load_scope(const std::string& scope,
-                                   std::vector<core::Mfs> entries) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  std::vector<Entry>& dst = scopes_[scope];
-  for (core::Mfs& mfs : entries) {
-    mfs.index = static_cast<int>(dst.size());
-    dst.push_back(Entry{std::move(mfs), kWarmStartOrigin});
-  }
-}
-
-std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
-    const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::map<std::string, std::vector<core::Mfs>> out;
-  for (const auto& [scope, entries] : scopes_) {
-    std::vector<core::Mfs>& dst = out[scope];
-    dst.reserve(entries.size());
-    for (const Entry& e : entries) dst.push_back(e.mfs);
-  }
-  return out;
+  return covers_preloaded_snapshot(peek(scope), space, w);
 }
 
 int ConcurrentMfsPool::insert(const std::string& scope,
                               const core::SearchSpace& space, core::Mfs mfs,
                               int origin_worker) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  std::vector<Entry>& entries = scopes_[scope];
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<ScopeHandle>& h = scopes_[scope];
+  if (!h) h = std::make_shared<ScopeHandle>();
+  const Snapshot* old = h->snap.load(std::memory_order_relaxed);
+
   // Two workers can race past their covers() checks and extract overlapping
   // MFSes for the same region.  Keep both — each is a valid explanation and
   // the campaign report dedupes — but count the overlap for the stats,
   // using the exact criterion the report dedupes by.
-  for (const Entry& e : entries) {
-    if (core::same_anomaly_region(space, e.mfs, mfs)) {
-      duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
-      break;
+  if (old != nullptr) {
+    for (const Entry& e : old->entries) {
+      if (core::same_anomaly_region(space, e.mfs, mfs)) {
+        duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
     }
   }
-  const int index = static_cast<int>(entries.size());
+
+  // Successor snapshot: entries + index extended, epoch bumped, published
+  // atomically.  A reader still on `old` keeps a consistent (if slightly
+  // stale) view; it can only under-skip, exactly like losing the race
+  // under the former lock-based scan.
+  auto next = old != nullptr ? std::make_unique<Snapshot>(*old)
+                             : std::make_unique<Snapshot>();
+  next->epoch += 1;
+  const int index = static_cast<int>(next->entries.size());
   mfs.index = index;
-  entries.push_back(Entry{std::move(mfs), origin_worker});
+  next->index.add(mfs);
+  next->entries.push_back(Entry{std::move(mfs), origin_worker});
+  publish(*h, std::move(next));
   return index;
 }
 
+void ConcurrentMfsPool::load_scope(const std::string& scope,
+                                   std::vector<core::Mfs> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<ScopeHandle>& h = scopes_[scope];
+  if (!h) h = std::make_shared<ScopeHandle>();
+  const Snapshot* old = h->snap.load(std::memory_order_relaxed);
+  auto next = old != nullptr ? std::make_unique<Snapshot>(*old)
+                             : std::make_unique<Snapshot>();
+  next->epoch += 1;
+  for (core::Mfs& mfs : entries) {
+    const std::size_t at = next->entries.size();
+    mfs.index = static_cast<int>(at);
+    next->index.add(mfs);
+    core::MfsIndex::set_bit(next->warm_mask, at);
+    next->warm_entries += 1;
+    next->entries.push_back(Entry{std::move(mfs), kWarmStartOrigin});
+  }
+  publish(*h, std::move(next));
+}
+
+std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
+    const {
+  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles = scopes_;
+  }
+  std::map<std::string, std::vector<core::Mfs>> out;
+  for (const auto& [scope, h] : handles) {
+    const Snapshot* snap = h->snap.load(std::memory_order_acquire);
+    if (snap == nullptr) continue;
+    std::vector<core::Mfs>& dst = out[scope];
+    dst.reserve(snap->entries.size());
+    for (const Entry& e : snap->entries) dst.push_back(e.mfs);
+  }
+  return out;
+}
+
 std::size_t ConcurrentMfsPool::size(const std::string& scope) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto it = scopes_.find(scope);
-  return it == scopes_.end() ? 0 : it->second.size();
+  const Snapshot* snap = peek(scope);
+  return snap == nullptr ? 0 : snap->entries.size();
 }
 
 std::vector<core::Mfs> ConcurrentMfsPool::snapshot(
     const std::string& scope) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto it = scopes_.find(scope);
-  if (it == scopes_.end()) return {};
+  const Snapshot* snap = peek(scope);
+  if (snap == nullptr) return {};
   std::vector<core::Mfs> out;
-  out.reserve(it->second.size());
-  for (const Entry& e : it->second) out.push_back(e.mfs);
+  out.reserve(snap->entries.size());
+  for (const Entry& e : snap->entries) out.push_back(e.mfs);
   return out;
 }
 
 std::vector<std::string> ConcurrentMfsPool::scopes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles = scopes_;
+  }
   std::vector<std::string> out;
-  out.reserve(scopes_.size());
-  for (const auto& [scope, entries] : scopes_) out.push_back(scope);
+  out.reserve(handles.size());
+  for (const auto& [scope, h] : handles) {
+    // A view resolving its handle creates the map slot before any entry
+    // exists; an empty scope is not a populated scope.
+    if (h->snap.load(std::memory_order_acquire) != nullptr) {
+      out.push_back(scope);
+    }
+  }
   return out;
 }
 
+u64 ConcurrentMfsPool::epoch(const std::string& scope) const {
+  const Snapshot* snap = peek(scope);
+  return snap == nullptr ? 0 : snap->epoch;
+}
+
 PoolStats ConcurrentMfsPool::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles = scopes_;
+  }
   PoolStats s;
-  for (const auto& [scope, entries] : scopes_) {
-    s.entries += static_cast<i64>(entries.size());
-    for (const Entry& e : entries) {
-      if (e.origin_worker == kWarmStartOrigin) s.warm_entries += 1;
-    }
+  for (const auto& [scope, h] : handles) {
+    const Snapshot* snap = h->snap.load(std::memory_order_acquire);
+    if (snap == nullptr) continue;
+    s.entries += static_cast<i64>(snap->entries.size());
+    s.warm_entries += snap->warm_entries;
   }
   s.hits = hits_.load(std::memory_order_relaxed);
   s.cross_worker_hits = cross_hits_.load(std::memory_order_relaxed);

@@ -15,18 +15,31 @@
 // different worker is a cross-worker skip, the quantity the campaign report
 // surfaces as the benefit of sharing.
 //
-// Concurrency: reads (covers/size/snapshot) take a shared lock, inserts an
-// exclusive one.  MatchMFS runs on every mutation, inserts only on anomaly
-// discovery, so the read path dominates and readers never block each other.
+// Concurrency: each scope publishes an immutable, epoch-versioned snapshot
+// (entries in insertion order + a core::MfsIndex over them) through one
+// atomic pointer.  The covers()/covers_preloaded() fast path loads the
+// pointer and queries the index — no lock acquisition of any kind, readers
+// never wait on writers or on each other (not even on a shared_ptr control
+// block).  Writers (insert/load_scope) serialize on a mutex, build the
+// successor snapshot (epoch + 1) and publish it with a release store;
+// every superseded snapshot is retained by the pool until destruction, so
+// a reader holding yesterday's pointer stays valid mid-query.  Retention
+// is bounded by insert count — inserts happen once per extracted anomaly,
+// a number that is small by construction (the report dedupes dozens, not
+// millions).  First-cover order and hit provenance (cross-worker /
+// warm-start attribution) are exactly the linear scan's: the index returns
+// the lowest insertion position that matches.
 #pragma once
 
 #include <atomic>
 #include <map>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "core/mfs_index.h"
 #include "core/mfs_store.h"
 
 namespace collie::orchestrator {
@@ -41,6 +54,10 @@ struct PoolStats {
 };
 
 class ConcurrentMfsPool {
+ private:
+  struct Snapshot;
+  struct ScopeHandle;
+
  public:
   // Origin id of entries loaded from a warm-start checkpoint: no live worker
   // ever carries it, so loaded hits are attributed to the previous campaign
@@ -49,7 +66,9 @@ class ConcurrentMfsPool {
 
   // A scoped, worker-bound core::MfsStore handle.  Hit counters are owned by
   // the worker thread driving the view; pool-wide aggregates are atomic on
-  // the pool.  Movable so Campaign can stage views per cell.
+  // the pool.  Movable so Campaign can stage views per cell.  The view
+  // resolves its scope's handle once and then reads published snapshots
+  // lock-free.
   class View final : public core::MfsStore {
    public:
     View(ConcurrentMfsPool* pool, std::string scope, int worker)
@@ -70,9 +89,14 @@ class ConcurrentMfsPool {
     const std::string& scope() const { return scope_; }
 
    private:
+    const ScopeHandle* handle();
+
     ConcurrentMfsPool* pool_;
     std::string scope_;
     int worker_;
+    // Resolved lazily (one find-or-create under the pool mutex), then every
+    // covers() is a lock-free snapshot load.
+    std::shared_ptr<ScopeHandle> handle_;
     i64 hits_ = 0;
     i64 cross_hits_ = 0;
     i64 warm_hits_ = 0;
@@ -107,6 +131,10 @@ class ConcurrentMfsPool {
   std::vector<core::Mfs> snapshot(const std::string& scope) const;
   std::vector<std::string> scopes() const;
   PoolStats stats() const;
+  // Publication count of a scope's snapshot (0 when the scope does not
+  // exist yet).  Every insert/load_scope bumps it; tests use this to pin
+  // the publish-on-write, never-in-place invariant.
+  u64 epoch(const std::string& scope) const;
 
  private:
   struct Entry {
@@ -114,9 +142,43 @@ class ConcurrentMfsPool {
     int origin_worker = -1;
   };
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::vector<Entry>> scopes_;
-  // Atomic so the covers() read path can record hits under the shared lock.
+  // Immutable once published.
+  struct Snapshot {
+    u64 epoch = 0;
+    std::vector<Entry> entries;
+    core::MfsIndex index;
+    std::vector<u64> warm_mask;  // bits of kWarmStartOrigin entries
+    i64 warm_entries = 0;
+  };
+
+  struct ScopeHandle {
+    // The published snapshot; readers load-acquire, writers store-release
+    // under mu_.  Superseded snapshots stay alive in `history` (written
+    // only under mu_), so a raw pointer read lock-free remains valid for
+    // the rest of the reader's query.
+    std::atomic<const Snapshot*> snap{nullptr};
+    std::vector<std::unique_ptr<const Snapshot>> history;
+  };
+
+  // Find-or-create under mu_.
+  std::shared_ptr<ScopeHandle> handle(const std::string& scope);
+  // Find without creating; null when absent.
+  const Snapshot* peek(const std::string& scope) const;
+  // Publish `next` as `h`'s current snapshot.  Caller must hold mu_.
+  static const Snapshot* publish(ScopeHandle& h,
+                                 std::unique_ptr<Snapshot> next);
+
+  bool covers_snapshot(const Snapshot* snap, const core::SearchSpace& space,
+                       const Workload& w, int requester, bool* cross,
+                       bool* warm);
+  bool covers_preloaded_snapshot(const Snapshot* snap,
+                                 const core::SearchSpace& space,
+                                 const Workload& w);
+
+  // Guards the scope map and serializes writers; never taken by the
+  // covers() fast path.
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ScopeHandle>> scopes_;
   std::atomic<i64> hits_{0};
   std::atomic<i64> cross_hits_{0};
   std::atomic<i64> warm_hits_{0};

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
 #include "net/fabric.h"
@@ -59,9 +60,15 @@ constexpr double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
 double log2_safe(double v) { return std::log2(std::max(v, 1.0)); }
 
+// At most four flows exist (see build_model); rates and solver dirty flags
+// live in fixed arrays so the hot path never sizes anything dynamically.
+constexpr std::size_t kMaxFlows = 4;
+
 // One traffic flow in the solved system.  At most three exist: the A->B
 // data flow, the mirrored B->A flow (bidirectional workloads) and the
-// on-host loopback flow of anomaly-#13-style co-location.
+// on-host loopback flow of anomaly-#13-style co-location.  Rates are NOT
+// stored here: the two solver passes (offered vs admitted) keep their own
+// rate arrays over one shared flow table.
 struct Flow {
   int src = 0;        // host whose memory the data leaves
   int dst = 1;        // host whose memory the data lands in
@@ -92,52 +99,98 @@ struct Flow {
   double mtt_miss_exposed = 0.0;
   double read_rx_mult = 1.0;      // READ-response processing demand factor
   double sender_cap_msgs = 1e18;  // absolute message-rate cap (quirks)
+};
 
-  double rate = 0.0;  // solved messages/second
+using RateArray = std::array<double, kMaxFlows>;
+
+// Resource identity: a kind + host slot instead of a heap-allocated name.
+// The human-readable name (for SimResult::bottleneck_note) is formatted on
+// demand, outside the solver loop.
+enum class ResKind : unsigned char {
+  kWireOut,
+  kWireIn,
+  kEngine,
+  kPcieRd,
+  kPcieWr,
+  kXsocketIn,
+  kXsocketOut,
+  kInternalBus,
+  kLoopbackLimiter,
+  kIcmFetch,
+  kTxQuirk,
 };
 
 // A linear capacity constraint: sum_f coeff[f] * rate_f <= capacity.
 struct Resource {
-  std::string name;
+  ResKind kind = ResKind::kWireOut;
+  int host = -1;
   Bottleneck tag = Bottleneck::kNone;
   bool rx_stall = false;  // binding here stalls a receiver -> PFC pauses
   int pause_port = -1;
   double capacity = 0.0;
-  std::array<double, 4> coeff{};
+  std::array<double, kMaxFlows> coeff{};
 
-  double utilization(const std::vector<Flow>& flows) const {
-    double demand = 0.0;
+  double demand(const std::vector<Flow>& flows, const RateArray& rate) const {
+    double d = 0.0;
     for (std::size_t i = 0; i < flows.size(); ++i) {
-      demand += coeff[i] * flows[i].rate;
+      d += coeff[i] * rate[i];
     }
-    // A dead resource (zero-rate fabric port) with live demand is
-    // infinitely overloaded, not idle: the solver must squash its flows
-    // instead of ignoring the constraint.
-    if (capacity <= 0.0) return demand > 0.0 ? 1e18 : 0.0;
-    return demand / capacity;
+    return d;
+  }
+
+  // A dead resource (zero-rate fabric port) with live demand is infinitely
+  // overloaded, not idle: the solver must squash its flows instead of
+  // ignoring the constraint.
+  double utilization_of(double d) const {
+    if (capacity <= 0.0) return d > 0.0 ? 1e18 : 0.0;
+    return d / capacity;
+  }
+
+  double utilization(const std::vector<Flow>& flows,
+                     const RateArray& rate) const {
+    return utilization_of(demand(flows, rate));
   }
 };
 
-struct BuiltModel {
-  std::vector<Flow> flows;
-  std::vector<Resource> resources;
-};
-
-// DMA-path lookups resolve against the host the placement lives on: host A
-// and host B may be different platforms under scenario fabrics.
-double path_factor(const Subsystem& sys, int host,
-                   const topo::MemPlacement& mem) {
-  return sys.host_of(host).path_to_nic(mem).bandwidth_factor;
-}
-
-bool crosses_socket(const Subsystem& sys, int host,
-                    const topo::MemPlacement& mem) {
-  return sys.host_of(host).path_to_nic(mem).crosses_socket;
-}
-
-bool via_root_complex(const Subsystem& sys, int host,
-                      const topo::MemPlacement& mem) {
-  return sys.host_of(host).path_to_nic(mem).via_root_complex;
+void assign_name(std::string& out, ResKind kind, int host) {
+  char buf[24];
+  const char hc = static_cast<char>('A' + host);
+  switch (kind) {
+    case ResKind::kWireOut:
+      std::snprintf(buf, sizeof buf, "wire_out[%c]", hc);
+      break;
+    case ResKind::kWireIn:
+      std::snprintf(buf, sizeof buf, "wire_in[%c]", hc);
+      break;
+    case ResKind::kEngine:
+      std::snprintf(buf, sizeof buf, "engine[%c]", hc);
+      break;
+    case ResKind::kPcieRd:
+      std::snprintf(buf, sizeof buf, "pcie_rd[%c]", hc);
+      break;
+    case ResKind::kPcieWr:
+      std::snprintf(buf, sizeof buf, "pcie_wr[%c]", hc);
+      break;
+    case ResKind::kXsocketIn:
+      std::snprintf(buf, sizeof buf, "xsocket_in[%c]", hc);
+      break;
+    case ResKind::kXsocketOut:
+      std::snprintf(buf, sizeof buf, "xsocket_out[%c]", hc);
+      break;
+    case ResKind::kInternalBus:
+      std::snprintf(buf, sizeof buf, "internal_bus[%c]", hc);
+      break;
+    case ResKind::kLoopbackLimiter:
+      std::snprintf(buf, sizeof buf, "loopback_limiter[%c]", hc);
+      break;
+    case ResKind::kIcmFetch:
+      std::snprintf(buf, sizeof buf, "icm_fetch[%c]", hc);
+      break;
+    case ResKind::kTxQuirk:
+      std::snprintf(buf, sizeof buf, "tx_scheduler_quirk");
+      break;
+  }
+  out.assign(buf);
 }
 
 // ---- Per-flow mechanism coefficients ------------------------------------
@@ -328,10 +381,194 @@ Flow make_flow(const Subsystem& sys, const Workload& w,
   return f;
 }
 
+// ---- Solver ---------------------------------------------------------------
+
+// Proportionally scale flows until no resource exceeds capacity.  Returns
+// the index of the most-binding resource (or -1 if nothing binds), leaving
+// the solved rates in `rate`.
+//
+// `demand` caches per-resource demand between iterations: a scaling step
+// touches only the flows of the binding resource, so the demand of any
+// resource not sharing a flow with it is unchanged — recomputing would sum
+// the exact same doubles.  Skipping that recompute (the demand-unchanged
+// early exit) changes no bits; the utilization comparisons see identical
+// values either way.
+int solve(const std::vector<Flow>& flows,
+          const std::vector<Resource>& resources, bool include_rx_stall,
+          RateArray& rate, std::vector<double>& demand) {
+  const std::size_t nf = flows.size();
+  // Initialize optimistically: each flow alone at line-rate-equivalent.
+  for (std::size_t i = 0; i < nf; ++i) {
+    rate[i] = 1e14 / std::max(flows[i].wire_bytes_per_msg, 1.0);
+  }
+  demand.assign(resources.size(), 0.0);
+  for (std::size_t ri = 0; ri < resources.size(); ++ri) {
+    demand[ri] = resources[ri].demand(flows, rate);
+  }
+  int binding = -1;
+  for (int iter = 0; iter < 200; ++iter) {
+    double worst = 1.0 + 1e-9;
+    int worst_idx = -1;
+    for (std::size_t ri = 0; ri < resources.size(); ++ri) {
+      const Resource& r = resources[ri];
+      if (!include_rx_stall && r.rx_stall) continue;
+      const double u = r.utilization_of(demand[ri]);
+      if (u > worst) {
+        worst = u;
+        worst_idx = static_cast<int>(ri);
+      }
+    }
+    if (worst_idx < 0) break;
+    binding = worst_idx;
+    const Resource& r = resources[static_cast<std::size_t>(worst_idx)];
+    std::array<bool, kMaxFlows> scaled{};
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (r.coeff[i] > 0.0) {
+        rate[i] /= worst;
+        scaled[i] = true;
+      }
+    }
+    for (std::size_t ri = 0; ri < resources.size(); ++ri) {
+      const Resource& r2 = resources[ri];
+      bool touched = false;
+      for (std::size_t i = 0; i < nf; ++i) {
+        if (scaled[i] && r2.coeff[i] > 0.0) {
+          touched = true;
+          break;
+        }
+      }
+      if (touched) demand[ri] = r2.demand(flows, rate);
+    }
+  }
+  return binding;
+}
+
+void reset_result(SimResult& r) {
+  r.tx_goodput_bps = 0.0;
+  r.rx_goodput_bps = 0.0;
+  r.tx_wire_bps = 0.0;
+  r.rx_wire_bps = 0.0;
+  r.tx_pps = 0.0;
+  r.rx_pps = 0.0;
+  r.pause_duration_ratio = 0.0;
+  r.fabric_pause_ratio = 0.0;
+  r.cc_suppressed_ratio = 0.0;
+  r.cc_mark_probability = 0.0;
+  r.port_pause_ratio.clear();
+  r.wire_utilization = 0.0;
+  r.pps_utilization = 0.0;
+  r.counters = CounterSample{};
+  r.epochs.clear();
+  r.dominant = Bottleneck::kNone;
+  r.bottleneck_note.clear();
+}
+
+}  // namespace
+
+// ---- CompiledScenario -----------------------------------------------------
+
+CompiledScenario::CompiledScenario(const Subsystem& sys) : sys_(sys) {
+  const nic::NicModel& nicm = sys_.nicm;
+  // Non-trivial fabrics add switch-port constraints; the paper's identical
+  // pair must keep the seed's resource set bit-for-bit.
+  scenario_fabric_ = !sys_.fabric.trivial_pair(nicm.line_rate_bps);
+  // k identical senders share host B: B-side resources see k times one
+  // sender's demand, and the solver yields the per-sender rate.
+  fan_in_ = scenario_fabric_ ? std::max(sys_.fabric.fan_in, 1) : 1;
+  for (int h = 0; h < 2; ++h) {
+    wire_out_cap_[h] = std::min(nicm.line_rate_bps, sys_.fabric.port_rate(h));
+  }
+  wire_in_cap_[0] = sys_.fabric.port_rate(0);
+  wire_in_cap_[1] = fan_in_ * sys_.fabric.receiver_share_bps();
+  engine_cap_[0] = nicm.max_pps * 1.0;
+  engine_cap_[1] = nicm.max_pps * nicm.q.bidir_pps_capacity;
+  pcie_rd_cap_ = pcie::effective_bandwidth_bps(sys_.link,
+                                               sys_.link.max_read_request);
+  pcie_wr_raw_cap_ = pcie::effective_bandwidth_bps(sys_.link, 4096);
+  icm_fetch_cap_ = nicm.icm_fetch_per_s;
+  cc_path_in_[0] = std::min(sys_.fabric.port_rate(0), nicm.line_rate_bps);
+  cc_path_in_[1] = sys_.fabric.receiver_share_bps();
+  fabric_cap_in_[0] = sys_.fabric.port_rate(0);
+  fabric_cap_in_[1] = sys_.fabric.receiver_share_bps();
+  for (int h = 0; h < 2; ++h) {
+    dir_wire_cap_[h] = sys_.dir_wire_cap(h);
+  }
+  pps_cap_[0] = sys_.pps_cap();
+  pps_cap_[1] = sys_.pps_cap() / fan_in_;
+  for (int h = 0; h < 2; ++h) {
+    const topo::HostTopology& host = sys_.host_of(h);
+    dram_path_[h].reserve(static_cast<std::size_t>(host.numa_nodes()));
+    for (int n = 0; n < host.numa_nodes(); ++n) {
+      dram_path_[h].push_back(host.path_to_nic({topo::MemKind::kDram, n}));
+    }
+    gpu_path_[h].reserve(host.gpus.size());
+    for (std::size_t g = 0; g < host.gpus.size(); ++g) {
+      gpu_path_[h].push_back(
+          host.path_to_nic({topo::MemKind::kGpu, static_cast<int>(g)}));
+    }
+  }
+}
+
+// ---- EvalScratch ----------------------------------------------------------
+
+struct EvalScratch::Impl {
+  std::vector<Flow> flows;
+  std::vector<Resource> resources;
+  RateArray offered_rate{};
+  RateArray rate{};
+  std::vector<double> demand;
+  std::vector<CounterSample> steady_samples;
+  // Per-port pause bookkeeping (the accounting net::Fabric does, without
+  // re-copying the FabricSpec per probe).
+  std::vector<double> pause_s;
+  std::vector<double> total_s;
+  SimResult result;
+};
+
+EvalScratch::EvalScratch() : impl_(std::make_unique<Impl>()) {}
+EvalScratch::~EvalScratch() = default;
+EvalScratch::EvalScratch(EvalScratch&&) noexcept = default;
+EvalScratch& EvalScratch::operator=(EvalScratch&&) noexcept = default;
+
+// ---- Evaluation core ------------------------------------------------------
+
+// Friend of CompiledScenario and EvalScratch; the single implementation both
+// public evaluate() overloads funnel through.
+struct EvalCore {
+  static void build_model(const CompiledScenario& cs, const Workload& w,
+                          std::vector<Flow>& flows,
+                          std::vector<Resource>& resources);
+  static const SimResult& run(const CompiledScenario& cs, const Workload& w,
+                              Rng& rng, EvalScratch& scratch,
+                              const SimConfig& cfg);
+
+  static topo::DmaPath path(const CompiledScenario& cs, int host,
+                            const topo::MemPlacement& mem) {
+    if (const topo::DmaPath* p = cs.find_path(host, mem)) return *p;
+    return cs.sys_.host_of(host).path_to_nic(mem);
+  }
+  static double path_factor(const CompiledScenario& cs, int host,
+                            const topo::MemPlacement& mem) {
+    return path(cs, host, mem).bandwidth_factor;
+  }
+  static bool crosses_socket(const CompiledScenario& cs, int host,
+                             const topo::MemPlacement& mem) {
+    return path(cs, host, mem).crosses_socket;
+  }
+  static bool via_root_complex(const CompiledScenario& cs, int host,
+                               const topo::MemPlacement& mem) {
+    return path(cs, host, mem).via_root_complex;
+  }
+};
+
 // ---- Resource construction ----------------------------------------------
 
-BuiltModel build_model(const Subsystem& sys, const Workload& w) {
-  BuiltModel m;
+void EvalCore::build_model(const CompiledScenario& cs, const Workload& w,
+                           std::vector<Flow>& flows,
+                           std::vector<Resource>& resources) {
+  const Subsystem& sys = cs.sys_;
+  flows.clear();
+  resources.clear();
   const PatternStats p = analyze_pattern(w);
 
   if (w.loopback) {
@@ -339,36 +576,27 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // 1; the other half are co-located loopback traffic on host 1.
     const double wire_qps = std::max(1.0, std::floor(w.num_qps / 2.0));
     const double loop_qps = std::max(1.0, w.num_qps - wire_qps);
-    m.flows.push_back(make_flow(sys, w, p, 0, 1, 0, wire_qps, false));
-    m.flows.push_back(make_flow(sys, w, p, 1, 1, 1, loop_qps, true));
+    flows.push_back(make_flow(sys, w, p, 0, 1, 0, wire_qps, false));
+    flows.push_back(make_flow(sys, w, p, 1, 1, 1, loop_qps, true));
   } else if (w.opcode == Opcode::kRead) {
     // READ: the initiator posts WQEs; data flows from the responder.
-    m.flows.push_back(make_flow(sys, w, p, 1, 0, 0, w.num_qps, false));
+    flows.push_back(make_flow(sys, w, p, 1, 0, 0, w.num_qps, false));
     if (w.bidirectional) {
-      m.flows.push_back(make_flow(sys, w, p, 0, 1, 1, w.num_qps, false));
+      flows.push_back(make_flow(sys, w, p, 0, 1, 1, w.num_qps, false));
     }
   } else {
-    m.flows.push_back(make_flow(sys, w, p, 0, 1, 0, w.num_qps, false));
+    flows.push_back(make_flow(sys, w, p, 0, 1, 0, w.num_qps, false));
     if (w.bidirectional) {
-      m.flows.push_back(make_flow(sys, w, p, 1, 0, 1, w.num_qps, false));
+      flows.push_back(make_flow(sys, w, p, 1, 0, 1, w.num_qps, false));
     }
   }
 
-  const auto& flows = m.flows;
   const nic::NicModel& nicm = sys.nicm;
   const nic::NicQuirks& q = nicm.q;
-  const double pkt_time_ns = 1e9 / nicm.max_pps;
-  (void)pkt_time_ns;
+  const bool scenario_fabric = cs.scenario_fabric_;
+  const double fan_in = cs.fan_in_;
 
-  // Non-trivial fabrics add switch-port constraints; the paper's identical
-  // pair must keep the seed's resource set bit-for-bit.
-  const bool scenario_fabric = !sys.fabric.trivial_pair(nicm.line_rate_bps);
-  // k identical senders share host B: B-side resources see k times one
-  // sender's demand, and the solver yields the per-sender rate.
-  const double fan_in =
-      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
-
-  auto add = [&m](Resource r) { m.resources.push_back(std::move(r)); };
+  auto add = [&resources](const Resource& r) { resources.push_back(r); };
 
   for (int h = 0; h < 2; ++h) {
     bool tx_here = false;
@@ -384,9 +612,10 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // ---- Wire egress ----
     {
       Resource r;
-      r.name = std::string("wire_out[") + char('A' + h) + "]";
+      r.kind = ResKind::kWireOut;
+      r.host = h;
       r.tag = Bottleneck::kNone;  // wire-limited is the healthy case
-      r.capacity = std::min(nicm.line_rate_bps, sys.fabric.port_rate(h));
+      r.capacity = cs.wire_out_cap_[h];
       for (std::size_t i = 0; i < flows.size(); ++i) {
         if (flows[i].src == h && !flows[i].is_loop) {
           r.coeff[i] = agg * flows[i].wire_bytes_per_msg * 8.0;
@@ -401,12 +630,12 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // congestion: the switch backpressures the senders with PFC.
     if (scenario_fabric && rx_here) {
       Resource r;
-      r.name = std::string("wire_in[") + char('A' + h) + "]";
+      r.kind = ResKind::kWireIn;
+      r.host = h;
       r.tag = Bottleneck::kFabricCongestion;
       r.rx_stall = true;
       r.pause_port = h;
-      r.capacity = h == 1 ? fan_in * sys.fabric.receiver_share_bps()
-                          : sys.fabric.port_rate(0);
+      r.capacity = cs.wire_in_cap_[h];
       for (std::size_t i = 0; i < flows.size(); ++i) {
         if (flows[i].dst == h && !flows[i].is_loop) {
           r.coeff[i] = agg * flows[i].wire_bytes_per_msg * 8.0;
@@ -419,8 +648,9 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     {
       const bool duplex = tx_here && rx_here;
       Resource r;
-      r.name = std::string("engine[") + char('A' + h) + "]";
-      r.capacity = nicm.max_pps * (duplex ? q.bidir_pps_capacity : 1.0);
+      r.kind = ResKind::kEngine;
+      r.host = h;
+      r.capacity = cs.engine_cap_[duplex ? 1 : 0];
       r.pause_port = h;
       double best_component = 0.0;
       r.tag = duplex ? Bottleneck::kBidirPacketProcessing
@@ -466,15 +696,15 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // ---- PCIe read direction (NIC fetches from host memory) ----
     {
       Resource r;
-      r.name = std::string("pcie_rd[") + char('A' + h) + "]";
+      r.kind = ResKind::kPcieRd;
+      r.host = h;
       r.tag = Bottleneck::kPcieBandwidth;
-      r.capacity = pcie::effective_bandwidth_bps(
-          sys.link, sys.link.max_read_request);
+      r.capacity = cs.pcie_rd_cap_;
       for (std::size_t i = 0; i < flows.size(); ++i) {
         const Flow& f = flows[i];
         double bytes = 0.0;
         if (f.src == h) {
-          bytes += f.bytes_per_msg / path_factor(sys, h, f.src_mem);
+          bytes += f.bytes_per_msg / path_factor(cs, h, f.src_mem);
         }
         if (f.initiator == h) {
           bytes += f.wqe_bytes;
@@ -498,7 +728,7 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         if (f.dst == h) {
           load.small_write_rate += f.qps > 0 ? f.smalls_per_msg : 0.0;
           load.large_write_rate += f.larges_per_msg;
-          if (via_root_complex(sys, h, f.dst_mem)) rc_amp = 2.0;
+          if (via_root_complex(cs, h, f.dst_mem)) rc_amp = 2.0;
         }
         if (f.src == h) load.completion_rate += 1.0;
       }
@@ -506,17 +736,17 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
       const double stall = pcie::ordering_stall_fraction(sys.link, load);
 
       Resource r;
-      r.name = std::string("pcie_wr[") + char('A' + h) + "]";
+      r.kind = ResKind::kPcieWr;
+      r.host = h;
       r.rx_stall = true;
       r.pause_port = h;
-      r.capacity = pcie::effective_bandwidth_bps(sys.link, 4096) *
-                   (1.0 - stall);
+      r.capacity = cs.pcie_wr_raw_cap_ * (1.0 - stall);
       double worst_path = 1.0;
       for (std::size_t i = 0; i < flows.size(); ++i) {
         const Flow& f = flows[i];
         double bytes = 0.0;
         if (f.dst == h) {
-          const double pf = path_factor(sys, h, f.dst_mem);
+          const double pf = path_factor(cs, h, f.dst_mem);
           worst_path = std::min(worst_path, pf);
           bytes += f.bytes_per_msg / pf + 64.0;  // data + CQE
         } else if (f.initiator == h) {
@@ -538,8 +768,8 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     {
       bool any_cross = false;
       for (const Flow& f : flows) {
-        if ((f.src == h && crosses_socket(sys, h, f.src_mem)) ||
-            (f.dst == h && crosses_socket(sys, h, f.dst_mem))) {
+        if ((f.src == h && crosses_socket(cs, h, f.src_mem)) ||
+            (f.dst == h && crosses_socket(cs, h, f.dst_mem))) {
           any_cross = true;
         }
       }
@@ -548,21 +778,23 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
         const double quality =
             bidir_cross ? sys.host_of(h).cross_socket_quality : 1.0;
         Resource in;
-        in.name = std::string("xsocket_in[") + char('A' + h) + "]";
+        in.kind = ResKind::kXsocketIn;
+        in.host = h;
         in.tag = Bottleneck::kHostTopologyPath;
         in.rx_stall = true;
         in.pause_port = h;
         in.capacity = sys.host_of(h).cross_socket_bw_bps * quality;
         Resource out;
-        out.name = std::string("xsocket_out[") + char('A' + h) + "]";
+        out.kind = ResKind::kXsocketOut;
+        out.host = h;
         out.tag = Bottleneck::kHostTopologyPath;
         out.capacity = sys.host_of(h).cross_socket_bw_bps * quality;
         for (std::size_t i = 0; i < flows.size(); ++i) {
           const Flow& f = flows[i];
-          if (f.dst == h && crosses_socket(sys, h, f.dst_mem)) {
+          if (f.dst == h && crosses_socket(cs, h, f.dst_mem)) {
             in.coeff[i] = agg * f.bytes_per_msg * 8.0;
           }
-          if (f.src == h && crosses_socket(sys, h, f.src_mem)) {
+          if (f.src == h && crosses_socket(cs, h, f.src_mem)) {
             out.coeff[i] = agg * f.bytes_per_msg * 8.0;
           }
         }
@@ -574,7 +806,8 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // ---- NIC-internal bus (loopback incast, root cause #6) ----
     if (w.loopback && h == 1) {
       Resource r;
-      r.name = "internal_bus[B]";
+      r.kind = ResKind::kInternalBus;
+      r.host = h;
       r.tag = Bottleneck::kNicIncast;
       r.rx_stall = true;
       r.pause_port = h;
@@ -587,7 +820,8 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
       add(r);
       if (q.loopback_rate_limiter) {
         Resource lim;
-        lim.name = "loopback_limiter[B]";
+        lim.kind = ResKind::kLoopbackLimiter;
+        lim.host = h;
         lim.tag = Bottleneck::kNone;
         // The limiter must leave PCIe-write headroom even on gen3 slots.
         lim.capacity = nicm.line_rate_bps * 0.15;
@@ -603,8 +837,9 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
     // ---- ICM fetch engine (QPC/MTT cache-miss service) ----
     {
       Resource r;
-      r.name = std::string("icm_fetch[") + char('A' + h) + "]";
-      r.capacity = nicm.icm_fetch_per_s;
+      r.kind = ResKind::kIcmFetch;
+      r.host = h;
+      r.capacity = cs.icm_fetch_cap_;
       double qpc_total = 0.0;
       double mtt_total = 0.0;
       for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -625,51 +860,14 @@ BuiltModel build_model(const Subsystem& sys, const Workload& w) {
   for (std::size_t i = 0; i < flows.size(); ++i) {
     if (flows[i].sender_cap_msgs < 1e17) {
       Resource r;
-      r.name = "tx_scheduler_quirk";
+      r.kind = ResKind::kTxQuirk;
       r.tag = Bottleneck::kMtuSchedulerQuirk;
       r.capacity = flows[i].sender_cap_msgs;
       r.coeff[i] = 1.0;
       add(r);
     }
   }
-
-  return m;
 }
-
-// ---- Solver ---------------------------------------------------------------
-
-// Proportionally scale flows until no resource exceeds capacity.  Returns
-// the index of the most-binding resource (or -1 if nothing binds).
-int solve(BuiltModel& model, bool include_rx_stall) {
-  auto& flows = model.flows;
-  // Initialize optimistically: each flow alone at line-rate-equivalent.
-  for (Flow& f : flows) {
-    f.rate = 1e14 / std::max(f.wire_bytes_per_msg, 1.0);
-  }
-  int binding = -1;
-  for (int iter = 0; iter < 200; ++iter) {
-    double worst = 1.0 + 1e-9;
-    int worst_idx = -1;
-    for (std::size_t ri = 0; ri < model.resources.size(); ++ri) {
-      const Resource& r = model.resources[ri];
-      if (!include_rx_stall && r.rx_stall) continue;
-      const double u = r.utilization(flows);
-      if (u > worst) {
-        worst = u;
-        worst_idx = static_cast<int>(ri);
-      }
-    }
-    if (worst_idx < 0) break;
-    binding = worst_idx;
-    const Resource& r = model.resources[static_cast<std::size_t>(worst_idx)];
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      if (r.coeff[i] > 0.0) flows[i].rate /= worst;
-    }
-  }
-  return binding;
-}
-
-}  // namespace
 
 double experiment_cost_seconds(const Workload& w) {
   const double qp_cost =
@@ -680,29 +878,36 @@ double experiment_cost_seconds(const Workload& w) {
   return std::clamp(20.0 + qp_cost + mr_cost, 20.0, 60.0);
 }
 
-SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
-                   const SimConfig& cfg) {
+const SimResult& EvalCore::run(const CompiledScenario& cs, const Workload& w,
+                               Rng& rng, EvalScratch& scratch,
+                               const SimConfig& cfg) {
   assert(w.valid());
-  SimResult out;
+  const Subsystem& sys = cs.sys_;
+  EvalScratch::Impl& s = *scratch.impl_;
+  SimResult& out = s.result;
+  reset_result(out);
+
+  // One model build serves both solver passes: the uncompiled path built two
+  // bit-identical models, one per pass.
+  build_model(cs, w, s.flows, s.resources);
+  const std::vector<Flow>& flows = s.flows;
+  const std::vector<Resource>& resources = s.resources;
 
   // Pass 1: sender-side and wire constraints only -> what the senders put
   // on the wire before receive-side stalls throttle them via PFC.
-  BuiltModel offered_model = build_model(sys, w);
-  solve(offered_model, /*include_rx_stall=*/false);
+  solve(flows, resources, /*include_rx_stall=*/false, s.offered_rate,
+        s.demand);
+  const RateArray& offered_rate = s.offered_rate;
 
   // Pass 2: the full system.
-  BuiltModel model = build_model(sys, w);
-  const int binding = solve(model, /*include_rx_stall=*/true);
-
-  auto& flows = model.flows;
-  const auto& offered = offered_model.flows;
+  const int binding =
+      solve(flows, resources, /*include_rx_stall=*/true, s.rate, s.demand);
+  RateArray& rate = s.rate;
 
   // Scenario fabrics lower the achievable bounds and add fabric-attributed
   // pause; the paper's identical pair keeps the seed behaviour bit-for-bit.
-  const bool scenario_fabric =
-      !sys.fabric.trivial_pair(sys.nicm.line_rate_bps);
-  const double fan_in =
-      scenario_fabric ? std::max(sys.fabric.fan_in, 1) : 1;
+  const bool scenario_fabric = cs.scenario_fabric_;
+  const double fan_in = cs.fan_in_;
 
   // ---- Pause-accounting inputs ----
   // Receivers whose binding rx-stall resources reduced the admitted rate
@@ -717,8 +922,8 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
       // the switch port; it only steals drain capacity.
       continue;
     }
-    arrival_bps[h] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
-    drain_bps[h] += f.rate * f.wire_bytes_per_msg * 8.0;
+    arrival_bps[h] += offered_rate[i] * f.wire_bytes_per_msg * 8.0;
+    drain_bps[h] += rate[i] * f.wire_bytes_per_msg * 8.0;
   }
 
   // ---- Congestion control (DCQCN reaction point vs switch ECN) ----
@@ -735,9 +940,6 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     nic::DcqcnParams prm = sys.cc;
     prm.rate_ai_bps = mbps(w.dcqcn_rate_ai_mbps);
     prm.g = w.dcqcn_g;
-    const double path_in[2] = {
-        std::min(sys.fabric.port_rate(0), sys.nicm.line_rate_bps),
-        sys.fabric.receiver_share_bps()};
     for (int h = 0; h < 2; ++h) {
       if (arrival_bps[h] <= 0.0) continue;
       // The ECN queue toward this port drains at the end-to-end admitted
@@ -745,15 +947,16 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
       // actually drains — a stalled NIC backpressures the switch with
       // PFC, so the switch queue sees NIC-side congestion too.  This is
       // exactly how congestion control can *mask* a subsystem stall.
-      const double ecn_drain = std::min(
-          path_in[h], drain_bps[h] > 0.0 ? drain_bps[h] : path_in[h]);
+      const double ecn_drain =
+          std::min(cs.cc_path_in_[h],
+                   drain_bps[h] > 0.0 ? drain_bps[h] : cs.cc_path_in_[h]);
       double pkts = 0.0;
       double wire_bytes = 0.0;
       double cc_flows = 0.0;
       for (std::size_t i = 0; i < flows.size(); ++i) {
         if (flows[i].dst != h || flows[i].is_loop) continue;
-        pkts += offered[i].rate * offered[i].pkts_per_msg;
-        wire_bytes += offered[i].rate * offered[i].wire_bytes_per_msg;
+        pkts += offered_rate[i] * flows[i].pkts_per_msg;
+        wire_bytes += offered_rate[i] * flows[i].wire_bytes_per_msg;
         cc_flows += flows[i].qps;
       }
       const double pkt_bytes = pkts > 0.0 ? wire_bytes / pkts : 4096.0;
@@ -772,7 +975,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         const double scale = ss.rate_bps / drain_bps[h];
         for (std::size_t i = 0; i < flows.size(); ++i) {
           if (flows[i].dst == h && !flows[i].is_loop) {
-            flows[i].rate *= scale;
+            rate[i] *= scale;
           }
         }
         drain_bps[h] = ss.rate_bps;
@@ -790,12 +993,12 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     const Flow& f = flows[i];
     if (f.is_loop) continue;
     const int d = f.dst == 1 ? 0 : 1;  // direction index: 0 = A->B
-    dir_wire[d] += f.rate * f.wire_bytes_per_msg * 8.0;
-    dir_offered[d] += offered[i].rate * offered[i].wire_bytes_per_msg * 8.0;
-    dir_goodput[d] += f.rate * f.bytes_per_msg * 8.0;
+    dir_wire[d] += rate[i] * f.wire_bytes_per_msg * 8.0;
+    dir_offered[d] += offered_rate[i] * f.wire_bytes_per_msg * 8.0;
+    dir_goodput[d] += rate[i] * f.bytes_per_msg * 8.0;
     dir_delivered[d] +=
-        f.rate * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
-    dir_pps[d] += f.rate * f.pkts_per_msg;
+        rate[i] * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
+    dir_pps[d] += rate[i] * f.pkts_per_msg;
   }
   out.tx_wire_bps = dir_wire[0];
   out.rx_wire_bps = dir_wire[1] > 0 ? dir_wire[1] : dir_wire[0];
@@ -819,7 +1022,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
                            : 1.0);
     // Direction 0 lands in host 1 and vice versa.  A zero-capacity
     // direction (dead port) can deliver nothing and bounds nothing.
-    const double cap = sys.dir_wire_cap(d == 0 ? 1 : 0);
+    const double cap = cs.dir_wire_cap_[d == 0 ? 1 : 0];
     if (cap <= 0.0) continue;
     wire_util = std::max(wire_util, deliv_wire / cap);
   }
@@ -829,12 +1032,12 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     for (std::size_t i = 0; i < flows.size(); ++i) {
       const Flow& f = flows[i];
       if (f.src == h || f.dst == h) {
-        host_pps += f.rate * (1.0 - f.steady_loss) * f.pkts_per_msg;
+        host_pps += rate[i] * (1.0 - f.steady_loss) * f.pkts_per_msg;
       }
     }
     // Host B's packet engine is split across the fan-in senders; the fair
     // per-sender bound is 1/k of the spec.
-    const double cap = h == 1 ? sys.pps_cap() / fan_in : sys.pps_cap();
+    const double cap = cs.pps_cap_[h];
     pps_util = std::max(pps_util, host_pps / cap);
   }
   out.wire_utilization = wire_util;
@@ -856,21 +1059,20 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   // against the switch-path capacity, before any NIC-internal receive limit.
   // The monitor treats this share as *expected* congestion, not an anomaly.
   if (scenario_fabric) {
-    const double cap_in[2] = {sys.fabric.port_rate(0),
-                              sys.fabric.receiver_share_bps()};
     for (int h = 0; h < 2; ++h) {
-      if (arrival_bps[h] > cap_in[h] && arrival_bps[h] > 0.0) {
-        out.fabric_pause_ratio = std::max(
-            out.fabric_pause_ratio, 1.0 - cap_in[h] / arrival_bps[h]);
+      if (arrival_bps[h] > cs.fabric_cap_in_[h] && arrival_bps[h] > 0.0) {
+        out.fabric_pause_ratio =
+            std::max(out.fabric_pause_ratio,
+                     1.0 - cs.fabric_cap_in_[h] / arrival_bps[h]);
       }
     }
   }
 
   if (binding >= 0) {
-    const Resource& b = model.resources[static_cast<std::size_t>(binding)];
-    if (b.utilization(flows) > 0.999 && b.tag != Bottleneck::kNone) {
+    const Resource& b = resources[static_cast<std::size_t>(binding)];
+    if (b.utilization(flows, rate) > 0.999 && b.tag != Bottleneck::kNone) {
       out.dominant = b.tag;
-      out.bottleneck_note = b.name;
+      assign_name(out.bottleneck_note, b.kind, b.host);
     }
   }
   // Steady receive-WQE misses dominate when nothing else binds but
@@ -879,7 +1081,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     for (const Flow& f : flows) {
       if (f.steady_loss > 0.05) {
         out.dominant = Bottleneck::kRwqeSteadyMiss;
-        out.bottleneck_note = "rwqe_steady_miss";
+        out.bottleneck_note.assign("rwqe_steady_miss");
         break;
       }
     }
@@ -889,7 +1091,7 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   // resource under capacity, so the binding check above cannot see it.
   if (cc_leaves_capacity_idle) {
     out.dominant = Bottleneck::kCcThrottled;
-    out.bottleneck_note = "dcqcn_rate_limiter";
+    out.bottleneck_note.assign("dcqcn_rate_limiter");
   }
 
   // ---- Epoch rollout ----
@@ -904,9 +1106,12 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
   double pause_time = 0.0;
   // Per-port pause bookkeeping across the whole fabric.  The headline
   // pause_duration_ratio keeps the seed's accounting (worst port per epoch,
-  // averaged over post-warmup epochs); the fabric tracks each port.
-  net::Fabric fabric(sys.fabric);
-  std::vector<CounterSample> steady_samples;
+  // averaged over post-warmup epochs); scratch-owned per-port accumulators
+  // track each port (the arithmetic net::Fabric::record_pause performs).
+  const int num_ports = sys.fabric.num_ports();
+  s.pause_s.assign(static_cast<std::size_t>(num_ports), 0.0);
+  s.total_s.assign(static_cast<std::size_t>(num_ports), 0.0);
+  s.steady_samples.clear();
 
   // Pre-compute steady counter values (per second).
   CounterSample base;
@@ -922,27 +1127,29 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     double incast = 0.0;
     double ack_load = 0.0;
     double tracker = 0.0;
-    for (const Flow& f : flows) {
-      tx_good += f.rate * f.bytes_per_msg * 8.0;
-      rx_good += f.rate * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
-      tx_pps += f.rate * f.pkts_per_msg;
-      rx_pps += f.rate * (1.0 - f.steady_loss) * f.pkts_per_msg;
-      rwqe_miss += f.rate * (f.steady_miss + f.burst_miss);
-      qpc_miss += f.rate * f.qpc_miss_exposed;
-      mtt_miss += f.rate * f.mtt_miss_exposed;
-      ack_load += f.rate * f.acks_per_msg;
-      tracker += f.rate * f.tracker_stall_pkts + f.tracker_pressure * 1e6;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const Flow& f = flows[i];
+      tx_good += rate[i] * f.bytes_per_msg * 8.0;
+      rx_good += rate[i] * (1.0 - f.steady_loss) * f.bytes_per_msg * 8.0;
+      tx_pps += rate[i] * f.pkts_per_msg;
+      rx_pps += rate[i] * (1.0 - f.steady_loss) * f.pkts_per_msg;
+      rwqe_miss += rate[i] * (f.steady_miss + f.burst_miss);
+      qpc_miss += rate[i] * f.qpc_miss_exposed;
+      mtt_miss += rate[i] * f.mtt_miss_exposed;
+      ack_load += rate[i] * f.acks_per_msg;
+      tracker += rate[i] * f.tracker_stall_pkts + f.tracker_pressure * 1e6;
     }
     // Diagnostic counters expose *smooth* load signals — they move before
     // end-to-end performance does (the property §5.1/§7.2 builds on).
     double pcie_bp = 0.0;
     double engine_excess = 0.0;
-    for (const Resource& r : model.resources) {
-      const double u = r.utilization(flows);
-      if (r.name.rfind("pcie_", 0) == 0) {
+    for (std::size_t ri = 0; ri < resources.size(); ++ri) {
+      const Resource& r = resources[ri];
+      const double u = r.utilization(flows, rate);
+      if (r.kind == ResKind::kPcieRd || r.kind == ResKind::kPcieWr) {
         pcie_bp += u * 1e6 + std::max(0.0, u - 0.8) * 5e6;
       }
-      if (r.name.rfind("engine", 0) == 0) {
+      if (r.kind == ResKind::kEngine) {
         engine_excess += u * 1e6 + std::max(0.0, u - 0.8) * 1e7;
       }
       if (r.tag == Bottleneck::kPcieOrdering) {
@@ -976,7 +1183,8 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
         warm ? (e + 1.0) / (cfg.warmup_epochs + 1.0) : 1.0;
     const double jit = std::max(0.2, rng.normal(1.0, cfg.jitter));
 
-    EpochSample es;
+    out.epochs.emplace_back();
+    EpochSample& es = out.epochs.back();
     es.t = (e + 1) * cfg.epoch_dt;
     for (int i = 0; i < kNumPerfCounters; ++i) {
       es.counters.perf[static_cast<std::size_t>(i)] =
@@ -1017,23 +1225,38 @@ SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
     if (!warm) {
       pause_accum += worst_pause * cfg.epoch_dt;
       pause_time += cfg.epoch_dt;
-      steady_samples.push_back(es.counters);
+      s.steady_samples.push_back(es.counters);
       // Every fan-in sender mirrors host A's port by symmetry.
-      for (int p = 0; p < fabric.num_ports(); ++p) {
-        fabric.record_pause(p, cfg.epoch_dt, host_duty[p == 1 ? 1 : 0]);
+      for (int p = 0; p < num_ports; ++p) {
+        s.pause_s[static_cast<std::size_t>(p)] +=
+            cfg.epoch_dt * host_duty[p == 1 ? 1 : 0];
+        s.total_s[static_cast<std::size_t>(p)] += cfg.epoch_dt;
       }
     }
-    out.epochs.push_back(std::move(es));
   }
 
   out.pause_duration_ratio = pause_time > 0 ? pause_accum / pause_time : 0.0;
-  out.port_pause_ratio.resize(static_cast<std::size_t>(fabric.num_ports()));
-  for (int p = 0; p < fabric.num_ports(); ++p) {
+  out.port_pause_ratio.resize(static_cast<std::size_t>(num_ports));
+  for (int p = 0; p < num_ports; ++p) {
+    const double t = s.total_s[static_cast<std::size_t>(p)];
     out.port_pause_ratio[static_cast<std::size_t>(p)] =
-        fabric.pause_duration_ratio(p);
+        t > 0.0 ? s.pause_s[static_cast<std::size_t>(p)] / t : 0.0;
   }
-  out.counters = CounterSample::average(steady_samples);
+  out.counters = CounterSample::average(s.steady_samples);
   return out;
+}
+
+SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
+                   const SimConfig& cfg) {
+  const CompiledScenario compiled(sys);
+  EvalScratch scratch;
+  return EvalCore::run(compiled, w, rng, scratch, cfg);
+}
+
+const SimResult& evaluate(const CompiledScenario& scenario, const Workload& w,
+                          Rng& rng, EvalScratch& scratch,
+                          const SimConfig& cfg) {
+  return EvalCore::run(scenario, w, rng, scratch, cfg);
 }
 
 }  // namespace collie::sim

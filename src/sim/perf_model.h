@@ -12,6 +12,7 @@
 //   * anticipated receive misses -> drops/RNR -> reduced throughput only
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "sim/counters.h"
 #include "sim/subsystem.h"
 #include "sim/workload.h"
+#include "topo/host_topology.h"
 
 namespace collie::sim {
 
@@ -100,8 +102,94 @@ struct SimResult {
   std::string bottleneck_note;
 };
 
+// ---- Evaluation hot path --------------------------------------------------
+//
+// One probe of the search loop is one evaluate() call, so its cost bounds
+// campaign throughput.  The hot path splits the work:
+//
+//   * CompiledScenario precompiles everything that depends only on the
+//     (Subsystem x FabricSpec x CcScenario) cell — port-rate tables, fabric
+//     ingress capacities, PCIe effective bandwidths, DMA-path lookups per
+//     memory placement, ECN/DCQCN parameters — once per cell.  The object is
+//     immutable after construction and safe to share across threads.
+//   * EvalScratch owns every buffer a single evaluation needs (flow and
+//     resource tables, solver demand caches, epoch samples, the SimResult
+//     itself).  Reusing one scratch across probes makes the steady state
+//     allocation-free.  A scratch is single-owner state: never share one
+//     across threads, and the returned SimResult reference is valid only
+//     until the next evaluate() into the same scratch.
+//
+// The compiled overload is bit-for-bit identical to the uncompiled
+// evaluate() below for every (subsystem, workload, rng, config) — the
+// golden-row and trajectory tests pin this.
+
+class CompiledScenario {
+ public:
+  explicit CompiledScenario(const Subsystem& sys);
+
+  const Subsystem& subsystem() const { return sys_; }
+
+ private:
+  friend struct EvalCore;
+
+  Subsystem sys_;
+  // Scenario-level constants hoisted out of the per-probe path.  Every value
+  // is the result of exactly the expression the uncompiled path evaluates,
+  // so reusing them cannot move a bit.
+  bool scenario_fabric_ = false;
+  double fan_in_ = 1.0;
+  double wire_out_cap_[2] = {0.0, 0.0};
+  double wire_in_cap_[2] = {0.0, 0.0};
+  double engine_cap_[2] = {0.0, 0.0};  // [duplex]
+  double pcie_rd_cap_ = 0.0;
+  double pcie_wr_raw_cap_ = 0.0;  // before the per-workload ordering stall
+  double icm_fetch_cap_ = 0.0;
+  double cc_path_in_[2] = {0.0, 0.0};
+  double fabric_cap_in_[2] = {0.0, 0.0};
+  double dir_wire_cap_[2] = {0.0, 0.0};
+  double pps_cap_[2] = {0.0, 0.0};  // [host]; host B divides by fan-in
+  // Resolved DMA paths per host and placement (kDram by NUMA node, kGpu by
+  // ordinal).  Placements outside the table fall back to a live lookup.
+  std::vector<topo::DmaPath> dram_path_[2];
+  std::vector<topo::DmaPath> gpu_path_[2];
+
+  const topo::DmaPath* find_path(int host, const topo::MemPlacement& mem)
+      const {
+    const auto& tab =
+        mem.kind == topo::MemKind::kGpu ? gpu_path_[host] : dram_path_[host];
+    if (mem.index < 0 || static_cast<std::size_t>(mem.index) >= tab.size()) {
+      return nullptr;
+    }
+    return &tab[static_cast<std::size_t>(mem.index)];
+  }
+};
+
+class EvalScratch {
+ public:
+  EvalScratch();
+  ~EvalScratch();
+  EvalScratch(EvalScratch&&) noexcept;
+  EvalScratch& operator=(EvalScratch&&) noexcept;
+  EvalScratch(const EvalScratch&) = delete;
+  EvalScratch& operator=(const EvalScratch&) = delete;
+
+ private:
+  friend struct EvalCore;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The uncompiled path: compiles the scenario and allocates fresh scratch on
+// every call.  Kept (and exercised by tests) as the reference semantics of
+// the hot path below.
 SimResult evaluate(const Subsystem& sys, const Workload& w, Rng& rng,
                    const SimConfig& cfg = {});
+
+// The hot path: zero heap allocations once `scratch` is warm.  Returns a
+// reference into `scratch`, valid until the next evaluate() with it.
+const SimResult& evaluate(const CompiledScenario& scenario, const Workload& w,
+                          Rng& rng, EvalScratch& scratch,
+                          const SimConfig& cfg = {});
 
 // Duration one such experiment would take on real hardware: 20-60 s, mostly
 // a function of how many QPs and MRs must be set up (§5, §6).  The search

@@ -84,7 +84,7 @@ bool setup_host(HostState& h, verbs::Network& net, const Workload& w,
 }  // namespace
 
 Engine::Engine(const sim::Subsystem& sys, EngineOptions opts)
-    : sys_(sys), opts_(std::move(opts)) {}
+    : sys_(sys), opts_(std::move(opts)), compiled_(sys_) {}
 
 bool Engine::validate_functional(const Workload& w, std::string* error) const {
   std::string local_err;
@@ -236,6 +236,12 @@ bool Engine::validate_functional(const Workload& w, std::string* error) const {
 }
 
 Measurement Engine::run(const Workload& w, Rng& rng) const {
+  sim::EvalScratch scratch;
+  return run(w, rng, scratch);
+}
+
+Measurement Engine::run(const Workload& w, Rng& rng,
+                        sim::EvalScratch& scratch) const {
   Measurement m;
   m.cost_seconds = sim::experiment_cost_seconds(w);
 
@@ -250,9 +256,18 @@ Measurement Engine::run(const Workload& w, Rng& rng) const {
   }
 
   // Measure; re-measure once if the four samples disagree (§6: the monitor
-  // "first decides whether the traffic is stable").
+  // "first decides whether the traffic is stable").  Both evaluate paths
+  // are bit-for-bit identical; the compiled one reuses the caller's scratch
+  // instead of rebuilding the scenario per probe.
+  sim::SimResult uncompiled;
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const sim::SimResult r = sim::evaluate(sys_, w, rng, opts_.sim);
+    if (!opts_.use_compiled) {
+      uncompiled = sim::evaluate(sys_, w, rng, opts_.sim);
+    }
+    const sim::SimResult& r =
+        opts_.use_compiled ? sim::evaluate(compiled_, w, rng, scratch,
+                                           opts_.sim)
+                           : uncompiled;
     // Four counter fetches at one-second spacing, i.e. evenly across the
     // post-warmup epochs.
     m.samples.clear();
@@ -271,7 +286,7 @@ Measurement Engine::run(const Workload& w, Rng& rng) const {
     m.rx_goodput_bps = r.rx_goodput_bps;
     m.dominant = r.dominant;
     m.bottleneck_note = r.bottleneck_note;
-    m.epochs = r.epochs;
+    if (opts_.keep_epochs) m.epochs = r.epochs;
 
     // Stability: coefficient of variation of delivered goodput across the
     // four samples.

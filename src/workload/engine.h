@@ -67,6 +67,15 @@ struct EngineOptions {
   int functional_max_qps = 8;
   int functional_max_mrs = 8;
   bool run_functional_pass = true;
+  // Evaluate through the scenario compiled once at engine construction (the
+  // hot path).  False forces the uncompiled per-call path — kept so the
+  // trajectory-pinning tests can compare the two bit-for-bit.
+  bool use_compiled = true;
+  // Copy the full epoch series into each Measurement.  Search drivers never
+  // read it (only the four counter samples and the aggregates), so the
+  // campaign turns this off to keep the probe loop copy-free; interactive
+  // tools (anomaly_explorer) keep the default.
+  bool keep_epochs = true;
   sim::SimConfig sim;
 };
 
@@ -75,9 +84,15 @@ class Engine {
   explicit Engine(const sim::Subsystem& sys, EngineOptions opts = {});
 
   const sim::Subsystem& subsystem() const { return sys_; }
+  const sim::CompiledScenario& compiled() const { return compiled_; }
 
-  // Run one experiment.  The workload must be valid.
+  // Run one experiment.  The workload must be valid.  The scratch overload
+  // reuses the caller's evaluation buffers across probes (the search
+  // drivers own one scratch per run); the plain overload allocates fresh
+  // scratch per call.  A scratch must not be shared across threads.
   Measurement run(const Workload& w, Rng& rng) const;
+  Measurement run(const Workload& w, Rng& rng,
+                  sim::EvalScratch& scratch) const;
 
   // The functional pass alone; returns false with a reason if the workload
   // cannot be expressed as a legal verbs program or data verification fails.
@@ -86,6 +101,7 @@ class Engine {
  private:
   sim::Subsystem sys_;
   EngineOptions opts_;
+  sim::CompiledScenario compiled_;
 };
 
 }  // namespace collie::workload

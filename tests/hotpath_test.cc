@@ -1,0 +1,247 @@
+// Evaluation hot path: zero steady-state allocations and scratch-reuse
+// correctness.
+//
+// The compiled evaluate() overload promises that once an EvalScratch is
+// warm, probing allocates nothing — the property the campaign's probe
+// throughput rests on.  This binary counts every global operator new to pin
+// it, across the workload shapes that exercise every conditional resource
+// (anomalous, loopback/incast, scenario fabrics, armed congestion control),
+// and pins that one scratch reused across scenarios and workloads answers
+// bit-for-bit like a fresh evaluation each time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "catalog/anomalies.h"
+#include "core/mfs_store.h"
+#include "core/space.h"
+#include "nic/dcqcn.h"
+#include "sim/perf_model.h"
+#include "sim/subsystem.h"
+
+// ---- Global allocation counter --------------------------------------------
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) -
+                                         1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace collie::sim {
+namespace {
+
+template <typename Fn>
+long count_allocations(Fn&& fn) {
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+Workload clean_write() {
+  Workload w;
+  w.qp_type = QpType::kRC;
+  w.opcode = Opcode::kWrite;
+  w.num_qps = 8;
+  w.wqe_batch = 8;
+  w.mr_size = 1 * MiB;
+  w.pattern = {64 * KiB};
+  w.mtu = 4096;
+  return w;
+}
+
+// Workload shapes covering every conditional resource in build_model:
+// healthy, ICM-miss-bound, READ small-MTU, loopback incast, bidirectional
+// ordering hazard, and a CC-armed DCQCN sender.
+std::vector<Workload> hot_workloads() {
+  std::vector<Workload> ws;
+  ws.push_back(clean_write());
+  ws.push_back(catalog::anomaly(1).concrete);
+  ws.push_back(catalog::anomaly(9).concrete);
+  ws.push_back(catalog::anomaly(13).concrete);
+  Workload cc = clean_write();
+  cc.dcqcn = true;
+  cc.dcqcn_rate_ai_mbps = 40.0;
+  ws.push_back(cc);
+  return ws;
+}
+
+TEST(HotPathAllocation, SteadyStateEvaluateAllocatesNothing) {
+  const std::vector<Workload> ws = hot_workloads();
+  for (const char sys_id : {'F', 'H'}) {
+    for (const char* fabric : {"pair", "fanin4"}) {
+      const Subsystem sys = with_cc(
+          with_fabric(subsystem(sys_id), net::fabric_scenario(fabric)),
+          nic::cc_scenario("dcqcn"));
+      const CompiledScenario compiled(sys);
+      EvalScratch scratch;
+      Rng rng(7);
+      // Warm: first probes size every reusable buffer (flow/resource
+      // tables, epoch vectors, the note string) to this scenario's shape.
+      for (const Workload& w : ws) {
+        (void)evaluate(compiled, w, rng, scratch);
+        (void)evaluate(compiled, w, rng, scratch);
+      }
+      for (const Workload& w : ws) {
+        const long allocs = count_allocations([&] {
+          for (int i = 0; i < 20; ++i) {
+            (void)evaluate(compiled, w, rng, scratch);
+          }
+        });
+        EXPECT_EQ(allocs, 0)
+            << sys_id << "@" << fabric << " " << w.describe();
+      }
+    }
+  }
+}
+
+TEST(HotPathAllocation, IndexedCoversAllocatesNothingOnceWarm) {
+  const Subsystem& sys = subsystem('F');
+  core::SearchSpace space(sys);
+  core::LocalMfsStore store;
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    const Workload wit = space.random_point(rng);
+    core::Mfs m;
+    m.symptom = core::Symptom::kPauseFrames;
+    m.witness = wit;
+    for (core::Feature f :
+         {core::Feature::kNumQps, core::Feature::kWqeBatch,
+          core::Feature::kMsgSize}) {
+      core::FeatureCondition c;
+      c.feature = f;
+      c.categorical = false;
+      const double v = std::max(1.0, space.numeric_value(wit, f));
+      c.lo = v / 4.0;
+      c.hi = v * 4.0;
+      m.conditions.push_back(std::move(c));
+    }
+    core::FeatureCondition qp;
+    qp.feature = core::Feature::kQpType;
+    qp.categorical = true;
+    qp.allowed = {space.categorical_value(wit, core::Feature::kQpType)};
+    m.conditions.push_back(std::move(qp));
+    store.insert(space, std::move(m));
+  }
+  std::vector<Workload> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(space.random_point(rng));
+  // Warm the thread-local query mask.
+  for (const Workload& w : queries) (void)store.covers(space, w);
+  const long allocs = count_allocations([&] {
+    for (int rep = 0; rep < 10; ++rep) {
+      for (const Workload& w : queries) {
+        (void)store.covers(space, w);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(HotPathScratch, ReuseAcrossScenariosMatchesFreshEvaluationBitForBit) {
+  // One scratch dragged across scenarios and workload shapes must never
+  // leak state: every call equals an uncompiled fresh-scratch evaluation,
+  // field for field, and leaves the caller's RNG at the same position.
+  const std::vector<Workload> ws = hot_workloads();
+  EvalScratch reused;
+  for (const char* fabric : {"fanin4", "pair", "hetero"}) {
+    for (const char sys_id : {'B', 'F', 'H'}) {
+      const Subsystem sys = with_cc(
+          with_fabric(subsystem(sys_id), net::fabric_scenario(fabric)),
+          nic::cc_scenario("dcqcn"));
+      const CompiledScenario compiled(sys);
+      for (const Workload& w : ws) {
+        Rng fresh_rng(11);
+        Rng hot_rng(11);
+        const SimResult fresh = evaluate(sys, w, fresh_rng);
+        const SimResult& hot = evaluate(compiled, w, hot_rng, reused);
+        EXPECT_EQ(fresh.tx_goodput_bps, hot.tx_goodput_bps);
+        EXPECT_EQ(fresh.rx_goodput_bps, hot.rx_goodput_bps);
+        EXPECT_EQ(fresh.tx_wire_bps, hot.tx_wire_bps);
+        EXPECT_EQ(fresh.rx_wire_bps, hot.rx_wire_bps);
+        EXPECT_EQ(fresh.tx_pps, hot.tx_pps);
+        EXPECT_EQ(fresh.rx_pps, hot.rx_pps);
+        EXPECT_EQ(fresh.pause_duration_ratio, hot.pause_duration_ratio);
+        EXPECT_EQ(fresh.fabric_pause_ratio, hot.fabric_pause_ratio);
+        EXPECT_EQ(fresh.cc_suppressed_ratio, hot.cc_suppressed_ratio);
+        EXPECT_EQ(fresh.cc_mark_probability, hot.cc_mark_probability);
+        EXPECT_EQ(fresh.wire_utilization, hot.wire_utilization);
+        EXPECT_EQ(fresh.pps_utilization, hot.pps_utilization);
+        EXPECT_EQ(fresh.dominant, hot.dominant);
+        EXPECT_EQ(fresh.bottleneck_note, hot.bottleneck_note);
+        ASSERT_EQ(fresh.port_pause_ratio.size(), hot.port_pause_ratio.size());
+        for (std::size_t p = 0; p < fresh.port_pause_ratio.size(); ++p) {
+          EXPECT_EQ(fresh.port_pause_ratio[p], hot.port_pause_ratio[p]);
+        }
+        ASSERT_EQ(fresh.epochs.size(), hot.epochs.size());
+        for (std::size_t e = 0; e < fresh.epochs.size(); ++e) {
+          EXPECT_EQ(fresh.epochs[e].t, hot.epochs[e].t);
+          EXPECT_EQ(fresh.epochs[e].pause_fraction,
+                    hot.epochs[e].pause_fraction);
+          EXPECT_EQ(fresh.epochs[e].counters.perf, hot.epochs[e].counters.perf);
+          EXPECT_EQ(fresh.epochs[e].counters.diag, hot.epochs[e].counters.diag);
+        }
+        EXPECT_EQ(fresh.counters.perf, hot.counters.perf);
+        EXPECT_EQ(fresh.counters.diag, hot.counters.diag);
+        EXPECT_EQ(fresh_rng.next_u64(), hot_rng.next_u64());
+      }
+    }
+  }
+}
+
+TEST(HotPathScratch, ResultReferenceIsInvalidatedNotCorrupted) {
+  // The returned reference aliases the scratch: the next call overwrites
+  // it.  Copying before the next call must preserve the first result.
+  const Subsystem& sys = subsystem('F');
+  const CompiledScenario compiled(sys);
+  EvalScratch scratch;
+  Rng rng(5);
+  const SimResult first = evaluate(compiled, clean_write(), rng, scratch);
+  Workload other = catalog::anomaly(1).concrete;
+  const SimResult& second = evaluate(compiled, other, rng, scratch);
+  EXPECT_NE(first.rx_goodput_bps, second.rx_goodput_bps);
+}
+
+}  // namespace
+}  // namespace collie::sim

@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "core/mfs.h"
+#include "core/mfs_index.h"
+#include "core/mfs_store.h"
 #include "sim/subsystem.h"
 
 namespace collie::core {
@@ -159,6 +161,194 @@ TEST_F(MfsTest, ConditionContains) {
   EXPECT_TRUE(c.contains(space_, w));
   w.num_qps = 50;
   EXPECT_FALSE(c.contains(space_, w));
+}
+
+// ---- MatchMFS index equivalence -------------------------------------------
+//
+// The per-feature index must answer exactly like the linear scan, entry
+// position included (first-cover semantics drive hit provenance in the
+// concurrent pool).  Fuzz adversarial condition sets: empty allowed lists,
+// one-sided and infinite ranges, duplicate conditions on one feature,
+// condition-free entries, and tolerance-boundary values.
+
+Mfs fuzz_mfs(const SearchSpace& space, Rng& rng) {
+  Mfs m;
+  m.symptom = rng.bernoulli(0.5) ? Symptom::kPauseFrames
+                                 : Symptom::kLowThroughput;
+  m.witness = space.random_point(rng);
+  const int n_conditions = static_cast<int>(rng.uniform_int(0, 6));
+  for (int ci = 0; ci < n_conditions; ++ci) {
+    const Feature f =
+        static_cast<Feature>(rng.uniform_int(0, kNumFeatures - 1));
+    FeatureCondition c;
+    c.feature = f;
+    c.categorical = is_categorical(f);
+    if (c.categorical) {
+      const auto alts = space.categorical_alternatives(f);
+      for (const int a : alts) {
+        if (rng.bernoulli(0.5)) c.allowed.push_back(a);
+      }
+      // Occasionally empty (matches nothing) or with duplicates.
+      if (!c.allowed.empty() && rng.bernoulli(0.3)) {
+        c.allowed.push_back(c.allowed.front());
+      }
+    } else {
+      const double v = std::max(1.0, space.numeric_value(m.witness, f));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          c.lo = v / 4.0;
+          c.hi = v * 4.0;
+          break;
+        case 1:  // one-sided
+          c.lo = v;
+          break;
+        case 2:
+          c.hi = v;
+          break;
+        default:  // exact point (tolerance boundary)
+          c.lo = v;
+          c.hi = v;
+          break;
+      }
+    }
+    m.conditions.push_back(std::move(c));
+  }
+  return m;
+}
+
+int linear_first_match(const std::vector<Mfs>& set, const SearchSpace& space,
+                       const Workload& w) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].matches(space, w)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST_F(MfsTest, IndexMatchesLinearScanOnFuzzedSets) {
+  for (const u64 seed : {u64{1}, u64{2}, u64{3}, u64{4}}) {
+    Rng rng(seed);
+    MfsIndex index;
+    std::vector<Mfs> set;
+    LocalMfsStore store;
+    for (int round = 0; round < 40; ++round) {
+      // Interleave inserts with queries so every intermediate index state
+      // is exercised, not just the final one.
+      Mfs m = fuzz_mfs(space_, rng);
+      index.add(m);
+      store.insert(space_, m);
+      set.push_back(std::move(m));
+      for (int q = 0; q < 25; ++q) {
+        Workload w = rng.bernoulli(0.5)
+                         ? space_.random_point(rng)
+                         : space_.mutate(set.back().witness, rng);
+        const int expect = linear_first_match(set, space_, w);
+        EXPECT_EQ(index.first_match(space_, w), expect)
+            << "seed " << seed << " round " << round;
+        EXPECT_EQ(store.covers(space_, w), expect >= 0);
+      }
+      // Probe the witnesses themselves: dense hit coverage.
+      for (const Mfs& m2 : set) {
+        const int expect = linear_first_match(set, space_, m2.witness);
+        EXPECT_EQ(index.first_match(space_, m2.witness), expect);
+      }
+    }
+  }
+}
+
+TEST_F(MfsTest, IndexHonoursToleranceBoundsExactly) {
+  // contains() accepts v within [lo - 1e-9, hi + 1e-9]; the index
+  // precomputes those exact bounds.  Probe just inside and outside.
+  Mfs m;
+  m.symptom = Symptom::kPauseFrames;
+  m.witness = witness_ud_batch();
+  FeatureCondition c;
+  c.feature = Feature::kNumQps;
+  c.categorical = false;
+  c.lo = 100.0;
+  c.hi = 200.0;
+  m.conditions.push_back(c);
+  MfsIndex index;
+  index.add(m);
+  std::vector<Mfs> set{m};
+  Workload w = witness_ud_batch();
+  for (const int qps : {99, 100, 101, 150, 199, 200, 201}) {
+    w.num_qps = qps;
+    EXPECT_EQ(index.first_match(space_, w),
+              linear_first_match(set, space_, w))
+        << qps;
+  }
+}
+
+TEST_F(MfsTest, IndexFilterRestrictsToFlaggedEntries) {
+  Rng rng(9);
+  MfsIndex index;
+  std::vector<Mfs> set;
+  std::vector<u64> filter;
+  for (int i = 0; i < 30; ++i) {
+    Mfs m = fuzz_mfs(space_, rng);
+    index.add(m);
+    if (i % 3 == 0) MfsIndex::set_bit(filter, static_cast<std::size_t>(i));
+    set.push_back(std::move(m));
+  }
+  for (int q = 0; q < 200; ++q) {
+    const Workload w = space_.random_point(rng);
+    int expect = -1;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (i % 3 == 0 && set[i].matches(space_, w)) {
+        expect = static_cast<int>(i);
+        break;
+      }
+    }
+    EXPECT_EQ(index.first_match(space_, w, filter), expect);
+  }
+}
+
+TEST_F(MfsTest, IndexConjoinsDuplicateFeatureConditions) {
+  // Two conditions on the same feature must intersect, exactly like the
+  // linear conjunction over the condition list.
+  Mfs m;
+  m.symptom = Symptom::kPauseFrames;
+  m.witness = witness_ud_batch();
+  FeatureCondition a;
+  a.feature = Feature::kWqeBatch;
+  a.categorical = false;
+  a.lo = 8.0;
+  a.hi = 64.0;
+  FeatureCondition b = a;
+  b.lo = 32.0;
+  b.hi = 128.0;
+  m.conditions = {a, b};
+  MfsIndex index;
+  index.add(m);
+  std::vector<Mfs> set{m};
+  Workload w = witness_ud_batch();
+  for (const int batch : {4, 8, 16, 32, 48, 64, 100, 128}) {
+    w.wqe_batch = batch;
+    EXPECT_EQ(index.first_match(space_, w),
+              linear_first_match(set, space_, w))
+        << batch;
+  }
+
+  // Categorical intersection: {UD} after {RC, UD} leaves only UD.
+  Mfs cm;
+  cm.symptom = Symptom::kPauseFrames;
+  cm.witness = witness_ud_batch();
+  FeatureCondition c1;
+  c1.feature = Feature::kQpType;
+  c1.categorical = true;
+  c1.allowed = {static_cast<int>(QpType::kRC), static_cast<int>(QpType::kUD)};
+  FeatureCondition c2 = c1;
+  c2.allowed = {static_cast<int>(QpType::kUD)};
+  cm.conditions = {c1, c2};
+  MfsIndex cidx;
+  cidx.add(cm);
+  std::vector<Mfs> cset{cm};
+  Workload cw = witness_ud_batch();
+  for (const QpType t : {QpType::kRC, QpType::kUC, QpType::kUD}) {
+    cw.qp_type = t;
+    EXPECT_EQ(cidx.first_match(space_, cw),
+              linear_first_match(cset, space_, cw));
+  }
 }
 
 }  // namespace

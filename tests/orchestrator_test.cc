@@ -90,6 +90,133 @@ TEST(ConcurrentMfsPoolTest, CountsDuplicateInserts) {
   EXPECT_EQ(stats.duplicate_inserts, 1);
 }
 
+TEST(ConcurrentMfsPoolTest, FirstCoverProvenanceMatchesInsertionOrder) {
+  // Two overlapping regions from different workers: a hit must attribute to
+  // the FIRST inserted entry (the linear scan's answer), not just any
+  // matching one — the index returns the lowest insertion position.
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(5);
+  const Workload w = space.random_point(rng);
+
+  ConcurrentMfsPool pool;
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames),
+              /*origin_worker=*/3);
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames),
+              /*origin_worker=*/9);
+  bool cross = false;
+  // Requester 3 matches its own (first) entry: not a cross-worker hit even
+  // though worker 9's overlapping entry would be one.
+  EXPECT_TRUE(pool.covers("F", space, w, /*requester=*/3, &cross));
+  EXPECT_FALSE(cross);
+  EXPECT_TRUE(pool.covers("F", space, w, /*requester=*/9, &cross));
+  EXPECT_TRUE(cross);
+}
+
+TEST(ConcurrentMfsPoolTest, EpochAdvancesOnEveryPublication) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  ConcurrentMfsPool pool;
+  EXPECT_EQ(pool.epoch("F"), 0u);
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+  EXPECT_EQ(pool.epoch("F"), 1u);
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+  EXPECT_EQ(pool.epoch("F"), 2u);
+  EXPECT_EQ(pool.epoch("B"), 0u);  // scopes version independently
+}
+
+TEST(ConcurrentMfsPoolTest, RacingInsertsNeverCorruptCoversAnswers) {
+  // Readers hammer covers()/covers_preloaded() on published snapshots while
+  // writers insert into the same scope.  Any interleaving is allowed to
+  // under-skip (a reader may hold yesterday's snapshot), but an answer of
+  // "covered" must always be justified by the final entry set, and once the
+  // writers are done every answer must equal the linear scan.  The TSan CI
+  // job runs this against the lock-free publication path.
+  const sim::Subsystem& sys = sim::subsystem('F');
+  const core::SearchSpace space(sys);
+  ConcurrentMfsPool pool;
+  // Pre-load a warm region so covers_preloaded() has racing company too.
+  {
+    Rng rng(41);
+    core::Mfs warm = cover_all_mfs(core::Symptom::kPauseFrames);
+    warm.witness = space.random_point(rng);
+    warm.conditions.clear();
+    core::FeatureCondition c;
+    c.feature = core::Feature::kNumQps;
+    c.categorical = false;
+    c.lo = 1.0;
+    c.hi = 64.0;
+    warm.conditions.push_back(c);
+    pool.load_scope("F", {warm});
+  }
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kInsertsPerWriter = 24;
+  std::atomic<bool> stop{false};
+  std::atomic<long> covered_answers{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + static_cast<u64>(t));
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        core::Mfs m;
+        m.symptom = core::Symptom::kLowThroughput;
+        m.witness = space.random_point(rng);
+        core::FeatureCondition c;
+        c.feature = core::Feature::kNumQps;
+        c.categorical = false;
+        const double v =
+            std::max(1.0, space.numeric_value(m.witness,
+                                              core::Feature::kNumQps));
+        c.lo = v / 2.0;
+        c.hi = v * 2.0;
+        m.conditions.push_back(c);
+        pool.insert("F", space, std::move(m), t);
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(200 + static_cast<u64>(t));
+      ConcurrentMfsPool::View view = pool.view("F", kWriters + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Workload w = space.random_point(rng);
+        if (view.covers(space, w)) {
+          covered_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)view.covers_preloaded(space, w);
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+
+  // Final state: indexed answers equal the linear scan, entry for entry.
+  const std::vector<core::Mfs> all = pool.snapshot("F");
+  ASSERT_EQ(all.size(), 1u + kWriters * kInsertsPerWriter);
+  EXPECT_EQ(pool.epoch("F"), 1u + kWriters * kInsertsPerWriter);
+  Rng rng(300);
+  for (int q = 0; q < 400; ++q) {
+    const Workload w = q % 3 == 0
+                           ? all[static_cast<std::size_t>(q) % all.size()]
+                                 .witness
+                           : space.random_point(rng);
+    bool linear = false;
+    for (const core::Mfs& m : all) {
+      if (m.matches(space, w)) {
+        linear = true;
+        break;
+      }
+    }
+    bool warm_linear = all[0].matches(space, w);
+    EXPECT_EQ(pool.covers("F", space, w, /*requester=*/99, nullptr), linear);
+    EXPECT_EQ(pool.covers_preloaded("F", space, w), warm_linear);
+  }
+}
+
 TEST(ConcurrentMfsPoolTest, SnapshotPreservesInsertionOrder) {
   const core::SearchSpace space(sim::subsystem('F'));
   ConcurrentMfsPool pool;

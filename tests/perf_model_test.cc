@@ -445,6 +445,47 @@ TEST(PerfModelGolden, CcDisabledScenariosMatchPrePrOutputsBitForBit) {
   }
 }
 
+// The compiled hot path must reproduce every pinned golden row bit-for-bit
+// — through one EvalScratch reused across all 27 rows, which is exactly how
+// a campaign worker drives it.  The uncompiled overload stays compiled-in
+// as the reference; both are checked against the hexfloat pins and against
+// each other, including the RNG stream position after each call.
+TEST(PerfModelGolden, CompiledScenarioPathMatchesGoldenRowsBitForBit) {
+  EvalScratch scratch;  // deliberately shared across rows
+  for (const GoldenRow& row : kGoldenRows) {
+    const Subsystem sys = with_fabric(subsystem(row.sys),
+                                      net::fabric_scenario(row.fabric));
+    const CompiledScenario compiled(sys);
+    Rng rng(7);
+    Rng ref_rng(7);
+    const Workload w = golden_workload(row.workload);
+    const SimResult& r = evaluate(compiled, w, rng, scratch);
+    const std::string tag = std::string(1, row.sys) + "/" + row.fabric +
+                            "/w" + std::to_string(row.workload);
+    EXPECT_EQ(r.rx_goodput_bps, row.rx_goodput_bps) << tag;
+    EXPECT_EQ(r.tx_wire_bps, row.tx_wire_bps) << tag;
+    EXPECT_EQ(r.pause_duration_ratio, row.pause_duration_ratio) << tag;
+    EXPECT_EQ(r.fabric_pause_ratio, row.fabric_pause_ratio) << tag;
+    EXPECT_EQ(r.wire_utilization, row.wire_utilization) << tag;
+    EXPECT_EQ(r.pps_utilization, row.pps_utilization) << tag;
+    EXPECT_STREQ(to_string(r.dominant), row.dominant) << tag;
+    EXPECT_EQ(r.cc_suppressed_ratio, 0.0) << tag;
+
+    const SimResult ref = evaluate(sys, w, ref_rng);
+    EXPECT_EQ(r.rx_pps, ref.rx_pps) << tag;
+    EXPECT_EQ(r.tx_goodput_bps, ref.tx_goodput_bps) << tag;
+    EXPECT_EQ(r.bottleneck_note, ref.bottleneck_note) << tag;
+    ASSERT_EQ(r.epochs.size(), ref.epochs.size()) << tag;
+    for (std::size_t e = 0; e < r.epochs.size(); ++e) {
+      EXPECT_EQ(r.epochs[e].counters.perf, ref.epochs[e].counters.perf);
+      EXPECT_EQ(r.epochs[e].counters.diag, ref.epochs[e].counters.diag);
+      EXPECT_EQ(r.epochs[e].pause_fraction, ref.epochs[e].pause_fraction);
+    }
+    EXPECT_EQ(r.counters.perf, ref.counters.perf) << tag;
+    EXPECT_EQ(rng.next_u64(), ref_rng.next_u64()) << tag;
+  }
+}
+
 // Arming the fabric+NIC with a CC scenario changes nothing as long as the
 // workload leaves its DCQCN reaction point off.
 TEST(PerfModelGolden, CcArmedButWorkloadOffStillMatchesGoldens) {

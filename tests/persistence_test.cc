@@ -286,7 +286,7 @@ TEST(PersistenceRoundTrip, CheckpointScopesAreByteIdentical) {
   Rng probe_rng(23);
   for (int i = 0; i < 50; ++i) {
     const Workload w = space.random_point(probe_rng);
-    for (const std::string& scope : {"F", "B", "F@hetero"}) {
+    for (const char* scope : {"F", "B", "F@hetero"}) {
       EXPECT_EQ(reloaded.covers(scope, space, w, 0, nullptr),
                 pool.covers(scope, space, w, 0, nullptr))
           << scope;
@@ -300,6 +300,59 @@ TEST(PersistenceRoundTrip, CheckpointScopesAreByteIdentical) {
   }
   EXPECT_THROW(orchestrator::CampaignCheckpoint::from_json(doc + "]"),
                JsonError);
+}
+
+// Indexed MatchMFS equivalence through the warm-start path: a pool mixing
+// checkpoint-loaded entries with fresh racing-style inserts must answer
+// covers() and covers_preloaded() exactly like a linear scan over its
+// snapshot — including which entry answers first (provenance) and the
+// warm-only restriction of covers_preloaded().
+TEST(PersistenceRoundTrip, IndexedCoversMatchesLinearScanWithWarmEntries) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  for (const u64 seed : {u64{29}, u64{31}}) {
+    Rng rng(seed);
+    orchestrator::ConcurrentMfsPool pool;
+    // Stage 1: warm-start load (possibly in two chunks — load_scope must
+    // compose), as a resumed campaign would.
+    std::vector<core::Mfs> warm_a;
+    std::vector<core::Mfs> warm_b;
+    for (int i = 0; i < 6; ++i) warm_a.push_back(random_mfs(space, rng));
+    for (int i = 0; i < 4; ++i) warm_b.push_back(random_mfs(space, rng));
+    pool.load_scope("F", warm_a);
+    pool.load_scope("F", warm_b);
+    EXPECT_EQ(pool.epoch("F"), 2u);
+    // Stage 2: fresh inserts from several workers.
+    for (int i = 0; i < 10; ++i) {
+      pool.insert("F", space, random_mfs(space, rng), i % 3);
+    }
+    EXPECT_EQ(pool.epoch("F"), 12u);
+    EXPECT_EQ(pool.stats().warm_entries, 10);
+
+    const std::vector<core::Mfs> all = pool.snapshot("F");
+    ASSERT_EQ(all.size(), 20u);
+    const std::size_t n_warm = 10;
+    for (int q = 0; q < 300; ++q) {
+      Workload w = q % 4 == 0 ? all[static_cast<std::size_t>(q) % all.size()]
+                                    .witness
+                              : space.random_point(rng);
+      bool linear = false;
+      for (const core::Mfs& m : all) {
+        if (m.matches(space, w)) {
+          linear = true;
+          break;
+        }
+      }
+      bool linear_warm = false;
+      for (std::size_t i = 0; i < n_warm; ++i) {
+        if (all[i].matches(space, w)) {
+          linear_warm = true;
+          break;
+        }
+      }
+      EXPECT_EQ(pool.covers("F", space, w, /*requester=*/7, nullptr), linear);
+      EXPECT_EQ(pool.covers_preloaded("F", space, w), linear_warm);
+    }
+  }
 }
 
 TEST(PersistenceRoundTrip, CheckpointRejectsWrongVersionAndBadEnums) {

@@ -136,6 +136,57 @@ TEST_F(SearchTest, PerfModeRunsAndGuides) {
   EXPECT_GT(r.experiments, 20);
 }
 
+// Seed-trajectory pin for the evaluation hot path: the same search driven
+// through the compiled-scenario engine and the uncompiled per-call engine
+// must be indistinguishable — experiment for experiment, trace value for
+// trace value, witness for witness.  This is the search-level half of the
+// bit-exactness contract (the golden rows are the single-probe half).
+TEST_F(SearchTest, CompiledEngineReproducesUncompiledTrajectoriesExactly) {
+  workload::EngineOptions uncompiled_opts = fast_engine_opts();
+  uncompiled_opts.use_compiled = false;
+  const workload::Engine uncompiled(sim::subsystem('F'), uncompiled_opts);
+  SearchDriver uncompiled_driver(uncompiled, space_);
+
+  SaConfig cfg;
+  cfg.mode = GuidanceMode::kDiag;
+  SearchBudget budget;
+  budget.seconds = 2 * 3600.0;
+  Rng rng_hot(13);
+  Rng rng_ref(13);
+  const SearchResult hot =
+      driver_.run_simulated_annealing(cfg, budget, rng_hot);
+  const SearchResult ref =
+      uncompiled_driver.run_simulated_annealing(cfg, budget, rng_ref);
+  ASSERT_EQ(hot.experiments, ref.experiments);
+  EXPECT_EQ(hot.mfs_skips, ref.mfs_skips);
+  EXPECT_DOUBLE_EQ(hot.elapsed_seconds, ref.elapsed_seconds);
+  ASSERT_EQ(hot.found.size(), ref.found.size());
+  for (std::size_t i = 0; i < hot.found.size(); ++i) {
+    EXPECT_TRUE(hot.found[i].mfs.witness == ref.found[i].mfs.witness) << i;
+    EXPECT_EQ(hot.found[i].mfs.conditions.size(),
+              ref.found[i].mfs.conditions.size());
+    EXPECT_EQ(hot.found[i].found_at_seconds, ref.found[i].found_at_seconds);
+    EXPECT_EQ(hot.found[i].dominant, ref.found[i].dominant);
+  }
+  ASSERT_EQ(hot.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < hot.trace.size(); ++i) {
+    EXPECT_EQ(hot.trace[i].counter_value, ref.trace[i].counter_value) << i;
+    EXPECT_EQ(hot.trace[i].rx_wqe_cache_miss, ref.trace[i].rx_wqe_cache_miss);
+    EXPECT_EQ(hot.trace[i].anomaly_found, ref.trace[i].anomaly_found);
+  }
+
+  // The random baseline walks a different driver loop; pin it too.
+  SearchBudget rnd_budget;
+  rnd_budget.seconds = 30 * 60.0;
+  Rng r1(17);
+  Rng r2(17);
+  const SearchResult rnd_hot = driver_.run_random(rnd_budget, r1);
+  const SearchResult rnd_ref = uncompiled_driver.run_random(rnd_budget, r2);
+  EXPECT_EQ(rnd_hot.experiments, rnd_ref.experiments);
+  EXPECT_DOUBLE_EQ(rnd_hot.elapsed_seconds, rnd_ref.elapsed_seconds);
+  EXPECT_EQ(rnd_hot.found.size(), rnd_ref.found.size());
+}
+
 TEST_F(SearchTest, MeasureAndJudgeChargesCost) {
   Rng rng(1);
   double cost = 0.0;

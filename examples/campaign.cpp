@@ -45,18 +45,37 @@
 //   --functional       run the engine's functional verbs pass too (slower)
 //   --json             print the report as JSON instead of tables
 //   --trace-csv        print the merged fleet trace as CSV and exit
+//   --metrics-out <f>  enable telemetry and write a collie-metrics-v1 JSON
+//                      document to <f> (schema in README.md): periodic
+//                      snapshots, the final roll-up, and the campaign
+//                      report with metrics embedded.  --json stdout stays
+//                      metrics-free so replayed runs diff bit-for-bit
+//   --metrics-interval <sec>
+//                      rewrite <f> with a fresh snapshot every <sec>
+//                      seconds of wall time while the campaign runs
+//                      (default 0 = final snapshot only)
+//   --stats            print the human telemetry table (counters,
+//                      histogram quantiles, per-worker utilization) after
+//                      the report
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/strings.h"
 #include "core/json_reader.h"
+#include "core/report.h"
 #include "net/fabric.h"
 #include "nic/dcqcn.h"
+#include "obs/telemetry.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "orchestrator/checkpoint.h"
@@ -82,6 +101,27 @@ bool write_file(const std::string& path, const std::string& content) {
   if (!out) return false;
   out << content << "\n";
   return static_cast<bool>(out);
+}
+
+// The collie-metrics-v1 document (schema in README.md): periodic snapshots
+// in capture order, then — once the campaign is done — the final roll-up
+// and the report with metrics embedded.
+std::string metrics_document(double interval_seconds,
+                             const std::vector<obs::Snapshot>& snapshots,
+                             const std::string* report_json) {
+  core::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "collie-metrics-v1");
+  json.field("interval_seconds", interval_seconds);
+  json.begin_array("snapshots");
+  for (const obs::Snapshot& snap : snapshots) snap.to_json(&json);
+  json.end_array();
+  if (report_json != nullptr) {
+    json.key("report");
+    json.raw_value(*report_json);
+  }
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace
@@ -240,6 +280,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string metrics_path = args.get("metrics-out", "");
+  const double metrics_interval =
+      static_cast<double>(args.get_int("metrics-interval", 0));
+  const bool want_stats = args.get_bool("stats", false);
+  if (metrics_interval < 0 ||
+      (metrics_interval > 0 && metrics_path.empty())) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics-out FILE\n");
+    return 2;
+  }
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!metrics_path.empty() || want_stats) {
+    obs::TelemetryOptions topts;
+    topts.workers = config.workers;
+    telemetry = std::make_unique<obs::Telemetry>(topts);
+    config.telemetry = telemetry.get();
+  }
+
   Campaign campaign(config);
   std::printf("campaign: %zu cells, %d workers, %s scope, %s execution, %s "
               "schedule%s\n",
@@ -248,14 +305,41 @@ int main(int argc, char** argv) {
               replaying ? "replayed" : to_string(config.schedule),
               config.warm_start ? ", warm-started" : "");
 
+  // Periodic snapshot thread: rewrites the metrics file every interval so
+  // a long campaign can be watched live (`metrics_inspect` on the file).
+  std::vector<obs::Snapshot> snapshots;
+  std::atomic<bool> sampling_done{false};
+  std::thread sampler;
+  if (telemetry && metrics_interval > 0) {
+    sampler = std::thread([&] {
+      const auto tick = std::chrono::milliseconds(50);
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(metrics_interval);
+      while (!sampling_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(tick);
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(metrics_interval));
+        snapshots.push_back(telemetry->snapshot());
+        write_file(metrics_path,
+                   metrics_document(metrics_interval, snapshots, nullptr));
+      }
+    });
+  }
+
   CampaignResult result;
   try {
     result = campaign.run();
   } catch (const std::invalid_argument& e) {
     // Warm-start share mismatch or replay-vs-plan drift: reject loudly.
     std::fprintf(stderr, "%s\n", e.what());
+    sampling_done.store(true, std::memory_order_relaxed);
+    if (sampler.joinable()) sampler.join();
     return 2;
   }
+  sampling_done.store(true, std::memory_order_relaxed);
+  if (sampler.joinable()) sampler.join();
 
   if (!replay_path.empty() && !replaying) {
     std::vector<std::string> labels;
@@ -289,10 +373,32 @@ int main(int argc, char** argv) {
     return 0;
   }
   const CampaignReport report = build_report(result);
+
+  if (telemetry && !metrics_path.empty()) {
+    // Final roll-up: one last snapshot appended to the series, and the
+    // report with metrics embedded.  Stdout (--json and tables) stays
+    // metrics-free so a replayed campaign's output diffs bit-for-bit.
+    const obs::Snapshot final_snap = telemetry->snapshot();
+    snapshots.push_back(final_snap);
+    const std::string report_json = report.to_json(&final_snap);
+    if (!write_file(metrics_path, metrics_document(metrics_interval,
+                                                   snapshots,
+                                                   &report_json))) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu metrics snapshot%s to %s\n", snapshots.size(),
+                snapshots.size() == 1 ? "" : "s", metrics_path.c_str());
+  }
+
   if (args.get_bool("json", false)) {
     std::printf("%s\n", report.to_json().c_str());
   } else {
     std::printf("\n%s", report.render().c_str());
+  }
+  if (telemetry && want_stats) {
+    std::printf("\n%s", obs::render_stats(telemetry->snapshot()).c_str());
   }
   return 0;
 }

@@ -1,0 +1,63 @@
+// Inspect a collie-metrics-v1 document (the campaign CLI's --metrics-out
+// file): validate it parses with core/json_reader, then print the human
+// telemetry tables for the latest snapshot.
+//
+//   $ ./campaign --sys B --hours 1 --metrics-out metrics.json
+//   $ ./metrics_inspect metrics.json
+//
+// Exit status is non-zero on a missing/garbled document, which is what the
+// CI bench-smoke job uses to gate the snapshot schema.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/units.h"
+#include "core/json_reader.h"
+#include "obs/telemetry.h"
+
+using namespace collie;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: metrics_inspect <metrics.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+
+  try {
+    const core::JsonValue doc = core::JsonValue::parse(os.str());
+    const std::string& schema = doc.at("schema").as_string();
+    if (schema != "collie-metrics-v1") {
+      std::fprintf(stderr, "unexpected schema '%s'\n", schema.c_str());
+      return 1;
+    }
+    const auto& snaps = doc.at("snapshots").items();
+    if (snaps.empty()) {
+      std::fprintf(stderr, "document has no snapshots\n");
+      return 1;
+    }
+    // Re-merging every snapshot through the monoid must be legal on any
+    // valid document; it also exercises the full parse of each one.
+    obs::Snapshot merged;
+    for (const core::JsonValue& s : snaps) {
+      merged.merge(obs::Snapshot::from_json(s));
+    }
+    const obs::Snapshot latest = obs::Snapshot::from_json(snaps.back());
+    std::printf("%s: %zu snapshot%s, interval %.0f s%s\n", argv[1],
+                snaps.size(), snaps.size() == 1 ? "" : "s",
+                doc.at("interval_seconds").as_double(),
+                doc.has("report") ? ", report embedded" : "");
+    std::printf("%s", obs::render_stats(latest).c_str());
+  } catch (const core::JsonError& e) {
+    std::fprintf(stderr, "bad metrics document: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -35,9 +35,25 @@ class LogLine {
   std::ostringstream os_;
 };
 
+namespace detail {
+// Ternary glue: lower precedence than <<, so the whole stream chain binds
+// to the LogLine before operator& voids it.  Const ref so a bare
+// `LOG_DEBUG;` (no <<) still binds.
+struct LogVoidify {
+  void operator&(const LogLine&) {}
+};
+}  // namespace detail
+
 }  // namespace collie
 
-#define COLLIE_LOG(level) ::collie::LogLine(::collie::LogLevel::level)
+// Short-circuits on the level check: when the line is below threshold, the
+// cost is one branch and no stream argument is evaluated.  The ternary
+// (rather than `if`) keeps the macro safe in unbraced if/else bodies.
+#define COLLIE_LOG(level)                                        \
+  (::collie::LogLevel::level < ::collie::log_level())            \
+      ? (void)0                                                  \
+      : ::collie::detail::LogVoidify() &                         \
+            ::collie::LogLine(::collie::LogLevel::level)
 #define LOG_DEBUG COLLIE_LOG(kDebug)
 #define LOG_INFO COLLIE_LOG(kInfo)
 #define LOG_WARN COLLIE_LOG(kWarn)

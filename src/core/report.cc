@@ -102,6 +102,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json_text) {
+  maybe_comma();
+  out_ += json_text;
+  return *this;
+}
+
 std::string JsonWriter::escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

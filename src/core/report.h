@@ -28,6 +28,11 @@ class JsonWriter {
   JsonWriter& value(i64 v);
   JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
   JsonWriter& value(bool v);
+  // Splice a pre-serialized JSON value verbatim (commas handled like any
+  // other value).  The caller owns its validity — this is how one writer's
+  // finished document (a campaign report, a metrics snapshot) embeds in
+  // another without re-parsing.
+  JsonWriter& raw_value(const std::string& json_text);
   // key + value in one call.
   template <typename T>
   JsonWriter& field(const std::string& k, const T& v) {

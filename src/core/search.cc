@@ -35,6 +35,13 @@ struct CounterRef {
   }
 };
 
+// Guarded increment of one well-known probe counter; a single branch when
+// telemetry is off.
+inline void bump(const obs::ProbeTelemetry& tel,
+                 obs::CounterId obs::ProbeIds::* field, i64 delta = 1) {
+  if (tel.enabled()) tel.add(tel.probe_ids().*field, delta);
+}
+
 }  // namespace
 
 SearchDriver::SearchDriver(const workload::Engine& engine,
@@ -43,17 +50,29 @@ SearchDriver::SearchDriver(const workload::Engine& engine,
 
 Verdict SearchDriver::measure_and_judge(const Workload& w, Rng& rng,
                                         double* cost_seconds) const {
-  const workload::Measurement m = engine_.run(w, rng, scratch_);
+  const u64 t_eval = tel_.begin();
+  const workload::Measurement& m = engine_.run(w, rng, scratch_, meas_);
+  tel_.end_stage(obs::ProbeStage::kEvaluate, t_eval);
   if (cost_seconds != nullptr) *cost_seconds = m.cost_seconds;
-  return monitor_.judge(m);
+  const u64 t_judge = tel_.begin();
+  const Verdict v = monitor_.judge(m);
+  tel_.end_stage(obs::ProbeStage::kMonitor, t_judge);
+  bump(tel_, &obs::ProbeIds::experiments);
+  if (v.anomalous()) bump(tel_, &obs::ProbeIds::anomalies);
+  return v;
 }
 
 Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
                            bool use_mfs, sim::CounterSample* counters_out) {
-  const workload::Measurement m = engine_.run(w, rng, scratch_);
+  const u64 t_eval = tel_.begin();
+  const workload::Measurement& m = engine_.run(w, rng, scratch_, meas_);
+  tel_.end_stage(obs::ProbeStage::kEvaluate, t_eval);
   state.elapsed += m.cost_seconds;
   state.result.experiments += 1;
+  bump(tel_, &obs::ProbeIds::experiments);
+  const u64 t_judge = tel_.begin();
   const Verdict v = monitor_.judge(m);
+  tel_.end_stage(obs::ProbeStage::kMonitor, t_judge);
   if (counters_out != nullptr) *counters_out = m.average;
 
   TracePoint tp;
@@ -65,13 +84,19 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
   state.result.trace.push_back(tp);
 
   if (!v.anomalous()) return v;
+  bump(tel_, &obs::ProbeIds::anomalies);
 
   // Already covered by a known anomaly's region?  Then it is not new.
   // Under a shared store "known" includes other workers' extractions, so a
   // region explained anywhere in the campaign is extracted only once.  The
   // w/o-MFS ablation must keep recording everything even if the injected
   // store was pre-seeded (e.g. a warm-started campaign).
-  if (use_mfs && state.store->covers(space_, w)) return v;
+  if (use_mfs) {
+    const u64 t_match = tel_.begin();
+    const bool covered = state.store->covers(space_, w);
+    tel_.end_stage(obs::ProbeStage::kMatchMfs, t_match);
+    if (covered) return v;
+  }
 
   FoundAnomaly found;
   found.verdict = v;
@@ -93,11 +118,16 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
       // (warm-started runs re-probe nothing a previous campaign covered).
       if (state.store->covers_preloaded(space_, candidate)) {
         state.result.mfs_skips += 1;
+        bump(tel_, &obs::ProbeIds::mfs_skips);
         return symptom;
       }
-      const workload::Measurement pm = engine_.run(candidate, rng, scratch_);
+      // Necessity probes write into probe_meas_, not meas_: the step's own
+      // measurement is still live across the extraction.
+      const workload::Measurement& pm =
+          engine_.run(candidate, rng, scratch_, probe_meas_);
       state.elapsed += pm.cost_seconds;
       state.result.experiments += 1;
+      bump(tel_, &obs::ProbeIds::experiments);
       TracePoint ptp;
       ptp.t_seconds = state.elapsed;
       ptp.counter_value = flat;
@@ -107,8 +137,11 @@ Verdict SearchDriver::step(const Workload& w, Rng& rng, RunState& state,
       const Verdict pv = monitor_.judge(pm);
       return pv.symptom;
     };
+    const u64 t_extract = tel_.begin();
     Mfs mfs = construct_mfs(space_, w, symptom, probe);
     mfs.index = state.store->insert(space_, mfs);
+    tel_.end_stage(obs::ProbeStage::kExtract, t_extract);
+    bump(tel_, &obs::ProbeIds::mfs_extracted);
     found.mfs = std::move(mfs);
   } else {
     Mfs bare;
@@ -134,9 +167,15 @@ SearchResult SearchDriver::run_random(const SearchBudget& budget, Rng& rng,
   RunState state(store);
   int consecutive_skips = 0;
   while (!state.exhausted(budget)) {
+    const u64 t_sample = tel_.begin();
     const Workload w = space_.random_point(rng);
-    if (use_mfs && state.store->covers(space_, w)) {
+    tel_.end_stage(obs::ProbeStage::kSample, t_sample);
+    const u64 t_match = tel_.begin();
+    const bool covered = use_mfs && state.store->covers(space_, w);
+    if (use_mfs) tel_.end_stage(obs::ProbeStage::kMatchMfs, t_match);
+    if (covered) {
       state.result.mfs_skips += 1;
+      bump(tel_, &obs::ProbeIds::mfs_skips);
       // Skips are free, but bound them: 10000 consecutive covered samples
       // mean the reachable space is explained by known regions, and the run
       // ends rather than measuring inside one (a warm-started campaign must
@@ -173,6 +212,7 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
     if (!config.use_mfs) return false;
     if (!state.store->covers_preloaded(space_, w)) return false;
     state.result.mfs_skips += 1;
+    bump(tel_, &obs::ProbeIds::mfs_skips);
     return true;
   };
   // Sample outside every pre-loaded region; false when 10000 consecutive
@@ -264,10 +304,16 @@ SearchResult SearchDriver::run_simulated_annealing(const SaConfig& config,
            i < config.iters_per_temperature && state.elapsed < deadline &&
            !state.exhausted(budget) && !space_explained;
            ++i) {
+        const u64 t_sample = tel_.begin();
         Workload p_new = space_.mutate(p_old, rng);
+        tel_.end_stage(obs::ProbeStage::kSample, t_sample);
         if (config.use_mfs) {
-          if (state.store->covers(space_, p_new)) {
+          const u64 t_match = tel_.begin();
+          const bool covered = state.store->covers(space_, p_new);
+          tel_.end_stage(obs::ProbeStage::kMatchMfs, t_match);
+          if (covered) {
             state.result.mfs_skips += 1;
+            bump(tel_, &obs::ProbeIds::mfs_skips);
             // Optimizing the counter tends to pull the walk back INTO known
             // anomaly regions; when the neighbourhood is exhausted, restart
             // from a fresh point instead of orbiting the border.

@@ -19,6 +19,7 @@
 #include "core/mfs_store.h"
 #include "core/monitor.h"
 #include "core/space.h"
+#include "obs/telemetry.h"
 #include "workload/engine.h"
 
 namespace collie::core {
@@ -106,6 +107,12 @@ class SearchDriver {
   Verdict measure_and_judge(const Workload& w, Rng& rng,
                             double* cost_seconds = nullptr) const;
 
+  // Attach a telemetry handle (worker-sharded).  Off by default; when off,
+  // every instrumentation point costs one pointer test.  Telemetry never
+  // touches the RNG or the simulated-time accounting, so results are
+  // bit-identical with it on or off.
+  void set_telemetry(obs::ProbeTelemetry telemetry) { tel_ = telemetry; }
+
  private:
   struct RunState {
     explicit RunState(MfsStore& s) : store(&s) {}
@@ -127,11 +134,17 @@ class SearchDriver {
   const workload::Engine& engine_;
   const SearchSpace& space_;
   AnomalyMonitor monitor_;
+  obs::ProbeTelemetry tel_;
   // Per-driver evaluation buffers, reused across every probe of a run so the
   // steady-state measurement path performs no heap allocations.  A driver is
   // single-threaded state (each campaign cell owns its own); mutable because
-  // measure_and_judge() is logically const.
+  // measure_and_judge() is logically const.  meas_ is the engine's in-place
+  // Measurement target; probe_meas_ is a separate target for the necessity
+  // probes inside MFS extraction, which run while the step's own
+  // measurement is still live.
   mutable sim::EvalScratch scratch_;
+  mutable workload::Measurement meas_;
+  mutable workload::Measurement probe_meas_;
 };
 
 }  // namespace collie::core

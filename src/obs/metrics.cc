@@ -1,0 +1,270 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/json_reader.h"
+#include "core/report.h"
+
+namespace collie::obs {
+
+u64 now_ticks() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int histogram_bucket(u64 value) {
+  // bit_width(0) == 0, so bucket 0 holds exactly the value 0 and bucket b
+  // holds [2^(b-1), 2^b); bit_width(u64 max) == 64 == kHistogramBuckets-1.
+  return std::bit_width(value);
+}
+
+u64 histogram_bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 64) return ~0ULL;
+  return (1ULL << bucket) - 1;
+}
+
+u64 HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(q * static_cast<double>(count) + 0.5));
+  u64 seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return histogram_bucket_upper(b);
+  }
+  return histogram_bucket_upper(kHistogramBuckets - 1);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  t_seconds = std::max(t_seconds, other.t_seconds);
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& mine = histograms[name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    for (int b = 0; b < kHistogramBuckets; ++b) mine.buckets[b] += h.buckets[b];
+  }
+}
+
+void Snapshot::to_json(core::JsonWriter* json) const {
+  json->begin_object();
+  json->field("t_seconds", t_seconds);
+  json->key("counters");
+  json->begin_object();
+  for (const auto& [name, v] : counters) json->field(name, v);
+  json->end_object();
+  json->key("gauges");
+  json->begin_object();
+  for (const auto& [name, v] : gauges) json->field(name, v);
+  json->end_object();
+  json->key("histograms");
+  json->begin_object();
+  for (const auto& [name, h] : histograms) {
+    json->key(name);
+    json->begin_object();
+    json->field("count", static_cast<i64>(h.count));
+    json->field("sum", static_cast<i64>(h.sum));
+    // Sparse [bucket, count] pairs: 65 mostly-empty cells per histogram
+    // would dominate the snapshot file otherwise.
+    json->begin_array("buckets");
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      json->begin_array();
+      json->value(b);
+      json->value(static_cast<i64>(h.buckets[b]));
+      json->end_array();
+    }
+    json->end_array();
+    json->end_object();
+  }
+  json->end_object();
+  json->end_object();
+}
+
+Snapshot Snapshot::from_json(const core::JsonValue& value) {
+  Snapshot snap;
+  snap.t_seconds = value.at("t_seconds").as_double();
+  for (const auto& [name, v] : value.at("counters").members()) {
+    snap.counters[name] = v.as_i64();
+  }
+  for (const auto& [name, v] : value.at("gauges").members()) {
+    snap.gauges[name] = v.as_i64();
+  }
+  for (const auto& [name, v] : value.at("histograms").members()) {
+    HistogramData h;
+    h.count = static_cast<u64>(v.at("count").as_i64());
+    h.sum = static_cast<u64>(v.at("sum").as_i64());
+    for (const core::JsonValue& pair : v.at("buckets").items()) {
+      const auto& cell = pair.items();
+      if (cell.size() != 2) {
+        throw core::JsonError("histogram bucket cell must be [bucket, count]");
+      }
+      const i64 b = cell[0].as_i64();
+      if (b < 0 || b >= kHistogramBuckets) {
+        throw core::JsonError("histogram bucket index out of range");
+      }
+      h.buckets[static_cast<int>(b)] = static_cast<u64>(cell[1].as_i64());
+    }
+    snap.histograms[name] = h;
+  }
+  return snap;
+}
+
+// ---- Registry --------------------------------------------------------------
+
+// Per-worker storage, fully sized at construction so hot-path writers never
+// observe a reallocation.  Histograms are flattened: each instrument owns
+// (count, sum, bucket[kHistogramBuckets]) consecutive cells.
+struct Registry::Shard {
+  explicit Shard(const RegistryOptions& opts)
+      : counters(opts.max_counters),
+        gauges(opts.max_gauges),
+        hist_cells(static_cast<std::size_t>(opts.max_histograms) *
+                   kHistCellsPerInstrument) {}
+
+  static constexpr std::size_t kHistCellsPerInstrument =
+      2 + kHistogramBuckets;
+
+  std::vector<std::atomic<i64>> counters;
+  std::vector<std::atomic<i64>> gauges;
+  std::vector<std::atomic<u64>> hist_cells;
+};
+
+Registry::Registry(RegistryOptions opts) : opts_(opts) {
+  shards_ = std::max(1, opts.shards);
+  opts_.max_counters = std::max(1, opts_.max_counters);
+  opts_.max_gauges = std::max(1, opts_.max_gauges);
+  opts_.max_histograms = std::max(1, opts_.max_histograms);
+  shard_data_.reserve(shards_);
+  for (int s = 0; s < shards_; ++s) {
+    shard_data_.push_back(std::make_unique<Shard>(opts_));
+  }
+  counter_names_.reserve(opts_.max_counters);
+  gauge_names_.reserve(opts_.max_gauges);
+  histogram_names_.reserve(opts_.max_histograms);
+  start_ticks_ = now_ticks();
+}
+
+Registry::~Registry() = default;
+
+namespace {
+int find_or_register(std::vector<std::string>* names, const std::string& name,
+                     int cap, const char* kind) {
+  for (std::size_t i = 0; i < names->size(); ++i) {
+    if ((*names)[i] == name) return static_cast<int>(i);
+  }
+  if (static_cast<int>(names->size()) >= cap) {
+    throw std::length_error(std::string("obs::Registry ") + kind +
+                            " capacity exhausted registering '" + name + "'");
+  }
+  names->push_back(name);
+  return static_cast<int>(names->size()) - 1;
+}
+}  // namespace
+
+CounterId Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CounterId{find_or_register(&counter_names_, name,
+                                    opts_.max_counters, "counter")};
+}
+
+GaugeId Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GaugeId{
+      find_or_register(&gauge_names_, name, opts_.max_gauges, "gauge")};
+}
+
+HistogramId Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HistogramId{find_or_register(&histogram_names_, name,
+                                      opts_.max_histograms, "histogram")};
+}
+
+int Registry::clamp_shard(int shard) const {
+  if (shard < 0) return 0;
+  return shard % shards_;
+}
+
+void Registry::add(int shard, CounterId id, i64 delta) {
+  if (!id.valid()) return;
+  shard_data_[clamp_shard(shard)]->counters[id.v].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_set(int shard, GaugeId id, i64 value) {
+  if (!id.valid()) return;
+  shard_data_[clamp_shard(shard)]->gauges[id.v].store(
+      value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_add(int shard, GaugeId id, i64 delta) {
+  if (!id.valid()) return;
+  shard_data_[clamp_shard(shard)]->gauges[id.v].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Registry::observe(int shard, HistogramId id, u64 value) {
+  if (!id.valid()) return;
+  Shard& data = *shard_data_[clamp_shard(shard)];
+  const std::size_t base =
+      static_cast<std::size_t>(id.v) * Shard::kHistCellsPerInstrument;
+  data.hist_cells[base].fetch_add(1, std::memory_order_relaxed);
+  data.hist_cells[base + 1].fetch_add(value, std::memory_order_relaxed);
+  data.hist_cells[base + 2 + histogram_bucket(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  // Copy the name tables under the lock; the atomic cells themselves are
+  // read lock-free (concurrent writers are fine — per-cell atomicity).
+  std::vector<std::string> counter_names, gauge_names, histogram_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counter_names = counter_names_;
+    gauge_names = gauge_names_;
+    histogram_names = histogram_names_;
+  }
+  Snapshot snap;
+  snap.t_seconds =
+      static_cast<double>(now_ticks() - start_ticks_) / 1e9;
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    i64 total = 0;
+    for (const auto& shard : shard_data_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters[counter_names[i]] = total;
+  }
+  for (std::size_t i = 0; i < gauge_names.size(); ++i) {
+    i64 total = 0;
+    for (const auto& shard : shard_data_) {
+      total += shard->gauges[i].load(std::memory_order_relaxed);
+    }
+    snap.gauges[gauge_names[i]] = total;
+  }
+  for (std::size_t i = 0; i < histogram_names.size(); ++i) {
+    HistogramData h;
+    const std::size_t base = i * Shard::kHistCellsPerInstrument;
+    for (const auto& shard : shard_data_) {
+      h.count += shard->hist_cells[base].load(std::memory_order_relaxed);
+      h.sum += shard->hist_cells[base + 1].load(std::memory_order_relaxed);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] +=
+            shard->hist_cells[base + 2 + b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms[histogram_names[i]] = h;
+  }
+  return snap;
+}
+
+}  // namespace collie::obs

@@ -1,0 +1,162 @@
+// Zero-overhead-when-off telemetry: sharded counters/gauges and log2
+// latency histograms.
+//
+// Collie is an always-on search service (ByteDance ran it continuously
+// against every new RDMA subsystem), and the ROADMAP's fleet/KB directions
+// both need *wall-clock* telemetry the simulated-time accounting cannot
+// provide: host-speed imbalance, pool contention, per-stage probe latency.
+// This registry is the instrumentation seam they will ship over RPC.
+//
+// Contract (the PR 5 zero-allocation discipline, extended to telemetry):
+//   * Registration allocates and takes a mutex — setup-time only.  Every
+//     shard's instrument storage is preallocated at construction, so
+//     registering never reallocates anything a hot-path writer touches.
+//   * The hot path is one relaxed atomic RMW per event (plus one
+//     steady-clock read per span edge) into the caller's *shard* — one
+//     shard per worker, so probe loops never contend on a cache line.
+//   * snapshot() merges shards into plain values; it allocates and may run
+//     concurrently with writers (readers see each instrument's value at
+//     some point during the call — per-instrument atomicity, not a
+//     cross-instrument cut, which is all telemetry needs).
+//
+// Snapshots are a commutative monoid under merge() (pointwise sums, max of
+// timestamps): merging per-host snapshots in any order or grouping yields
+// the same roll-up, the property a fleet coordinator needs to combine
+// worker-host reports.  Property-tested in tests/obs_test.cc.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace collie::core {
+class JsonWriter;  // obs stays include-light: core/report.h includes the
+class JsonValue;   // whole search stack, which includes engine -> obs.
+}  // namespace collie::core
+
+namespace collie::obs {
+
+// Monotonic timestamp in nanoseconds ("rdtsc-style": cheap enough for one
+// pair per probe stage, never used for anything but telemetry, so clock
+// choice can't perturb search results).
+u64 now_ticks();
+
+// Typed instrument handles; registration-time values, stable for the
+// registry's lifetime.  Default-constructed handles are invalid and every
+// hot-path call with one is a no-op branch.
+struct CounterId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+};
+struct GaugeId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+};
+struct HistogramId {
+  int v = -1;
+  bool valid() const { return v >= 0; }
+};
+
+// Fixed log2 bucketing: bucket 0 counts value 0, bucket b >= 1 counts
+// values with bit_width b, i.e. [2^(b-1), 2^b).  64 buckets cover the full
+// u64 range with no registration-time bound configuration — the fixed shape
+// is what makes histogram merge a plain vector add.
+inline constexpr int kHistogramBuckets = 65;
+
+int histogram_bucket(u64 value);
+// Inclusive upper edge of a bucket (the value reported for quantiles).
+u64 histogram_bucket_upper(int bucket);
+
+struct HistogramData {
+  u64 count = 0;
+  u64 sum = 0;
+  std::array<u64, kHistogramBuckets> buckets{};
+
+  // Upper edge of the bucket holding quantile q in [0, 1]; 0 when empty.
+  u64 quantile(double q) const;
+  double mean() const { return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+// A merged view of every instrument: plain values, safe to serialize, ship
+// and re-merge.  This is the wire object of the metrics layer.
+struct Snapshot {
+  // Wall-clock seconds since the registry was constructed, taken at
+  // snapshot time.  Merge keeps the max: the roll-up is "as of" the newest
+  // constituent.
+  double t_seconds = 0.0;
+  std::map<std::string, i64> counters;
+  std::map<std::string, i64> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  // Monoid merge: counters/gauges/histogram cells add pointwise, t_seconds
+  // takes the max.  Associative and commutative (property-tested), with the
+  // default-constructed Snapshot as identity.
+  void merge(const Snapshot& other);
+
+  // JSON object value (schema documented in README.md, "collie-metrics-v1"
+  // snapshots).  Written through the caller's JsonWriter so snapshots embed
+  // in larger documents; parse with core/json_reader.
+  void to_json(core::JsonWriter* json) const;
+  static Snapshot from_json(const core::JsonValue& value);
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+struct RegistryOptions {
+  // One shard per concurrently-writing worker.  Writers pass their worker
+  // index; it is clamped modulo the shard count, so an oversubscribed
+  // logical-worker schedule degrades to sharing shards, never to UB.
+  int shards = 4;
+  // Preallocated instrument capacity per kind.  Registration past a cap
+  // throws std::length_error at setup time — the alternative would be
+  // reallocating storage a concurrent hot-path writer is touching.
+  int max_counters = 256;
+  int max_gauges = 128;
+  int max_histograms = 64;
+};
+
+class Registry {
+ public:
+  explicit Registry(RegistryOptions opts = {});
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-register by name (idempotent, mutex-guarded, allocates).
+  CounterId counter(const std::string& name);
+  GaugeId gauge(const std::string& name);
+  HistogramId histogram(const std::string& name);
+
+  int shards() const { return shards_; }
+
+  // ---- Hot path: one relaxed atomic op, no locks, no allocation ----
+  void add(int shard, CounterId id, i64 delta = 1);
+  void gauge_set(int shard, GaugeId id, i64 value);
+  void gauge_add(int shard, GaugeId id, i64 delta);
+  void observe(int shard, HistogramId id, u64 value);
+
+  // Merge every shard into plain values (setup/reporting path; allocates).
+  Snapshot snapshot() const;
+
+ private:
+  struct Shard;
+  int clamp_shard(int shard) const;
+
+  mutable std::mutex mu_;  // guards the name tables only
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  int shards_ = 1;
+  RegistryOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shard_data_;
+  u64 start_ticks_ = 0;
+};
+
+}  // namespace collie::obs

@@ -1,0 +1,62 @@
+#include "obs/span.h"
+
+#include <bit>
+
+namespace collie::obs {
+
+const char* to_string(ProbeStage stage) {
+  switch (stage) {
+    case ProbeStage::kSample:
+      return "sample";
+    case ProbeStage::kMatchMfs:
+      return "match_mfs";
+    case ProbeStage::kEvaluate:
+      return "evaluate";
+    case ProbeStage::kMonitor:
+      return "monitor";
+    case ProbeStage::kExtract:
+      return "extract";
+    case ProbeStage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+SpanRing::SpanRing(int capacity) {
+  u64 cap = capacity < 1 ? 1 : static_cast<u64>(capacity);
+  cap = std::bit_ceil(cap);
+  slots_ = std::vector<Slot>(cap);
+}
+
+void SpanRing::record(ProbeStage stage, u64 start_ticks, u64 duration_ticks) {
+  const u64 mask = slots_.size() - 1;
+  const u64 i = head_->load(std::memory_order_relaxed);
+  Slot& slot = slots_[i & mask];
+  slot.stage.store(static_cast<u64>(stage), std::memory_order_relaxed);
+  slot.start.store(start_ticks, std::memory_order_relaxed);
+  slot.duration.store(duration_ticks, std::memory_order_relaxed);
+  head_->store(i + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> SpanRing::recent(int max) const {
+  const u64 head = head_->load(std::memory_order_acquire);
+  const u64 cap = slots_.size();
+  u64 n = head < cap ? head : cap;
+  if (max >= 0 && static_cast<u64>(max) < n) n = static_cast<u64>(max);
+  std::vector<SpanRecord> out;
+  out.reserve(n);
+  for (u64 k = 0; k < n; ++k) {
+    const Slot& slot = slots_[(head - 1 - k) & (cap - 1)];
+    SpanRecord r;
+    const u64 stage = slot.stage.load(std::memory_order_relaxed);
+    r.stage = stage < static_cast<u64>(ProbeStage::kCount)
+                  ? static_cast<ProbeStage>(stage)
+                  : ProbeStage::kSample;
+    r.start_ticks = slot.start.load(std::memory_order_relaxed);
+    r.duration_ticks = slot.duration.load(std::memory_order_relaxed);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace collie::obs

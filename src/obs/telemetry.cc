@@ -1,0 +1,121 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/table.h"
+#include "core/json_reader.h"
+#include "core/report.h"
+
+namespace collie::obs {
+
+Telemetry::Telemetry(TelemetryOptions opts)
+    : registry_([&] {
+        RegistryOptions r = opts.registry;
+        r.shards = std::max(1, opts.workers);
+        return r;
+      }()) {
+  const int workers = std::max(1, opts.workers);
+  rings_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    rings_.emplace_back(opts.span_capacity);
+  }
+  probe_.experiments = registry_.counter("probe.experiments");
+  probe_.anomalies = registry_.counter("probe.anomalies");
+  probe_.mfs_extracted = registry_.counter("probe.mfs_extracted");
+  probe_.mfs_skips = registry_.counter("probe.mfs_skips");
+  for (int s = 0; s < static_cast<int>(ProbeStage::kCount); ++s) {
+    probe_.stage_ns[s] = registry_.histogram(
+        std::string("probe.stage.") + to_string(static_cast<ProbeStage>(s)) +
+        "_ns");
+  }
+  engine_.remeasures = registry_.counter("engine.remeasures");
+  engine_.functional_failures = registry_.counter("engine.functional_failures");
+  engine_.eval_ns = registry_.histogram("engine.eval_ns");
+  pool_.hits = registry_.counter("pool.hits");
+  pool_.cross_hits = registry_.counter("pool.cross_hits");
+  pool_.warm_hits = registry_.counter("pool.warm_hits");
+  pool_.misses = registry_.counter("pool.misses");
+  pool_.inserts = registry_.counter("pool.inserts");
+  pool_.duplicate_inserts = registry_.counter("pool.duplicate_inserts");
+  pool_.epoch_publishes = registry_.counter("pool.epoch_publishes");
+  pool_.entries = registry_.gauge("pool.entries");
+  pool_.retained_snapshots = registry_.gauge("pool.retained_snapshots");
+}
+
+std::string snapshot_to_json(const Snapshot& snap) {
+  core::JsonWriter json;
+  snap.to_json(&json);
+  return json.str();
+}
+
+Snapshot snapshot_from_json(const std::string& text) {
+  return Snapshot::from_json(core::JsonValue::parse(text));
+}
+
+namespace {
+
+std::string fmt_ns(double ns) {
+  if (ns >= 1e9) return fmt_double(ns / 1e9, 2) + " s";
+  if (ns >= 1e6) return fmt_double(ns / 1e6, 2) + " ms";
+  if (ns >= 1e3) return fmt_double(ns / 1e3, 2) + " us";
+  return fmt_double(ns, 0) + " ns";
+}
+
+}  // namespace
+
+std::string render_stats(const Snapshot& snap) {
+  std::string out;
+  out += "== telemetry @ " + fmt_double(snap.t_seconds, 2) + " s ==\n";
+
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, v] : snap.counters) {
+      // Per-worker busy counters render in the utilization table below.
+      if (name.starts_with("campaign.worker.")) continue;
+      table.add_row({name, std::to_string(v)});
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      if (name.starts_with("campaign.worker.")) continue;
+      table.add_row({name + " (gauge)", std::to_string(v)});
+    }
+    if (table.rows() > 0) out += table.render();
+  }
+
+  if (!snap.histograms.empty()) {
+    TextTable table({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, h] : snap.histograms) {
+      table.add_row({name, std::to_string(h.count), fmt_ns(h.mean()),
+                     fmt_ns(static_cast<double>(h.quantile(0.5))),
+                     fmt_ns(static_cast<double>(h.quantile(0.9))),
+                     fmt_ns(static_cast<double>(h.quantile(0.99)))});
+    }
+    out += table.render();
+  }
+
+  // Per-worker utilization from campaign.worker.N.busy_ns vs wall time.
+  {
+    TextTable table({"worker", "busy", "utilization", "queue depth"});
+    const double wall_ns = snap.t_seconds * 1e9;
+    for (const auto& [name, v] : snap.counters) {
+      const std::string prefix = "campaign.worker.";
+      const std::string suffix = ".busy_ns";
+      if (!name.starts_with(prefix) || !name.ends_with(suffix)) continue;
+      const std::string worker = name.substr(
+          prefix.size(), name.size() - prefix.size() - suffix.size());
+      i64 depth = 0;
+      if (auto it = snap.gauges.find(prefix + worker + ".queue_depth");
+          it != snap.gauges.end()) {
+        depth = it->second;
+      }
+      const double util =
+          wall_ns > 0 ? static_cast<double>(v) / wall_ns : 0.0;
+      table.add_row({worker, fmt_ns(static_cast<double>(v)),
+                     fmt_percent(util, 1), std::to_string(depth)});
+    }
+    if (table.rows() > 0) out += table.render();
+  }
+  return out;
+}
+
+}  // namespace collie::obs

@@ -127,6 +127,8 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
   // engine error) must not take the worker thread — and with it the whole
   // fleet — down.  It is recorded as failed; the report counts it
   // separately from covered cells.
+  obs::Telemetry* tel = config_.telemetry;
+  const u64 wall_start = tel != nullptr ? obs::now_ticks() : 0;
   try {
     const sim::Subsystem sys = cell.materialize();
     workload::EngineOptions engine_opts = config_.engine;
@@ -134,9 +136,11 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
     // keeps the probe loop free of per-experiment allocations.  Verdicts,
     // traces and RNG streams are unaffected.
     engine_opts.keep_epochs = false;
+    engine_opts.telemetry = obs::ProbeTelemetry(tel, worker);
     const workload::Engine engine(sys, engine_opts);
     const core::SearchSpace space(sys);
     core::SearchDriver driver(engine, space);
+    driver.set_telemetry(obs::ProbeTelemetry(tel, worker));
     ConcurrentMfsPool::View store =
         pool.view(cell.scope(config_.share), worker);
     core::SearchBudget budget = config_.budget;
@@ -155,7 +159,23 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
     cr.error = e.what();
     LOG_WARN << "worker " << worker << " cell " << cell.label()
              << " failed: " << cr.error;
+    if (tel != nullptr) {
+      obs::Registry& reg = tel->registry();
+      reg.add(worker, cells_failed_);
+      if (worker >= 0 && worker < static_cast<int>(worker_ids_.size())) {
+        reg.add(worker, worker_ids_[static_cast<std::size_t>(worker)].busy_ns,
+                static_cast<i64>(obs::now_ticks() - wall_start));
+      }
+    }
     return cr;
+  }
+  if (tel != nullptr) {
+    obs::Registry& reg = tel->registry();
+    reg.add(worker, cells_completed_);
+    if (worker >= 0 && worker < static_cast<int>(worker_ids_.size())) {
+      reg.add(worker, worker_ids_[static_cast<std::size_t>(worker)].busy_ns,
+              static_cast<i64>(obs::now_ticks() - wall_start));
+    }
   }
   LOG_DEBUG << "worker " << worker << " finished cell " << cell.label()
             << ": " << cr.result.found.size() << " anomalies, "
@@ -174,7 +194,43 @@ void Campaign::run_queue(int logical_worker,
   for (const std::size_t i : queue) {
     out[i] = run_cell(logical_worker, timeline, cells[i], streams[i], pool);
     timeline += out[i].result.elapsed_seconds;
+    note_cell_drained(logical_worker);
   }
+}
+
+void Campaign::setup_telemetry(const Schedule& schedule, i64 skipped_cells) {
+  obs::Telemetry* tel = config_.telemetry;
+  if (tel == nullptr) return;
+  obs::Registry& reg = tel->registry();
+  cells_completed_ = reg.counter("campaign.cells_completed");
+  cells_failed_ = reg.counter("campaign.cells_failed");
+  cells_skipped_ = reg.counter("campaign.cells_skipped");
+  if (skipped_cells > 0) reg.add(0, cells_skipped_, skipped_cells);
+  worker_ids_.clear();
+  const int named = std::min(schedule.workers, kMaxWorkerInstruments);
+  for (int w = 0; w < named; ++w) {
+    WorkerIds ids;
+    ids.busy_ns =
+        reg.counter("campaign.worker." + std::to_string(w) + ".busy_ns");
+    ids.queue_depth =
+        reg.gauge("campaign.worker." + std::to_string(w) + ".queue_depth");
+    worker_ids_.push_back(ids);
+  }
+  for (std::size_t w = 0;
+       w < schedule.queues.size() && w < worker_ids_.size(); ++w) {
+    reg.gauge_set(static_cast<int>(w), worker_ids_[w].queue_depth,
+                  static_cast<i64>(schedule.queues[w].size()));
+  }
+}
+
+void Campaign::note_cell_drained(int worker) {
+  obs::Telemetry* tel = config_.telemetry;
+  if (tel == nullptr || worker < 0 ||
+      worker >= static_cast<int>(worker_ids_.size())) {
+    return;
+  }
+  tel->registry().gauge_add(
+      worker, worker_ids_[static_cast<std::size_t>(worker)].queue_depth, -1);
 }
 
 void Campaign::validate_replay(const Schedule& schedule,
@@ -274,7 +330,14 @@ CampaignResult Campaign::run() {
   streams.reserve(cells.size());
   for (const CampaignCell& cell : cells) streams.push_back(root.split(cell.stream));
 
+  i64 skipped_cells = 0;
+  for (const bool r : runnable) {
+    if (!r) ++skipped_cells;
+  }
+  setup_telemetry(schedule, skipped_cells);
+
   ConcurrentMfsPool pool;
+  pool.set_telemetry(config_.telemetry);
   if (config_.warm_start) {
     for (const auto& [scope, entries] : config_.warm_start->scopes) {
       pool.load_scope(scope, entries);
@@ -312,6 +375,7 @@ CampaignResult Campaign::run() {
       result.cells[i] = run_cell(static_cast<int>(w), timelines[w], cells[i],
                                  streams[i], pool);
       timelines[w] += result.cells[i].result.elapsed_seconds;
+      note_cell_drained(static_cast<int>(w));
     }
   } else {
     // One physical thread drains logical queues t, t+fleet, ... — queues

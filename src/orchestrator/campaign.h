@@ -121,6 +121,13 @@ struct CampaignConfig {
   // campaign is bit-for-bit identical at any worker count (under
   // ShareScope::kCell, where cell trajectories are schedule-independent).
   std::optional<Schedule> replay;
+  // Optional telemetry sink (not owned; must outlive run()).  The campaign
+  // registers per-logical-worker instruments, attaches the pool, and hands
+  // worker-sharded ProbeTelemetry handles to every driver and engine.
+  // Telemetry never feeds back into search decisions, RNG streams or
+  // simulated-time accounting, so results are bit-identical with it on or
+  // off (pinned by orchestrator tests).
+  obs::Telemetry* telemetry = nullptr;
   core::SaConfig sa;          // template; mode is overridden per cell
   workload::EngineOptions engine;
 };
@@ -195,8 +202,28 @@ class Campaign {
   void validate_replay(const Schedule& schedule,
                        const std::vector<CampaignCell>& cells,
                        const std::vector<bool>& runnable) const;
+  // Register campaign-level and per-worker instruments for this schedule
+  // (no-op without a telemetry sink).  Must run before worker threads start.
+  void setup_telemetry(const Schedule& schedule, i64 skipped_cells);
+  // One cell drained from `worker`'s queue (decrements its depth gauge).
+  void note_cell_drained(int worker);
 
   CampaignConfig config_;
+
+  // Per-logical-worker instruments, registered in run() before any thread
+  // starts (registration is the only mutex-taking telemetry operation).
+  // Indexed by logical worker, capped at kMaxWorkerInstruments named
+  // instruments — workers past the cap still record sharded counters, they
+  // just lose the per-worker breakdown.
+  static constexpr int kMaxWorkerInstruments = 64;
+  struct WorkerIds {
+    obs::CounterId busy_ns;
+    obs::GaugeId queue_depth;
+  };
+  std::vector<WorkerIds> worker_ids_;
+  obs::CounterId cells_completed_;
+  obs::CounterId cells_failed_;
+  obs::CounterId cells_skipped_;
 };
 
 }  // namespace collie::orchestrator

@@ -180,7 +180,7 @@ std::string CampaignReport::render() const {
   return os.str();
 }
 
-std::string CampaignReport::to_json() const {
+std::string CampaignReport::to_json(const obs::Snapshot* metrics) const {
   core::JsonWriter json;
   json.begin_object();
   json.field("workers", workers);
@@ -233,6 +233,10 @@ std::string CampaignReport::to_json() const {
     json.end_object();
   }
   json.end_array();
+  if (metrics != nullptr) {
+    json.key("metrics");
+    metrics->to_json(&json);
+  }
   json.end_object();
   return json.str();
 }
@@ -318,11 +322,29 @@ std::vector<CampaignTracePoint> aggregate_trace(const CampaignResult& result) {
   return out;
 }
 
+namespace {
+
+// RFC-4180 field quoting: labels are normally plain ("B/Diag#0"), but a
+// fabric or cc scenario name containing a comma/quote/newline must not
+// shear the row.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string aggregate_trace_csv(const CampaignResult& result) {
   std::ostringstream os;
   os << "t_seconds,worker,cell,counter_value,anomaly_found,in_mfs_extraction\n";
   for (const CampaignTracePoint& p : aggregate_trace(result)) {
-    os << p.t_seconds << "," << p.worker << "," << p.cell << ","
+    os << p.t_seconds << "," << p.worker << "," << csv_escape(p.cell) << ","
        << p.counter_value << "," << (p.anomaly_found ? 1 : 0) << ","
        << (p.in_mfs_extraction ? 1 : 0) << "\n";
   }

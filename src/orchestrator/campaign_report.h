@@ -77,7 +77,12 @@ struct CampaignReport {
   std::string render() const;
   // Machine-readable report; embeds each anomaly's full representative MFS
   // so to_json(campaign_report_from_json(to_json())) is byte-identical.
-  std::string to_json() const;
+  // When `metrics` is non-null the telemetry roll-up is embedded as a
+  // "metrics" member.  Wall-clock telemetry is nondeterministic, so callers
+  // that need bit-exact replayable output (the CLI's --json stdout, the
+  // replay smoke) pass null; the --metrics-out file passes the final
+  // snapshot.  campaign_report_from_json ignores the member either way.
+  std::string to_json(const obs::Snapshot* metrics = nullptr) const;
 };
 
 CampaignReport build_report(const CampaignResult& result);

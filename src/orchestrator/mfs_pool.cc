@@ -26,7 +26,7 @@ bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
 bool ConcurrentMfsPool::View::covers_preloaded(const core::SearchSpace& space,
                                                const Workload& w) {
   const Snapshot* snap = handle()->snap.load(std::memory_order_acquire);
-  if (!pool_->covers_preloaded_snapshot(snap, space, w)) return false;
+  if (!pool_->covers_preloaded_snapshot(snap, space, w, worker_)) return false;
   hits_ += 1;
   warm_hits_ += 1;
   return true;
@@ -51,26 +51,47 @@ bool ConcurrentMfsPool::covers_snapshot(const Snapshot* snap,
                                         const core::SearchSpace& space,
                                         const Workload& w, int requester,
                                         bool* cross, bool* warm) {
-  if (snap == nullptr) return false;
-  const int idx = snap->index.first_match(space, w);
-  if (idx < 0) return false;
+  const int idx = snap == nullptr ? -1 : snap->index.first_match(space, w);
+  if (idx < 0) {
+    if (tel_ != nullptr) {
+      tel_->registry().add(requester, tel_->pool_ids().misses);
+    }
+    return false;
+  }
   hits_.fetch_add(1, std::memory_order_relaxed);
   const Entry& e = snap->entries[static_cast<std::size_t>(idx)];
   const bool is_warm = e.origin_worker == kWarmStartOrigin;
   const bool is_cross = !is_warm && e.origin_worker != requester;
   if (is_cross) cross_hits_.fetch_add(1, std::memory_order_relaxed);
   if (is_warm) warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_ != nullptr) {
+    const obs::PoolIds& ids = tel_->pool_ids();
+    tel_->registry().add(requester, ids.hits);
+    if (is_cross) tel_->registry().add(requester, ids.cross_hits);
+    if (is_warm) tel_->registry().add(requester, ids.warm_hits);
+  }
   if (cross != nullptr) *cross = is_cross;
   if (warm != nullptr) *warm = is_warm;
   return true;
 }
 
-bool ConcurrentMfsPool::covers_preloaded_snapshot(
-    const Snapshot* snap, const core::SearchSpace& space, const Workload& w) {
-  if (snap == nullptr || snap->warm_entries == 0) return false;
-  if (snap->index.first_match(space, w, snap->warm_mask) < 0) return false;
+bool ConcurrentMfsPool::covers_preloaded_snapshot(const Snapshot* snap,
+                                                  const core::SearchSpace& space,
+                                                  const Workload& w,
+                                                  int requester) {
+  if (snap == nullptr || snap->warm_entries == 0 ||
+      snap->index.first_match(space, w, snap->warm_mask) < 0) {
+    if (tel_ != nullptr) {
+      tel_->registry().add(requester, tel_->pool_ids().misses);
+    }
+    return false;
+  }
   hits_.fetch_add(1, std::memory_order_relaxed);
   warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_ != nullptr) {
+    tel_->registry().add(requester, tel_->pool_ids().hits);
+    tel_->registry().add(requester, tel_->pool_ids().warm_hits);
+  }
   return true;
 }
 
@@ -116,7 +137,7 @@ bool ConcurrentMfsPool::covers(const std::string& scope,
 bool ConcurrentMfsPool::covers_preloaded(const std::string& scope,
                                          const core::SearchSpace& space,
                                          const Workload& w) {
-  return covers_preloaded_snapshot(peek(scope), space, w);
+  return covers_preloaded_snapshot(peek(scope), space, w, 0);
 }
 
 int ConcurrentMfsPool::insert(const std::string& scope,
@@ -135,6 +156,10 @@ int ConcurrentMfsPool::insert(const std::string& scope,
     for (const Entry& e : old->entries) {
       if (core::same_anomaly_region(space, e.mfs, mfs)) {
         duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
+        if (tel_ != nullptr) {
+          tel_->registry().add(origin_worker >= 0 ? origin_worker : 0,
+                               tel_->pool_ids().duplicate_inserts);
+        }
         break;
       }
     }
@@ -152,6 +177,16 @@ int ConcurrentMfsPool::insert(const std::string& scope,
   next->index.add(mfs);
   next->entries.push_back(Entry{std::move(mfs), origin_worker});
   publish(*h, std::move(next));
+  if (tel_ != nullptr) {
+    const obs::PoolIds& ids = tel_->pool_ids();
+    obs::Registry& reg = tel_->registry();
+    const int shard = origin_worker >= 0 ? origin_worker : 0;
+    reg.add(shard, ids.inserts);
+    reg.add(shard, ids.epoch_publishes);
+    // Gauges accumulate on shard 0 (writes are serialized under mu_).
+    reg.gauge_add(0, ids.entries, 1);
+    if (old != nullptr) reg.gauge_add(0, ids.retained_snapshots, 1);
+  }
   return index;
 }
 
@@ -164,6 +199,7 @@ void ConcurrentMfsPool::load_scope(const std::string& scope,
   auto next = old != nullptr ? std::make_unique<Snapshot>(*old)
                              : std::make_unique<Snapshot>();
   next->epoch += 1;
+  const i64 loaded = static_cast<i64>(entries.size());
   for (core::Mfs& mfs : entries) {
     const std::size_t at = next->entries.size();
     mfs.index = static_cast<int>(at);
@@ -173,6 +209,14 @@ void ConcurrentMfsPool::load_scope(const std::string& scope,
     next->entries.push_back(Entry{std::move(mfs), kWarmStartOrigin});
   }
   publish(*h, std::move(next));
+  if (tel_ != nullptr) {
+    const obs::PoolIds& ids = tel_->pool_ids();
+    tel_->registry().add(0, ids.epoch_publishes);
+    tel_->registry().gauge_add(0, ids.entries, loaded);
+    if (old != nullptr) {
+      tel_->registry().gauge_add(0, ids.retained_snapshots, 1);
+    }
+  }
 }
 
 std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()

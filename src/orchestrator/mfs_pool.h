@@ -41,6 +41,7 @@
 #include "common/units.h"
 #include "core/mfs_index.h"
 #include "core/mfs_store.h"
+#include "obs/telemetry.h"
 
 namespace collie::orchestrator {
 
@@ -127,6 +128,12 @@ class ConcurrentMfsPool {
   // checkpoint serializes.  std::map keeps scope order deterministic.
   std::map<std::string, std::vector<core::Mfs>> export_scopes() const;
 
+  // Attach a telemetry sink (optional; must outlive the pool's use).  Hit
+  // and miss counters land in the requester's shard on the lock-free read
+  // path; insert/publish counters and the entries/retained gauges update
+  // under the writer mutex.
+  void set_telemetry(obs::Telemetry* telemetry) { tel_ = telemetry; }
+
   std::size_t size(const std::string& scope) const;
   std::vector<core::Mfs> snapshot(const std::string& scope) const;
   std::vector<std::string> scopes() const;
@@ -173,7 +180,7 @@ class ConcurrentMfsPool {
                        bool* warm);
   bool covers_preloaded_snapshot(const Snapshot* snap,
                                  const core::SearchSpace& space,
-                                 const Workload& w);
+                                 const Workload& w, int requester);
 
   // Guards the scope map and serializes writers; never taken by the
   // covers() fast path.
@@ -183,6 +190,7 @@ class ConcurrentMfsPool {
   std::atomic<i64> cross_hits_{0};
   std::atomic<i64> warm_hits_{0};
   std::atomic<i64> duplicate_inserts_{0};
+  obs::Telemetry* tel_ = nullptr;
 };
 
 }  // namespace collie::orchestrator

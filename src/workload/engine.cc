@@ -243,7 +243,30 @@ Measurement Engine::run(const Workload& w, Rng& rng) const {
 Measurement Engine::run(const Workload& w, Rng& rng,
                         sim::EvalScratch& scratch) const {
   Measurement m;
+  run(w, rng, scratch, m);
+  return m;
+}
+
+const Measurement& Engine::run(const Workload& w, Rng& rng,
+                               sim::EvalScratch& scratch,
+                               Measurement& m) const {
+  // Field-wise reset instead of `m = Measurement{}`: keeps the samples and
+  // epochs vector capacities and the note string's buffer, which is what
+  // makes the reused-Measurement probe path allocation-free.
+  m.samples.clear();
+  m.average = sim::CounterSample{};
+  m.pause_duration_ratio = 0.0;
+  m.fabric_pause_ratio = 0.0;
+  m.cc_suppressed_ratio = 0.0;
+  m.wire_utilization = 0.0;
+  m.pps_utilization = 0.0;
+  m.rx_goodput_bps = 0.0;
+  m.stable = false;
+  m.remeasure_count = 0;
   m.cost_seconds = sim::experiment_cost_seconds(w);
+  m.dominant = sim::Bottleneck::kNone;
+  m.bottleneck_note.clear();
+  m.epochs.clear();
 
   if (opts_.run_functional_pass) {
     std::string err;
@@ -251,6 +274,9 @@ Measurement Engine::run(const Workload& w, Rng& rng,
       // A workload that cannot even be set up measures as zero traffic.
       m.stable = true;
       m.bottleneck_note = "functional: " + err;
+      if (opts_.telemetry.enabled()) {
+        opts_.telemetry.add(opts_.telemetry.engine_ids().functional_failures);
+      }
       return m;
     }
   }
@@ -261,6 +287,7 @@ Measurement Engine::run(const Workload& w, Rng& rng,
   // instead of rebuilding the scenario per probe.
   sim::SimResult uncompiled;
   for (int attempt = 0; attempt < 2; ++attempt) {
+    const u64 eval_start = opts_.telemetry.begin();
     if (!opts_.use_compiled) {
       uncompiled = sim::evaluate(sys_, w, rng, opts_.sim);
     }
@@ -268,6 +295,10 @@ Measurement Engine::run(const Workload& w, Rng& rng,
         opts_.use_compiled ? sim::evaluate(compiled_, w, rng, scratch,
                                            opts_.sim)
                            : uncompiled;
+    if (opts_.telemetry.enabled()) {
+      opts_.telemetry.observe(opts_.telemetry.engine_ids().eval_ns,
+                              obs::now_ticks() - eval_start);
+    }
     // Four counter fetches at one-second spacing, i.e. evenly across the
     // post-warmup epochs.
     m.samples.clear();
@@ -301,6 +332,9 @@ Measurement Engine::run(const Workload& w, Rng& rng,
     if (m.stable) break;
     m.remeasure_count++;
     m.cost_seconds += 10.0;
+    if (opts_.telemetry.enabled()) {
+      opts_.telemetry.add(opts_.telemetry.engine_ids().remeasures);
+    }
   }
   return m;
 }

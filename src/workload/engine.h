@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/telemetry.h"
 #include "sim/perf_model.h"
 #include "sim/subsystem.h"
 #include "sim/workload.h"
@@ -76,6 +77,9 @@ struct EngineOptions {
   // campaign turns this off to keep the probe loop copy-free; interactive
   // tools (anomaly_explorer) keep the default.
   bool keep_epochs = true;
+  // Hot-path telemetry handle (worker-sharded).  Default-constructed =
+  // metrics off; every instrumentation point is then one pointer test.
+  obs::ProbeTelemetry telemetry;
   sim::SimConfig sim;
 };
 
@@ -93,6 +97,13 @@ class Engine {
   Measurement run(const Workload& w, Rng& rng) const;
   Measurement run(const Workload& w, Rng& rng,
                   sim::EvalScratch& scratch) const;
+  // In-place overload: resets and refills the caller's Measurement, keeping
+  // its samples/epochs capacity and note-string buffer, so a driver that
+  // reuses one Measurement across probes allocates nothing in steady state
+  // (the returned reference is `out` itself).  The by-value overloads
+  // delegate here.
+  const Measurement& run(const Workload& w, Rng& rng,
+                         sim::EvalScratch& scratch, Measurement& out) const;
 
   // The functional pass alone; returns false with a reason if the workload
   // cannot be expressed as a legal verbs program or data verification fails.

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/cli.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strings.h"
@@ -165,6 +166,44 @@ TEST(Cli, ParsesFlagsAndPositional) {
   ASSERT_EQ(args.positional().size(), 1u);
   EXPECT_EQ(args.positional()[0], "pos");
   EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+// Restores the global threshold on scope exit so a failing assertion can't
+// leak a kDebug level into later tests.
+struct ScopedLogLevel {
+  explicit ScopedLogLevel(LogLevel level) : saved(log_level()) {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(saved); }
+  LogLevel saved;
+};
+
+TEST(Log, SuppressedLineDoesNotEvaluateArguments) {
+  // Regression: COLLIE_LOG used to build the full LogLine (evaluating every
+  // streamed argument) and only then drop the message in emit().  The macro
+  // must short-circuit on the level check instead.
+  ScopedLogLevel scope(LogLevel::kWarn);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("payload");
+  };
+  LOG_DEBUG << "dropped " << expensive();
+  LOG_INFO << "dropped " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  LOG_WARN << "kept " << expensive();
+  LOG_ERROR << "kept " << expensive();
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Log, MacroNestsInUnbracedIfElse) {
+  ScopedLogLevel scope(LogLevel::kError);
+  bool else_taken = false;
+  if (false)
+    LOG_INFO << "then-branch";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
 }
 
 }  // namespace

@@ -18,10 +18,13 @@
 
 #include "catalog/anomalies.h"
 #include "core/mfs_store.h"
+#include "core/search.h"
 #include "core/space.h"
 #include "nic/dcqcn.h"
+#include "obs/telemetry.h"
 #include "sim/perf_model.h"
 #include "sim/subsystem.h"
+#include "workload/engine.h"
 
 // ---- Global allocation counter --------------------------------------------
 
@@ -177,6 +180,50 @@ TEST(HotPathAllocation, IndexedCoversAllocatesNothingOnceWarm) {
     }
   });
   EXPECT_EQ(allocs, 0);
+}
+
+TEST(HotPathAllocation, DriverProbeWithTelemetryOnAllocatesNothing) {
+  // The full driver probe (engine run into the driver's reused Measurement,
+  // monitor judgement) with a live obs::Telemetry attached: counters, stage
+  // histograms and span-ring records must all stay on preallocated storage.
+  // This also pins the scratch-owned Measurement — the in-place run()
+  // overload may not reallocate samples or the note string once warm.
+  // The functional pass builds a real verbs network (allocating by design),
+  // so it is off here, as in the campaign probe loop; keep_epochs likewise.
+  obs::Telemetry telemetry;
+  workload::EngineOptions eopts;
+  eopts.run_functional_pass = false;
+  eopts.keep_epochs = false;
+  eopts.telemetry = obs::ProbeTelemetry(&telemetry, 0);
+  const Subsystem sys = with_cc(
+      with_fabric(subsystem('F'), net::fabric_scenario("fanin4")),
+      nic::cc_scenario("dcqcn"));
+  const workload::Engine engine(sys, eopts);
+  core::SearchSpace space(sys);
+  core::SearchDriver driver(engine, space);
+  driver.set_telemetry(obs::ProbeTelemetry(&telemetry, 0));
+
+  const std::vector<Workload> ws = hot_workloads();
+  Rng rng(7);
+  for (const Workload& w : ws) {
+    (void)driver.measure_and_judge(w, rng);
+    (void)driver.measure_and_judge(w, rng);
+  }
+  for (const Workload& w : ws) {
+    const long allocs = count_allocations([&] {
+      for (int i = 0; i < 20; ++i) {
+        double cost = 0.0;
+        (void)driver.measure_and_judge(w, rng, &cost);
+      }
+    });
+    EXPECT_EQ(allocs, 0) << w.describe();
+  }
+  // The instrumentation actually fired (this is not a vacuous pin).
+  const obs::Snapshot snap = telemetry.snapshot();
+  EXPECT_GE(snap.counters.at("probe.experiments"),
+            static_cast<i64>(ws.size()) * 22);
+  EXPECT_GT(snap.histograms.at("engine.eval_ns").count, 0u);
+  EXPECT_GT(telemetry.ring(0).recorded(), 0u);
 }
 
 TEST(HotPathScratch, ReuseAcrossScenariosMatchesFreshEvaluationBitForBit) {

@@ -8,6 +8,7 @@
 
 #include "catalog/anomalies.h"
 #include "core/search.h"
+#include "obs/telemetry.h"
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "orchestrator/checkpoint.h"
@@ -1121,6 +1122,119 @@ TEST(CampaignReportTest, AggregateTraceIsMergedAndOrdered) {
   }
   const std::string csv = aggregate_trace_csv(result);
   EXPECT_NE(csv.find("t_seconds,worker,cell"), std::string::npos);
+}
+
+TEST(CampaignReportTest, AggregateTraceEmptyResultIsHeaderOnly) {
+  const CampaignResult empty;
+  EXPECT_TRUE(aggregate_trace(empty).empty());
+  const std::string csv = aggregate_trace_csv(empty);
+  EXPECT_EQ(csv,
+            "t_seconds,worker,cell,counter_value,anomaly_found,"
+            "in_mfs_extraction\n");
+}
+
+// Synthetic cell results exercising the merge directly: points from
+// different cells interleave on the campaign timeline, and equal timestamps
+// order by worker id regardless of cell insertion order.
+TEST(CampaignReportTest, AggregateTraceMergesCellsAndTieBreaksByWorker) {
+  CampaignResult result;
+  CellResult late;
+  late.cell.subsystem = 'B';
+  late.worker = 3;
+  late.start_seconds = 10.0;
+  late.result.trace.push_back({5.0, 1.0, 0.0, false, false});  // t = 15
+  late.result.trace.push_back({10.0, 2.0, 0.0, false, false});  // t = 20
+  CellResult early;
+  early.cell.subsystem = 'F';
+  early.worker = 1;
+  early.start_seconds = 0.0;
+  early.result.trace.push_back({5.0, 3.0, 0.0, false, false});  // t = 5
+  early.result.trace.push_back({15.0, 4.0, 0.0, false, false});  // t = 15
+  result.cells.push_back(std::move(late));  // inserted before `early`
+  result.cells.push_back(std::move(early));
+
+  const auto trace = aggregate_trace(result);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace[0].t_seconds, 5.0);
+  EXPECT_EQ(trace[0].worker, 1);
+  // The t=15 tie orders worker 1 before worker 3.
+  EXPECT_DOUBLE_EQ(trace[1].t_seconds, 15.0);
+  EXPECT_EQ(trace[1].worker, 1);
+  EXPECT_DOUBLE_EQ(trace[2].t_seconds, 15.0);
+  EXPECT_EQ(trace[2].worker, 3);
+  EXPECT_DOUBLE_EQ(trace[3].t_seconds, 20.0);
+  EXPECT_EQ(trace[3].worker, 3);
+  EXPECT_EQ(trace[0].cell, "F/Diag#0");
+}
+
+TEST(CampaignReportTest, AggregateTraceCsvEscapesLabels) {
+  // A fabric name with a comma and a quote lands in the cell label; the CSV
+  // field must be RFC-4180 quoted (internal quotes doubled) so the row
+  // keeps its column count.
+  CampaignResult result;
+  CellResult cr;
+  cr.cell.subsystem = 'B';
+  cr.cell.fabric = "we,ird\"net";
+  cr.worker = 0;
+  cr.result.trace.push_back({1.0, 2.0, 0.0, true, false});
+  result.cells.push_back(std::move(cr));
+
+  const std::string csv = aggregate_trace_csv(result);
+  EXPECT_NE(csv.find("\"B@we,ird\"\"net/Diag#0\""), std::string::npos);
+  // Exactly header + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  // The data row still has 5 commas outside the quoted field... which is
+  // easiest to check by splitting on the quoted label.
+  const std::size_t open = csv.find('"');
+  const std::size_t close = csv.rfind('"');
+  ASSERT_NE(open, std::string::npos);
+  const std::size_t row_start = csv.find('\n') + 1;
+  const std::string before = csv.substr(row_start, open - row_start);
+  const std::string after = csv.substr(close + 1);
+  EXPECT_EQ(std::count(before.begin(), before.end(), ','), 2);
+  EXPECT_EQ(std::count(after.begin(), after.end(), ','), 3);
+}
+
+// ---- Telemetry threading ---------------------------------------------------
+
+TEST(CampaignTest, TelemetryDoesNotPerturbTheReport) {
+  // The acceptance bar for the obs layer: a campaign with telemetry
+  // attached produces a bit-identical report (metrics live in a separate
+  // snapshot, never in the report JSON by default), and the counters agree
+  // with the report's own totals.
+  CampaignConfig config = small_campaign_config();
+  config.workers = 2;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kDeterministic;
+
+  const CampaignResult plain = Campaign(config).run();
+
+  obs::TelemetryOptions topts;
+  topts.workers = config.workers;
+  obs::Telemetry telemetry(topts);
+  config.telemetry = &telemetry;
+  const CampaignResult instrumented = Campaign(config).run();
+
+  const std::string plain_json = build_report(plain).to_json();
+  const CampaignReport report = build_report(instrumented);
+  EXPECT_EQ(report.to_json(), plain_json);
+
+  const obs::Snapshot snap = telemetry.snapshot();
+  EXPECT_EQ(snap.counters.at("probe.experiments"),
+            static_cast<i64>(report.total_experiments));
+  EXPECT_EQ(snap.counters.at("campaign.cells_completed"),
+            static_cast<i64>(instrumented.cells.size()));
+  EXPECT_GT(snap.histograms.at("engine.eval_ns").count, 0u);
+  // Pool traffic was attributed (covers misses at minimum).
+  EXPECT_GT(snap.counters.at("pool.misses"), 0);
+  // The report embeds the snapshot only when asked.
+  const std::string with_metrics = report.to_json(&snap);
+  EXPECT_NE(with_metrics, plain_json);
+  EXPECT_NE(with_metrics.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(plain_json.find("\"metrics\""), std::string::npos);
+  // The embedded document still parses as a report.
+  const CampaignReport back = campaign_report_from_json(with_metrics);
+  EXPECT_EQ(back.total_experiments, report.total_experiments);
 }
 
 }  // namespace

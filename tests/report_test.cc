@@ -119,5 +119,22 @@ TEST(Report, MfsReportIsReadable) {
   EXPECT_NE(rep.find("break any one"), std::string::npos);
 }
 
+TEST(Json, RawValueSplicesWithCommaHandling) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("a", 1);
+  json.key("embedded");
+  json.raw_value("{\"x\":[1,2]}");
+  json.field("b", 2);
+  json.begin_array("list");
+  json.raw_value("3");
+  json.raw_value("{\"y\":4}");
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"a\":1,\"embedded\":{\"x\":[1,2]},\"b\":2,"
+            "\"list\":[3,{\"y\":4}]}");
+}
+
 }  // namespace
 }  // namespace collie::core

@@ -22,10 +22,13 @@ inline catalog::Symptom to_catalog(core::Symptom s) {
 
 // Ground-truth anomaly id of one discovery (0 if it maps to no catalog
 // row).  Mechanism labeling first (the analogue of vendor confirmation),
-// region labeling as fallback.
-inline int identify(const std::string& chip, const core::FoundAnomaly& f) {
-  int id = catalog::label_by_mechanism(chip, f.mfs.witness, f.dominant,
-                                       to_catalog(f.mfs.symptom));
+// region labeling as fallback.  The figure benches run the paper's
+// identical pair; scenario sweeps pass the fabric the discovery ran under
+// so switch-level mechanisms (ids 101+) attribute correctly.
+inline int identify(const std::string& chip, const core::FoundAnomaly& f,
+                    const std::string& fabric = "pair") {
+  int id = catalog::label_by_mechanism(chip, fabric, f.mfs.witness,
+                                       f.dominant, to_catalog(f.mfs.symptom));
   if (id == 0) {
     const auto labels =
         catalog::label(chip, f.mfs.witness, to_catalog(f.mfs.symptom));

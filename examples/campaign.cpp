@@ -42,6 +42,13 @@
 //                      schedule (bit-for-bit at any --workers count under
 //                      --share cell); otherwise run normally and record
 //                      this run's schedule to <f>
+//   --backend <b>      sim | record:FILE | trace:FILE (default sim).
+//                      record: runs on the simulator and writes every probe
+//                      to FILE as a collie-trace-v1 document (schema in
+//                      README.md); trace: replays FILE offline — zero
+//                      simulator evaluations, byte-identical report.
+//                      Record/replay needs deterministic cell trajectories
+//                      (--exec deterministic or --share cell)
 //   --functional       run the engine's functional verbs pass too (slower)
 //   --json             print the report as JSON instead of tables
 //   --trace-csv        print the merged fleet trace as CSV and exit
@@ -81,6 +88,7 @@
 #include "orchestrator/checkpoint.h"
 #include "orchestrator/scheduler.h"
 #include "sim/subsystem.h"
+#include "workload/backend_trace.h"
 
 using namespace collie;
 using namespace collie::orchestrator;
@@ -103,11 +111,18 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+// Newest spans exported per worker ring: enough to see what each worker
+// was doing when the document was written, small enough that the file
+// stays readable (the rings themselves hold 256 slots each).
+constexpr int kSpansPerWorker = 64;
+
 // The collie-metrics-v1 document (schema in README.md): periodic snapshots
-// in capture order, then — once the campaign is done — the final roll-up
-// and the report with metrics embedded.
+// in capture order, the span-ring flight recorder, then — once the
+// campaign is done — the final roll-up and the report with metrics
+// embedded.
 std::string metrics_document(double interval_seconds,
                              const std::vector<obs::Snapshot>& snapshots,
+                             const obs::Telemetry& telemetry,
                              const std::string* report_json) {
   core::JsonWriter json;
   json.begin_object();
@@ -116,6 +131,7 @@ std::string metrics_document(double interval_seconds,
   json.begin_array("snapshots");
   for (const obs::Snapshot& snap : snapshots) snap.to_json(&json);
   json.end_array();
+  obs::spans_to_json(telemetry, kSpansPerWorker, &json);
   if (report_json != nullptr) {
     json.key("report");
     json.raw_value(*report_json);
@@ -245,6 +261,52 @@ int main(int argc, char** argv) {
                                              : ExecutionMode::kThreads;
   config.engine.run_functional_pass = args.get_bool("functional", false);
 
+  // --backend: execution substrate selector.  Record mode shares one
+  // recorder across every cell and writes the trace after the run; replay
+  // mode parses the trace up front so a garbled file fails before any
+  // search work starts.
+  const std::string backend_arg = args.get("backend", "sim");
+  std::shared_ptr<workload::TraceRecorder> recorder;
+  std::string trace_out_path;
+  const char* backend_desc = "sim";
+  if (backend_arg == "sim") {
+    // Default: each engine builds its own SimBackend.
+  } else if (backend_arg.rfind("record:", 0) == 0) {
+    trace_out_path = backend_arg.substr(7);
+    if (trace_out_path.empty()) {
+      std::fprintf(stderr, "--backend record: needs a file path\n");
+      return 2;
+    }
+    recorder = std::make_shared<workload::TraceRecorder>();
+    config.backend_factory =
+        std::make_shared<workload::RecordBackendFactory>(recorder);
+    backend_desc = "record";
+  } else if (backend_arg.rfind("trace:", 0) == 0) {
+    const std::string trace_path = backend_arg.substr(6);
+    std::string text;
+    if (!read_file(trace_path, &text)) {
+      std::fprintf(stderr, "cannot read trace '%s'\n", trace_path.c_str());
+      return 2;
+    }
+    try {
+      auto file = std::make_shared<workload::TraceFile>(
+          workload::TraceFile::from_json(text));
+      config.backend_factory =
+          std::make_shared<workload::ReplayBackendFactory>(std::move(file));
+    } catch (const core::JsonError& e) {
+      std::fprintf(stderr, "bad trace '%s': %s\n", trace_path.c_str(),
+                   e.what());
+      return 2;
+    }
+    backend_desc = "replay";
+  } else {
+    std::fprintf(stderr,
+                 "unknown backend '%s' (valid: sim, record:FILE, "
+                 "trace:FILE)\n",
+                 backend_arg.c_str());
+    return 2;
+  }
+
   const std::string warm_path = args.get("warm-start", "");
   if (!warm_path.empty()) {
     std::string text;
@@ -297,13 +359,22 @@ int main(int argc, char** argv) {
     config.telemetry = telemetry.get();
   }
 
-  Campaign campaign(config);
+  // Config validation (trace determinism, warm-start share mismatch) throws
+  // from the constructor: reject loudly instead of crashing.
+  std::unique_ptr<Campaign> campaign_ptr;
+  try {
+    campaign_ptr = std::make_unique<Campaign>(config);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  Campaign& campaign = *campaign_ptr;
   std::printf("campaign: %zu cells, %d workers, %s scope, %s execution, %s "
-              "schedule%s\n",
+              "schedule, %s backend%s\n",
               campaign.plan().size(), campaign.config().workers,
               to_string(config.share), to_string(config.execution),
               replaying ? "replayed" : to_string(config.schedule),
-              config.warm_start ? ", warm-started" : "");
+              backend_desc, config.warm_start ? ", warm-started" : "");
 
   // Periodic snapshot thread: rewrites the metrics file every interval so
   // a long campaign can be watched live (`metrics_inspect` on the file).
@@ -323,7 +394,8 @@ int main(int argc, char** argv) {
             std::chrono::duration<double>(metrics_interval));
         snapshots.push_back(telemetry->snapshot());
         write_file(metrics_path,
-                   metrics_document(metrics_interval, snapshots, nullptr));
+                   metrics_document(metrics_interval, snapshots, *telemetry,
+                                    nullptr));
       }
     });
   }
@@ -357,6 +429,21 @@ int main(int argc, char** argv) {
     std::printf("recorded steal schedule to %s\n", replay_path.c_str());
   }
 
+  if (recorder) {
+    if (!write_file(trace_out_path, recorder->to_json())) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   trace_out_path.c_str());
+      return 2;
+    }
+    const workload::TraceFile trace = recorder->file();
+    std::size_t probes = 0;
+    for (const auto& [context, sequence] : trace.contexts) {
+      probes += sequence.size();
+    }
+    std::printf("recorded %zu probes across %zu contexts to %s\n", probes,
+                trace.contexts.size(), trace_out_path.c_str());
+  }
+
   const std::string checkpoint_path = args.get("checkpoint", "");
   if (!checkpoint_path.empty()) {
     if (!write_file(checkpoint_path, make_checkpoint(result).to_json())) {
@@ -382,7 +469,7 @@ int main(int argc, char** argv) {
     snapshots.push_back(final_snap);
     const std::string report_json = report.to_json(&final_snap);
     if (!write_file(metrics_path, metrics_document(metrics_interval,
-                                                   snapshots,
+                                                   snapshots, *telemetry,
                                                    &report_json))) {
       std::fprintf(stderr, "cannot write metrics to '%s'\n",
                    metrics_path.c_str());

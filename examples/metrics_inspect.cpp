@@ -50,8 +50,33 @@ int main(int argc, char** argv) {
       merged.merge(obs::Snapshot::from_json(s));
     }
     const obs::Snapshot latest = obs::Snapshot::from_json(snaps.back());
-    std::printf("%s: %zu snapshot%s, interval %.0f s%s\n", argv[1],
-                snaps.size(), snaps.size() == 1 ? "" : "s",
+    // The span flight recorder: every record must name a known probe stage
+    // and carry non-negative i64 timings (as_i64 itself rejects the
+    // non-integral and out-of-range cases).
+    std::size_t span_count = 0;
+    for (const core::JsonValue& span : doc.at("spans").items()) {
+      const std::string& stage = span.at("stage").as_string();
+      bool known = false;
+      for (int s = 0; s < static_cast<int>(obs::ProbeStage::kCount); ++s) {
+        if (stage == obs::to_string(static_cast<obs::ProbeStage>(s))) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown span stage '%s'\n", stage.c_str());
+        return 1;
+      }
+      if (span.at("worker").as_i64() < 0 || span.at("age_ns").as_i64() < 0 ||
+          span.at("duration_ns").as_i64() < 0) {
+        std::fprintf(stderr, "negative span timing\n");
+        return 1;
+      }
+      ++span_count;
+    }
+    std::printf("%s: %zu snapshot%s, %zu span%s, interval %.0f s%s\n",
+                argv[1], snaps.size(), snaps.size() == 1 ? "" : "s",
+                span_count, span_count == 1 ? "" : "s",
                 doc.at("interval_seconds").as_double(),
                 doc.has("report") ? ", report embedded" : "");
     std::printf("%s", obs::render_stats(latest).c_str());

@@ -26,6 +26,10 @@ struct BoState {
   core::LocalMfsStore mfs_store;
   // Evaluation buffers reused across every probe of this run.
   sim::EvalScratch scratch;
+  // One Measurement reused across probes (the engine's in-place overload
+  // keeps its buffer capacities, so steady-state probes allocate nothing
+  // regardless of which backend executes them).
+  workload::Measurement probe_out;
   double elapsed = 0.0;
 
   bool exhausted(const core::SearchBudget& b) const {
@@ -38,7 +42,8 @@ Verdict measure(const workload::Engine& engine,
                 const core::AnomalyMonitor& monitor, const Workload& w,
                 bool use_mfs, Rng& rng, BoState& state,
                 sim::CounterSample* counters_out) {
-  const workload::Measurement m = engine.run(w, rng, state.scratch);
+  const workload::Measurement& m =
+      engine.run(w, rng, state.scratch, state.probe_out);
   state.elapsed += m.cost_seconds;
   state.result.experiments += 1;
   const Verdict v = monitor.judge(m);
@@ -61,7 +66,8 @@ Verdict measure(const workload::Engine& engine,
   const Symptom symptom = v.symptom;
   if (use_mfs) {
     auto probe = [&](const Workload& candidate) -> Symptom {
-      const workload::Measurement pm = engine.run(candidate, rng, state.scratch);
+      const workload::Measurement& pm =
+          engine.run(candidate, rng, state.scratch, state.probe_out);
       state.elapsed += pm.cost_seconds;
       state.result.experiments += 1;
       TracePoint ptp;

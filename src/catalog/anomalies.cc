@@ -724,8 +724,9 @@ std::vector<const AnomalyInfo*> anomalies_for_chip(const std::string& chip) {
   return out;
 }
 
-int label_by_mechanism(const std::string& chip, const Workload& w,
-                       sim::Bottleneck dominant, Symptom observed) {
+int label_by_mechanism(const std::string& chip, const std::string& fabric,
+                       const Workload& w, sim::Bottleneck dominant,
+                       Symptom observed) {
   (void)observed;
   const bool cx6 = chip == "CX-6";
   const bool p2100 = chip == "P2100";
@@ -763,9 +764,23 @@ int label_by_mechanism(const std::string& chip, const Workload& w,
       return 0;
     case B::kMtuSchedulerQuirk:
       return p2100 ? 14 : 0;
+    case B::kFabricCongestion:
+      // Fabric-level mechanisms attribute by scenario, not chip: the same
+      // congestion tag means "slow-port rate mismatch" under hetero and
+      // "ToR fan-in oversubscription" under fanin4.  On the paper's
+      // identical pair the simulator never emits this tag as a standalone
+      // anomaly mechanism, so it stays unlabeled there.
+      if (fabric == "hetero") return 101;
+      if (fabric == "fanin4") return 102;
+      return 0;
     default:
       return 0;
   }
+}
+
+int label_by_mechanism(const std::string& chip, const Workload& w,
+                       sim::Bottleneck dominant, Symptom observed) {
+  return label_by_mechanism(chip, "pair", w, dominant, observed);
 }
 
 std::vector<int> label(const std::string& chip, const Workload& w,

@@ -72,6 +72,19 @@ std::vector<int> label(const std::string& chip, const Workload& w,
 // confirmation; it is sharper than the region predicates because the
 // simulator's true trigger regions extend beyond the paper's "≈" bounds.
 // Returns 0 when the mechanism maps to no catalogued anomaly.
+//
+// The scenario-aware overload also labels fabric-level mechanisms, which
+// depend on the fabric the discovery ran under rather than on the RNIC:
+// a kFabricCongestion-dominant anomaly labels 101 on "hetero" (port-rate
+// mismatch congests the slow side) and 102 on "fanin4" (ToR fan-in
+// oversubscription).  These ids live above the Table-2 range (1-18) and
+// deliberately have no catalog row — the catalog is the paper's NIC
+// anomaly table, while 10x ids attribute reproductions of switch-fabric
+// mechanisms the scenario sweep adds.
+int label_by_mechanism(const std::string& chip, const std::string& fabric,
+                       const Workload& w, sim::Bottleneck dominant,
+                       Symptom observed);
+// Paper-testbed shorthand: the identical "pair" fabric.
 int label_by_mechanism(const std::string& chip, const Workload& w,
                        sim::Bottleneck dominant, Symptom observed);
 

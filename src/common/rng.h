@@ -20,6 +20,19 @@
 
 namespace collie {
 
+// Complete generator state: the xoshiro256** words plus the Box-Muller
+// spare.  Exists so an execution backend can record the state a substrate
+// left behind and a replay can restore it exactly — the same Rng feeds
+// measurement jitter *and* search decisions, so replaying measurements
+// without the state would silently diverge the trajectory.
+struct RngState {
+  u64 s[4] = {0, 0, 0, 0};
+  bool has_spare_normal = false;
+  double spare_normal = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
+
 class Rng {
  public:
   explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
@@ -95,6 +108,21 @@ class Rng {
   // one child per (subsystem x mode x seed) cell up front, so per-cell
   // streams are identical no matter how worker threads are later scheduled.
   Rng split(u64 stream_index) const;
+
+  // Export/restore the full state (see RngState).  set_state(state()) is an
+  // exact no-op; two generators with equal states draw identical sequences.
+  RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_spare_normal = has_spare_normal_;
+    st.spare_normal = spare_normal_;
+    return st;
+  }
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_spare_normal_ = st.has_spare_normal;
+    spare_normal_ = st.spare_normal;
+  }
 
  private:
   // M_PI is POSIX, not ISO C++; this literal rounds to the same double.

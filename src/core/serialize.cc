@@ -158,4 +158,101 @@ Mfs mfs_from_json(const JsonValue& v) {
   return mfs;
 }
 
+void counter_sample_to_json(const sim::CounterSample& s, JsonWriter* json) {
+  json->begin_object();
+  json->begin_array("perf");
+  for (const double v : s.perf) json->value(v);
+  json->end_array();
+  json->begin_array("diag");
+  for (const double v : s.diag) json->value(v);
+  json->end_array();
+  json->end_object();
+}
+
+sim::CounterSample counter_sample_from_json(const JsonValue& v) {
+  sim::CounterSample s;
+  const auto& perf = v.at("perf").items();
+  const auto& diag = v.at("diag").items();
+  if (perf.size() != s.perf.size() || diag.size() != s.diag.size()) {
+    throw JsonError("counter sample arity mismatch");
+  }
+  for (std::size_t i = 0; i < s.perf.size(); ++i) {
+    s.perf[i] = perf[i].as_double();
+  }
+  for (std::size_t i = 0; i < s.diag.size(); ++i) {
+    s.diag[i] = diag[i].as_double();
+  }
+  return s;
+}
+
+namespace {
+
+void epoch_to_json(const sim::EpochSample& e, JsonWriter* json) {
+  json->begin_object();
+  json->field("t", e.t);
+  json->key("counters");
+  counter_sample_to_json(e.counters, json);
+  json->field("pause_fraction", e.pause_fraction);
+  json->end_object();
+}
+
+sim::EpochSample epoch_from_json(const JsonValue& v) {
+  sim::EpochSample e;
+  e.t = v.at("t").as_double();
+  e.counters = counter_sample_from_json(v.at("counters"));
+  e.pause_fraction = v.at("pause_fraction").as_double();
+  return e;
+}
+
+}  // namespace
+
+void measurement_to_json(const workload::Measurement& m, JsonWriter* json) {
+  json->begin_object();
+  json->begin_array("samples");
+  for (const sim::CounterSample& s : m.samples) {
+    counter_sample_to_json(s, json);
+  }
+  json->end_array();
+  json->key("average");
+  counter_sample_to_json(m.average, json);
+  json->field("pause_duration_ratio", m.pause_duration_ratio);
+  json->field("fabric_pause_ratio", m.fabric_pause_ratio);
+  json->field("cc_suppressed_ratio", m.cc_suppressed_ratio);
+  json->field("wire_utilization", m.wire_utilization);
+  json->field("pps_utilization", m.pps_utilization);
+  json->field("rx_goodput_bps", m.rx_goodput_bps);
+  json->field("stable", m.stable);
+  json->field("remeasure_count", m.remeasure_count);
+  json->field("cost_seconds", m.cost_seconds);
+  json->field("dominant", sim::to_string(m.dominant));
+  json->field("note", m.bottleneck_note);
+  json->begin_array("epochs");
+  for (const sim::EpochSample& e : m.epochs) epoch_to_json(e, json);
+  json->end_array();
+  json->end_object();
+}
+
+workload::Measurement measurement_from_json(const JsonValue& v) {
+  workload::Measurement m;
+  for (const JsonValue& s : v.at("samples").items()) {
+    m.samples.push_back(counter_sample_from_json(s));
+  }
+  m.average = counter_sample_from_json(v.at("average"));
+  m.pause_duration_ratio = v.at("pause_duration_ratio").as_double();
+  m.fabric_pause_ratio = v.at("fabric_pause_ratio").as_double();
+  m.cc_suppressed_ratio = v.at("cc_suppressed_ratio").as_double();
+  m.wire_utilization = v.at("wire_utilization").as_double();
+  m.pps_utilization = v.at("pps_utilization").as_double();
+  m.rx_goodput_bps = v.at("rx_goodput_bps").as_double();
+  m.stable = v.at("stable").as_bool();
+  m.remeasure_count = static_cast<int>(v.at("remeasure_count").as_i64());
+  m.cost_seconds = v.at("cost_seconds").as_double();
+  m.dominant = bottleneck_from_string(v.at("dominant").as_string());
+  m.bottleneck_note = v.at("note").as_string();
+  for (const JsonValue& e : v.at("epochs").items()) {
+    m.epochs.push_back(epoch_from_json(e));
+  }
+  return m;
+}
+
 }  // namespace collie::core

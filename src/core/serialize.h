@@ -15,6 +15,7 @@
 #include "core/mfs.h"
 #include "core/report.h"
 #include "sim/perf_model.h"
+#include "workload/engine.h"
 
 namespace collie::core {
 
@@ -40,5 +41,17 @@ FeatureCondition condition_from_json(const JsonValue& v);
 // A full MFS entry: index, symptom, witness workload, conditions.
 void mfs_to_json(const Mfs& mfs, JsonWriter* json);
 Mfs mfs_from_json(const JsonValue& v);
+
+// One counter fetch: {"perf": [...], "diag": [...]} with exactly
+// kNumPerfCounters / kNumDiagCounters entries — a document with the wrong
+// arity came from an incompatible build and must fail loudly.
+void counter_sample_to_json(const sim::CounterSample& s, JsonWriter* json);
+sim::CounterSample counter_sample_from_json(const JsonValue& v);
+
+// A full engine Measurement, every field, byte-identical round trip (the
+// trace backend's payload).  Doubles round-trip bit-exactly through
+// JsonWriter's shortest-decimal rendering.
+void measurement_to_json(const workload::Measurement& m, JsonWriter* json);
+workload::Measurement measurement_from_json(const JsonValue& v);
 
 }  // namespace collie::core

@@ -53,6 +53,29 @@ Snapshot snapshot_from_json(const std::string& text) {
   return Snapshot::from_json(core::JsonValue::parse(text));
 }
 
+void spans_to_json(const Telemetry& telemetry, int max_per_worker,
+                   core::JsonWriter* json) {
+  // Torn records (concurrent writer) can hold arbitrary u64 words; clamp
+  // ages and durations into the exact-integer range a strict JSON reader
+  // accepts so one garbage slot never poisons the whole document.
+  constexpr u64 kMaxExact = (u64{1} << 53) - 1;
+  const u64 now = now_ticks();
+  json->begin_array("spans");
+  for (int w = 0; w < telemetry.workers(); ++w) {
+    for (const SpanRecord& rec : telemetry.ring(w).recent(max_per_worker)) {
+      const u64 age = now > rec.start_ticks ? now - rec.start_ticks : 0;
+      json->begin_object();
+      json->field("worker", w);
+      json->field("stage", to_string(rec.stage));
+      json->field("age_ns", static_cast<i64>(std::min(age, kMaxExact)));
+      json->field("duration_ns",
+                  static_cast<i64>(std::min(rec.duration_ticks, kMaxExact)));
+      json->end_object();
+    }
+  }
+  json->end_array();
+}
+
 namespace {
 
 std::string fmt_ns(double ns) {

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "sim/subsystem.h"
+#include "workload/backend.h"
 
 namespace collie::orchestrator {
 
@@ -84,6 +85,19 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
       throw std::invalid_argument("budget cycle entries must be positive");
     }
   }
+  // Trace record/replay needs per-cell probe sequences that do not depend
+  // on thread scheduling.  Threaded execution with subsystem-scoped sharing
+  // is the one combination where they do (which MFS a cell sees depends on
+  // insert timing), so a recorded trace would fail to replay — reject it up
+  // front instead of at the first diverged probe.
+  if (config_.backend_factory != nullptr &&
+      config_.backend_factory->kind() == workload::BackendKind::kTrace &&
+      config_.execution == ExecutionMode::kThreads &&
+      config_.share == ShareScope::kSubsystem) {
+    throw std::invalid_argument(
+        "trace record/replay needs deterministic cell trajectories: use "
+        "--exec deterministic or --share cell");
+  }
 }
 
 std::vector<CampaignCell> Campaign::plan() const {
@@ -123,6 +137,9 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
   cr.cell = cell;
   cr.worker = worker;
   cr.start_seconds = start_seconds;
+  if (config_.backend_factory != nullptr) {
+    cr.backend = config_.backend_factory->substrate();
+  }
   // A cell that throws (bad catalog id, scenario materialization failure,
   // engine error) must not take the worker thread — and with it the whole
   // fleet — down.  It is recorded as failed; the report counts it
@@ -137,6 +154,8 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
     // traces and RNG streams are unaffected.
     engine_opts.keep_epochs = false;
     engine_opts.telemetry = obs::ProbeTelemetry(tel, worker);
+    engine_opts.backend_factory = config_.backend_factory.get();
+    engine_opts.backend_context = cell.label();
     const workload::Engine engine(sys, engine_opts);
     const core::SearchSpace space(sys);
     core::SearchDriver driver(engine, space);
@@ -348,8 +367,13 @@ CampaignResult Campaign::run() {
   result.workers = schedule.workers;
   result.schedule = schedule;
   result.share = config_.share;
+  if (config_.backend_factory != nullptr) {
+    result.backend = config_.backend_factory->substrate();
+  }
   result.cells.resize(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Default attribution (skipped/failed cells never construct an engine).
+    result.cells[i].backend = result.backend;
     if (!runnable[i]) {
       result.cells[i].cell = cells[i];
       result.cells[i].skipped = true;

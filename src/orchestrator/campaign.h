@@ -128,6 +128,14 @@ struct CampaignConfig {
   // simulated-time accounting, so results are bit-identical with it on or
   // off (pinned by orchestrator tests).
   obs::Telemetry* telemetry = nullptr;
+  // Execution backend for every cell's engine (workload/backend.h).  Null =
+  // the built-in simulator.  The campaign passes each cell's label as the
+  // backend context, so recorded traces keep per-cell probe sequences
+  // apart.  Trace record/replay requires schedule-independent cell
+  // trajectories: the constructor rejects a trace factory combined with
+  // threaded execution under subsystem-scoped sharing (where what a cell
+  // sees depends on insert timing).
+  std::shared_ptr<workload::BackendFactory> backend_factory;
   core::SaConfig sa;          // template; mode is overridden per cell
   workload::EngineOptions engine;
 };
@@ -150,6 +158,10 @@ struct CellResult {
   // failed cell keeps any partial results for debugging, but the campaign
   // report must not count it as covered search time.
   std::string error;
+  // Substrate that produced this cell's measurements ("sim", "mock"; a
+  // replayed sim trace reports "sim" — attribution follows the substrate,
+  // not the transport, so record and replay reports stay byte-identical).
+  std::string backend = "sim";
 
   bool failed() const { return !error.empty(); }
 };
@@ -164,6 +176,8 @@ struct CampaignResult {
   // plus the sharing policy the scope keys were formed under.
   std::map<std::string, std::vector<core::Mfs>> pool_scopes;
   ShareScope share = ShareScope::kSubsystem;
+  // Substrate of the campaign's backend factory ("sim" without one).
+  std::string backend = "sim";
   int workers = 0;                // logical workers of the schedule
   double serial_seconds = 0.0;    // sum of all cells' simulated elapsed
   double makespan_seconds = 0.0;  // slowest worker's simulated timeline

@@ -23,6 +23,7 @@ struct Discovery {
 CampaignReport build_report(const CampaignResult& result) {
   CampaignReport report;
   report.pool = result.pool;
+  report.backend = result.backend;
   report.workers = result.workers;
   report.serial_seconds = result.serial_seconds;
   report.makespan_seconds = result.makespan_seconds;
@@ -164,7 +165,8 @@ std::string CampaignReport::render() const {
   os << "Distinct anomalies (deduped by MFS region)\n" << an.render() << "\n";
 
   os << "Campaign: " << workers << " workers, " << total_experiments
-     << " experiments, " << anomalies.size() << " distinct anomalies\n";
+     << " experiments, " << anomalies.size() << " distinct anomalies, "
+     << backend << " backend\n";
   os << "  simulated testbed time: serial "
      << fmt_double(serial_seconds / 3600.0, 1) << " h, makespan "
      << fmt_double(makespan_seconds / 3600.0, 1) << " h, speedup "
@@ -183,6 +185,7 @@ std::string CampaignReport::render() const {
 std::string CampaignReport::to_json(const obs::Snapshot* metrics) const {
   core::JsonWriter json;
   json.begin_object();
+  json.field("backend", backend);
   json.field("workers", workers);
   json.field("total_experiments", total_experiments);
   json.field("serial_seconds", serial_seconds);
@@ -244,6 +247,7 @@ std::string CampaignReport::to_json(const obs::Snapshot* metrics) const {
 CampaignReport campaign_report_from_json(const std::string& text) {
   const core::JsonValue doc = core::JsonValue::parse(text);
   CampaignReport report;
+  report.backend = doc.at("backend").as_string();
   report.workers = static_cast<int>(doc.at("workers").as_i64());
   report.total_experiments =
       static_cast<int>(doc.at("total_experiments").as_i64());

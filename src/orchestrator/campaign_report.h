@@ -66,6 +66,10 @@ struct CampaignReport {
   std::vector<DedupedAnomaly> anomalies;   // discovery order
   std::vector<SubsystemCoverage> coverage; // subsystem order of the config
   PoolStats pool;
+  // Execution substrate the campaign measured on ("sim", "mock").
+  // Substrate, not transport: a campaign replayed from a sim trace reports
+  // "sim", so the record and replay legs' reports stay byte-identical.
+  std::string backend = "sim";
   int workers = 0;
   int total_experiments = 0;
   double serial_seconds = 0.0;

@@ -1,0 +1,17 @@
+#include "workload/backend.h"
+
+namespace collie::workload {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kTrace:
+      return "trace";
+    case BackendKind::kMock:
+      return "mock";
+  }
+  return "?";
+}
+
+}  // namespace collie::workload

@@ -1,0 +1,61 @@
+#include "workload/backend_mock.h"
+
+#include <stdexcept>
+
+namespace collie::workload {
+namespace {
+const std::string kMockSubstrate = "mock";
+}  // namespace
+
+MockBackend::MockBackend(Responder responder, std::string context)
+    : responder_(std::move(responder)), context_(std::move(context)) {
+  if (!responder_) {
+    throw std::invalid_argument("MockBackend needs a responder");
+  }
+}
+
+const std::string& MockBackend::substrate() const { return kMockSubstrate; }
+
+void MockBackend::measure(const Workload& w, Rng&, sim::EvalScratch&,
+                          Measurement& out) {
+  responder_(w, out);
+  ++probes_;
+}
+
+MockBackendFactory::MockBackendFactory(MockBackend::Responder responder)
+    : responder_(std::move(responder)) {
+  if (!responder_) {
+    throw std::invalid_argument("MockBackendFactory needs a responder");
+  }
+}
+
+const std::string& MockBackendFactory::substrate() const {
+  return kMockSubstrate;
+}
+
+std::unique_ptr<Backend> MockBackendFactory::create(const sim::Subsystem&,
+                                                    const EngineOptions&,
+                                                    const std::string&
+                                                        context) {
+  auto counting = [this](const Workload& w, Measurement& out) {
+    responder_(w, out);
+    total_probes_.fetch_add(1, std::memory_order_relaxed);
+  };
+  return std::make_unique<MockBackend>(counting, context);
+}
+
+void script_measurement(Measurement& out, double rx_goodput_bps,
+                        double pause_ratio, double wire_utilization) {
+  sim::CounterSample s;
+  s.set(sim::PerfCounter::kRxGoodputBps, rx_goodput_bps);
+  s.set(sim::PerfCounter::kTxGoodputBps, rx_goodput_bps);
+  out.samples.assign(4, s);
+  out.average = sim::CounterSample::average(out.samples);
+  out.pause_duration_ratio = pause_ratio;
+  out.wire_utilization = wire_utilization;
+  out.pps_utilization = wire_utilization;
+  out.rx_goodput_bps = rx_goodput_bps;
+  out.stable = true;
+}
+
+}  // namespace collie::workload

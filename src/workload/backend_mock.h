@@ -1,0 +1,70 @@
+// Scripted execution backend for orchestrator and fleet tests: the
+// responder callback decides what every probe measures, so tests can stage
+// exact anomaly landscapes (or perfectly healthy fleets) without touching
+// the simulator.  The Rng is left alone — mock campaigns are deterministic
+// because the responder is.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "workload/backend.h"
+
+namespace collie::workload {
+
+class MockBackend final : public Backend {
+ public:
+  // The responder fills the Measurement for one probe.  It receives `out`
+  // exactly as the engine reset it (cost_seconds preset by the cost model),
+  // so a responder that only sets throughput fields inherits realistic
+  // probe costs for free.
+  using Responder = std::function<void(const Workload& w, Measurement& out)>;
+
+  explicit MockBackend(Responder responder, std::string context = "");
+
+  BackendKind kind() const override { return BackendKind::kMock; }
+  const std::string& substrate() const override;
+  void measure(const Workload& w, Rng& rng, sim::EvalScratch& scratch,
+               Measurement& out) override;
+
+  i64 probes() const { return probes_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  Responder responder_;
+  std::string context_;
+  i64 probes_ = 0;
+};
+
+// Hands every cell a MockBackend sharing one responder; counts probes
+// fleet-wide (atomic — cells run on worker threads).
+class MockBackendFactory final : public BackendFactory {
+ public:
+  explicit MockBackendFactory(MockBackend::Responder responder);
+
+  BackendKind kind() const override { return BackendKind::kMock; }
+  const std::string& substrate() const override;
+  std::unique_ptr<Backend> create(const sim::Subsystem& sys,
+                                  const EngineOptions& opts,
+                                  const std::string& context) override;
+
+  i64 total_probes() const {
+    return total_probes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MockBackend::Responder responder_;
+  std::atomic<i64> total_probes_{0};
+};
+
+// Fill `out` as a stable measurement at the given delivered goodput: four
+// equal samples, no remeasure.  Deliberately an in-place filler, not a
+// value: it preserves the engine's preset cost_seconds, which is what
+// charges the search's simulated-time budget — a responder that zeroed it
+// would never exhaust its cell.
+void script_measurement(Measurement& out, double rx_goodput_bps,
+                        double pause_ratio = 0.0,
+                        double wire_utilization = 1.0);
+
+}  // namespace collie::workload

@@ -1,0 +1,53 @@
+// The default execution backend: the epoch-based performance model.
+//
+// Owns the CompiledScenario (compiled once per backend, i.e. once per
+// engine/cell) and runs the measure loop the engine's performance pass used
+// to inline: evaluate, fetch four counter samples, stability check, one
+// re-measurement.  The loop is bit-exact against the pre-seam engine — the
+// golden-row and trajectory tests pin it — and allocation-free once the
+// caller's scratch and Measurement are warm.
+//
+// The class is final and measure() is final so the engine's stored
+// SimBackend* dispatches directly (no virtual call on the hot path); the
+// bench_micro BM_BackendDispatch pair gates the cost of forcing the virtual
+// path instead.
+#pragma once
+
+#include <string>
+
+#include "workload/backend.h"
+
+namespace collie::workload {
+
+class SimBackend final : public Backend {
+ public:
+  SimBackend(const sim::Subsystem& sys, const EngineOptions& opts);
+
+  BackendKind kind() const override { return BackendKind::kSim; }
+  const std::string& substrate() const override;
+  void measure(const Workload& w, Rng& rng, sim::EvalScratch& scratch,
+               Measurement& out) final;
+
+  const sim::CompiledScenario& compiled() const { return compiled_; }
+
+ private:
+  sim::Subsystem sys_;
+  bool use_compiled_;
+  bool keep_epochs_;
+  obs::ProbeTelemetry telemetry_;
+  sim::SimConfig sim_;
+  sim::CompiledScenario compiled_;
+};
+
+// The default factory (EngineOptions with no factory set is equivalent to
+// using this one).
+class SimBackendFactory final : public BackendFactory {
+ public:
+  BackendKind kind() const override { return BackendKind::kSim; }
+  const std::string& substrate() const override;
+  std::unique_ptr<Backend> create(const sim::Subsystem& sys,
+                                  const EngineOptions& opts,
+                                  const std::string& context) override;
+};
+
+}  // namespace collie::workload

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "verbs/verbs.h"
+#include "workload/backend_sim.h"
 
 namespace collie::workload {
 namespace {
@@ -84,7 +85,25 @@ bool setup_host(HostState& h, verbs::Network& net, const Workload& w,
 }  // namespace
 
 Engine::Engine(const sim::Subsystem& sys, EngineOptions opts)
-    : sys_(sys), opts_(std::move(opts)), compiled_(sys_) {}
+    : sys_(sys), opts_(std::move(opts)) {
+  if (opts_.backend_factory != nullptr) {
+    backend_ =
+        opts_.backend_factory->create(sys_, opts_, opts_.backend_context);
+  } else {
+    backend_ = std::make_unique<SimBackend>(sys_, opts_);
+  }
+  if (opts_.devirtualize_sim && backend_->kind() == BackendKind::kSim) {
+    sim_ = static_cast<SimBackend*>(backend_.get());
+  }
+  if (opts_.telemetry.enabled()) {
+    backend_probes_ = opts_.telemetry.telemetry()->registry().counter(
+        std::string("engine.backend.") + to_string(backend_->kind()));
+  }
+}
+
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
 
 bool Engine::validate_functional(const Workload& w, std::string* error) const {
   std::string local_err;
@@ -281,60 +300,16 @@ const Measurement& Engine::run(const Workload& w, Rng& rng,
     }
   }
 
-  // Measure; re-measure once if the four samples disagree (§6: the monitor
-  // "first decides whether the traffic is stable").  Both evaluate paths
-  // are bit-for-bit identical; the compiled one reuses the caller's scratch
-  // instead of rebuilding the scenario per probe.
-  sim::SimResult uncompiled;
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    const u64 eval_start = opts_.telemetry.begin();
-    if (!opts_.use_compiled) {
-      uncompiled = sim::evaluate(sys_, w, rng, opts_.sim);
-    }
-    const sim::SimResult& r =
-        opts_.use_compiled ? sim::evaluate(compiled_, w, rng, scratch,
-                                           opts_.sim)
-                           : uncompiled;
-    if (opts_.telemetry.enabled()) {
-      opts_.telemetry.observe(opts_.telemetry.engine_ids().eval_ns,
-                              obs::now_ticks() - eval_start);
-    }
-    // Four counter fetches at one-second spacing, i.e. evenly across the
-    // post-warmup epochs.
-    m.samples.clear();
-    const int first = opts_.sim.warmup_epochs;
-    const int span = static_cast<int>(r.epochs.size()) - first;
-    for (int k = 0; k < 4 && span > 0; ++k) {
-      const int idx = first + (span - 1) * k / 3;
-      m.samples.push_back(r.epochs[static_cast<std::size_t>(idx)].counters);
-    }
-    m.average = sim::CounterSample::average(m.samples);
-    m.pause_duration_ratio = r.pause_duration_ratio;
-    m.fabric_pause_ratio = r.fabric_pause_ratio;
-    m.cc_suppressed_ratio = r.cc_suppressed_ratio;
-    m.wire_utilization = r.wire_utilization;
-    m.pps_utilization = r.pps_utilization;
-    m.rx_goodput_bps = r.rx_goodput_bps;
-    m.dominant = r.dominant;
-    m.bottleneck_note = r.bottleneck_note;
-    if (opts_.keep_epochs) m.epochs = r.epochs;
-
-    // Stability: coefficient of variation of delivered goodput across the
-    // four samples.
-    double lo = 1e300;
-    double hi = 0.0;
-    for (const auto& s : m.samples) {
-      const double v = s.get(sim::PerfCounter::kRxGoodputBps);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    m.stable = hi <= 0.0 || (hi - lo) / hi < 0.2;
-    if (m.stable) break;
-    m.remeasure_count++;
-    m.cost_seconds += 10.0;
-    if (opts_.telemetry.enabled()) {
-      opts_.telemetry.add(opts_.telemetry.engine_ids().remeasures);
-    }
+  // The performance pass runs on the backend.  The sim fast path is a
+  // direct call on the final class (sim_ is non-null exactly when the
+  // backend is SimBackend and devirtualization is on).
+  if (sim_ != nullptr) {
+    sim_->measure(w, rng, scratch, m);
+  } else {
+    backend_->measure(w, rng, scratch, m);
+  }
+  if (opts_.telemetry.enabled()) {
+    opts_.telemetry.add(backend_probes_);
   }
   return m;
 }

@@ -16,8 +16,15 @@
 //   2. The *performance* pass evaluates the full-scale workload on the
 //      subsystem model and samples the hardware counters four times per
 //      iteration (§6), with a stability check and re-measurement.
+//
+// The performance pass is delegated to an execution Backend
+// (workload/backend.h): the simulator by default, recorded traces or
+// scripted mocks when the engine options carry a factory.  The sim path is
+// devirtualized (direct call on the final SimBackend) so the seam costs the
+// hot path nothing.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +35,10 @@
 #include "sim/workload.h"
 
 namespace collie::workload {
+
+class Backend;
+class BackendFactory;
+class SimBackend;
 
 // What the anomaly monitor and the workload generator receive after one
 // experiment ("iteration") on the subsystem.
@@ -81,14 +92,28 @@ struct EngineOptions {
   // metrics off; every instrumentation point is then one pointer test.
   obs::ProbeTelemetry telemetry;
   sim::SimConfig sim;
+  // Execution backend.  Null = the built-in simulator backend.  Not owned:
+  // the factory must outlive every engine built from these options (the
+  // campaign owns one factory for the whole run and builds one engine per
+  // cell).  `backend_context` names this engine's probe stream in recorded
+  // traces — the campaign passes the cell label.
+  BackendFactory* backend_factory = nullptr;
+  std::string backend_context;
+  // Dispatch the simulator backend through a direct call on the final class
+  // (the default).  False forces the virtual call — only bench_micro's
+  // BM_BackendDispatch pair uses it, to gate the seam's dispatch cost.
+  bool devirtualize_sim = true;
 };
 
 class Engine {
  public:
   explicit Engine(const sim::Subsystem& sys, EngineOptions opts = {});
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
 
   const sim::Subsystem& subsystem() const { return sys_; }
-  const sim::CompiledScenario& compiled() const { return compiled_; }
+  const Backend& backend() const { return *backend_; }
 
   // Run one experiment.  The workload must be valid.  The scratch overload
   // reuses the caller's evaluation buffers across probes (the search
@@ -112,7 +137,14 @@ class Engine {
  private:
   sim::Subsystem sys_;
   EngineOptions opts_;
-  sim::CompiledScenario compiled_;
+  std::unique_ptr<Backend> backend_;
+  // Devirtualized fast path: non-null iff the backend is the (final)
+  // SimBackend and devirtualization is on.
+  SimBackend* sim_ = nullptr;
+  // "engine.backend.<kind>" probe counter, registered at construction so
+  // the per-probe bump never touches the registration mutex.  Only valid
+  // when telemetry is enabled.
+  obs::CounterId backend_probes_;
 };
 
 }  // namespace collie::workload

@@ -102,6 +102,39 @@ TEST(Catalog, MechanismLabelerUnknownReturnsZero) {
             0);
 }
 
+TEST(Catalog, MechanismLabelerAttributesFabricCongestionByScenario) {
+  // Fabric-level mechanisms label by the scenario the discovery ran under,
+  // not by the RNIC chip: 101 = hetero port-rate mismatch, 102 = fanin4
+  // ToR oversubscription, unlabeled on the paper's identical pair.
+  const Workload w = anomaly(1).concrete;
+  EXPECT_EQ(label_by_mechanism("CX-6", "hetero", w,
+                               sim::Bottleneck::kFabricCongestion,
+                               Symptom::kPauseFrames),
+            101);
+  EXPECT_EQ(label_by_mechanism("P2100", "hetero", w,
+                               sim::Bottleneck::kFabricCongestion,
+                               Symptom::kPauseFrames),
+            101);
+  EXPECT_EQ(label_by_mechanism("CX-6", "fanin4", w,
+                               sim::Bottleneck::kFabricCongestion,
+                               Symptom::kLowThroughput),
+            102);
+  EXPECT_EQ(label_by_mechanism("CX-6", "pair", w,
+                               sim::Bottleneck::kFabricCongestion,
+                               Symptom::kPauseFrames),
+            0);
+  // The 4-arg shorthand is the pair fabric.
+  EXPECT_EQ(label_by_mechanism("CX-6", w,
+                               sim::Bottleneck::kFabricCongestion,
+                               Symptom::kPauseFrames),
+            0);
+  // NIC-level mechanisms ignore the fabric: same row under any scenario.
+  EXPECT_EQ(label_by_mechanism("CX-6", "hetero", anomaly(7).concrete,
+                               sim::Bottleneck::kQpcCacheMiss,
+                               Symptom::kLowThroughput),
+            7);
+}
+
 TEST(Catalog, RegionsRejectForeignWorkloads) {
   // A plain clean workload matches no region of its symptom class.
   Workload clean;

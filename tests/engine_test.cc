@@ -1,6 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "catalog/anomalies.h"
+#include "obs/telemetry.h"
+#include "orchestrator/campaign.h"
+#include "orchestrator/campaign_report.h"
+#include "workload/backend_mock.h"
+#include "workload/backend_sim.h"
+#include "workload/backend_trace.h"
 #include "workload/engine.h"
 
 namespace collie::workload {
@@ -97,6 +106,172 @@ TEST(Engine, FunctionalPassCanBeDisabled) {
   Rng rng(1);
   const Measurement m = engine.run(simple_write(), rng);
   EXPECT_GT(m.rx_goodput_bps, 0.0);
+}
+
+// ---- execution backends -----------------------------------------------------
+
+TEST(Backend, SimBackendIsTheDefault) {
+  Engine engine(sim::subsystem('F'));
+  EXPECT_EQ(engine.backend().kind(), BackendKind::kSim);
+  EXPECT_EQ(engine.backend().substrate(), "sim");
+}
+
+// A small deterministic campaign template every backend test shares: one
+// subsystem-B cell, cell-scoped pool, deterministic execution — the shape
+// trace record/replay requires.
+orchestrator::CampaignConfig small_campaign() {
+  orchestrator::CampaignConfig config;
+  config.subsystems = {'B'};
+  config.workers = 2;
+  config.share = orchestrator::ShareScope::kCell;
+  config.execution = orchestrator::ExecutionMode::kDeterministic;
+  config.budget.seconds = 900.0;
+  config.engine.run_functional_pass = false;
+  return config;
+}
+
+TEST(Backend, RecordReplayCampaignReportsAreByteIdentical) {
+  // Leg 0: the plain simulator.
+  const std::string sim_report =
+      orchestrator::build_report(
+          orchestrator::Campaign(small_campaign()).run())
+          .to_json();
+
+  // Leg 1: record.  Same trajectory as the plain simulator, same report.
+  auto recorder = std::make_shared<TraceRecorder>();
+  orchestrator::CampaignConfig record = small_campaign();
+  record.backend_factory = std::make_shared<RecordBackendFactory>(recorder);
+  const orchestrator::CampaignResult record_result =
+      orchestrator::Campaign(record).run();
+  const std::string record_report =
+      orchestrator::build_report(record_result).to_json();
+  EXPECT_EQ(record_report, sim_report);
+  EXPECT_EQ(record_result.backend, "sim");
+
+  // Leg 2: replay through the serialized trace, telemetry on so the
+  // zero-evaluation claim is observable.  The report must still match byte
+  // for byte — substrate attribution, not transport.
+  auto trace = std::make_shared<const TraceFile>(
+      TraceFile::from_json(recorder->to_json()));
+  obs::Telemetry telemetry;
+  orchestrator::CampaignConfig replay = small_campaign();
+  replay.backend_factory = std::make_shared<ReplayBackendFactory>(trace);
+  replay.telemetry = &telemetry;
+  const orchestrator::CampaignResult replay_result =
+      orchestrator::Campaign(replay).run();
+  EXPECT_EQ(orchestrator::build_report(replay_result).to_json(), sim_report);
+
+  // Not a single simulator evaluation ran on the replay leg, and every
+  // probe went through the trace backend.
+  const obs::Snapshot snap = telemetry.snapshot();
+  ASSERT_TRUE(snap.histograms.count("engine.eval_ns"));
+  EXPECT_EQ(snap.histograms.at("engine.eval_ns").count, 0u);
+  i64 experiments = 0;
+  for (const orchestrator::CellResult& cr : replay_result.cells) {
+    experiments += cr.result.experiments;
+  }
+  EXPECT_GT(experiments, 0);
+  ASSERT_TRUE(snap.counters.count("engine.backend.trace"));
+  EXPECT_EQ(snap.counters.at("engine.backend.trace"), experiments);
+}
+
+TEST(Backend, ReplayDivergenceFailsLoudly) {
+  // Record two probes through one engine.
+  auto recorder = std::make_shared<TraceRecorder>();
+  RecordBackendFactory factory(recorder);
+  EngineOptions opts;
+  opts.run_functional_pass = false;
+  opts.backend_factory = &factory;
+  opts.backend_context = "cell";
+  const sim::Subsystem& sys = sim::subsystem('F');
+  {
+    Engine engine(sys, opts);
+    Rng rng(3);
+    engine.run(simple_write(), rng);
+    engine.run(catalog::anomaly(1).concrete, rng);
+  }
+  auto trace =
+      std::make_shared<const TraceFile>(recorder->file());
+
+  // A missing context fails at engine construction.
+  ReplayBackendFactory replay(trace);
+  EngineOptions bad_ctx = opts;
+  bad_ctx.backend_factory = &replay;
+  bad_ctx.backend_context = "other-cell";
+  EXPECT_THROW(Engine(sys, bad_ctx), std::runtime_error);
+
+  // A different workload at the cursor fails at that probe.
+  EngineOptions replay_opts = opts;
+  replay_opts.backend_factory = &replay;
+  {
+    Engine engine(sys, replay_opts);
+    Rng rng(3);
+    Workload other = simple_write();
+    other.num_qps = 99;
+    EXPECT_THROW(engine.run(other, rng), std::runtime_error);
+  }
+  // Running past the recorded sequence fails too.
+  {
+    Engine engine(sys, replay_opts);
+    Rng rng(3);
+    engine.run(simple_write(), rng);
+    engine.run(catalog::anomaly(1).concrete, rng);
+    EXPECT_THROW(engine.run(simple_write(), rng), std::runtime_error);
+  }
+}
+
+TEST(Backend, ReplayRestoresTheRecordedRngStream) {
+  // The same generator feeds measurement jitter and search decisions, so a
+  // replayed probe must leave the Rng exactly where the recording left it.
+  auto recorder = std::make_shared<TraceRecorder>();
+  RecordBackendFactory factory(recorder);
+  EngineOptions opts;
+  opts.run_functional_pass = false;
+  opts.backend_factory = &factory;
+  const sim::Subsystem& sys = sim::subsystem('F');
+  Rng record_rng(17);
+  {
+    Engine engine(sys, opts);
+    engine.run(simple_write(), record_rng);
+  }
+  const RngState after_record = record_rng.state();
+
+  auto trace = std::make_shared<const TraceFile>(recorder->file());
+  ReplayBackendFactory replay_factory(trace);
+  EngineOptions replay_opts = opts;
+  replay_opts.backend_factory = &replay_factory;
+  Engine engine(sys, replay_opts);
+  Rng replay_rng(17);
+  engine.run(simple_write(), replay_rng);
+  EXPECT_EQ(replay_rng.state(), after_record);
+  // And the next draws agree.
+  EXPECT_EQ(record_rng.next_u64(), replay_rng.next_u64());
+}
+
+TEST(Backend, MockBackendDrivesACampaign) {
+  // A scripted healthy fleet: full line rate, no pauses.  The search finds
+  // nothing, the report attributes the mock substrate, and the probe count
+  // matches the campaign's experiment count (cost accounting — which the
+  // responder must not reset — drove the budget to exhaustion).
+  auto factory = std::make_shared<MockBackendFactory>(
+      [](const Workload&, Measurement& out) {
+        script_measurement(out, gbps(195));
+      });
+  orchestrator::CampaignConfig config = small_campaign();
+  config.backend_factory = factory;
+  const orchestrator::CampaignResult result =
+      orchestrator::Campaign(config).run();
+  const orchestrator::CampaignReport report =
+      orchestrator::build_report(result);
+  EXPECT_EQ(report.backend, "mock");
+  EXPECT_EQ(report.anomalies.size(), 0u);
+  EXPECT_GT(report.total_experiments, 0);
+  EXPECT_EQ(factory->total_probes(),
+            static_cast<i64>(report.total_experiments));
+  // The report round-trips with the substrate label intact.
+  EXPECT_EQ(
+      orchestrator::campaign_report_from_json(report.to_json()).backend,
+      "mock");
 }
 
 }  // namespace

@@ -675,7 +675,8 @@ std::map<char, std::set<int>> catalog_id_sets(const CampaignResult& result) {
   for (const CellResult& cr : result.cells) {
     const std::string chip = sim::subsystem(cr.cell.subsystem).nicm.chip;
     for (const core::FoundAnomaly& f : cr.result.found) {
-      int id = catalog::label_by_mechanism(chip, f.mfs.witness, f.dominant,
+      int id = catalog::label_by_mechanism(chip, cr.cell.fabric,
+                                           f.mfs.witness, f.dominant,
                                            to_catalog(f.mfs.symptom));
       if (id == 0) {
         const auto labels =

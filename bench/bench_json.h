@@ -97,10 +97,15 @@ inline constexpr const char* kSpeedProbeMetric = "probes_per_sec_uncompiled";
 // and is not gated (the committed absolute numbers still record it for
 // humans).  Returns the number of failures and prints one line per
 // comparison.
+// `speed_probe` selects the section's machine-speed normalizer metric (the
+// "kb" section normalizes by its linear-scan reference instead of the probe
+// path's uncompiled reference).
 inline int check_against_baseline(const Document& baseline,
                                   const std::string& section,
                                   const Section& current,
-                                  double tolerance = 0.20) {
+                                  double tolerance = 0.20,
+                                  const std::string& speed_probe =
+                                      kSpeedProbeMetric) {
   const auto it = baseline.find(section);
   if (it == baseline.end()) {
     std::printf("baseline has no \"%s\" section: nothing to check\n",
@@ -109,21 +114,21 @@ inline int check_against_baseline(const Document& baseline,
   }
   double scale = 1.0;
   {
-    const auto base_probe = it->second.find(kSpeedProbeMetric);
-    const auto cur_probe = current.find(kSpeedProbeMetric);
+    const auto base_probe = it->second.find(speed_probe);
+    const auto cur_probe = current.find(speed_probe);
     if (base_probe != it->second.end() && cur_probe != current.end() &&
         base_probe->second > 0.0 && cur_probe->second > 0.0) {
       scale = cur_probe->second / base_probe->second;
     }
   }
-  std::printf("machine-speed scale (%s): %.3f\n", kSpeedProbeMetric, scale);
+  std::printf("machine-speed scale (%s): %.3f\n", speed_probe.c_str(), scale);
   int failures = 0;
   for (const auto& [metric, expected] : it->second) {
     if (metric.size() < 8 ||
         metric.compare(metric.size() - 8, 8, "_per_sec") != 0) {
       continue;
     }
-    if (metric == kSpeedProbeMetric) continue;  // the normalizer itself
+    if (metric == speed_probe) continue;  // the normalizer itself
     const auto cur = current.find(metric);
     if (cur == current.end()) {
       std::printf("MISSING  %-34s baseline %.3g\n", metric.c_str(), expected);

@@ -1,0 +1,213 @@
+// Knowledge-base query throughput: the serving-side twin of probes/sec.
+//
+// Builds a synthetic >=1k-entry compacted corpus (tight distinct regions
+// across four subsystem scopes), loads it into kb::KnowledgeBase, and
+// measures batch queries/sec through the sharded-index path against a
+// linear matches() scan of the same shards — the same indexed-vs-linear
+// framing as covers_per_sec in bench_micro.  The linear figure doubles as
+// the section's machine-speed normalizer for the baseline gate.
+//
+//   bench_kb --json [file]             write the "kb" section of
+//                                      BENCH_hotpath.json
+//   bench_kb --check-baseline <file>   fail on a >20% queries/sec
+//                                      regression against the committed
+//                                      baseline (normalized by
+//                                      queries_per_sec_linear)
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/space.h"
+#include "kb/corpus.h"
+#include "kb/query.h"
+#include "sim/subsystem.h"
+
+using namespace collie;
+
+namespace {
+
+constexpr int kScopes = 4;
+constexpr int kEntriesPerScope = 320;  // >=1k corpus across the scopes
+constexpr int kQueries = 4096;
+
+// A narrow region around a sampled witness: three tight numeric bands keep
+// regions pairwise distinct (compaction would fold overlaps), so the
+// corpus stays at its nominal size.
+core::Mfs narrow_mfs(const core::SearchSpace& space, Rng& rng, int ordinal) {
+  core::Mfs mfs;
+  mfs.index = ordinal;
+  mfs.symptom = rng.bernoulli(0.5) ? core::Symptom::kPauseFrames
+                                   : core::Symptom::kLowThroughput;
+  mfs.witness = space.random_point(rng);
+  for (const core::Feature f :
+       {core::Feature::kNumQps, core::Feature::kMrSize,
+        core::Feature::kMsgSize}) {
+    core::FeatureCondition c;
+    c.feature = f;
+    c.categorical = false;
+    const double v = space.numeric_value(mfs.witness, f);
+    c.lo = v * 0.98 - 0.5;
+    c.hi = v * 1.02 + 0.5;
+    mfs.conditions.push_back(c);
+  }
+  return mfs;
+}
+
+// Wall-clock ops/second of `fn`, self-calibrating to ~0.3 s of measurement
+// after a short warmup (the bench_micro harness's measurement loop).
+template <typename Fn>
+double ops_per_second(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  long iters = 64;
+  for (;;) {
+    for (long i = 0; i < iters / 4 + 1; ++i) fn();  // warm
+    const auto t0 = clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (seconds >= 0.3 || iters > (1L << 30)) {
+      return static_cast<double>(iters) / seconds;
+    }
+    iters *= 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  // Synthetic corpus: four subsystem scopes, pair fabric, CC off.
+  const std::vector<char> subsystems = sim::all_subsystem_ids();
+  kb::Corpus corpus;
+  std::map<std::string, const core::SearchSpace*> spaces;
+  std::vector<std::unique_ptr<core::SearchSpace>> owned_spaces;
+  Rng rng(42);
+  for (int si = 0; si < kScopes && si < static_cast<int>(subsystems.size());
+       ++si) {
+    kb::ScopeKey key;
+    key.subsystem = subsystems[static_cast<std::size_t>(si)];
+    const std::string scope = key.canonical();
+    owned_spaces.push_back(
+        std::make_unique<core::SearchSpace>(key.materialize()));
+    const core::SearchSpace& space = *owned_spaces.back();
+    spaces[scope] = &space;
+    kb::CorpusShard& shard = corpus.shards[scope];
+    shard.key = key;
+    for (int i = 0; i < kEntriesPerScope; ++i) {
+      kb::CorpusEntry e;
+      e.mfs = narrow_mfs(space, rng, i);
+      e.sources.push_back(kb::Provenance{"bench", scope});
+      shard.entries.push_back(std::move(e));
+    }
+  }
+
+  kb::KnowledgeBase knowledge;
+  knowledge.merge(corpus);
+  std::printf("kb: %zu entries in %zu scopes (nominal %d)\n",
+              knowledge.size(), knowledge.scopes().size(),
+              kScopes * kEntriesPerScope);
+
+  // Query mix: half known witnesses (hits), half fresh random points
+  // (overwhelmingly misses — the common serving case).
+  std::vector<kb::Query> queries;
+  queries.reserve(kQueries);
+  {
+    std::vector<std::string> scope_names;
+    for (const auto& [scope, shard] : corpus.shards) {
+      scope_names.push_back(scope);
+    }
+    for (int i = 0; i < kQueries; ++i) {
+      const std::string& scope =
+          scope_names[static_cast<std::size_t>(i) % scope_names.size()];
+      const kb::CorpusShard& shard = corpus.shards[scope];
+      kb::Query q;
+      q.scope = scope;
+      if (i % 2 == 0) {
+        q.workload =
+            shard.entries[static_cast<std::size_t>(i) % shard.entries.size()]
+                .mfs.witness;
+      } else {
+        q.workload = spaces[scope]->random_point(rng);
+      }
+      queries.push_back(std::move(q));
+    }
+  }
+
+  benchjson::Section out;
+  std::size_t covered_indexed = 0;
+  {
+    const double batches_per_sec = ops_per_second([&] {
+      covered_indexed = 0;
+      for (const kb::QueryResult& r : knowledge.query_batch(queries)) {
+        if (r.covered) ++covered_indexed;
+      }
+    });
+    out["queries_per_sec"] = batches_per_sec * kQueries;
+  }
+
+  // Linear reference: same shards, first matches() scan instead of the
+  // index (and the machine-speed normalizer for the regression gate).
+  std::size_t covered_linear = 0;
+  {
+    const double batches_per_sec = ops_per_second([&] {
+      covered_linear = 0;
+      for (const kb::Query& q : queries) {
+        const kb::CorpusShard& shard = corpus.shards[q.scope];
+        const core::SearchSpace& space = *spaces[q.scope];
+        for (const kb::CorpusEntry& e : shard.entries) {
+          if (e.mfs.matches(space, q.workload)) {
+            ++covered_linear;
+            break;
+          }
+        }
+      }
+    });
+    out["queries_per_sec_linear"] = batches_per_sec * kQueries;
+  }
+  if (covered_indexed != covered_linear) {
+    std::fprintf(stderr,
+                 "indexed and linear answers disagree: %zu vs %zu covered\n",
+                 covered_indexed, covered_linear);
+    return 1;
+  }
+  out["kb_entries"] = static_cast<double>(knowledge.size());
+  out["kb_query_speedup_vs_linear"] =
+      out["queries_per_sec"] / out["queries_per_sec_linear"];
+
+  std::printf("kb query metrics (%zu/%d queries covered):\n", covered_indexed,
+              kQueries);
+  for (const auto& [metric, value] : out) {
+    std::printf("  %-34s %14.4g\n", metric.c_str(), value);
+  }
+
+  const std::string path = args.get("json", benchjson::kDefaultPath);
+  if (args.has("json") || args.has("check-baseline")) {
+    if (!benchjson::write_section(path, "kb", out)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote \"kb\" section of %s\n", path.c_str());
+  }
+  const std::string baseline_path = args.get("check-baseline", "");
+  if (!baseline_path.empty() && baseline_path != "true") {
+    const benchjson::Document baseline =
+        benchjson::load_document(baseline_path);
+    std::printf("\nchecking against %s (>20%% queries/sec regression "
+                "fails)\n",
+                baseline_path.c_str());
+    const int failures = benchjson::check_against_baseline(
+        baseline, "kb", out, 0.20, "queries_per_sec_linear");
+    if (failures > 0) {
+      std::printf("%d metric(s) regressed\n", failures);
+      return 1;
+    }
+    std::printf("no regression\n");
+  }
+  return 0;
+}

@@ -142,7 +142,7 @@ std::string metrics_document(double interval_seconds,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   CliArgs args(argc, argv);
 
   CampaignConfig config;
@@ -210,6 +210,15 @@ int main(int argc, char** argv) {
                                          : Strategy::kSimulatedAnnealing;
   config.workers = static_cast<int>(args.get_int("workers", 4));
   config.seeds_per_cell = static_cast<int>(args.get_int("seeds", 1));
+  // Pool snapshot retention (memory only, never results); see
+  // MfsPoolOptions.
+  const i64 keep_epochs =
+      args.get_int("keep-epochs", config.pool.keep_epochs);
+  if (keep_epochs < 0) {
+    std::fprintf(stderr, "--keep-epochs must be >= 0\n");
+    return 2;
+  }
+  config.pool.keep_epochs = static_cast<int>(keep_epochs);
   {
     // --hours is a single budget or a comma list cycled over plan cells.
     const std::string hours_arg = args.get("hours", "10");
@@ -488,4 +497,14 @@ int main(int argc, char** argv) {
     std::printf("\n%s", obs::render_stats(telemetry->snapshot()).c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Malformed numeric flags (CliArgs parses strictly and names the flag).
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }

@@ -1,6 +1,8 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/strings.h"
 
@@ -38,14 +40,33 @@ std::string CliArgs::get(const std::string& name,
 i64 CliArgs::get_int(const std::string& name, i64 default_value) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // A null endptr here once made "--workers junk" silently 0 and
+  // "--hours 8x" silently 8: parse strictly, whole token, and name the
+  // offending flag.
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const i64 value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got \"" +
+                                text + "\"");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name,
                            double default_value) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": expected a number, got \"" +
+                                text + "\"");
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool default_value) const {

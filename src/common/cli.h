@@ -17,6 +17,9 @@ class CliArgs {
   bool has(const std::string& name) const;
   std::string get(const std::string& name,
                   const std::string& default_value = "") const;
+  // Numeric getters parse the whole token strictly and throw
+  // std::invalid_argument naming the flag on junk or out-of-range input
+  // ("--workers junk" must fail loudly, not silently become 0).
   i64 get_int(const std::string& name, i64 default_value) const;
   double get_double(const std::string& name, double default_value) const;
   bool get_bool(const std::string& name, bool default_value) const;

@@ -1,0 +1,120 @@
+#include "kb/query.h"
+
+#include <utility>
+
+#include "core/json_reader.h"
+
+namespace collie::kb {
+
+void KnowledgeBase::merge(const Corpus& corpus) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Directory* old = dir_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<Directory>();
+  next->generation = (old == nullptr ? 0 : old->generation) + 1;
+  if (old != nullptr) next->shards = old->shards;
+
+  for (const auto& [scope, src] : corpus.shards) {
+    const auto existing = next->shards.find(scope);
+    auto shard = std::make_unique<Shard>();
+    shard->key = src.key;
+    shard->space = std::make_unique<core::SearchSpace>(src.key.materialize());
+    // Start from the published shard's entries (merge, don't replace)...
+    if (existing != next->shards.end()) {
+      shard->entries = existing->second->entries;
+    }
+    // ...then compact the incoming entries against them.
+    for (const CorpusEntry& incoming : src.entries) {
+      CorpusEntry* merged_into = nullptr;
+      for (CorpusEntry& e : shard->entries) {
+        if (core::same_anomaly_region(*shard->space, e.mfs, incoming.mfs)) {
+          merged_into = &e;
+          break;
+        }
+      }
+      if (merged_into != nullptr) {
+        merged_into->sources.insert(merged_into->sources.end(),
+                                    incoming.sources.begin(),
+                                    incoming.sources.end());
+        continue;
+      }
+      CorpusEntry e = incoming;
+      e.mfs.index = static_cast<int>(shard->entries.size());
+      shard->entries.push_back(std::move(e));
+    }
+    for (const CorpusEntry& e : shard->entries) shard->index.add(e.mfs);
+    next->shards[scope] = shard.get();
+    shard_history_.push_back(std::move(shard));
+  }
+
+  const Directory* published = next.get();
+  dir_history_.push_back(std::move(next));
+  dir_.store(published, std::memory_order_release);
+}
+
+QueryResult KnowledgeBase::query_directory(const Directory* dir,
+                                           const std::string& scope,
+                                           const Workload& w) const {
+  QueryResult r;
+  if (dir == nullptr) return r;
+  std::string canonical;
+  try {
+    canonical = parse_scope(scope).canonical();
+  } catch (const core::JsonError&) {
+    // Unparseable scope: the server answers "not covered", it never dies.
+    return r;
+  }
+  const auto it = dir->shards.find(canonical);
+  if (it == dir->shards.end()) return r;
+  const Shard& shard = *it->second;
+  r.scope = canonical;
+  const int at = shard.index.first_match(*shard.space, w);
+  if (at < 0) return r;
+  const CorpusEntry& e = shard.entries[static_cast<std::size_t>(at)];
+  r.covered = true;
+  r.entry = at;
+  r.mfs = e.mfs;
+  r.dominant = e.dominant;
+  r.anomaly_id = e.anomaly_id;
+  r.label = e.label;
+  return r;
+}
+
+QueryResult KnowledgeBase::query(const std::string& scope,
+                                 const Workload& w) const {
+  return query_directory(dir_.load(std::memory_order_acquire), scope, w);
+}
+
+std::vector<QueryResult> KnowledgeBase::query_batch(
+    const std::vector<Query>& queries) const {
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) {
+    out.push_back(query_directory(dir, q.scope, q.workload));
+  }
+  return out;
+}
+
+std::vector<std::string> KnowledgeBase::scopes() const {
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  std::vector<std::string> out;
+  if (dir == nullptr) return out;
+  out.reserve(dir->shards.size());
+  for (const auto& [scope, shard] : dir->shards) out.push_back(scope);
+  return out;
+}
+
+std::size_t KnowledgeBase::size() const {
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& [scope, shard] : dir->shards) n += shard->entries.size();
+  return n;
+}
+
+u64 KnowledgeBase::generation() const {
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  return dir == nullptr ? 0 : dir->generation;
+}
+
+}  // namespace collie::kb

@@ -355,7 +355,7 @@ CampaignResult Campaign::run() {
   }
   setup_telemetry(schedule, skipped_cells);
 
-  ConcurrentMfsPool pool;
+  ConcurrentMfsPool pool(config_.pool);
   pool.set_telemetry(config_.telemetry);
   if (config_.warm_start) {
     for (const auto& [scope, entries] : config_.warm_start->scopes) {

@@ -136,6 +136,10 @@ struct CampaignConfig {
   // threaded execution under subsystem-scoped sharing (where what a cell
   // sees depends on insert timing).
   std::shared_ptr<workload::BackendFactory> backend_factory;
+  // Snapshot retention policy for the shared pool (keep_epochs).  Purely a
+  // memory knob: reports are bit-identical across policies (pinned by
+  // orchestrator tests).
+  MfsPoolOptions pool;
   core::SaConfig sa;          // template; mode is overridden per cell
   workload::EngineOptions engine;
 };

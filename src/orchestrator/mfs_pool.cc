@@ -1,22 +1,85 @@
 #include "orchestrator/mfs_pool.h"
 
+#include <algorithm>
+
 namespace collie::orchestrator {
 
 // ---- View -----------------------------------------------------------------
 
 const ConcurrentMfsPool::ScopeHandle* ConcurrentMfsPool::View::handle() {
-  if (!handle_) handle_ = pool_->handle(scope_);
+  if (!handle_) handle_ = pool_->bind(scope_, &slot_);
   return handle_.get();
+}
+
+ConcurrentMfsPool::View::~View() { release(); }
+
+ConcurrentMfsPool::View::View(View&& other) noexcept
+    : pool_(other.pool_),
+      scope_(std::move(other.scope_)),
+      worker_(other.worker_),
+      handle_(std::move(other.handle_)),
+      slot_(other.slot_),
+      hits_(other.hits_),
+      cross_hits_(other.cross_hits_),
+      warm_hits_(other.warm_hits_) {
+  other.slot_ = nullptr;
+  other.handle_.reset();
+}
+
+ConcurrentMfsPool::View& ConcurrentMfsPool::View::operator=(
+    View&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  pool_ = other.pool_;
+  scope_ = std::move(other.scope_);
+  worker_ = other.worker_;
+  handle_ = std::move(other.handle_);
+  slot_ = other.slot_;
+  hits_ = other.hits_;
+  cross_hits_ = other.cross_hits_;
+  warm_hits_ = other.warm_hits_;
+  other.slot_ = nullptr;
+  other.handle_.reset();
+  return *this;
+}
+
+void ConcurrentMfsPool::View::release() {
+  if (slot_ != nullptr && handle_) pool_->release_slot(*handle_, slot_);
+  slot_ = nullptr;
+  handle_.reset();
+}
+
+// Hazard announce-and-validate.  The slot store and the re-check load are
+// seq_cst so they order against a writer's publish store + slot scan in the
+// single total order; see DESIGN.md ("Epoch reclamation") for why a reader
+// that breaks out of this loop can never have its snapshot freed under it.
+const ConcurrentMfsPool::Snapshot* ConcurrentMfsPool::View::begin_read() {
+  const ScopeHandle* h = handle();
+  const Snapshot* s = h->snap.load(std::memory_order_acquire);
+  while (s != nullptr) {
+    slot_->protect.store(s, std::memory_order_seq_cst);
+    const Snapshot* cur = h->snap.load(std::memory_order_seq_cst);
+    if (cur == s) break;
+    // Superseded between load and announce: the stale pointer was never
+    // dereferenced (and may already be freed) — retry on the new one.
+    s = cur;
+  }
+  return s;
+}
+
+void ConcurrentMfsPool::View::end_read() {
+  slot_->protect.store(nullptr, std::memory_order_seq_cst);
 }
 
 bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
                                      const Workload& w) {
-  const Snapshot* snap = handle()->snap.load(std::memory_order_acquire);
+  const Snapshot* snap = begin_read();
   bool cross = false;
   bool warm = false;
-  if (!pool_->covers_snapshot(snap, space, w, worker_, &cross, &warm)) {
-    return false;
-  }
+  const bool hit = pool_->covers_snapshot(snap, space, w, worker_, &cross,
+                                          &warm);
+  end_read();
+  if (!hit) return false;
   hits_ += 1;
   if (cross) cross_hits_ += 1;
   if (warm) warm_hits_ += 1;
@@ -25,8 +88,10 @@ bool ConcurrentMfsPool::View::covers(const core::SearchSpace& space,
 
 bool ConcurrentMfsPool::View::covers_preloaded(const core::SearchSpace& space,
                                                const Workload& w) {
-  const Snapshot* snap = handle()->snap.load(std::memory_order_acquire);
-  if (!pool_->covers_preloaded_snapshot(snap, space, w, worker_)) return false;
+  const Snapshot* snap = begin_read();
+  const bool hit = pool_->covers_preloaded_snapshot(snap, space, w, worker_);
+  end_read();
+  if (!hit) return false;
   hits_ += 1;
   warm_hits_ += 1;
   return true;
@@ -97,32 +162,78 @@ bool ConcurrentMfsPool::covers_preloaded_snapshot(const Snapshot* snap,
 
 // ---- Scope handles --------------------------------------------------------
 
-std::shared_ptr<ConcurrentMfsPool::ScopeHandle> ConcurrentMfsPool::handle(
-    const std::string& scope) {
+std::shared_ptr<ConcurrentMfsPool::ScopeHandle> ConcurrentMfsPool::bind(
+    const std::string& scope, ReaderSlot** slot) {
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<ScopeHandle>& h = scopes_[scope];
   if (!h) h = std::make_shared<ScopeHandle>();
+  if (!h->free_slots.empty()) {
+    *slot = h->free_slots.back();
+    h->free_slots.pop_back();
+  } else {
+    h->slots.push_back(std::make_unique<ReaderSlot>());
+    *slot = h->slots.back().get();
+  }
   return h;
 }
 
-const ConcurrentMfsPool::Snapshot* ConcurrentMfsPool::peek(
-    const std::string& scope) const {
-  std::shared_ptr<ScopeHandle> h;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = scopes_.find(scope);
-    if (it == scopes_.end()) return nullptr;
-    h = it->second;
-  }
-  return h->snap.load(std::memory_order_acquire);
+void ConcurrentMfsPool::release_slot(ScopeHandle& h, ReaderSlot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The owning view is quiescent (slots are released only from the view
+  // destructor, never mid-read); mu_ orders this store against scans.
+  slot->protect.store(nullptr, std::memory_order_relaxed);
+  h.free_slots.push_back(slot);
 }
 
 const ConcurrentMfsPool::Snapshot* ConcurrentMfsPool::publish(
     ScopeHandle& h, std::unique_ptr<Snapshot> next) {
   const Snapshot* published = next.get();
+  const bool superseding = !h.history.empty();
   h.history.push_back(std::move(next));
-  h.snap.store(published, std::memory_order_release);
+  // seq_cst (not just release): orders against readers' announce/re-check
+  // so the reclaim scan below cannot miss an in-flight announcement.
+  h.snap.store(published, std::memory_order_seq_cst);
+  if (superseding) retained_ += 1;
+  reclaim(h);
   return published;
+}
+
+void ConcurrentMfsPool::reclaim(ScopeHandle& h) {
+  // Keep the published snapshot plus the newest keep_epochs superseded ones.
+  const std::size_t keep =
+      1 + static_cast<std::size_t>(std::max(0, opts_.keep_epochs));
+  if (h.history.size() <= keep) return;
+  // Snapshots announced by in-flight readers; typically none or one.
+  std::vector<const Snapshot*> announced;
+  for (const std::unique_ptr<ReaderSlot>& slot : h.slots) {
+    const Snapshot* p = slot->protect.load(std::memory_order_seq_cst);
+    if (p != nullptr) announced.push_back(p);
+  }
+  const std::size_t retire = h.history.size() - keep;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < retire; ++i) {
+    std::unique_ptr<const Snapshot>& s = h.history[i];
+    if (std::find(announced.begin(), announced.end(), s.get()) !=
+        announced.end()) {
+      // Grace period: a reader still holds it; retry on the next write.
+      h.history[w++] = std::move(s);
+    } else {
+      s.reset();
+      retained_ -= 1;
+    }
+  }
+  for (std::size_t i = retire; i < h.history.size(); ++i) {
+    if (w != i) h.history[w] = std::move(h.history[i]);
+    ++w;
+  }
+  h.history.resize(w);
+}
+
+void ConcurrentMfsPool::update_retained_gauge() {
+  if (tel_ != nullptr) {
+    tel_->registry().gauge_set(0, tel_->pool_ids().retained_snapshots,
+                               retained_);
+  }
 }
 
 // ---- Pool-level API -------------------------------------------------------
@@ -131,13 +242,23 @@ bool ConcurrentMfsPool::covers(const std::string& scope,
                                const core::SearchSpace& space,
                                const Workload& w, int requester, bool* cross,
                                bool* warm) {
-  return covers_snapshot(peek(scope), space, w, requester, cross, warm);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  const Snapshot* snap =
+      it == scopes_.end() ? nullptr
+                          : it->second->snap.load(std::memory_order_relaxed);
+  return covers_snapshot(snap, space, w, requester, cross, warm);
 }
 
 bool ConcurrentMfsPool::covers_preloaded(const std::string& scope,
                                          const core::SearchSpace& space,
                                          const Workload& w) {
-  return covers_preloaded_snapshot(peek(scope), space, w, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  const Snapshot* snap =
+      it == scopes_.end() ? nullptr
+                          : it->second->snap.load(std::memory_order_relaxed);
+  return covers_preloaded_snapshot(snap, space, w, 0);
 }
 
 int ConcurrentMfsPool::insert(const std::string& scope,
@@ -151,16 +272,41 @@ int ConcurrentMfsPool::insert(const std::string& scope,
   // Two workers can race past their covers() checks and extract overlapping
   // MFSes for the same region.  Keep both — each is a valid explanation and
   // the campaign report dedupes — but count the overlap for the stats,
-  // using the exact criterion the report dedupes by.
+  // using the exact criterion the report dedupes by
+  // (core::same_anomaly_region against any stored same-symptom entry).
+  // Answered through the index, not an entry scan: direction one ("a stored
+  // region covers the new witness") is a symptom-masked first_match;
+  // direction two ("the new region covers a stored witness") only needs the
+  // same-symptom positions, and the bare-vs-bare witness-equality clause
+  // only same-symptom bare entries.
   if (old != nullptr) {
-    for (const Entry& e : old->entries) {
-      if (core::same_anomaly_region(space, e.mfs, mfs)) {
-        duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
-        if (tel_ != nullptr) {
-          tel_->registry().add(origin_worker >= 0 ? origin_worker : 0,
-                               tel_->pool_ids().duplicate_inserts);
+    const int sym = static_cast<int>(mfs.symptom);
+    bool duplicate =
+        old->index.first_match(space, mfs.witness, old->symptom_mask[sym]) >=
+        0;
+    if (!duplicate) {
+      if (!mfs.conditions.empty()) {
+        for (const u32 pos : old->by_symptom[sym]) {
+          if (mfs.matches(space, old->entries[pos].mfs.witness)) {
+            duplicate = true;
+            break;
+          }
         }
-        break;
+      } else {
+        for (const u32 pos : old->by_symptom[sym]) {
+          const Entry& e = old->entries[pos];
+          if (e.mfs.conditions.empty() && e.mfs.witness == mfs.witness) {
+            duplicate = true;
+            break;
+          }
+        }
+      }
+    }
+    if (duplicate) {
+      duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
+      if (tel_ != nullptr) {
+        tel_->registry().add(origin_worker >= 0 ? origin_worker : 0,
+                             tel_->pool_ids().duplicate_inserts);
       }
     }
   }
@@ -173,8 +319,12 @@ int ConcurrentMfsPool::insert(const std::string& scope,
                              : std::make_unique<Snapshot>();
   next->epoch += 1;
   const int index = static_cast<int>(next->entries.size());
+  const int sym = static_cast<int>(mfs.symptom);
   mfs.index = index;
   next->index.add(mfs);
+  core::MfsIndex::set_bit(next->symptom_mask[sym],
+                          static_cast<std::size_t>(index));
+  next->by_symptom[sym].push_back(static_cast<u32>(index));
   next->entries.push_back(Entry{std::move(mfs), origin_worker});
   publish(*h, std::move(next));
   if (tel_ != nullptr) {
@@ -185,8 +335,8 @@ int ConcurrentMfsPool::insert(const std::string& scope,
     reg.add(shard, ids.epoch_publishes);
     // Gauges accumulate on shard 0 (writes are serialized under mu_).
     reg.gauge_add(0, ids.entries, 1);
-    if (old != nullptr) reg.gauge_add(0, ids.retained_snapshots, 1);
   }
+  update_retained_gauge();
   return index;
 }
 
@@ -202,9 +352,12 @@ void ConcurrentMfsPool::load_scope(const std::string& scope,
   const i64 loaded = static_cast<i64>(entries.size());
   for (core::Mfs& mfs : entries) {
     const std::size_t at = next->entries.size();
+    const int sym = static_cast<int>(mfs.symptom);
     mfs.index = static_cast<int>(at);
     next->index.add(mfs);
     core::MfsIndex::set_bit(next->warm_mask, at);
+    core::MfsIndex::set_bit(next->symptom_mask[sym], at);
+    next->by_symptom[sym].push_back(static_cast<u32>(at));
     next->warm_entries += 1;
     next->entries.push_back(Entry{std::move(mfs), kWarmStartOrigin});
   }
@@ -213,22 +366,16 @@ void ConcurrentMfsPool::load_scope(const std::string& scope,
     const obs::PoolIds& ids = tel_->pool_ids();
     tel_->registry().add(0, ids.epoch_publishes);
     tel_->registry().gauge_add(0, ids.entries, loaded);
-    if (old != nullptr) {
-      tel_->registry().gauge_add(0, ids.retained_snapshots, 1);
-    }
   }
+  update_retained_gauge();
 }
 
 std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
     const {
-  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    handles = scopes_;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, std::vector<core::Mfs>> out;
-  for (const auto& [scope, h] : handles) {
-    const Snapshot* snap = h->snap.load(std::memory_order_acquire);
+  for (const auto& [scope, h] : scopes_) {
+    const Snapshot* snap = h->snap.load(std::memory_order_relaxed);
     if (snap == nullptr) continue;
     std::vector<core::Mfs>& dst = out[scope];
     dst.reserve(snap->entries.size());
@@ -238,13 +385,19 @@ std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
 }
 
 std::size_t ConcurrentMfsPool::size(const std::string& scope) const {
-  const Snapshot* snap = peek(scope);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return 0;
+  const Snapshot* snap = it->second->snap.load(std::memory_order_relaxed);
   return snap == nullptr ? 0 : snap->entries.size();
 }
 
 std::vector<core::Mfs> ConcurrentMfsPool::snapshot(
     const std::string& scope) const {
-  const Snapshot* snap = peek(scope);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return {};
+  const Snapshot* snap = it->second->snap.load(std::memory_order_relaxed);
   if (snap == nullptr) return {};
   std::vector<core::Mfs> out;
   out.reserve(snap->entries.size());
@@ -253,17 +406,13 @@ std::vector<core::Mfs> ConcurrentMfsPool::snapshot(
 }
 
 std::vector<std::string> ConcurrentMfsPool::scopes() const {
-  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    handles = scopes_;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(handles.size());
-  for (const auto& [scope, h] : handles) {
+  out.reserve(scopes_.size());
+  for (const auto& [scope, h] : scopes_) {
     // A view resolving its handle creates the map slot before any entry
     // exists; an empty scope is not a populated scope.
-    if (h->snap.load(std::memory_order_acquire) != nullptr) {
+    if (h->snap.load(std::memory_order_relaxed) != nullptr) {
       out.push_back(scope);
     }
   }
@@ -271,19 +420,30 @@ std::vector<std::string> ConcurrentMfsPool::scopes() const {
 }
 
 u64 ConcurrentMfsPool::epoch(const std::string& scope) const {
-  const Snapshot* snap = peek(scope);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return 0;
+  const Snapshot* snap = it->second->snap.load(std::memory_order_relaxed);
   return snap == nullptr ? 0 : snap->epoch;
 }
 
+i64 ConcurrentMfsPool::retained_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+i64 ConcurrentMfsPool::retained_snapshots(const std::string& scope) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end() || it->second->history.empty()) return 0;
+  return static_cast<i64>(it->second->history.size()) - 1;
+}
+
 PoolStats ConcurrentMfsPool::stats() const {
-  std::map<std::string, std::shared_ptr<ScopeHandle>> handles;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    handles = scopes_;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
   PoolStats s;
-  for (const auto& [scope, h] : handles) {
-    const Snapshot* snap = h->snap.load(std::memory_order_acquire);
+  for (const auto& [scope, h] : scopes_) {
+    const Snapshot* snap = h->snap.load(std::memory_order_relaxed);
     if (snap == nullptr) continue;
     s.entries += static_cast<i64>(snap->entries.size());
     s.warm_entries += snap->warm_entries;

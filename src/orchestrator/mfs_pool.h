@@ -20,17 +20,31 @@
 // atomic pointer.  The covers()/covers_preloaded() fast path loads the
 // pointer and queries the index — no lock acquisition of any kind, readers
 // never wait on writers or on each other (not even on a shared_ptr control
-// block).  Writers (insert/load_scope) serialize on a mutex, build the
-// successor snapshot (epoch + 1) and publish it with a release store;
-// every superseded snapshot is retained by the pool until destruction, so
-// a reader holding yesterday's pointer stays valid mid-query.  Retention
-// is bounded by insert count — inserts happen once per extracted anomaly,
-// a number that is small by construction (the report dedupes dozens, not
-// millions).  First-cover order and hit provenance (cross-worker /
-// warm-start attribution) are exactly the linear scan's: the index returns
-// the lowest insertion position that matches.
+// block).  Writers (insert/load_scope) serialize on a mutex and publish the
+// successor snapshot (epoch + 1) with a seq_cst store.
+//
+// Reclamation (the keep_epochs policy): superseded snapshots are NOT
+// retained until pool destruction — corpus-scale stores fed by long
+// campaigns would otherwise grow quadratically in inserted MFSes (every
+// insert copies the whole entry set, and every copy used to stay live).
+// Instead each View owns a hazard slot: before using a snapshot it
+// announces the raw pointer (seq_cst store) and re-checks that the pointer
+// is still published; a writer retires snapshots older than the newest
+// keep_epochs superseded ones, but frees only those no slot announces.
+// A snapshot that is still announced gets a grace period: it stays on the
+// scope's history list and is re-examined on the next write.  Readers
+// therefore never observe a freed snapshot (see DESIGN.md for the ordering
+// argument), retention is bounded by keep_epochs + concurrent readers, and
+// the pool.retained_snapshots gauge returns to that bound instead of
+// climbing monotonically.  The pool-level accessors (size/snapshot/stats/
+// export_scopes/covers) are cold paths and take the writer mutex instead of
+// a slot; only Views are lock-free.  Views must be destroyed before the
+// pool.  First-cover order and hit provenance (cross-worker / warm-start
+// attribution) are exactly the linear scan's: the index returns the lowest
+// insertion position that matches.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -54,12 +68,27 @@ struct PoolStats {
   i64 duplicate_inserts = 0;  // inserts whose witness was already covered
 };
 
+struct MfsPoolOptions {
+  // Superseded snapshots retained per scope beyond the published one before
+  // a write retires them (freed as soon as no reader announces them).  0 is
+  // legal: stragglers are still protected by their hazard slots.  Retention
+  // never changes answers — only how long old snapshots stay resident — so
+  // campaign reports are bit-identical across policies.
+  int keep_epochs = 8;
+};
+
 class ConcurrentMfsPool {
  private:
   struct Snapshot;
   struct ScopeHandle;
+  struct ReaderSlot;
 
  public:
+  explicit ConcurrentMfsPool(MfsPoolOptions opts = {}) : opts_(opts) {}
+  ~ConcurrentMfsPool() = default;
+  ConcurrentMfsPool(const ConcurrentMfsPool&) = delete;
+  ConcurrentMfsPool& operator=(const ConcurrentMfsPool&) = delete;
+
   // Origin id of entries loaded from a warm-start checkpoint: no live worker
   // ever carries it, so loaded hits are attributed to the previous campaign
   // rather than counted as cross-worker sharing.
@@ -67,13 +96,19 @@ class ConcurrentMfsPool {
 
   // A scoped, worker-bound core::MfsStore handle.  Hit counters are owned by
   // the worker thread driving the view; pool-wide aggregates are atomic on
-  // the pool.  Movable so Campaign can stage views per cell.  The view
-  // resolves its scope's handle once and then reads published snapshots
-  // lock-free.
+  // the pool.  Movable (not copyable: each view owns a hazard slot) so
+  // Campaign can stage views per cell.  The view resolves its scope's handle
+  // and slot once and then reads published snapshots lock-free.  Views must
+  // not outlive the pool.
   class View final : public core::MfsStore {
    public:
     View(ConcurrentMfsPool* pool, std::string scope, int worker)
         : pool_(pool), scope_(std::move(scope)), worker_(worker) {}
+    ~View() override;
+    View(View&& other) noexcept;
+    View& operator=(View&& other) noexcept;
+    View(const View&) = delete;
+    View& operator=(const View&) = delete;
 
     bool covers(const core::SearchSpace& space, const Workload& w) override;
     bool covers_preloaded(const core::SearchSpace& space,
@@ -91,6 +126,12 @@ class ConcurrentMfsPool {
 
    private:
     const ScopeHandle* handle();
+    // Announce-and-validate: returns the current snapshot with this view's
+    // hazard slot protecting it (null when the scope is empty; nothing to
+    // protect then).  Must be paired with end_read().
+    const Snapshot* begin_read();
+    void end_read();
+    void release();
 
     ConcurrentMfsPool* pool_;
     std::string scope_;
@@ -98,6 +139,7 @@ class ConcurrentMfsPool {
     // Resolved lazily (one find-or-create under the pool mutex), then every
     // covers() is a lock-free snapshot load.
     std::shared_ptr<ScopeHandle> handle_;
+    ReaderSlot* slot_ = nullptr;
     i64 hits_ = 0;
     i64 cross_hits_ = 0;
     i64 warm_hits_ = 0;
@@ -109,13 +151,14 @@ class ConcurrentMfsPool {
 
   // `requester` is the worker asking; when the matching MFS was inserted by
   // a different worker, *cross is set; when it was loaded from a warm-start
-  // checkpoint, *warm is set instead (never both).
+  // checkpoint, *warm is set instead (never both).  Cold path: serializes
+  // with writers (use a View for the lock-free path).
   bool covers(const std::string& scope, const core::SearchSpace& space,
               const Workload& w, int requester, bool* cross,
               bool* warm = nullptr);
   // True when a warm-start-loaded entry of `scope` covers `w`.  Counted as
   // a (warm) hit — this is the MatchMFS path the search drivers use for
-  // sampled points that bypass the full skip.
+  // sampled points that bypass the full skip.  Cold path (see covers()).
   bool covers_preloaded(const std::string& scope,
                         const core::SearchSpace& space, const Workload& w);
   int insert(const std::string& scope, const core::SearchSpace& space,
@@ -140,14 +183,23 @@ class ConcurrentMfsPool {
   PoolStats stats() const;
   // Publication count of a scope's snapshot (0 when the scope does not
   // exist yet).  Every insert/load_scope bumps it; tests use this to pin
-  // the publish-on-write, never-in-place invariant.
+  // the publish-on-write, never-in-place invariant.  Reclamation never
+  // rewinds it: epochs count publications, not retained snapshots.
   u64 epoch(const std::string& scope) const;
+  // Superseded snapshots currently retained (all scopes / one scope).
+  // Bounded by keep_epochs plus the number of concurrently-reading views;
+  // the racing-insert tests pin the bound.
+  i64 retained_snapshots() const;
+  i64 retained_snapshots(const std::string& scope) const;
+  const MfsPoolOptions& options() const { return opts_; }
 
  private:
   struct Entry {
     core::Mfs mfs;
     int origin_worker = -1;
   };
+
+  static constexpr int kNumSymptoms = 3;  // core::Symptom enumerator count
 
   // Immutable once published.
   struct Snapshot {
@@ -156,24 +208,44 @@ class ConcurrentMfsPool {
     core::MfsIndex index;
     std::vector<u64> warm_mask;  // bits of kWarmStartOrigin entries
     i64 warm_entries = 0;
+    // Per-symptom entry bitmask + positions: the duplicate-insert check
+    // answers "does an existing same-symptom region cover this witness?"
+    // through the index (masked first_match) instead of re-scanning every
+    // entry, and restricts the reverse-direction probe to same-symptom
+    // entries only.
+    std::array<std::vector<u64>, kNumSymptoms> symptom_mask;
+    std::array<std::vector<u32>, kNumSymptoms> by_symptom;
+  };
+
+  // One view's hazard slot: the snapshot it is currently reading, or null
+  // when quiescent.  Writers never free an announced snapshot.
+  struct ReaderSlot {
+    std::atomic<const Snapshot*> protect{nullptr};
   };
 
   struct ScopeHandle {
-    // The published snapshot; readers load-acquire, writers store-release
-    // under mu_.  Superseded snapshots stay alive in `history` (written
-    // only under mu_), so a raw pointer read lock-free remains valid for
-    // the rest of the reader's query.
+    // The published snapshot; readers load-acquire and announce, writers
+    // store-seq_cst under mu_.  Superseded snapshots stay in `history`
+    // (written only under mu_) until reclaimed.
     std::atomic<const Snapshot*> snap{nullptr};
+    // Oldest-first; back() is the published snapshot.
     std::vector<std::unique_ptr<const Snapshot>> history;
+    // Every hazard slot ever handed to a view of this scope (stable
+    // addresses; writers scan them all) plus the free list dead views
+    // returned theirs to.
+    std::vector<std::unique_ptr<ReaderSlot>> slots;
+    std::vector<ReaderSlot*> free_slots;
   };
 
-  // Find-or-create under mu_.
-  std::shared_ptr<ScopeHandle> handle(const std::string& scope);
-  // Find without creating; null when absent.
-  const Snapshot* peek(const std::string& scope) const;
-  // Publish `next` as `h`'s current snapshot.  Caller must hold mu_.
-  static const Snapshot* publish(ScopeHandle& h,
-                                 std::unique_ptr<Snapshot> next);
+  // Find-or-create + hazard-slot acquisition for a view, under mu_.
+  std::shared_ptr<ScopeHandle> bind(const std::string& scope,
+                                    ReaderSlot** slot);
+  void release_slot(ScopeHandle& h, ReaderSlot* slot);
+  // Publish `next` as `h`'s current snapshot and reclaim retired history.
+  // Caller must hold mu_.
+  const Snapshot* publish(ScopeHandle& h, std::unique_ptr<Snapshot> next);
+  void reclaim(ScopeHandle& h);
+  void update_retained_gauge();
 
   bool covers_snapshot(const Snapshot* snap, const core::SearchSpace& space,
                        const Workload& w, int requester, bool* cross,
@@ -182,10 +254,13 @@ class ConcurrentMfsPool {
                                  const core::SearchSpace& space,
                                  const Workload& w, int requester);
 
-  // Guards the scope map and serializes writers; never taken by the
-  // covers() fast path.
+  // Guards the scope map, serializes writers and the cold accessors; never
+  // taken by a View's covers() fast path.
   mutable std::mutex mu_;
+  MfsPoolOptions opts_;
   std::map<std::string, std::shared_ptr<ScopeHandle>> scopes_;
+  // Sum over scopes of (history.size() - 1), maintained under mu_.
+  i64 retained_ = 0;
   std::atomic<i64> hits_{0};
   std::atomic<i64> cross_hits_{0};
   std::atomic<i64> warm_hits_{0};

@@ -168,6 +168,51 @@ TEST(Cli, ParsesFlagsAndPositional) {
   EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
 }
 
+// Regression: get_int/get_double used atoll/atof-style parsing with a null
+// endptr, so "--workers junk" silently became 0 workers and "--hours 8x"
+// quietly dropped the suffix.  Numeric flags must parse the whole token or
+// fail loudly, naming the flag.
+TEST(Cli, JunkNumericFlagsFailLoudly) {
+  const char* argv[] = {"prog",    "--workers", "junk", "--hours", "8x",
+                        "--ratio", "1.5.2",     "--empty=",  "--trail", "4 "};
+  CliArgs args(10, argv);
+  try {
+    (void)args.get_int("workers", 1);
+    FAIL() << "--workers junk parsed";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--workers"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("junk"), std::string::npos);
+  }
+  EXPECT_THROW((void)args.get_int("hours", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("hours", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("empty", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("empty", 0.0), std::invalid_argument);
+  // Tokens with trailing junk after a valid prefix are rejected too.
+  EXPECT_THROW((void)args.get_int("trail", 0), std::invalid_argument);
+}
+
+TEST(Cli, ValidNumericFlagsStillParse) {
+  const char* argv[] = {"prog",     "--workers", "8",     "--hours",
+                        "2.5",      "--neg=-3",  "--exp", "1e3"};
+  CliArgs args(8, argv);
+  EXPECT_EQ(args.get_int("workers", 1), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("hours", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("exp", 0.0), 1000.0);
+  // Absent flags keep returning their defaults without touching strtoll.
+  EXPECT_EQ(args.get_int("absent", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 0.25), 0.25);
+}
+
+TEST(Cli, OutOfRangeNumericFlagsAreRejected) {
+  const char* argv[] = {"prog", "--big", "999999999999999999999999",
+                        "--huge", "1e999"};
+  CliArgs args(5, argv);
+  EXPECT_THROW((void)args.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("huge", 0.0), std::invalid_argument);
+}
+
 // Restores the global threshold on scope exit so a failing assertion can't
 // leak a kDebug level into later tests.
 struct ScopedLogLevel {

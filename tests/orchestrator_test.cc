@@ -231,6 +231,126 @@ TEST(ConcurrentMfsPoolTest, SnapshotPreservesInsertionOrder) {
   EXPECT_EQ(snap[1].symptom, core::Symptom::kLowThroughput);
 }
 
+// ---- Snapshot reclamation (keep_epochs) -------------------------------------
+
+// With no concurrent readers, every write reclaims down to the policy bound:
+// retained superseded snapshots never exceed keep_epochs, and keep_epochs=0
+// frees every superseded snapshot immediately.  Before reclamation existed,
+// retained_snapshots grew one-per-insert without bound.
+TEST(ConcurrentMfsPoolTest, RetainedSnapshotsAreBoundedByKeepEpochs) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  for (const int keep : {0, 3}) {
+    MfsPoolOptions opts;
+    opts.keep_epochs = keep;
+    ConcurrentMfsPool pool(opts);
+    EXPECT_EQ(pool.options().keep_epochs, keep);
+    Rng rng(61);
+    for (int i = 0; i < 20; ++i) {
+      core::Mfs m = cover_all_mfs(core::Symptom::kLowThroughput);
+      m.witness = space.random_point(rng);
+      pool.insert("F", space, std::move(m), 0);
+      EXPECT_LE(pool.retained_snapshots(), keep) << "insert " << i;
+      EXPECT_LE(pool.retained_snapshots("F"), keep) << "insert " << i;
+    }
+    // The window fills and stays full — reclamation never eats the
+    // published snapshot or rewinds the epoch counter.
+    EXPECT_EQ(pool.retained_snapshots(), std::min(keep, 19));
+    EXPECT_EQ(pool.epoch("F"), 20u);
+    EXPECT_EQ(pool.size("F"), 20u);
+    // Retention is a memory policy, not a semantic one: answers equal the
+    // linear scan regardless of keep_epochs.
+    const std::vector<core::Mfs> all = pool.snapshot("F");
+    for (int q = 0; q < 100; ++q) {
+      const Workload w = space.random_point(rng);
+      bool linear = false;
+      for (const core::Mfs& m : all) {
+        if (m.matches(space, w)) {
+          linear = true;
+          break;
+        }
+      }
+      EXPECT_EQ(pool.covers("F", space, w, 0, nullptr), linear);
+    }
+  }
+}
+
+// A quiescent view holds no hazard: snapshots superseded while its slot is
+// empty are reclaimed even though the view is still alive, and the view's
+// next read sees the freshly published snapshot.
+TEST(ConcurrentMfsPoolTest, QuiescentViewsDoNotPinSnapshots) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(67);
+  MfsPoolOptions opts;
+  opts.keep_epochs = 0;
+  ConcurrentMfsPool pool(opts);
+  ConcurrentMfsPool::View view = pool.view("F", /*worker=*/1);
+  const Workload w = space.random_point(rng);
+  EXPECT_FALSE(view.covers(space, w));  // binds the slot, then quiesces
+  for (int i = 0; i < 8; ++i) {
+    pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+    EXPECT_EQ(pool.retained_snapshots(), 0) << "insert " << i;
+  }
+  EXPECT_TRUE(view.covers(space, w));
+  EXPECT_EQ(view.size(), 8u);
+}
+
+// The tentpole acceptance: retained_snapshots stays bounded while readers
+// race writers.  Readers protect at most one snapshot each (their hazard
+// slot), so at any instant retention is at most keep_epochs + live readers —
+// and once the readers quiesce, one more write drains the stragglers back to
+// the policy bound.  The TSan CI job runs this against the hazard-slot
+// protocol (announce / validate / publish / scan are all seq_cst).
+TEST(ConcurrentMfsPoolTest, RacingInsertsKeepRetentionBounded) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  constexpr int kKeepEpochs = 2;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  constexpr int kInsertsPerWriter = 32;
+  MfsPoolOptions opts;
+  opts.keep_epochs = kKeepEpochs;
+  ConcurrentMfsPool pool(opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(400 + static_cast<u64>(t));
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        core::Mfs m = cover_all_mfs(core::Symptom::kLowThroughput);
+        m.witness = space.random_point(rng);
+        pool.insert("F", space, std::move(m), t);
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + static_cast<u64>(t));
+      ConcurrentMfsPool::View view = pool.view("F", kWriters + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)view.covers(space, space.random_point(rng));
+      }
+    });
+  }
+  // Poll the gauge while the race runs: never above policy + reader count.
+  for (int probe = 0; probe < 200; ++probe) {
+    EXPECT_LE(pool.retained_snapshots(), kKeepEpochs + kReaders);
+  }
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+
+  EXPECT_LE(pool.retained_snapshots(), kKeepEpochs + kReaders);
+  // Readers are gone; the next write re-examines the grace-period
+  // stragglers and retention returns to the policy bound exactly.
+  pool.insert("F", space, cover_all_mfs(core::Symptom::kPauseFrames), 0);
+  EXPECT_EQ(pool.retained_snapshots(), kKeepEpochs);
+  EXPECT_EQ(pool.size("F"), 1u + kWriters * kInsertsPerWriter);
+  EXPECT_EQ(pool.epoch("F"), 1u + kWriters * kInsertsPerWriter);
+}
+
 // ---- MFS-overlap criterion --------------------------------------------------
 
 // An MFS pinning num_qps to [lo, hi]; witnesses fall at the low edge.
@@ -1041,6 +1161,28 @@ TEST(CampaignTest, ReplayIsBitForBitIdenticalAcrossWorkerCounts) {
   rebudgeted.budget_cycle_seconds = {3 * 3600.0, 1 * 3600.0};
   rebudgeted.replay = reloaded;
   EXPECT_THROW(Campaign(rebudgeted).run(), std::invalid_argument);
+}
+
+// The reclamation acceptance, campaign half: keep_epochs is purely a memory
+// knob.  The same campaign run under aggressive reclamation (free every
+// superseded snapshot) and under effectively-infinite retention produces a
+// bit-identical report JSON — reclamation changes when snapshots are freed,
+// never which snapshot a search observes.
+TEST(CampaignTest, ReportJsonIsBitIdenticalAcrossRetentionPolicies) {
+  CampaignConfig config = small_campaign_config();
+  config.modes = {core::GuidanceMode::kDiag, core::GuidanceMode::kPerf};
+  config.workers = 2;
+  config.share = ShareScope::kSubsystem;
+  config.execution = ExecutionMode::kDeterministic;
+
+  config.pool.keep_epochs = 0;  // reclaim everything superseded, immediately
+  const CampaignResult eager = Campaign(config).run();
+  config.pool.keep_epochs = 1 << 20;  // retain effectively everything
+  const CampaignResult hoarder = Campaign(config).run();
+
+  EXPECT_EQ(build_report(eager).to_json(), build_report(hoarder).to_json());
+  EXPECT_EQ(eager.pool.entries, hoarder.pool.entries);
+  EXPECT_EQ(eager.pool.hits, hoarder.pool.hits);
 }
 
 // ---- CampaignReport ---------------------------------------------------------

@@ -64,6 +64,24 @@
 //   --stats            print the human telemetry table (counters,
 //                      histogram quantiles, per-worker utilization) after
 //                      the report
+//   --fleet <n>        run as a loopback fleet: a coordinator plus <n>
+//                      worker threads speaking the fleet protocol
+//                      (src/fleet/) over an in-process transport.  Fault
+//                      free under --share cell this produces the report the
+//                      in-process campaign produces, byte for byte
+//   --heartbeat-ms <ms>       fleet worker heartbeat cadence (default 20)
+//   --heartbeat-timeout-ms <ms>
+//                      silence before the coordinator declares a worker
+//                      dead and re-queues its cell (default 250)
+//   --steal-after-ms <ms>     wall-clock busy time on one cell before an
+//                      idle worker may steal from the victim's queue
+//                      (default 1000)
+//   --kill-worker <k@cell>    fault injection: fleet worker k dies while
+//                      executing the cell with that label (e.g.
+//                      "--kill-worker 1@B/Diag#0"); the coordinator
+//                      re-queues the cell and the run still completes
+//   --slow-worker <k@us>      fault injection: worker k sleeps <us>
+//                      microseconds per probe, making it the steal victim
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -80,6 +98,7 @@
 #include "common/strings.h"
 #include "core/json_reader.h"
 #include "core/report.h"
+#include "fleet/fleet.h"
 #include "net/fabric.h"
 #include "nic/dcqcn.h"
 #include "obs/telemetry.h"
@@ -140,10 +159,38 @@ std::string metrics_document(double interval_seconds,
   return json.str();
 }
 
+// "k@thing" fault-injection selectors (--kill-worker 1@B/Diag#0,
+// --slow-worker 0@500).  Split at the FIRST '@' only: cell labels may
+// themselves contain '@' ("B@hetero/Diag#0").
+bool parse_worker_at(const std::string& arg, int* worker, std::string* rest) {
+  const std::size_t at = arg.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= arg.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long w = std::strtol(arg.c_str(), &end, 10);
+  if (end != arg.c_str() + at || w < 0) return false;
+  *worker = static_cast<int>(w);
+  *rest = arg.substr(at + 1);
+  return true;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  CliArgs args(argc, argv, {"functional", "json", "trace-csv", "stats"});
+  args.reject_unknown({
+      "sys",          "fabric",       "cc",
+      "modes",        "strategy",     "workers",
+      "seeds",        "keep-epochs",  "hours",
+      "schedule",     "seed",         "share",
+      "exec",         "functional",   "backend",
+      "warm-start",   "replay",       "checkpoint",
+      "metrics-out",  "metrics-interval",
+      "stats",        "trace-csv",    "json",
+      "fleet",        "heartbeat-ms", "heartbeat-timeout-ms",
+      "steal-after-ms", "kill-worker", "slow-worker",
+  });
 
   CampaignConfig config;
   const std::string sys = args.get("sys", "all");
@@ -270,6 +317,48 @@ int run(int argc, char** argv) {
                                              : ExecutionMode::kThreads;
   config.engine.run_functional_pass = args.get_bool("functional", false);
 
+  // --fleet: run the campaign as a coordinator + worker fleet over the
+  // in-process transport.  Parsed before telemetry/Campaign construction so
+  // config.workers (and the telemetry shard count) reflect the fleet size.
+  const i64 fleet_n = args.get_int("fleet", 0);
+  if (fleet_n < 0) {
+    std::fprintf(stderr, "--fleet must be >= 0\n");
+    return 2;
+  }
+  fleet::FleetRunOptions fleet_opts;
+  fleet_opts.coordinator.heartbeat_interval =
+      std::chrono::milliseconds(args.get_int("heartbeat-ms", 20));
+  fleet_opts.coordinator.heartbeat_timeout =
+      std::chrono::milliseconds(args.get_int("heartbeat-timeout-ms", 250));
+  fleet_opts.coordinator.steal_after =
+      std::chrono::milliseconds(args.get_int("steal-after-ms", 1000));
+  const std::string kill_arg = args.get("kill-worker", "");
+  if (!kill_arg.empty() &&
+      !parse_worker_at(kill_arg, &fleet_opts.kill_worker,
+                       &fleet_opts.kill_at_cell)) {
+    std::fprintf(stderr, "bad --kill-worker '%s' (want k@cell-label)\n",
+                 kill_arg.c_str());
+    return 2;
+  }
+  const std::string slow_arg = args.get("slow-worker", "");
+  if (!slow_arg.empty()) {
+    std::string us;
+    if (!parse_worker_at(slow_arg, &fleet_opts.slow_worker, &us)) {
+      std::fprintf(stderr, "bad --slow-worker '%s' (want k@microseconds)\n",
+                   slow_arg.c_str());
+      return 2;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(us.c_str(), &end, 10);
+    if (end != us.c_str() + us.size() || v < 0) {
+      std::fprintf(stderr, "bad --slow-worker '%s' (want k@microseconds)\n",
+                   slow_arg.c_str());
+      return 2;
+    }
+    fleet_opts.slow_probe_us = v;
+  }
+  if (fleet_n > 0) config.workers = static_cast<int>(fleet_n);
+
   // --backend: execution substrate selector.  Record mode shares one
   // recorder across every cell and writes the trace after the run; replay
   // mode parses the trace up front so a garbled file fails before any
@@ -381,7 +470,8 @@ int run(int argc, char** argv) {
   std::printf("campaign: %zu cells, %d workers, %s scope, %s execution, %s "
               "schedule, %s backend%s\n",
               campaign.plan().size(), campaign.config().workers,
-              to_string(config.share), to_string(config.execution),
+              to_string(config.share),
+              fleet_n > 0 ? "fleet" : to_string(config.execution),
               replaying ? "replayed" : to_string(config.schedule),
               backend_desc, config.warm_start ? ", warm-started" : "");
 
@@ -411,13 +501,33 @@ int run(int argc, char** argv) {
 
   CampaignResult result;
   try {
-    result = campaign.run();
+    if (fleet_n > 0) {
+      fleet::FleetRunResult fr =
+          fleet::run_loopback_fleet(campaign.config(), fleet_opts);
+      result = std::move(fr.campaign);
+      // Summary before the report so `--json | tail -1` stays the report.
+      std::printf("fleet: %d workers, %lld leases, %lld re-queues, "
+                  "%lld heartbeat misses, %lld stolen, %lld duplicates\n",
+                  result.workers, static_cast<long long>(fr.stats.leases),
+                  static_cast<long long>(fr.stats.requeues),
+                  static_cast<long long>(fr.stats.heartbeat_misses),
+                  static_cast<long long>(fr.stats.stolen),
+                  static_cast<long long>(fr.stats.duplicates));
+    } else {
+      result = campaign.run();
+    }
   } catch (const std::invalid_argument& e) {
     // Warm-start share mismatch or replay-vs-plan drift: reject loudly.
     std::fprintf(stderr, "%s\n", e.what());
     sampling_done.store(true, std::memory_order_relaxed);
     if (sampler.joinable()) sampler.join();
     return 2;
+  } catch (const std::runtime_error& e) {
+    // Fleet stall (every worker dead, nobody reconnecting).
+    std::fprintf(stderr, "%s\n", e.what());
+    sampling_done.store(true, std::memory_order_relaxed);
+    if (sampler.joinable()) sampler.join();
+    return 3;
   }
   sampling_done.store(true, std::memory_order_relaxed);
   if (sampler.joinable()) sampler.join();

@@ -135,7 +135,9 @@ int build_mode(const std::string& out_path,
 }  // namespace
 
 int run(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  CliArgs args(argc, argv, {"self-check"});
+  args.reject_unknown({"build", "corpus", "self-check", "emit-queries",
+                       "queries"});
 
   if (args.has("build")) {
     return build_mode(args.get("build"), args.positional());

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -8,7 +9,12 @@
 
 namespace collie {
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& boolean_flags) {
+  const auto is_boolean = [&boolean_flags](const std::string& name) {
+    return std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+           boolean_flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!starts_with(arg, "--")) {
@@ -19,7 +25,11 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+    } else if (!is_boolean(arg) && i + 1 < argc &&
+               !starts_with(argv[i + 1], "--")) {
+      // A registered boolean never consumes the next token: before this
+      // guard, "campaign --stats report.json" parsed as stats=report.json
+      // (get_bool silently false) and the positional vanished.
       flags_[arg] = argv[++i];
     } else {
       flags_[arg] = "true";
@@ -73,7 +83,18 @@ bool CliArgs::get_bool(const std::string& name, bool default_value) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   const std::string v = to_lower(it->second);
-  return v == "1" || v == "true" || v == "yes" || v == "on";
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + name + ": expected a boolean, got \"" +
+                              it->second + "\"");
+}
+
+void CliArgs::reject_unknown(const std::vector<std::string>& allowed) const {
+  for (const auto& [name, value] : flags_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
 }
 
 }  // namespace collie

@@ -1,5 +1,9 @@
 // Tiny command line flag parser for examples and bench harnesses.
 // Supports "--name=value" and "--name value"; anything else is positional.
+//
+// Flags named in `boolean_flags` never consume the following token as a
+// value ("campaign --stats report.json" keeps report.json positional); pass
+// "--flag=value" to give a registered boolean an explicit value.
 #pragma once
 
 #include <map>
@@ -12,7 +16,8 @@ namespace collie {
 
 class CliArgs {
  public:
-  CliArgs(int argc, const char* const* argv);
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& boolean_flags = {});
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name,
@@ -22,7 +27,15 @@ class CliArgs {
   // ("--workers junk" must fail loudly, not silently become 0).
   i64 get_int(const std::string& name, i64 default_value) const;
   double get_double(const std::string& name, double default_value) const;
+  // Accepts {1,0,true,false,yes,no,on,off} case-insensitively; anything
+  // else ("--stats tru") throws naming the flag instead of silently
+  // reading as false.
   bool get_bool(const std::string& name, bool default_value) const;
+
+  // Throws std::invalid_argument naming the first flag not in `allowed`,
+  // so a typo ("--worker 4") fails loudly instead of silently running
+  // with defaults.
+  void reject_unknown(const std::vector<std::string>& allowed) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

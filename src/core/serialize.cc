@@ -48,6 +48,11 @@ Symptom symptom_from_string(const std::string& s) {
       s, 3, [](Symptom sy) { return to_string(sy); }, "symptom");
 }
 
+GuidanceMode guidance_mode_from_string(const std::string& s) {
+  return enum_from_string<GuidanceMode>(
+      s, 2, [](GuidanceMode m) { return to_string(m); }, "guidance mode");
+}
+
 Feature feature_from_string(const std::string& s) {
   return enum_from_string<Feature>(
       s, kNumFeatures, [](Feature f) { return to_string(f); }, "feature");

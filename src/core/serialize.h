@@ -14,6 +14,7 @@
 #include "core/json_reader.h"
 #include "core/mfs.h"
 #include "core/report.h"
+#include "core/search.h"
 #include "sim/perf_model.h"
 #include "workload/engine.h"
 
@@ -24,6 +25,7 @@ namespace collie::core {
 QpType qp_type_from_string(const std::string& s);
 Opcode opcode_from_string(const std::string& s);
 Symptom symptom_from_string(const std::string& s);
+GuidanceMode guidance_mode_from_string(const std::string& s);
 Feature feature_from_string(const std::string& s);
 sim::Bottleneck bottleneck_from_string(const std::string& s);
 // "numa<N>" / "gpu<N>", the topo::to_string(MemPlacement) format.

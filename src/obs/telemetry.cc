@@ -41,6 +41,12 @@ Telemetry::Telemetry(TelemetryOptions opts)
   pool_.epoch_publishes = registry_.counter("pool.epoch_publishes");
   pool_.entries = registry_.gauge("pool.entries");
   pool_.retained_snapshots = registry_.gauge("pool.retained_snapshots");
+  fleet_.leases = registry_.counter("fleet.leases");
+  fleet_.requeues = registry_.counter("fleet.requeues");
+  fleet_.heartbeat_misses = registry_.counter("fleet.heartbeat_misses");
+  fleet_.stolen = registry_.counter("fleet.stolen");
+  fleet_.batches = registry_.counter("fleet.batches");
+  fleet_.duplicates = registry_.counter("fleet.duplicates");
 }
 
 std::string snapshot_to_json(const Snapshot& snap) {

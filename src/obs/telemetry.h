@@ -56,6 +56,15 @@ struct PoolIds {
   GaugeId retained_snapshots;   // superseded snapshots retained for readers
 };
 
+struct FleetIds {
+  CounterId leases;            // cells leased to workers
+  CounterId requeues;          // cells re-queued after a worker death
+  CounterId heartbeat_misses;  // workers declared dead on heartbeat timeout
+  CounterId stolen;            // queued cells stolen from slow workers
+  CounterId batches;           // incremental MfsBatch messages applied
+  CounterId duplicates;        // duplicate protocol messages discarded
+};
+
 class Telemetry {
  public:
   explicit Telemetry(TelemetryOptions opts = {});
@@ -71,6 +80,7 @@ class Telemetry {
   const ProbeIds& probe_ids() const { return probe_; }
   const EngineIds& engine_ids() const { return engine_; }
   const PoolIds& pool_ids() const { return pool_; }
+  const FleetIds& fleet_ids() const { return fleet_; }
 
   Snapshot snapshot() const { return registry_.snapshot(); }
 
@@ -84,6 +94,7 @@ class Telemetry {
   ProbeIds probe_;
   EngineIds engine_;
   PoolIds pool_;
+  FleetIds fleet_;
 };
 
 // Per-worker hot-path handle: a (Telemetry*, shard) pair cheap enough to

@@ -130,76 +130,90 @@ std::vector<CampaignCell> Campaign::plan() const {
   return cells;
 }
 
-CellResult Campaign::run_cell(int worker, double start_seconds,
-                              const CampaignCell& cell, Rng rng,
-                              ConcurrentMfsPool& pool) {
+CellExecutionOptions cell_execution_options(const CampaignConfig& config) {
+  CellExecutionOptions opts;
+  opts.strategy = config.strategy;
+  opts.share = config.share;
+  opts.budget = config.budget;
+  opts.sa = config.sa;
+  opts.engine = config.engine;
+  opts.backend_factory = config.backend_factory.get();
+  opts.telemetry = config.telemetry;
+  return opts;
+}
+
+CellResult execute_cell(const CellExecutionOptions& opts,
+                        const CampaignCell& cell, int worker,
+                        double start_seconds, Rng rng,
+                        ConcurrentMfsPool::View& view,
+                        core::MfsStore* store) {
   CellResult cr;
   cr.cell = cell;
   cr.worker = worker;
   cr.start_seconds = start_seconds;
-  if (config_.backend_factory != nullptr) {
-    cr.backend = config_.backend_factory->substrate();
+  if (opts.backend_factory != nullptr) {
+    cr.backend = opts.backend_factory->substrate();
   }
+  if (store == nullptr) store = &view;
   // A cell that throws (bad catalog id, scenario materialization failure,
   // engine error) must not take the worker thread — and with it the whole
   // fleet — down.  It is recorded as failed; the report counts it
   // separately from covered cells.
-  obs::Telemetry* tel = config_.telemetry;
-  const u64 wall_start = tel != nullptr ? obs::now_ticks() : 0;
   try {
     const sim::Subsystem sys = cell.materialize();
-    workload::EngineOptions engine_opts = config_.engine;
+    workload::EngineOptions engine_opts = opts.engine;
     // Nothing in the campaign reads per-epoch series; skipping the copy
     // keeps the probe loop free of per-experiment allocations.  Verdicts,
     // traces and RNG streams are unaffected.
     engine_opts.keep_epochs = false;
-    engine_opts.telemetry = obs::ProbeTelemetry(tel, worker);
-    engine_opts.backend_factory = config_.backend_factory.get();
+    engine_opts.telemetry = obs::ProbeTelemetry(opts.telemetry, worker);
+    engine_opts.backend_factory = opts.backend_factory;
     engine_opts.backend_context = cell.label();
     const workload::Engine engine(sys, engine_opts);
     const core::SearchSpace space(sys);
     core::SearchDriver driver(engine, space);
-    driver.set_telemetry(obs::ProbeTelemetry(tel, worker));
-    ConcurrentMfsPool::View store =
-        pool.view(cell.scope(config_.share), worker);
-    core::SearchBudget budget = config_.budget;
+    driver.set_telemetry(obs::ProbeTelemetry(opts.telemetry, worker));
+    core::SearchBudget budget = opts.budget;
     budget.seconds = cell.budget_seconds;
 
-    if (config_.strategy == Strategy::kSimulatedAnnealing) {
-      core::SaConfig sa = config_.sa;
+    if (opts.strategy == Strategy::kSimulatedAnnealing) {
+      core::SaConfig sa = opts.sa;
       sa.mode = cell.mode;
-      cr.result = driver.run_simulated_annealing(sa, budget, rng, store);
+      cr.result = driver.run_simulated_annealing(sa, budget, rng, *store);
     } else {
-      cr.result = driver.run_random(budget, rng, config_.sa.use_mfs, store);
+      cr.result = driver.run_random(budget, rng, opts.sa.use_mfs, *store);
     }
-    cr.cross_worker_skips = store.cross_worker_hits();
-    cr.warm_start_skips = store.warm_hits();
+    cr.cross_worker_skips = view.cross_worker_hits();
+    cr.warm_start_skips = view.warm_hits();
   } catch (const std::exception& e) {
     cr.error = e.what();
     LOG_WARN << "worker " << worker << " cell " << cell.label()
              << " failed: " << cr.error;
-    if (tel != nullptr) {
-      obs::Registry& reg = tel->registry();
-      reg.add(worker, cells_failed_);
-      if (worker >= 0 && worker < static_cast<int>(worker_ids_.size())) {
-        reg.add(worker, worker_ids_[static_cast<std::size_t>(worker)].busy_ns,
-                static_cast<i64>(obs::now_ticks() - wall_start));
-      }
-    }
     return cr;
-  }
-  if (tel != nullptr) {
-    obs::Registry& reg = tel->registry();
-    reg.add(worker, cells_completed_);
-    if (worker >= 0 && worker < static_cast<int>(worker_ids_.size())) {
-      reg.add(worker, worker_ids_[static_cast<std::size_t>(worker)].busy_ns,
-              static_cast<i64>(obs::now_ticks() - wall_start));
-    }
   }
   LOG_DEBUG << "worker " << worker << " finished cell " << cell.label()
             << ": " << cr.result.found.size() << " anomalies, "
             << cr.result.mfs_skips << " skips (" << cr.cross_worker_skips
             << " cross-worker)";
+  return cr;
+}
+
+CellResult Campaign::run_cell(int worker, double start_seconds,
+                              const CampaignCell& cell, Rng rng,
+                              ConcurrentMfsPool& pool) {
+  obs::Telemetry* tel = config_.telemetry;
+  const u64 wall_start = tel != nullptr ? obs::now_ticks() : 0;
+  ConcurrentMfsPool::View view = pool.view(cell.scope(config_.share), worker);
+  CellResult cr = execute_cell(cell_execution_options(config_), cell, worker,
+                               start_seconds, rng, view);
+  if (tel != nullptr) {
+    obs::Registry& reg = tel->registry();
+    reg.add(worker, cr.failed() ? cells_failed_ : cells_completed_);
+    if (worker >= 0 && worker < static_cast<int>(worker_ids_.size())) {
+      reg.add(worker, worker_ids_[static_cast<std::size_t>(worker)].busy_ns,
+              static_cast<i64>(obs::now_ticks() - wall_start));
+    }
+  }
   return cr;
 }
 
@@ -252,9 +266,11 @@ void Campaign::note_cell_drained(int worker) {
       worker, worker_ids_[static_cast<std::size_t>(worker)].queue_depth, -1);
 }
 
-void Campaign::validate_replay(const Schedule& schedule,
-                               const std::vector<CampaignCell>& cells,
-                               const std::vector<bool>& runnable) const {
+namespace {
+
+void validate_replay(const Schedule& schedule,
+                     const std::vector<CampaignCell>& cells,
+                     const std::vector<bool>& runnable) {
   std::vector<bool> seen(cells.size(), false);
   for (std::size_t w = 0; w < schedule.queues.size(); ++w) {
     for (std::size_t qi = 0; qi < schedule.queues[w].size(); ++qi) {
@@ -303,28 +319,34 @@ void Campaign::validate_replay(const Schedule& schedule,
   }
 }
 
-CampaignResult Campaign::run() {
-  const std::vector<CampaignCell> cells = plan();
+}  // namespace
 
+std::vector<bool> runnable_cells(const CampaignConfig& config,
+                                 const std::vector<CampaignCell>& cells) {
   // Warm start: cells the checkpoint records as completed never run.
   std::vector<bool> runnable(cells.size(), true);
-  if (config_.warm_start) {
+  if (config.warm_start) {
     // Scope keys only mean anything under the sharing policy they were
     // formed with; loading cell-scoped entries into a subsystem-share
     // campaign would park them under keys no view queries.
-    if (config_.warm_start->share != to_string(config_.share)) {
+    if (config.warm_start->share != to_string(config.share)) {
       throw std::invalid_argument(
           "warm-start checkpoint was taken under --share " +
-          config_.warm_start->share + ", this campaign uses --share " +
-          to_string(config_.share));
+          config.warm_start->share + ", this campaign uses --share " +
+          to_string(config.share));
     }
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (config_.warm_start->completed(cells[i].label())) {
+      if (config.warm_start->completed(cells[i].label())) {
         runnable[i] = false;
       }
     }
   }
+  return runnable;
+}
 
+Schedule plan_schedule(const CampaignConfig& config,
+                       const std::vector<CampaignCell>& cells,
+                       const std::vector<bool>& runnable) {
   std::vector<double> budgets;
   budgets.reserve(cells.size());
   for (const CampaignCell& cell : cells) budgets.push_back(cell.budget_seconds);
@@ -333,14 +355,25 @@ CampaignResult Campaign::run() {
   // from the policy.  Budgets stand in for durations — searches run to
   // their wall budget, so the virtual-time assignment matches reality.
   Schedule schedule;
-  if (config_.replay) {
-    schedule = *config_.replay;
+  if (config.replay) {
+    schedule = *config.replay;
     validate_replay(schedule, cells, runnable);
-  } else if (config_.schedule == SchedulePolicy::kLpt) {
-    schedule = lpt_schedule(budgets, runnable, config_.workers);
+  } else if (config.schedule == SchedulePolicy::kLpt) {
+    schedule = lpt_schedule(budgets, runnable, config.workers);
   } else {
-    schedule = round_robin_schedule(runnable, config_.workers);
+    schedule = round_robin_schedule(runnable, config.workers);
   }
+  return schedule;
+}
+
+CampaignResult Campaign::run() {
+  const std::vector<CampaignCell> cells = plan();
+  const std::vector<bool> runnable = runnable_cells(config_, cells);
+  const Schedule schedule = plan_schedule(config_, cells, runnable);
+
+  std::vector<double> budgets;
+  budgets.reserve(cells.size());
+  for (const CampaignCell& cell : cells) budgets.push_back(cell.budget_seconds);
 
   // Split every cell's stream off the campaign seed up front; the draw a
   // cell sees is a pure function of (campaign_seed, cell index).

@@ -192,6 +192,48 @@ struct CampaignResult {
   i64 total_cross_worker_skips() const;
 };
 
+// ---- Shared cell execution (in-process campaign + fleet workers) ----------
+
+// The slice of CampaignConfig one cell's search needs.  Fleet workers build
+// this from the coordinator's config so a leased cell runs through exactly
+// the code path the in-process campaign uses — that sharing is what makes
+// a fault-free loopback fleet report byte-identical to the in-process one.
+struct CellExecutionOptions {
+  Strategy strategy = Strategy::kSimulatedAnnealing;
+  ShareScope share = ShareScope::kSubsystem;
+  core::SearchBudget budget;  // per-cell seconds overridden by the cell
+  core::SaConfig sa;          // template; mode is overridden per cell
+  workload::EngineOptions engine;
+  workload::BackendFactory* backend_factory = nullptr;  // not owned
+  obs::Telemetry* telemetry = nullptr;                  // not owned
+};
+
+CellExecutionOptions cell_execution_options(const CampaignConfig& config);
+
+// Run one cell end to end: materialize the subsystem, drive the search
+// against `store` (defaults to `view`; the fleet passes a streaming wrapper
+// that forwards to the view), attribute cross-worker / warm-start skips
+// from the view, and catch any std::exception into CellResult::error so a
+// bad cell cannot take its worker down.
+CellResult execute_cell(const CellExecutionOptions& opts,
+                        const CampaignCell& cell, int worker,
+                        double start_seconds, Rng rng,
+                        ConcurrentMfsPool::View& view,
+                        core::MfsStore* store = nullptr);
+
+// Warm-start gating: false for cells the checkpoint records as completed.
+// Throws when the checkpoint's sharing policy differs from the config's.
+std::vector<bool> runnable_cells(const CampaignConfig& config,
+                                 const std::vector<CampaignCell>& cells);
+
+// The realized cell -> logical-worker schedule: a validated replay when
+// config.replay is set, else LPT or round-robin over runnable cells.  The
+// fleet coordinator plans with this exact function so its lease order
+// matches the in-process campaign's dispatch.
+Schedule plan_schedule(const CampaignConfig& config,
+                       const std::vector<CampaignCell>& cells,
+                       const std::vector<bool>& runnable);
+
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
@@ -217,9 +259,6 @@ class Campaign {
                  const std::vector<CampaignCell>& cells,
                  const std::vector<Rng>& streams, ConcurrentMfsPool& pool,
                  std::vector<CellResult>& out);
-  void validate_replay(const Schedule& schedule,
-                       const std::vector<CampaignCell>& cells,
-                       const std::vector<bool>& runnable) const;
   // Register campaign-level and per-worker instruments for this schedule
   // (no-op without a telemetry sink).  Must run before worker threads start.
   void setup_telemetry(const Schedule& schedule, i64 skipped_cells);

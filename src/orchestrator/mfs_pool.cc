@@ -370,6 +370,39 @@ void ConcurrentMfsPool::load_scope(const std::string& scope,
   update_retained_gauge();
 }
 
+void ConcurrentMfsPool::load_entries(const std::string& scope,
+                                     std::vector<PoolEntry> entries) {
+  if (entries.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<ScopeHandle>& h = scopes_[scope];
+  if (!h) h = std::make_shared<ScopeHandle>();
+  const Snapshot* old = h->snap.load(std::memory_order_relaxed);
+  auto next = old != nullptr ? std::make_unique<Snapshot>(*old)
+                             : std::make_unique<Snapshot>();
+  next->epoch += 1;
+  const i64 loaded = static_cast<i64>(entries.size());
+  for (PoolEntry& entry : entries) {
+    const std::size_t at = next->entries.size();
+    const int sym = static_cast<int>(entry.mfs.symptom);
+    entry.mfs.index = static_cast<int>(at);
+    next->index.add(entry.mfs);
+    if (entry.origin == kWarmStartOrigin) {
+      core::MfsIndex::set_bit(next->warm_mask, at);
+      next->warm_entries += 1;
+    }
+    core::MfsIndex::set_bit(next->symptom_mask[sym], at);
+    next->by_symptom[sym].push_back(static_cast<u32>(at));
+    next->entries.push_back(Entry{std::move(entry.mfs), entry.origin});
+  }
+  publish(*h, std::move(next));
+  if (tel_ != nullptr) {
+    const obs::PoolIds& ids = tel_->pool_ids();
+    tel_->registry().add(0, ids.epoch_publishes);
+    tel_->registry().gauge_add(0, ids.entries, loaded);
+  }
+  update_retained_gauge();
+}
+
 std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
     const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -380,6 +413,21 @@ std::map<std::string, std::vector<core::Mfs>> ConcurrentMfsPool::export_scopes()
     std::vector<core::Mfs>& dst = out[scope];
     dst.reserve(snap->entries.size());
     for (const Entry& e : snap->entries) dst.push_back(e.mfs);
+  }
+  return out;
+}
+
+std::vector<PoolEntry> ConcurrentMfsPool::export_entries(
+    const std::string& scope) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return {};
+  const Snapshot* snap = it->second->snap.load(std::memory_order_relaxed);
+  if (snap == nullptr) return {};
+  std::vector<PoolEntry> out;
+  out.reserve(snap->entries.size());
+  for (const Entry& e : snap->entries) {
+    out.push_back(PoolEntry{e.mfs, e.origin_worker});
   }
   return out;
 }

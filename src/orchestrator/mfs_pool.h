@@ -68,6 +68,14 @@ struct PoolStats {
   i64 duplicate_inserts = 0;  // inserts whose witness was already covered
 };
 
+// An exported pool entry with its origin attribution — the unit the fleet
+// streams between a worker's local pool and the coordinator's shared one
+// (origin decides whether a later hit counts as cross-worker or warm).
+struct PoolEntry {
+  core::Mfs mfs;
+  int origin = -1;
+};
+
 struct MfsPoolOptions {
   // Superseded snapshots retained per scope beyond the published one before
   // a write retires them (freed as soon as no reader announces them).  0 is
@@ -167,9 +175,19 @@ class ConcurrentMfsPool {
   // Register a checkpointed scope: entries are re-indexed in load order and
   // attributed to kWarmStartOrigin.  Fresh inserts append after them.
   void load_scope(const std::string& scope, std::vector<core::Mfs> entries);
+  // Origin-preserving append: entries are re-indexed in load order but keep
+  // their per-entry origin (kWarmStartOrigin entries count as warm).  No
+  // duplicate accounting — the pool that first accepted the insert already
+  // counted it.  This is how the fleet replays a worker's streamed inserts
+  // into the coordinator's pool, and how a lease preloads a replacement
+  // worker with everything a dead one had explained.
+  void load_entries(const std::string& scope, std::vector<PoolEntry> entries);
   // Every scope's entries in insertion order — the persistence snapshot a
   // checkpoint serializes.  std::map keeps scope order deterministic.
   std::map<std::string, std::vector<core::Mfs>> export_scopes() const;
+  // One scope's entries with origin attribution, insertion order (empty
+  // when the scope does not exist) — the fleet's lease-preload payload.
+  std::vector<PoolEntry> export_entries(const std::string& scope) const;
 
   // Attach a telemetry sink (optional; must outlive the pool's use).  Hit
   // and miss counters land in the requester's shard on the lock-free read

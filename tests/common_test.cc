@@ -213,6 +213,81 @@ TEST(Cli, OutOfRangeNumericFlagsAreRejected) {
   EXPECT_THROW((void)args.get_double("huge", 0.0), std::invalid_argument);
 }
 
+// Regression: a valueless --flag before a positional swallowed the next
+// token.  "campaign --stats report.json" parsed as stats=report.json —
+// get_bool("stats") was silently false AND the positional vanished.
+// Registering the flag as boolean keeps it from consuming the token.
+TEST(Cli, RegisteredBooleanDoesNotSwallowPositional) {
+  const char* argv[] = {"prog", "--stats", "report.json"};
+  CliArgs args(3, argv, {"stats"});
+  EXPECT_TRUE(args.get_bool("stats", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "report.json");
+}
+
+// Unregistered flags keep the historical value-consuming behaviour.
+TEST(Cli, UnregisteredFlagStillConsumesValue) {
+  const char* argv[] = {"prog", "--name", "collie"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get("name"), "collie");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+// The = form gives a registered boolean an explicit value.
+TEST(Cli, BooleanEqualsFormCarriesExplicitValue) {
+  const char* argv[] = {"prog", "--stats=no", "--json=ON", "out.json"};
+  CliArgs args(4, argv, {"stats", "json"});
+  EXPECT_FALSE(args.get_bool("stats", true));
+  EXPECT_TRUE(args.get_bool("json", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "out.json");
+}
+
+// Regression: get_bool treated anything but "1"/"true" as false, so
+// "--stats report.json" (the swallowed positional above) and typos like
+// "--json ture" silently disabled the feature.  Now only the accepted
+// spellings parse; everything else throws naming the flag.
+TEST(Cli, StrictBoolAcceptsKnownSpellingsOnly) {
+  const char* argv[] = {"prog",      "--a=1",   "--b=true", "--c=YES",
+                        "--d=on",    "--e=0",   "--f=False", "--g=no",
+                        "--h=off"};
+  CliArgs args(9, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_TRUE(args.get_bool("d", false));
+  EXPECT_FALSE(args.get_bool("e", true));
+  EXPECT_FALSE(args.get_bool("f", true));
+  EXPECT_FALSE(args.get_bool("g", true));
+  EXPECT_FALSE(args.get_bool("h", true));
+
+  const char* bad[] = {"prog", "--stats", "report.json"};
+  CliArgs junk(3, bad);  // NOT registered boolean: swallows the token
+  try {
+    (void)junk.get_bool("stats", false);
+    FAIL() << "--stats report.json parsed as a boolean";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--stats"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("report.json"), std::string::npos);
+  }
+}
+
+// A typo'd flag must fail loudly instead of being silently ignored.
+TEST(Cli, RejectUnknownCatchesTypos) {
+  const char* argv[] = {"prog", "--worker", "4"};  // typo: --workers
+  CliArgs args(3, argv);
+  try {
+    args.reject_unknown({"workers", "hours", "json"});
+    FAIL() << "--worker accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--worker"), std::string::npos);
+  }
+  // The full allowed set passes.
+  const char* ok[] = {"prog", "--workers", "4", "--json=1"};
+  CliArgs good(4, ok);
+  EXPECT_NO_THROW(good.reject_unknown({"workers", "json"}));
+}
+
 // Restores the global threshold on scope exit so a failing assertion can't
 // leak a kDebug level into later tests.
 struct ScopedLogLevel {

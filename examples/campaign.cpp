@@ -82,6 +82,27 @@
 //                      re-queues the cell and the run still completes
 //   --slow-worker <k@us>      fault injection: worker k sleeps <us>
 //                      microseconds per probe, making it the steal victim
+//   --journal <f>      durable crash journal: stream begin/probe/mfs/
+//                      cell-done records to <f> as the campaign runs
+//                      (collie-journal-v1, schema in README.md).  Needs
+//                      deterministic cell trajectories (--exec
+//                      deterministic or --share cell), like trace record
+//   --resume           continue a crashed --journal campaign: completed
+//                      cells restore verbatim from their journaled
+//                      results, half-finished cells replay their journaled
+//                      probe prefix (zero probes re-spent) and splice onto
+//                      the live substrate — the final report is
+//                      byte-identical to the uninterrupted run's
+//   --journal-every <n>  probes between journal fsyncs and driver-state
+//                      records (default 64)
+//   --crash-after-probes <n>   deterministic crash injection: sync the
+//                      journal and _exit(137) after the <n>-th journaled
+//                      live probe
+//   --crash-at-journal-byte <b>  crash injection: _exit(137) the instant
+//                      the journal would grow past absolute byte <b>,
+//                      leaving a torn frame for recovery to quarantine
+//   --warm-start-lenient  on a corrupt/truncated --warm-start checkpoint,
+//                      load the longest valid prefix instead of failing
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -95,6 +116,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/durable_io.h"
 #include "common/strings.h"
 #include "core/json_reader.h"
 #include "core/report.h"
@@ -105,6 +127,7 @@
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "orchestrator/checkpoint.h"
+#include "orchestrator/journal.h"
 #include "orchestrator/scheduler.h"
 #include "sim/subsystem.h"
 #include "workload/backend_trace.h"
@@ -123,11 +146,13 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
+// Every file this CLI emits goes through durable_io::atomic_write (temp
+// file + fsync + rename): a crash mid-write can tear a bare truncating
+// ofstream, leaving a half-written checkpoint that poisons the next
+// --warm-start.  Rename is atomic, so readers see the old document or the
+// new one, never a torn middle.
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content << "\n";
-  return static_cast<bool>(out);
+  return durable_io::atomic_write(path, content + "\n");
 }
 
 // Newest spans exported per worker ring: enough to see what each worker
@@ -178,7 +203,8 @@ bool parse_worker_at(const std::string& arg, int* worker, std::string* rest) {
 }  // namespace
 
 int run(int argc, char** argv) {
-  CliArgs args(argc, argv, {"functional", "json", "trace-csv", "stats"});
+  CliArgs args(argc, argv, {"functional", "json", "trace-csv", "stats",
+                            "resume", "warm-start-lenient"});
   args.reject_unknown({
       "sys",          "fabric",       "cc",
       "modes",        "strategy",     "workers",
@@ -190,6 +216,8 @@ int run(int argc, char** argv) {
       "stats",        "trace-csv",    "json",
       "fleet",        "heartbeat-ms", "heartbeat-timeout-ms",
       "steal-after-ms", "kill-worker", "slow-worker",
+      "journal",      "resume",       "journal-every",
+      "crash-after-probes", "crash-at-journal-byte", "warm-start-lenient",
   });
 
   CampaignConfig config;
@@ -413,13 +441,31 @@ int run(int argc, char** argv) {
                    warm_path.c_str());
       return 2;
     }
-    try {
-      config.warm_start = CampaignCheckpoint::from_json(text);
-    } catch (const core::JsonError& e) {
-      std::fprintf(stderr, "bad checkpoint '%s': %s\n", warm_path.c_str(),
-                   e.what());
+    CheckpointRecovery rec = recover_checkpoint(text);
+    if (!rec.strict && !args.get_bool("warm-start-lenient", false)) {
+      std::fprintf(stderr,
+                   "bad checkpoint '%s': %s\n"
+                   "  valid prefix ends at byte %zu of %zu",
+                   warm_path.c_str(), rec.error.c_str(), rec.error_offset,
+                   text.size());
+      if (!rec.last_valid.empty()) {
+        std::fprintf(stderr, " (last valid record: %s)", rec.last_valid.c_str());
+      }
+      std::fprintf(stderr,
+                   "\n  pass --warm-start-lenient to load the %lld "
+                   "recoverable entr%s\n",
+                   static_cast<long long>(rec.entries_loaded),
+                   rec.entries_loaded == 1 ? "y" : "ies");
       return 2;
     }
+    if (!rec.strict) {
+      std::printf("warm-start %s: corrupt past byte %zu/%zu, loaded %lld "
+                  "entr%s leniently\n",
+                  warm_path.c_str(), rec.error_offset, text.size(),
+                  static_cast<long long>(rec.entries_loaded),
+                  rec.entries_loaded == 1 ? "y" : "ies");
+    }
+    config.warm_start = std::move(*rec.checkpoint);
   }
 
   // --replay <f>: an existing file is a recorded schedule to re-execute; a
@@ -437,6 +483,114 @@ int run(int argc, char** argv) {
                      e.what());
         return 2;
       }
+    }
+  }
+
+  // --journal / --resume: the durability layer.  A fresh journaling run
+  // streams records as it executes; a resumed one parses the recovered
+  // journal up front, re-executes the journaled schedule, and splices each
+  // half-finished cell onto its journaled probe prefix.
+  const std::string journal_path = args.get("journal", "");
+  const bool resume_flag = args.get_bool("resume", false);
+  const i64 journal_every = args.get_int("journal-every", 64);
+  const i64 crash_after = args.get_int("crash-after-probes", 0);
+  const i64 crash_at_byte = args.get_int("crash-at-journal-byte", 0);
+  if (journal_path.empty() &&
+      (resume_flag || crash_after > 0 || crash_at_byte > 0)) {
+    std::fprintf(stderr,
+                 "--resume/--crash-after-probes/--crash-at-journal-byte "
+                 "need --journal FILE\n");
+    return 2;
+  }
+  if (journal_every < 1) {
+    std::fprintf(stderr, "--journal-every must be >= 1\n");
+    return 2;
+  }
+  if (resume_flag && replaying) {
+    std::fprintf(stderr,
+                 "--resume re-executes the journaled schedule; it cannot be "
+                 "combined with --replay\n");
+    return 2;
+  }
+  std::unique_ptr<CampaignJournal> journal;
+  JournalResume resume_state;
+  if (!journal_path.empty()) {
+    JournalRecovery rec = recover_journal(journal_path, /*repair=*/true);
+    if (!rec.error.empty()) {
+      std::fprintf(stderr, "cannot recover journal '%s': %s\n",
+                   journal_path.c_str(), rec.error.c_str());
+      return 2;
+    }
+    if (rec.torn) {
+      std::printf("journal %s: torn past byte %llu/%llu, quarantined "
+                  "suffix to %s\n",
+                  journal_path.c_str(),
+                  static_cast<unsigned long long>(rec.valid_bytes),
+                  static_cast<unsigned long long>(rec.total_bytes),
+                  rec.torn_path.c_str());
+    }
+    if (resume_flag) {
+      if (rec.payloads.empty()) {
+        std::fprintf(stderr,
+                     "--resume: journal '%s' holds no records to resume "
+                     "from\n",
+                     journal_path.c_str());
+        return 2;
+      }
+      try {
+        resume_state = parse_journal(rec.payloads);
+      } catch (const core::JsonError& e) {
+        std::fprintf(stderr, "bad journal '%s': %s\n", journal_path.c_str(),
+                     e.what());
+        return 2;
+      }
+      if (!resume_state.has_begin) {
+        std::fprintf(stderr,
+                     "--resume: journal '%s' has no begin record\n",
+                     journal_path.c_str());
+        return 2;
+      }
+      // The journaled identity wins over defaults, but contradicting flags
+      // would silently resume a different campaign — reject them.
+      if (resume_state.share != share ||
+          resume_state.strategy != strategy ||
+          resume_state.seed != config.campaign_seed) {
+        std::fprintf(stderr,
+                     "--resume: journal was recorded with --share %s "
+                     "--strategy %s --seed %llu, this invocation asks for "
+                     "--share %s --strategy %s --seed %llu\n",
+                     resume_state.share.c_str(),
+                     resume_state.strategy.c_str(),
+                     static_cast<unsigned long long>(resume_state.seed),
+                     share.c_str(), strategy.c_str(),
+                     static_cast<unsigned long long>(config.campaign_seed));
+        return 2;
+      }
+      config.replay = resume_state.schedule;
+      config.resume = &resume_state;
+      std::printf("resuming journal %s: %zu completed cell(s), %lld "
+                  "journaled probe(s), session %d\n",
+                  journal_path.c_str(), resume_state.completed.size(),
+                  static_cast<long long>(resume_state.probes),
+                  resume_state.sessions + 1);
+    } else if (!rec.payloads.empty()) {
+      std::fprintf(stderr,
+                   "journal '%s' already holds %zu record(s): pass --resume "
+                   "to continue it, or remove the file to start over\n",
+                   journal_path.c_str(), rec.payloads.size());
+      return 2;
+    }
+    journal = std::make_unique<CampaignJournal>(
+        journal_path, static_cast<int>(journal_every), crash_after,
+        static_cast<u64>(crash_at_byte));
+    config.journal = journal.get();
+    if (fleet_n == 0) {
+      // Wrap the substrate with the splice/journal factory — exactly once,
+      // here (the fleet path journals through the coordinator instead, and
+      // re-runs in-flight cells from scratch on resume).
+      config.backend_factory = std::make_shared<SpliceBackendFactory>(
+          config.backend_factory, resume_flag ? &resume_state : nullptr,
+          journal.get());
     }
   }
 

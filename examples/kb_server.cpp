@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/durable_io.h"
 #include "core/json_reader.h"
 #include "core/report.h"
 #include "core/serialize.h"
@@ -52,11 +53,10 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
+// Atomic emission (temp + fsync + rename): a crash mid-build must never
+// leave a torn corpus where a valid one stood.
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  return durable_io::atomic_write(path, content);
 }
 
 std::string result_to_json(const kb::QueryResult& r) {

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "core/json_reader.h"
+#include "orchestrator/journal.h"
 #include "workload/backend.h"
 
 namespace collie::fleet {
@@ -41,6 +42,66 @@ Coordinator::Coordinator(orchestrator::CampaignConfig config,
   if (config_.warm_start) {
     for (const auto& [scope, entries] : config_.warm_start->scopes) {
       pool_.load_scope(scope, entries);
+    }
+  }
+  if (config_.journal != nullptr && config_.resume == nullptr) {
+    std::vector<std::string> labels;
+    std::vector<double> budgets;
+    labels.reserve(cells_.size());
+    budgets.reserve(cells_.size());
+    for (const orchestrator::CampaignCell& cell : cells_) {
+      labels.push_back(cell.label());
+      budgets.push_back(cell.budget_seconds);
+    }
+    config_.journal->begin(
+        orchestrator::to_string(config_.share),
+        orchestrator::to_string(config_.strategy), config_.campaign_seed,
+        schedule_.workers,
+        config_.backend_factory != nullptr
+            ? config_.backend_factory->substrate()
+            : "sim",
+        orchestrator::schedule_to_json(schedule_, labels, budgets));
+  }
+  if (config_.resume != nullptr) {
+    if (config_.journal != nullptr) config_.journal->resume_marker();
+    // Restore every journaled CellDone exactly once: result, pool inserts
+    // (origin-preserved, completion order), hit-delta attribution and the
+    // owner's virtual timeline — then drop the cell from the queues so it
+    // never re-leases.  Cells that were in flight at the crash simply
+    // re-run from scratch; their streamed extractions were knowledge, not
+    // completion.
+    std::map<std::string, std::size_t> by_label;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      by_label[cells_[i].label()] = i;
+    }
+    for (const std::string& label : config_.resume->completion_order) {
+      const auto it = by_label.find(label);
+      if (it == by_label.end()) {
+        throw std::invalid_argument(
+            "journal records completed cell " + label +
+            " which is not in this campaign's plan (journal was recorded "
+            "against a different plan?)");
+      }
+      const std::size_t i = it->second;
+      const orchestrator::RestoredCell& rc =
+          config_.resume->completed.at(label);
+      results_[i] = rc.result;
+      results_[i].cell = cells_[i];  // trust our own plan
+      pool_.load_entries(cells_[i].scope(config_.share), rc.inserts);
+      delta_.hits += rc.delta.hits;
+      delta_.cross_worker_hits += rc.delta.cross_worker_hits;
+      delta_.warm_hits += rc.delta.warm_hits;
+      delta_.duplicate_inserts += rc.delta.duplicate_inserts;
+      if (results_[i].worker >= 0 &&
+          results_[i].worker < static_cast<int>(workers_.size())) {
+        workers_[static_cast<std::size_t>(results_[i].worker)].timeline +=
+            rc.result.result.elapsed_seconds;
+      }
+      completed_ += 1;
+      for (WorkerState& ws : workers_) {
+        ws.queue.erase(std::remove(ws.queue.begin(), ws.queue.end(), i),
+                       ws.queue.end());
+      }
     }
   }
 }
@@ -87,6 +148,9 @@ void Coordinator::grant(int worker, std::size_t cell_index,
   ws.busy_since = now;
   ws.lease_sent = now;
   count(&FleetStats::leases, &obs::FleetIds::leases);
+  if (config_.journal != nullptr) {
+    config_.journal->event("lease", cell.label(), worker, id);
+  }
   LOG_DEBUG << "fleet: leased cell " << cell.label() << " to worker "
             << worker << " (lease " << id << ")";
 }
@@ -133,6 +197,15 @@ void Coordinator::apply_inserts(
     ls.next_ordinal += 1;
   }
   if (!ready.empty()) {
+    if (config_.journal != nullptr) {
+      // Each applied insert is journaled exactly once (duplicates and
+      // out-of-order arrivals never reach here), so a crashed coordinator's
+      // journal can still salvage an in-flight cell's extractions into a
+      // checkpoint (journal_to_checkpoint).
+      for (const orchestrator::PoolEntry& e : ready) {
+        config_.journal->mfs_batch(cells_[ls.cell].label(), ls.scope, e);
+      }
+    }
     pool_.load_entries(ls.scope, std::move(ready));
     count(&FleetStats::batches, &obs::FleetIds::batches);
   }
@@ -200,6 +273,13 @@ void Coordinator::handle(const Message& m, int from, Clock::time_point now) {
       ls.accepted = true;
       results_[ls.cell] = m.result;
       results_[ls.cell].cell = cells_[ls.cell];  // trust our own plan
+      if (config_.journal != nullptr) {
+        // Journal the reconciled copy (plan-side cell identity), synced:
+        // once this frame is durable the cell can never be double-counted
+        // by a resumed coordinator.
+        config_.journal->cell_done(results_[ls.cell], m.inserts,
+                                   m.pool_delta, m.lease);
+      }
       delta_.hits += m.pool_delta.hits;
       delta_.cross_worker_hits += m.pool_delta.cross_worker_hits;
       delta_.warm_hits += m.pool_delta.warm_hits;
@@ -242,6 +322,12 @@ void Coordinator::check_deaths(Clock::time_point now) {
         it->second.revoked = true;
         orphans_.push_back(it->second.cell);
         count(&FleetStats::requeues, &obs::FleetIds::requeues);
+        if (config_.journal != nullptr) {
+          config_.journal->event("revoke", cells_[it->second.cell].label(),
+                                 static_cast<int>(w), ws.lease);
+          config_.journal->event("requeue", cells_[it->second.cell].label(),
+                                 static_cast<int>(w), ws.lease);
+        }
         LOG_WARN << "fleet: re-queued cell "
                  << cells_[it->second.cell].label() << " from dead worker "
                  << w;
@@ -251,7 +337,13 @@ void Coordinator::check_deaths(Clock::time_point now) {
     }
     // Unleased queue entries follow the cell into the orphan list; the
     // worker gets fresh assignments if it ever reconnects.
-    for (const std::size_t i : ws.queue) orphans_.push_back(i);
+    for (const std::size_t i : ws.queue) {
+      orphans_.push_back(i);
+      if (config_.journal != nullptr) {
+        config_.journal->event("requeue", cells_[i].label(),
+                               static_cast<int>(w), 0);
+      }
+    }
     ws.queue.clear();
   }
 }

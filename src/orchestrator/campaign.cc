@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "orchestrator/journal.h"
 #include "sim/subsystem.h"
 #include "workload/backend.h"
 
@@ -95,8 +96,8 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
       config_.execution == ExecutionMode::kThreads &&
       config_.share == ShareScope::kSubsystem) {
     throw std::invalid_argument(
-        "trace record/replay needs deterministic cell trajectories: use "
-        "--exec deterministic or --share cell");
+        "trace record/replay and journal resume need deterministic cell "
+        "trajectories: use --exec deterministic or --share cell");
   }
 }
 
@@ -139,6 +140,7 @@ CellExecutionOptions cell_execution_options(const CampaignConfig& config) {
   opts.engine = config.engine;
   opts.backend_factory = config.backend_factory.get();
   opts.telemetry = config.telemetry;
+  opts.journal = config.journal;
   return opts;
 }
 
@@ -173,6 +175,15 @@ CellResult execute_cell(const CellExecutionOptions& opts,
     const core::SearchSpace space(sys);
     core::SearchDriver driver(engine, space);
     driver.set_telemetry(obs::ProbeTelemetry(opts.telemetry, worker));
+    if (opts.journal != nullptr) {
+      CampaignJournal* journal = opts.journal;
+      const std::string label = cell.label();
+      driver.set_progress_hook(
+          [journal, label](const core::DriverProgress& p) {
+            journal->driver_state(label, p.to_json());
+          },
+          opts.journal->every());
+    }
     core::SearchBudget budget = opts.budget;
     budget.seconds = cell.budget_seconds;
 
@@ -202,10 +213,45 @@ CellResult Campaign::run_cell(int worker, double start_seconds,
                               const CampaignCell& cell, Rng rng,
                               ConcurrentMfsPool& pool) {
   obs::Telemetry* tel = config_.telemetry;
+  if (config_.resume != nullptr) {
+    const auto done = config_.resume->completed.find(cell.label());
+    if (done != config_.resume->completed.end()) {
+      // The cell ran to completion before the crash: restore its journaled
+      // result verbatim (the pool already holds its inserts, loaded in
+      // completion order by run()).  Plan-side identity wins over the
+      // recorded copy so timeline aggregation stays structural.
+      CellResult cr = done->second.result;
+      cr.cell = cell;
+      cr.worker = worker;
+      cr.start_seconds = start_seconds;
+      if (tel != nullptr) {
+        tel->registry().add(worker,
+                            cr.failed() ? cells_failed_ : cells_completed_);
+      }
+      return cr;
+    }
+  }
   const u64 wall_start = tel != nullptr ? obs::now_ticks() : 0;
-  ConcurrentMfsPool::View view = pool.view(cell.scope(config_.share), worker);
-  CellResult cr = execute_cell(cell_execution_options(config_), cell, worker,
-                               start_seconds, rng, view);
+  const std::string scope = cell.scope(config_.share);
+  ConcurrentMfsPool::View view = pool.view(scope, worker);
+  CellResult cr;
+  if (config_.journal != nullptr) {
+    JournalingStore store(view, config_.journal, cell.label(), scope, worker);
+    cr = execute_cell(cell_execution_options(config_), cell, worker,
+                      start_seconds, rng, view, &store);
+    PoolStats delta;
+    delta.entries = static_cast<i64>(store.inserts().size());
+    delta.hits = view.hits();
+    delta.cross_worker_hits = view.cross_worker_hits();
+    delta.warm_hits = view.warm_hits();
+    delta.duplicate_inserts = view.duplicate_inserts();
+    // Lease ids start at 1; in-process campaigns use plan index + 1 (the
+    // cell's rng stream index is its plan position).
+    config_.journal->cell_done(cr, store.inserts(), delta, cell.stream + 1);
+  } else {
+    cr = execute_cell(cell_execution_options(config_), cell, worker,
+                      start_seconds, rng, view);
+  }
   if (tel != nullptr) {
     obs::Registry& reg = tel->registry();
     reg.add(worker, cr.failed() ? cells_failed_ : cells_completed_);
@@ -388,11 +434,49 @@ CampaignResult Campaign::run() {
   }
   setup_telemetry(schedule, skipped_cells);
 
+  if (config_.journal != nullptr) {
+    if (config_.resume != nullptr) {
+      // Append-only across crashes: a resumed session appends a boundary
+      // marker, never a second begin.
+      config_.journal->resume_marker();
+    } else {
+      std::vector<std::string> labels;
+      labels.reserve(cells.size());
+      for (const CampaignCell& cell : cells) labels.push_back(cell.label());
+      config_.journal->begin(
+          to_string(config_.share), to_string(config_.strategy),
+          config_.campaign_seed, schedule.workers,
+          config_.backend_factory != nullptr
+              ? config_.backend_factory->substrate()
+              : "sim",
+          schedule_to_json(schedule, labels, budgets));
+    }
+  }
+
   ConcurrentMfsPool pool(config_.pool);
   pool.set_telemetry(config_.telemetry);
   if (config_.warm_start) {
     for (const auto& [scope, entries] : config_.warm_start->scopes) {
       pool.load_scope(scope, entries);
+    }
+  }
+  if (config_.resume != nullptr) {
+    // Refill the pool with every completed cell's inserts, origin-preserved
+    // and folded in completion order — the same order the original run
+    // inserted them, so replaying cells observe identical MFS positions and
+    // hit attribution.  Loaded after warm-start scopes, like live inserts.
+    std::map<std::string, const CampaignCell*> by_label;
+    for (const CampaignCell& cell : cells) by_label[cell.label()] = &cell;
+    for (const std::string& label : config_.resume->completion_order) {
+      const auto it = by_label.find(label);
+      if (it == by_label.end()) {
+        throw std::invalid_argument(
+            "journal records completed cell " + label +
+            " which is not in this campaign's plan (journal was recorded "
+            "against a different plan?)");
+      }
+      pool.load_entries(it->second->scope(config_.share),
+                        config_.resume->completed.at(label).inserts);
     }
   }
 
@@ -468,6 +552,20 @@ CampaignResult Campaign::run() {
     if (t > result.makespan_seconds) result.makespan_seconds = t;
   }
   result.pool = pool.stats();
+  if (config_.resume != nullptr) {
+    // The hit counters are live-session counters; completed cells served
+    // their hits before the crash.  Fold each restored cell's journaled
+    // delta back in so the resumed report's pool line matches the
+    // uninterrupted run's.  Entry counts need no reconciliation: stats()
+    // reads the pool's current contents, which include the restored
+    // inserts.
+    for (const auto& [label, rc] : config_.resume->completed) {
+      result.pool.hits += rc.delta.hits;
+      result.pool.cross_worker_hits += rc.delta.cross_worker_hits;
+      result.pool.warm_hits += rc.delta.warm_hits;
+      result.pool.duplicate_inserts += rc.delta.duplicate_inserts;
+    }
+  }
   result.pool_scopes = pool.export_scopes();
   return result;
 }

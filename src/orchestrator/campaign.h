@@ -35,6 +35,9 @@
 
 namespace collie::orchestrator {
 
+class CampaignJournal;   // orchestrator/journal.h
+struct JournalResume;    // orchestrator/journal.h
+
 enum class Strategy {
   kSimulatedAnnealing,  // Collie (Algorithm 1)
   kRandom,              // black-box fuzzing baseline
@@ -140,6 +143,17 @@ struct CampaignConfig {
   // memory knob: reports are bit-identical across policies (pinned by
   // orchestrator tests).
   MfsPoolOptions pool;
+  // Durable journal sink (not owned; must outlive run()).  When set, the
+  // campaign streams begin/probe/mfs_batch/cell_done records as it runs;
+  // combined with a SpliceBackendFactory wrapping the backend, a crashed
+  // run resumes to a byte-identical report (orchestrator/journal.h).
+  CampaignJournal* journal = nullptr;
+  // Parsed journal of a crashed run (not owned; must outlive run()).  When
+  // set, the campaign restores completed cells verbatim from their
+  // journaled cell_done records, refills the pool with their inserts in
+  // completion order, and reconciles pool stats — partial cells re-run
+  // through the splice backend's replayed prefix.
+  const JournalResume* resume = nullptr;
   core::SaConfig sa;          // template; mode is overridden per cell
   workload::EngineOptions engine;
 };
@@ -206,6 +220,9 @@ struct CellExecutionOptions {
   workload::EngineOptions engine;
   workload::BackendFactory* backend_factory = nullptr;  // not owned
   obs::Telemetry* telemetry = nullptr;                  // not owned
+  // When set, the cell's driver publishes DriverProgress through the
+  // journal on the journal's cadence (observability only).
+  CampaignJournal* journal = nullptr;  // not owned
 };
 
 CellExecutionOptions cell_execution_options(const CampaignConfig& config);

@@ -1,0 +1,551 @@
+#include "orchestrator/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+#include "common/durable_io.h"
+#include "core/serialize.h"
+// Layering note: journal.cc (not the header) speaks the fleet wire format so
+// cell_done frames are byte-for-byte the PR 9 protocol documents.  The repo
+// links as one static library, so orchestrator/ -> fleet/ is link-legal; the
+// dependency is confined to this translation unit.
+#include "fleet/messages.h"
+#include "workload/backend_sim.h"
+
+namespace collie::orchestrator {
+namespace {
+
+using core::JsonError;
+using core::JsonValue;
+using core::JsonWriter;
+
+void put_u32le(std::string* out, u32 v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+u32 get_u32le(const unsigned char* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+ShareScope share_scope_from_string(const std::string& s) {
+  if (s == "cell") return ShareScope::kCell;
+  if (s == "subsystem") return ShareScope::kSubsystem;
+  throw JsonError("unknown share scope \"" + s + "\" in journal");
+}
+
+void pool_entry_to_json(const PoolEntry& e, JsonWriter* json) {
+  json->begin_object();
+  json->field("origin", e.origin);
+  json->key("mfs");
+  core::mfs_to_json(e.mfs, json);
+  json->end_object();
+}
+
+PoolEntry pool_entry_from_json(const JsonValue& v) {
+  PoolEntry e;
+  e.origin = static_cast<int>(v.at("origin").as_i64());
+  e.mfs = core::mfs_from_json(v.at("mfs"));
+  return e;
+}
+
+}  // namespace
+
+// ---- JournalWriter --------------------------------------------------------
+
+JournalWriter::JournalWriter(const std::string& path, u64 crash_at_byte)
+    : path_(path), crash_at_byte_(crash_at_byte) {
+  f_ = std::fopen(path.c_str(), "ab");
+  if (f_ == nullptr) {
+    throw std::runtime_error("cannot open journal '" + path +
+                             "': " + std::strerror(errno));
+  }
+  // "a" positions every write at EOF; the current size is the append base.
+  if (std::fseek(f_, 0, SEEK_END) != 0) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw std::runtime_error("cannot seek journal '" + path + "'");
+  }
+  const long size = std::ftell(f_);
+  bytes_ = size > 0 ? static_cast<u64>(size) : 0;
+  if (bytes_ == 0) {
+    raw_write(kJournalMagic, kJournalMagicSize);
+    sync();
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (f_ != nullptr) {
+    std::fflush(f_);
+    std::fclose(f_);
+  }
+}
+
+void JournalWriter::raw_write(const void* data, std::size_t n) {
+  if (crash_at_byte_ > 0 && bytes_ + n >= crash_at_byte_) {
+    // Deterministic crash injection: leave the file exactly crash_at_byte_
+    // bytes long (no fsync — a real crash would not get one either) and die
+    // with the SIGKILL exit code the CI crash harness asserts.
+    const std::size_t keep =
+        bytes_ >= crash_at_byte_
+            ? 0
+            : static_cast<std::size_t>(crash_at_byte_ - bytes_);
+    if (keep > 0) std::fwrite(data, 1, keep, f_);
+    std::fflush(f_);
+    _exit(137);
+  }
+  if (std::fwrite(data, 1, n, f_) != n) {
+    throw std::runtime_error("journal write failed for '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+  bytes_ += n;
+}
+
+void JournalWriter::append(const std::string& payload) {
+  std::string header;
+  header.reserve(8);
+  put_u32le(&header, static_cast<u32>(payload.size()));
+  put_u32le(&header, durable_io::crc32(payload));
+  raw_write(header.data(), header.size());
+  raw_write(payload.data(), payload.size());
+}
+
+void JournalWriter::sync() {
+  if (std::fflush(f_) != 0) {
+    throw std::runtime_error("journal flush failed for '" + path_ + "'");
+  }
+  ::fsync(::fileno(f_));
+}
+
+// ---- Recovery -------------------------------------------------------------
+
+JournalRecovery recover_journal(const std::string& path, bool repair) {
+  JournalRecovery r;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return r;  // no file: a fresh journal, nothing to recover
+  r.existed = true;
+
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    r.error = "cannot read journal '" + path + "'";
+    return r;
+  }
+  r.total_bytes = data.size();
+
+  // Magic check.  A damaged header means no frame can be trusted: the valid
+  // prefix is empty and everything is quarantined.
+  std::size_t off = 0;
+  bool magic_ok = data.size() >= kJournalMagicSize &&
+                  std::memcmp(data.data(), kJournalMagic, kJournalMagicSize)
+                      == 0;
+  if (magic_ok) {
+    off = kJournalMagicSize;
+    // Truncation scan: accept frames until the first short header, insane
+    // length, short payload, or CRC mismatch.
+    while (off + 8 <= data.size()) {
+      const auto* p = reinterpret_cast<const unsigned char*>(data.data() + off);
+      const u64 len = get_u32le(p);
+      if (len > data.size() - off - 8) break;  // torn or garbled length
+      const u32 want = get_u32le(p + 4);
+      const u32 got = durable_io::crc32(data.data() + off + 8,
+                                        static_cast<std::size_t>(len));
+      if (want != got) break;
+      r.payloads.emplace_back(data.data() + off + 8,
+                              static_cast<std::size_t>(len));
+      off += 8 + len;
+    }
+    r.valid_bytes = off;
+  } else if (!data.empty()) {
+    r.valid_bytes = 0;
+  }
+  r.torn = r.valid_bytes < r.total_bytes;
+
+  if (repair && r.torn) {
+    const std::string suffix = data.substr(r.valid_bytes);
+    const std::string torn_path = path + ".torn";
+    std::string werr;
+    if (!durable_io::atomic_write(torn_path, suffix, &werr)) {
+      r.error = "cannot quarantine torn journal suffix: " + werr;
+      return r;
+    }
+    r.torn_path = torn_path;
+    if (::truncate(path.c_str(), static_cast<off_t>(r.valid_bytes)) != 0) {
+      r.error = "cannot truncate journal '" + path +
+                "': " + std::strerror(errno);
+      return r;
+    }
+  }
+  return r;
+}
+
+// ---- CampaignJournal ------------------------------------------------------
+
+CampaignJournal::CampaignJournal(const std::string& path, int journal_every,
+                                 i64 crash_after_probes, u64 crash_at_byte)
+    : writer_(path, crash_at_byte),
+      every_(journal_every > 0 ? journal_every : 1),
+      crash_after_probes_(crash_after_probes) {}
+
+void CampaignJournal::append_locked(const std::string& payload) {
+  writer_.append(payload);
+}
+
+void CampaignJournal::begin(const std::string& share,
+                            const std::string& strategy, u64 seed, int workers,
+                            const std::string& backend,
+                            const std::string& schedule_json) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("record", "begin");
+  json.field("share", share);
+  json.field("strategy", strategy);
+  json.field("seed", static_cast<i64>(seed));
+  json.field("workers", workers);
+  json.field("backend", backend);
+  json.field("schedule", schedule_json);
+  json.end_object();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(json.str());
+  writer_.sync();
+}
+
+void CampaignJournal::resume_marker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked("{\"record\":\"resume\"}");
+  writer_.sync();
+}
+
+void CampaignJournal::probe(const std::string& context, const Workload& w,
+                            const workload::Measurement& m,
+                            const RngState& rng_after) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("record", "probe");
+  json.field("context", context);
+  json.key("workload");
+  core::workload_to_json(w, &json);
+  json.key("measurement");
+  core::measurement_to_json(m, &json);
+  json.key("rng_after");
+  workload::rng_state_to_json(rng_after, &json);
+  json.end_object();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(json.str());
+  ++probes_;
+  if (++since_sync_ >= every_) {
+    writer_.sync();
+    since_sync_ = 0;
+  }
+  if (crash_after_probes_ > 0 && probes_ == crash_after_probes_) {
+    writer_.sync();
+    _exit(137);
+  }
+}
+
+void CampaignJournal::driver_state(const std::string& context,
+                                   const std::string& state_json) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("record", "driver_state");
+  json.field("context", context);
+  json.key("state");
+  json.raw_value(state_json);
+  json.end_object();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(json.str());
+}
+
+void CampaignJournal::mfs_batch(const std::string& context,
+                                const std::string& scope,
+                                const PoolEntry& entry) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("record", "mfs_batch");
+  json.field("context", context);
+  json.field("scope", scope);
+  json.key("entry");
+  pool_entry_to_json(entry, &json);
+  json.end_object();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(json.str());
+  writer_.sync();
+}
+
+void CampaignJournal::cell_done(const CellResult& result,
+                                const std::vector<PoolEntry>& inserts,
+                                const PoolStats& delta, u64 lease) {
+  fleet::Message m;
+  m.type = fleet::MsgType::kCellDone;
+  m.sender = result.worker;
+  m.lease = lease;
+  m.result = result;
+  m.inserts = inserts;
+  m.pool_delta = delta;
+  const std::string payload = m.to_json();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(payload);
+  writer_.sync();
+  since_sync_ = 0;
+}
+
+void CampaignJournal::event(const std::string& what, const std::string& cell,
+                            int worker, u64 lease) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("record", "event");
+  json.field("what", what);
+  json.field("cell", cell);
+  json.field("worker", worker);
+  json.field("lease", static_cast<i64>(lease));
+  json.end_object();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(json.str());
+  writer_.sync();
+}
+
+void CampaignJournal::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_.sync();
+  since_sync_ = 0;
+}
+
+i64 CampaignJournal::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+u64 CampaignJournal::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.bytes();
+}
+
+// ---- Parsing --------------------------------------------------------------
+
+JournalResume parse_journal(const std::vector<std::string>& payloads) {
+  JournalResume r;
+  for (const std::string& text : payloads) {
+    const JsonValue doc = JsonValue::parse(text);
+    if (const JsonValue* rec = doc.find("record")) {
+      const std::string& kind = rec->as_string();
+      if (kind == "begin") {
+        if (r.has_begin) {
+          throw JsonError("journal carries two begin records");
+        }
+        r.has_begin = true;
+        r.share = doc.at("share").as_string();
+        r.strategy = doc.at("strategy").as_string();
+        r.backend = doc.at("backend").as_string();
+        const i64 seed = doc.at("seed").as_i64();
+        if (seed < 0) throw JsonError("journal seed must be non-negative");
+        r.seed = static_cast<u64>(seed);
+        r.workers = static_cast<int>(doc.at("workers").as_i64());
+        r.schedule = schedule_from_json(doc.at("schedule").as_string());
+      } else if (kind == "probe") {
+        const std::string& ctx = doc.at("context").as_string();
+        workload::TraceProbe p;
+        p.workload = core::workload_from_json(doc.at("workload"));
+        p.measurement = core::measurement_from_json(doc.at("measurement"));
+        p.rng_after = workload::rng_state_from_json(doc.at("rng_after"));
+        r.partial[ctx].push_back(std::move(p));
+        ++r.probes;
+      } else if (kind == "driver_state") {
+        r.driver_state[doc.at("context").as_string()] = text;
+      } else if (kind == "mfs_batch") {
+        const std::string& ctx = doc.at("context").as_string();
+        JournalResume::PartialExtractions& pi = r.partial_inserts[ctx];
+        pi.scope = doc.at("scope").as_string();
+        pi.entries.push_back(pool_entry_from_json(doc.at("entry")));
+      } else if (kind == "event") {
+        JournalEvent ev;
+        ev.what = doc.at("what").as_string();
+        ev.cell = doc.at("cell").as_string();
+        ev.worker = static_cast<int>(doc.at("worker").as_i64());
+        const i64 lease = doc.at("lease").as_i64();
+        if (lease < 0) throw JsonError("journal event lease is negative");
+        ev.lease = static_cast<u64>(lease);
+        r.events.push_back(std::move(ev));
+      } else if (kind == "resume") {
+        ++r.sessions;
+      } else {
+        throw JsonError("unknown journal record \"" + kind + "\"");
+      }
+      continue;
+    }
+    // No "record" tag: the fleet vocabulary (a verbatim wire message).
+    const fleet::Message m = fleet::Message::from_json(text);
+    if (m.type != fleet::MsgType::kCellDone) {
+      throw JsonError(std::string("unexpected fleet message in journal: ") +
+                      fleet::to_string(m.type));
+    }
+    const std::string label = m.result.cell.label();
+    RestoredCell rc;
+    rc.result = m.result;
+    rc.inserts = m.inserts;
+    rc.delta = m.pool_delta;
+    if (r.completed.count(label) == 0) r.completion_order.push_back(label);
+    r.completed[label] = std::move(rc);
+    // Anything journaled mid-cell is superseded by the cell_done document.
+    r.partial.erase(label);
+    r.partial_inserts.erase(label);
+  }
+  return r;
+}
+
+CampaignCheckpoint journal_to_checkpoint(const JournalResume& resume) {
+  CampaignCheckpoint ckpt;
+  ckpt.share = resume.share.empty() ? "subsystem" : resume.share;
+  const ShareScope share = share_scope_from_string(ckpt.share);
+  for (const std::string& label : resume.completion_order) {
+    const RestoredCell& rc = resume.completed.at(label);
+    std::vector<core::Mfs>& scope = ckpt.scopes[rc.result.cell.scope(share)];
+    for (const PoolEntry& e : rc.inserts) scope.push_back(e.mfs);
+    ckpt.completed_cells.push_back(label);
+  }
+  // Partial cells' streamed extractions are knowledge worth keeping even
+  // though the cell never finished — the checkpoint_cell(empty-label)
+  // convention.  A crash during a *resumed* session journals a replayed
+  // insert a second time; the MFS index disambiguates (replay re-inserts at
+  // the same pool position).
+  for (const auto& [context, pi] : resume.partial_inserts) {
+    (void)context;
+    std::set<int> seen;
+    for (const PoolEntry& e : pi.entries) {
+      if (!seen.insert(e.mfs.index).second) continue;
+      ckpt.scopes[pi.scope].push_back(e.mfs);
+    }
+  }
+  return ckpt;
+}
+
+// ---- Splice backend -------------------------------------------------------
+
+namespace {
+
+class SpliceBackend final : public workload::Backend {
+ public:
+  SpliceBackend(std::unique_ptr<workload::Backend> inner,
+                const std::vector<workload::TraceProbe>* prefix,
+                std::string context, CampaignJournal* journal,
+                std::atomic<i64>* replayed, std::atomic<i64>* live)
+      : inner_(std::move(inner)),
+        prefix_(prefix),
+        context_(std::move(context)),
+        journal_(journal),
+        replayed_(replayed),
+        live_(live) {}
+
+  workload::BackendKind kind() const override {
+    return workload::BackendKind::kTrace;
+  }
+  const std::string& substrate() const override { return inner_->substrate(); }
+
+  void measure(const Workload& w, Rng& rng, sim::EvalScratch& scratch,
+               workload::Measurement& out) override {
+    if (prefix_ != nullptr && cursor_ < prefix_->size()) {
+      const workload::TraceProbe& p = (*prefix_)[cursor_];
+      if (!(p.workload == w)) {
+        throw std::runtime_error(
+            "journal context \"" + context_ + "\" probe " +
+            std::to_string(cursor_) +
+            " was recorded for a different workload — resume diverged "
+            "(journal recorded against different flags?)");
+      }
+      out = p.measurement;
+      rng.set_state(p.rng_after);
+      ++cursor_;
+      replayed_->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    inner_->measure(w, rng, scratch, out);
+    if (journal_ != nullptr) journal_->probe(context_, w, out, rng.state());
+    live_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<workload::Backend> inner_;
+  const std::vector<workload::TraceProbe>* prefix_;  // null = no prefix
+  std::string context_;
+  CampaignJournal* journal_;
+  std::atomic<i64>* replayed_;
+  std::atomic<i64>* live_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+SpliceBackendFactory::SpliceBackendFactory(
+    std::shared_ptr<workload::BackendFactory> inner,
+    const JournalResume* resume, CampaignJournal* journal)
+    : inner_(std::move(inner)), journal_(journal) {
+  if (resume != nullptr) partial_ = resume->partial;
+}
+
+const std::string& SpliceBackendFactory::substrate() const {
+  static const std::string kSim = "sim";
+  return inner_ != nullptr ? inner_->substrate() : kSim;
+}
+
+std::unique_ptr<workload::Backend> SpliceBackendFactory::create(
+    const sim::Subsystem& sys, const workload::EngineOptions& opts,
+    const std::string& context) {
+  std::unique_ptr<workload::Backend> inner =
+      inner_ != nullptr ? inner_->create(sys, opts, context)
+                        : std::make_unique<workload::SimBackend>(sys, opts);
+  const auto it = partial_.find(context);
+  const std::vector<workload::TraceProbe>* prefix =
+      it != partial_.end() ? &it->second : nullptr;
+  return std::make_unique<SpliceBackend>(std::move(inner), prefix, context,
+                                         journal_, &replayed_, &live_);
+}
+
+// ---- JournalingStore ------------------------------------------------------
+
+JournalingStore::JournalingStore(ConcurrentMfsPool::View& view,
+                                 CampaignJournal* journal, std::string context,
+                                 std::string scope, int worker)
+    : view_(view),
+      journal_(journal),
+      context_(std::move(context)),
+      scope_(std::move(scope)),
+      worker_(worker) {}
+
+bool JournalingStore::covers(const core::SearchSpace& space,
+                             const Workload& w) {
+  return view_.covers(space, w);
+}
+
+bool JournalingStore::covers_preloaded(const core::SearchSpace& space,
+                                       const Workload& w) {
+  return view_.covers_preloaded(space, w);
+}
+
+int JournalingStore::insert(const core::SearchSpace& space, core::Mfs mfs) {
+  core::Mfs copy = mfs;
+  const int index = view_.insert(space, std::move(mfs));
+  copy.index = index;
+  PoolEntry entry{std::move(copy), worker_};
+  if (journal_ != nullptr) journal_->mfs_batch(context_, scope_, entry);
+  inserts_.push_back(std::move(entry));
+  return index;
+}
+
+std::size_t JournalingStore::size() const { return view_.size(); }
+
+std::vector<core::Mfs> JournalingStore::snapshot() const {
+  return view_.snapshot();
+}
+
+}  // namespace collie::orchestrator

@@ -21,7 +21,8 @@ ConcurrentMfsPool::View::View(View&& other) noexcept
       slot_(other.slot_),
       hits_(other.hits_),
       cross_hits_(other.cross_hits_),
-      warm_hits_(other.warm_hits_) {
+      warm_hits_(other.warm_hits_),
+      dup_inserts_(other.dup_inserts_) {
   other.slot_ = nullptr;
   other.handle_.reset();
 }
@@ -38,6 +39,7 @@ ConcurrentMfsPool::View& ConcurrentMfsPool::View::operator=(
   hits_ = other.hits_;
   cross_hits_ = other.cross_hits_;
   warm_hits_ = other.warm_hits_;
+  dup_inserts_ = other.dup_inserts_;
   other.slot_ = nullptr;
   other.handle_.reset();
   return *this;
@@ -99,7 +101,11 @@ bool ConcurrentMfsPool::View::covers_preloaded(const core::SearchSpace& space,
 
 int ConcurrentMfsPool::View::insert(const core::SearchSpace& space,
                                     core::Mfs mfs) {
-  return pool_->insert(scope_, space, std::move(mfs), worker_);
+  bool duplicate = false;
+  const int index =
+      pool_->insert(scope_, space, std::move(mfs), worker_, &duplicate);
+  if (duplicate) dup_inserts_ += 1;
+  return index;
 }
 
 std::size_t ConcurrentMfsPool::View::size() const {
@@ -263,7 +269,8 @@ bool ConcurrentMfsPool::covers_preloaded(const std::string& scope,
 
 int ConcurrentMfsPool::insert(const std::string& scope,
                               const core::SearchSpace& space, core::Mfs mfs,
-                              int origin_worker) {
+                              int origin_worker, bool* duplicate_out) {
+  if (duplicate_out != nullptr) *duplicate_out = false;
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<ScopeHandle>& h = scopes_[scope];
   if (!h) h = std::make_shared<ScopeHandle>();
@@ -303,6 +310,7 @@ int ConcurrentMfsPool::insert(const std::string& scope,
       }
     }
     if (duplicate) {
+      if (duplicate_out != nullptr) *duplicate_out = true;
       duplicate_inserts_.fetch_add(1, std::memory_order_relaxed);
       if (tel_ != nullptr) {
         tel_->registry().add(origin_worker >= 0 ? origin_worker : 0,

@@ -130,6 +130,11 @@ class ConcurrentMfsPool {
     // Hits this view served from warm-start (checkpoint-loaded) MFSes.
     i64 warm_hits() const { return warm_hits_; }
     i64 hits() const { return hits_; }
+    // Inserts through this view whose witness was already covered — the
+    // per-cell slice of PoolStats::duplicate_inserts (the campaign journal
+    // needs per-cell attribution, the fleet gets it free from per-lease
+    // local pools).
+    i64 duplicate_inserts() const { return dup_inserts_; }
     const std::string& scope() const { return scope_; }
 
    private:
@@ -151,6 +156,7 @@ class ConcurrentMfsPool {
     i64 hits_ = 0;
     i64 cross_hits_ = 0;
     i64 warm_hits_ = 0;
+    i64 dup_inserts_ = 0;
   };
 
   View view(std::string scope, int worker) {
@@ -169,8 +175,11 @@ class ConcurrentMfsPool {
   // sampled points that bypass the full skip.  Cold path (see covers()).
   bool covers_preloaded(const std::string& scope,
                         const core::SearchSpace& space, const Workload& w);
+  // `*duplicate` (optional) reports whether the insert's witness was
+  // already covered by a same-symptom entry (the stats' duplicate-insert
+  // criterion) — per-call attribution for callers that track it per view.
   int insert(const std::string& scope, const core::SearchSpace& space,
-             core::Mfs mfs, int origin_worker);
+             core::Mfs mfs, int origin_worker, bool* duplicate = nullptr);
 
   // Register a checkpointed scope: entries are re-indexed in load order and
   // attributed to kWarmStartOrigin.  Fresh inserts append after them.

@@ -27,6 +27,8 @@ u64 u64_from_hex(const std::string& s) {
   return static_cast<u64>(std::strtoull(s.c_str(), nullptr, 16));
 }
 
+}  // namespace
+
 void rng_state_to_json(const RngState& st, core::JsonWriter* json) {
   json->begin_object();
   json->begin_array("s");
@@ -48,8 +50,6 @@ RngState rng_state_from_json(const core::JsonValue& v) {
   st.spare_normal = v.at("spare").as_double();
   return st;
 }
-
-}  // namespace
 
 std::string TraceFile::to_json() const {
   core::JsonWriter json;

@@ -25,6 +25,11 @@
 
 #include "workload/backend.h"
 
+namespace collie::core {
+class JsonWriter;
+class JsonValue;
+}  // namespace collie::core
+
 namespace collie::workload {
 
 // One recorded probe of one context, in execution order.
@@ -33,6 +38,11 @@ struct TraceProbe {
   Measurement measurement;
   RngState rng_after;
 };
+
+// Hex RngState <-> JSON, the exact encoding collie-trace-v1 uses.  Shared
+// with the campaign journal, whose probe records are trace probes.
+void rng_state_to_json(const RngState& st, core::JsonWriter* json);
+RngState rng_state_from_json(const core::JsonValue& v);
 
 // A parsed/buildable collie-trace-v1 document.
 struct TraceFile {

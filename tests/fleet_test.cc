@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "orchestrator/checkpoint.h"
+#include "orchestrator/journal.h"
 #include "sim/subsystem.h"
 #include "workload/engine.h"
 
@@ -449,6 +451,81 @@ TEST(Fleet, IdleWorkerStealsFromSlowWorkerQueue) {
     EXPECT_FALSE(cr.skipped);
     EXPECT_GT(cr.result.experiments, 0);
   }
+}
+
+// ---- Acceptance: coordinator journal + resume, zero double-counting.
+
+// The coordinator streams lease events, applied extractions, and reconciled
+// CellDones through the campaign journal.  Cutting that journal at a frame
+// boundary and resuming restores every journaled cell verbatim, leases only
+// the remainder, and reports byte-identically — a journaled completed cell
+// is never re-leased and its probes are never re-spent.
+TEST(Fleet, CoordinatorJournalResumesByteIdentically) {
+  CampaignConfig config = small_config();
+  const std::string golden =
+      orchestrator::build_report(Campaign(config).run()).to_json();
+
+  const std::string path =
+      ::testing::TempDir() + "collie_fleet_test.journal";
+  std::remove(path.c_str());
+  {
+    orchestrator::CampaignJournal journal(path, /*journal_every=*/4);
+    CampaignConfig jcfg = config;
+    jcfg.journal = &journal;
+    const FleetRunResult fleet = run_loopback_fleet(jcfg, patient_options());
+    // Journaling the coordinator never perturbs the fleet's report.
+    EXPECT_EQ(orchestrator::build_report(fleet.campaign).to_json(), golden);
+  }
+  const orchestrator::JournalRecovery rec =
+      orchestrator::recover_journal(path, /*repair=*/false);
+  ASSERT_FALSE(rec.torn);
+  const orchestrator::JournalResume complete =
+      orchestrator::parse_journal(rec.payloads);
+  EXPECT_EQ(complete.completed.size(), 4u);
+  // Every lease grant was journaled as an event.
+  int lease_events = 0;
+  for (const orchestrator::JournalEvent& ev : complete.events) {
+    lease_events += ev.what == "lease" ? 1 : 0;
+  }
+  EXPECT_EQ(lease_events, 4);
+
+  std::size_t first_done = 0;
+  for (std::size_t i = 0; i < rec.payloads.size(); ++i) {
+    if (rec.payloads[i].find("\"type\":\"cell_done\"") != std::string::npos) {
+      first_done = i;
+      break;
+    }
+  }
+  ASSERT_GT(first_done, 0u);
+
+  const std::string cut_path = path + ".cut";
+  for (const std::size_t k : {first_done + 1, rec.payloads.size()}) {
+    std::remove(cut_path.c_str());
+    {
+      orchestrator::JournalWriter writer(cut_path);
+      for (std::size_t i = 0; i < k; ++i) writer.append(rec.payloads[i]);
+      writer.sync();
+    }
+    const orchestrator::JournalResume resume = orchestrator::parse_journal(
+        orchestrator::recover_journal(cut_path, /*repair=*/true).payloads);
+    ASSERT_TRUE(resume.has_begin);
+    const std::size_t restored = resume.completed.size();
+
+    orchestrator::CampaignJournal journal(cut_path, /*journal_every=*/4);
+    CampaignConfig rcfg = config;
+    rcfg.journal = &journal;
+    rcfg.resume = &resume;
+    rcfg.replay = resume.schedule;
+    const FleetRunResult fleet = run_loopback_fleet(rcfg, patient_options());
+    EXPECT_EQ(orchestrator::build_report(fleet.campaign).to_json(), golden)
+        << "cut " << k;
+    // Restored cells are never re-leased: only the remainder goes out.
+    EXPECT_EQ(fleet.stats.leases, static_cast<i64>(4 - restored))
+        << "cut " << k;
+    EXPECT_EQ(fleet.stats.requeues, 0) << "cut " << k;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
 }
 
 // checkpoint_cell folds (plan order) reproduce make_checkpoint exactly —

@@ -1,0 +1,494 @@
+// The durability layer's contract, fuzzed (same harness discipline as
+// tests/persistence_test.cc):
+//   * crc32 matches the IEEE check value and chains incrementally;
+//   * atomic_write publishes whole documents or nothing;
+//   * the collie-journal-v1 frame format round-trips through recovery, and
+//     recovery is a truncation scan — EVERY byte prefix of a valid journal
+//     recovers without error to a frame prefix of the original (the
+//     structural invariant mid-cell resume is built on), targeted garbles
+//     and random byte flips quarantine the damaged suffix instead of
+//     trusting it, and a repaired journal accepts appends;
+//   * parse_journal reconstructs resumable state from the two record
+//     vocabularies and rejects unknown shapes loudly;
+//   * DriverProgress / BoProgress survive their JSON round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/bo.h"
+#include "common/durable_io.h"
+#include "common/rng.h"
+#include "core/json_reader.h"
+#include "core/search.h"
+#include "core/serialize.h"
+#include "orchestrator/checkpoint.h"
+#include "orchestrator/journal.h"
+#include "orchestrator/scheduler.h"
+#include "sim/subsystem.h"
+#include "workload/backend_trace.h"
+
+namespace collie::orchestrator {
+namespace {
+
+using core::JsonError;
+using core::JsonValue;
+
+std::string tmp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "collie_journal_test_" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".torn").c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// ---- crc32 ------------------------------------------------------------------
+
+TEST(Crc32, MatchesTheIeeeCheckValueAndChains) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(durable_io::crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(durable_io::crc32(std::string("")), 0u);
+  // Incremental chaining: crc32(b, crc32(a)) == crc32(a + b).
+  const std::string a = "collie-jour";
+  const std::string b = "nal-v1\n and some payload bytes \x00\x7f\x01";
+  EXPECT_EQ(durable_io::crc32(b, durable_io::crc32(a)),
+            durable_io::crc32(a + b));
+  // Sensitivity: any single-byte change moves the checksum.
+  std::string c = a + b;
+  c[3] ^= 0x40;
+  EXPECT_NE(durable_io::crc32(c), durable_io::crc32(a + b));
+}
+
+// ---- atomic_write -----------------------------------------------------------
+
+TEST(AtomicWrite, PublishesWholeDocumentsAndReportsFailures) {
+  const std::string path = tmp_path("atomic.json");
+  EXPECT_TRUE(durable_io::atomic_write(path, "first document\n"));
+  EXPECT_EQ(read_file(path), "first document\n");
+  // Replacement is wholesale: no residue of the longer old content.
+  EXPECT_TRUE(durable_io::atomic_write(path, "2nd\n"));
+  EXPECT_EQ(read_file(path), "2nd\n");
+  // No sibling temporary left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  // Failure is reported, not thrown, and the target is untouched.
+  std::string error;
+  EXPECT_FALSE(durable_io::atomic_write(
+      "/nonexistent_collie_dir/impossible.json", "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(read_file(path), "2nd\n");
+  std::remove(path.c_str());
+}
+
+// ---- journal frames ---------------------------------------------------------
+
+std::vector<std::string> sample_payloads() {
+  return {
+      R"({"record":"begin","share":"cell"})",
+      "",  // empty payloads are legal frames
+      R"({"record":"probe","context":"B/Diag#0","n":1})",
+      std::string(300, 'x'),
+      R"({"record":"event","what":"lease"})",
+  };
+}
+
+std::string build_journal(const std::string& path) {
+  const std::vector<std::string> payloads = sample_payloads();
+  JournalWriter writer(path);
+  for (const std::string& p : payloads) writer.append(p);
+  writer.sync();
+  return read_file(path);
+}
+
+TEST(JournalFrames, WriterRoundTripsThroughRecovery) {
+  const std::string path = tmp_path("roundtrip.journal");
+  const std::string bytes = build_journal(path);
+  ASSERT_GT(bytes.size(), kJournalMagicSize);
+  EXPECT_EQ(bytes.substr(0, kJournalMagicSize), std::string(kJournalMagic));
+
+  const JournalRecovery r = recover_journal(path, /*repair=*/false);
+  EXPECT_TRUE(r.existed);
+  EXPECT_FALSE(r.torn);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_EQ(r.valid_bytes, bytes.size());
+  EXPECT_EQ(r.total_bytes, bytes.size());
+  EXPECT_EQ(r.payloads, sample_payloads());
+
+  // Re-opening an intact journal appends, never rewrites.
+  {
+    JournalWriter again(path);
+    again.append("tail");
+    again.sync();
+  }
+  const JournalRecovery r2 = recover_journal(path, /*repair=*/false);
+  ASSERT_EQ(r2.payloads.size(), sample_payloads().size() + 1);
+  EXPECT_EQ(r2.payloads.back(), "tail");
+
+  // A journal that never existed is a clean fresh start, not an error.
+  const JournalRecovery none =
+      recover_journal(tmp_path("never-written.journal"), /*repair=*/false);
+  EXPECT_FALSE(none.existed);
+  EXPECT_FALSE(none.torn);
+  EXPECT_TRUE(none.payloads.empty());
+  std::remove(path.c_str());
+}
+
+// The structural invariant resume depends on: EVERY byte prefix of a valid
+// journal recovers — without throwing — to a frame prefix of the original
+// payload sequence, with valid_bytes never past the cut and the recovered
+// frame count monotone in the prefix length.
+TEST(JournalFrames, EveryBytePrefixRecoversToAFramePrefix) {
+  const std::string path = tmp_path("prefix.journal");
+  const std::string bytes = build_journal(path);
+  const std::vector<std::string> full = sample_payloads();
+  const std::string cut_path = tmp_path("prefix-cut.journal");
+
+  std::size_t prev_frames = 0;
+  for (std::size_t n = 0; n <= bytes.size(); ++n) {
+    write_file(cut_path, bytes.substr(0, n));
+    const JournalRecovery r = recover_journal(cut_path, /*repair=*/false);
+    ASSERT_TRUE(r.existed) << "cut at " << n;
+    ASSERT_TRUE(r.error.empty()) << "cut at " << n << ": " << r.error;
+    ASSERT_EQ(r.total_bytes, n);
+    ASSERT_LE(r.valid_bytes, n) << "cut at " << n;
+    ASSERT_EQ(r.torn, r.valid_bytes < n) << "cut at " << n;
+    ASSERT_LE(r.payloads.size(), full.size()) << "cut at " << n;
+    for (std::size_t i = 0; i < r.payloads.size(); ++i) {
+      ASSERT_EQ(r.payloads[i], full[i]) << "cut at " << n << ", frame " << i;
+    }
+    ASSERT_GE(r.payloads.size(), prev_frames)
+        << "recovered frames regressed at cut " << n;
+    prev_frames = r.payloads.size();
+  }
+  EXPECT_EQ(prev_frames, full.size());
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(JournalFrames, TargetedGarblesQuarantineTheSuffix) {
+  const std::string path = tmp_path("garble.journal");
+  const std::string bytes = build_journal(path);
+  const std::vector<std::string> full = sample_payloads();
+  // Frame layout: magic, then frame i at offset(i) with 8-byte header.
+  std::vector<std::size_t> frame_off;
+  {
+    std::size_t off = kJournalMagicSize;
+    for (const std::string& p : full) {
+      frame_off.push_back(off);
+      off += 8 + p.size();
+    }
+  }
+  const std::string cut_path = tmp_path("garble-cut.journal");
+  const auto recover_garbled = [&](std::size_t pos, char flip) {
+    std::string g = bytes;
+    g[pos] = static_cast<char>(g[pos] ^ flip);
+    write_file(cut_path, g);
+    return recover_journal(cut_path, /*repair=*/false);
+  };
+
+  // A flipped payload byte in frame 2 fails its CRC: frames 0-1 survive,
+  // everything from frame 2 on is quarantined (truncation scan).
+  {
+    const JournalRecovery r = recover_garbled(frame_off[2] + 8 + 3, 0x20);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.valid_bytes, frame_off[2]);
+    ASSERT_EQ(r.payloads.size(), 2u);
+    EXPECT_EQ(r.payloads[1], full[1]);
+  }
+  // A flipped CRC byte: same outcome (the payload itself is intact but
+  // cannot be trusted).
+  {
+    const JournalRecovery r = recover_garbled(frame_off[1] + 4, 0x01);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.valid_bytes, frame_off[1]);
+    EXPECT_EQ(r.payloads.size(), 1u);
+  }
+  // A garbled length that claims more bytes than the file holds.
+  {
+    const JournalRecovery r = recover_garbled(frame_off[3] + 3, 0x7F);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.valid_bytes, frame_off[3]);
+    EXPECT_EQ(r.payloads.size(), 3u);
+  }
+  // A damaged magic voids every frame: nothing can be trusted.
+  {
+    const JournalRecovery r = recover_garbled(5, 0x10);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.valid_bytes, 0u);
+    EXPECT_TRUE(r.payloads.empty());
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(JournalFrames, RepairQuarantinesTornSuffixAndAcceptsAppends) {
+  const std::string path = tmp_path("repair.journal");
+  const std::string bytes = build_journal(path);
+  // Tear mid-way through the last frame.
+  const std::size_t cut = bytes.size() - 3;
+  write_file(path, bytes.substr(0, cut));
+
+  const JournalRecovery r = recover_journal(path, /*repair=*/true);
+  EXPECT_TRUE(r.torn);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.payloads.size(), sample_payloads().size() - 1);
+  // The torn suffix is quarantined byte-for-byte, never silently dropped...
+  EXPECT_EQ(r.torn_path, path + ".torn");
+  EXPECT_EQ(read_file(r.torn_path), bytes.substr(r.valid_bytes, cut - r.valid_bytes));
+  // ...and the journal itself is truncated to its valid prefix, ready for
+  // appending (what a resumed campaign does).
+  EXPECT_EQ(read_file(path).size(), r.valid_bytes);
+  {
+    JournalWriter writer(path);
+    writer.append("appended-after-repair");
+    writer.sync();
+  }
+  const JournalRecovery r2 = recover_journal(path, /*repair=*/false);
+  EXPECT_FALSE(r2.torn);
+  ASSERT_EQ(r2.payloads.size(), r.payloads.size() + 1);
+  EXPECT_EQ(r2.payloads.back(), "appended-after-repair");
+  std::remove(path.c_str());
+  std::remove((path + ".torn").c_str());
+}
+
+TEST(JournalFrames, RandomByteFlipsNeverMisbehave) {
+  const std::string path = tmp_path("fuzz.journal");
+  const std::string bytes = build_journal(path);
+  const std::vector<std::string> full = sample_payloads();
+  const std::string cut_path = tmp_path("fuzz-cut.journal");
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string g = bytes;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<i64>(bytes.size()) - 1));
+    const auto flip = static_cast<char>(rng.uniform_int(1, 255));
+    g[pos] = static_cast<char>(g[pos] ^ flip);
+    write_file(cut_path, g);
+    // Recovery must never throw and never hallucinate: every recovered
+    // frame is byte-identical to the original sequence's — a flip either
+    // lands past the scan's stopping point or truncates it, but cannot
+    // produce a frame that was never written (CRC collisions aside, and a
+    // single-byte flip cannot collide CRC-32).
+    const JournalRecovery r = recover_journal(cut_path, /*repair=*/false);
+    ASSERT_TRUE(r.error.empty()) << "trial " << trial;
+    ASSERT_LE(r.payloads.size(), full.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < r.payloads.size(); ++i) {
+      ASSERT_EQ(r.payloads[i], full[i]) << "trial " << trial;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// ---- record vocabulary / parse_journal --------------------------------------
+
+// A realistic record stream written through CampaignJournal, then parsed
+// back: one completed cell (probes superseded by its cell_done), one
+// partial cell (probes + streamed extractions survive as the splice
+// prefix), plus driver_state, events, and a session boundary.
+TEST(CampaignJournalRecords, ParseJournalReconstructsResumableState) {
+  const std::string path = tmp_path("records.journal");
+  const core::SearchSpace space(sim::subsystem('B'));
+  Rng rng(61);
+
+  Schedule sched;
+  sched.workers = 1;
+  sched.queues = {{0, 1}};
+  const std::string sched_json = schedule_to_json(
+      sched, {"B/Diag#0", "B/Diag#1"}, {3600.0, 3600.0});
+
+  std::vector<workload::TraceProbe> done_probes(3);
+  std::vector<workload::TraceProbe> partial_probes(2);
+  core::Mfs partial_mfs;
+  {
+    CampaignJournal journal(path, /*journal_every=*/1);
+    journal.begin("cell", "sa", /*seed=*/17, /*workers=*/1, "sim",
+                  sched_json);
+    for (workload::TraceProbe& p : done_probes) {
+      p.workload = space.random_point(rng);
+      p.measurement.stable = true;
+      p.rng_after = rng.state();
+      journal.probe("B/Diag#0", p.workload, p.measurement, p.rng_after);
+    }
+    core::DriverProgress dp;
+    dp.phase = "sa";
+    dp.experiments = 3;
+    journal.driver_state("B/Diag#0", dp.to_json());
+    journal.event("lease", "B/Diag#0", /*worker=*/0, /*lease=*/1);
+
+    // The completed cell: its cell_done supersedes the probes above.
+    CellResult done;
+    done.cell.subsystem = 'B';
+    done.worker = 0;
+    done.result.experiments = 3;
+    done.result.elapsed_seconds = 120.0;
+    partial_mfs.witness = space.random_point(rng);
+    PoolStats delta;
+    delta.entries = 1;
+    delta.hits = 2;
+    journal.cell_done(done, {PoolEntry{partial_mfs, 0}}, delta, /*lease=*/1);
+
+    // The partial cell: probes and streamed extractions, no cell_done.
+    for (workload::TraceProbe& p : partial_probes) {
+      p.workload = space.random_point(rng);
+      p.rng_after = rng.state();
+      journal.probe("B/Diag#1", p.workload, p.measurement, p.rng_after);
+    }
+    core::Mfs m0 = partial_mfs;
+    m0.index = 0;
+    core::Mfs m1 = partial_mfs;
+    m1.index = 1;
+    journal.mfs_batch("B/Diag#1", "B/Diag#1", PoolEntry{m0, 0});
+    journal.mfs_batch("B/Diag#1", "B/Diag#1", PoolEntry{m0, 0});  // replayed dup
+    journal.mfs_batch("B/Diag#1", "B/Diag#1", PoolEntry{m1, 0});
+    journal.resume_marker();
+    EXPECT_EQ(journal.probes(), 5);
+    EXPECT_EQ(journal.bytes(), read_file(path).size());
+  }
+
+  const JournalRecovery rec = recover_journal(path, /*repair=*/true);
+  ASSERT_FALSE(rec.torn);
+  const JournalResume r = parse_journal(rec.payloads);
+  EXPECT_TRUE(r.has_begin);
+  EXPECT_EQ(r.share, "cell");
+  EXPECT_EQ(r.strategy, "sa");
+  EXPECT_EQ(r.backend, "sim");
+  EXPECT_EQ(r.seed, 17u);
+  EXPECT_EQ(r.workers, 1);
+  EXPECT_EQ(r.schedule.workers, 1);
+  ASSERT_EQ(r.schedule.queues.size(), 1u);
+  EXPECT_EQ(r.schedule.queues[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(r.probes, 5);
+  EXPECT_EQ(r.sessions, 2);
+
+  // The completed cell is restored verbatim; its probes are gone.
+  ASSERT_EQ(r.completion_order, std::vector<std::string>{"B/Diag#0"});
+  const RestoredCell& rc = r.completed.at("B/Diag#0");
+  EXPECT_EQ(rc.result.result.experiments, 3);
+  EXPECT_DOUBLE_EQ(rc.result.result.elapsed_seconds, 120.0);
+  ASSERT_EQ(rc.inserts.size(), 1u);
+  EXPECT_EQ(rc.delta.hits, 2);
+  EXPECT_EQ(r.partial.count("B/Diag#0"), 0u);
+
+  // The partial cell's probes are the splice prefix, bit-exact.
+  ASSERT_EQ(r.partial.count("B/Diag#1"), 1u);
+  const std::vector<workload::TraceProbe>& prefix = r.partial.at("B/Diag#1");
+  ASSERT_EQ(prefix.size(), partial_probes.size());
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i].workload, partial_probes[i].workload);
+    EXPECT_EQ(prefix[i].rng_after, partial_probes[i].rng_after);
+  }
+  ASSERT_EQ(r.partial_inserts.count("B/Diag#1"), 1u);
+  EXPECT_EQ(r.partial_inserts.at("B/Diag#1").entries.size(), 3u);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].what, "lease");
+  EXPECT_EQ(r.events[0].lease, 1u);
+  ASSERT_EQ(r.driver_state.count("B/Diag#0"), 1u);
+  EXPECT_EQ(core::DriverProgress::from_json(
+                JsonValue::parse(r.driver_state.at("B/Diag#0")).at("state"))
+                .experiments,
+            3);
+
+  // Checkpoint salvage: the completed cell's inserts land under its scope,
+  // the partial cell's streamed extractions dedup by MFS index (the
+  // resumed-session double-journal case) and count as knowledge only.
+  const CampaignCheckpoint ckpt = journal_to_checkpoint(r);
+  EXPECT_EQ(ckpt.share, "cell");
+  EXPECT_EQ(ckpt.completed_cells, std::vector<std::string>{"B/Diag#0"});
+  ASSERT_EQ(ckpt.scopes.count("B/Diag#0"), 1u);
+  EXPECT_EQ(ckpt.scopes.at("B/Diag#0").size(), 1u);
+  ASSERT_EQ(ckpt.scopes.count("B/Diag#1"), 1u);
+  EXPECT_EQ(ckpt.scopes.at("B/Diag#1").size(), 2u);  // m0 deduped
+
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournalRecords, ParseRejectsUnknownShapesLoudly) {
+  // An unknown journal-native record (a journal from a newer build).
+  EXPECT_THROW(parse_journal({R"({"record":"hologram"})"}), JsonError);
+  // A second begin record (only resume markers may follow a begin).
+  const std::string begin =
+      R"({"record":"begin","share":"cell","strategy":"sa","seed":1,)"
+      R"("workers":1,"backend":"sim","schedule":)"
+      R"("{\"workers\":1,\"queues\":[[]],\"labels\":[[]],\"budgets\":[[]]}"})";
+  ASSERT_NO_THROW(parse_journal({begin}));
+  EXPECT_THROW(parse_journal({begin, begin}), JsonError);
+  // A fleet message that is not a cell_done.
+  EXPECT_THROW(
+      parse_journal({R"({"type":"ack","sender":0,"seq":1,"lease":1})"}),
+      JsonError);
+  // Not JSON at all.
+  EXPECT_THROW(parse_journal({"not json"}), JsonError);
+}
+
+// ---- progress documents -----------------------------------------------------
+
+TEST(ProgressDocuments, DriverProgressRoundTripsByteIdentically) {
+  core::DriverProgress p;
+  p.phase = "sa";
+  p.counter_phase = 2;
+  p.temperature = 0.375;
+  p.experiments = 41;
+  p.elapsed_seconds = 1234.5;
+  p.mfs_skips = 7;
+  p.anomalies = 3;
+  const std::string doc = p.to_json();
+  const core::DriverProgress back = core::DriverProgress::from_json_text(doc);
+  EXPECT_EQ(back.to_json(), doc);
+  EXPECT_EQ(back.phase, "sa");
+  EXPECT_EQ(back.counter_phase, 2);
+  EXPECT_DOUBLE_EQ(back.temperature, 0.375);
+  EXPECT_EQ(back.experiments, 41);
+  EXPECT_EQ(back.mfs_skips, 7);
+  EXPECT_EQ(back.anomalies, 3);
+  EXPECT_THROW(core::DriverProgress::from_json_text(doc.substr(0, 10)),
+               JsonError);
+}
+
+TEST(ProgressDocuments, BoProgressRoundTripsByteIdentically) {
+  const core::SearchSpace space(sim::subsystem('F'));
+  Rng rng(71);
+  baseline::BoProgress p;
+  p.phase = "bo";
+  p.experiments = 12;
+  p.elapsed_seconds = 900.25;
+  for (int i = 0; i < 3; ++i) {
+    baseline::BoProgress::DesignRow row;
+    row.workload = space.random_point(rng);
+    for (std::size_t c = 0; c < row.counters.perf.size(); ++c) {
+      row.counters.perf[c] = rng.uniform(0.0, 1e9);
+    }
+    for (std::size_t c = 0; c < row.counters.diag.size(); ++c) {
+      row.counters.diag[c] = rng.uniform(0.0, 100.0);
+    }
+    p.design.push_back(std::move(row));
+  }
+  const std::string doc = p.to_json();
+  const baseline::BoProgress back = baseline::BoProgress::from_json_text(doc);
+  EXPECT_EQ(back.to_json(), doc);
+  ASSERT_EQ(back.design.size(), 3u);
+  for (std::size_t i = 0; i < back.design.size(); ++i) {
+    EXPECT_EQ(back.design[i].workload, p.design[i].workload);
+    EXPECT_EQ(back.design[i].counters.perf, p.design[i].counters.perf);
+    EXPECT_EQ(back.design[i].counters.diag, p.design[i].counters.diag);
+  }
+  EXPECT_THROW(baseline::BoProgress::from_json_text(doc.substr(0, 25)),
+               JsonError);
+}
+
+}  // namespace
+}  // namespace collie::orchestrator

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +17,7 @@
 #include "orchestrator/campaign.h"
 #include "orchestrator/campaign_report.h"
 #include "orchestrator/checkpoint.h"
+#include "orchestrator/journal.h"
 #include "orchestrator/mfs_pool.h"
 #include "orchestrator/scheduler.h"
 #include "sim/subsystem.h"
@@ -1378,6 +1384,300 @@ TEST(CampaignTest, TelemetryDoesNotPerturbTheReport) {
   // The embedded document still parses as a report.
   const CampaignReport back = campaign_report_from_json(with_metrics);
   EXPECT_EQ(back.total_experiments, report.total_experiments);
+}
+
+// ---- Durable journal & crash resume -----------------------------------------
+
+std::string journal_tmp(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "collie_orch_journal_" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".torn").c_str());
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+CampaignConfig journaled_campaign_config() {
+  CampaignConfig config;
+  config.subsystems = {'B', 'F'};
+  config.modes = {core::GuidanceMode::kDiag};
+  config.seeds_per_cell = 2;  // 4 cells
+  config.budget.seconds = 0.3 * 3600.0;
+  config.campaign_seed = 17;
+  config.engine = fast_engine_opts();
+  config.workers = 2;
+  config.share = ShareScope::kCell;
+  config.execution = ExecutionMode::kDeterministic;
+  return config;
+}
+
+struct JournaledRun {
+  CampaignResult result;
+  std::string report_json;
+  i64 replayed = 0;  // probes served from the journaled prefix
+  i64 live = 0;      // probes executed on the real substrate
+};
+
+// Run `config` journaling into `path` (appending when the file already
+// holds a valid prefix), optionally resuming from parsed journal state —
+// exactly the wiring the campaign CLI does for --journal / --resume.
+JournaledRun run_journaled(CampaignConfig config, const std::string& path,
+                           const JournalResume* resume) {
+  CampaignJournal journal(path, /*journal_every=*/4);
+  auto splice =
+      std::make_shared<SpliceBackendFactory>(nullptr, resume, &journal);
+  config.journal = &journal;
+  config.resume = resume;
+  if (resume != nullptr) config.replay = resume->schedule;
+  config.backend_factory = splice;
+  JournaledRun out;
+  out.result = Campaign(config).run();
+  out.report_json = build_report(out.result).to_json();
+  out.replayed = splice->replayed();
+  out.live = splice->live();
+  return out;
+}
+
+i64 total_experiments(const CampaignResult& result) {
+  i64 total = 0;
+  for (const CellResult& cr : result.cells) total += cr.result.experiments;
+  return total;
+}
+
+// Journaling is pure observation: a journaled campaign's report is
+// byte-identical to the plain run's, every executed probe was journaled
+// live (none replayed), and the journal parses back into a fully completed
+// resume state.
+TEST(CampaignJournalTest, JournalingNeverPerturbsTheReport) {
+  const CampaignConfig config = journaled_campaign_config();
+  const std::string golden = build_report(Campaign(config).run()).to_json();
+
+  const std::string path = journal_tmp("perturb.journal");
+  const JournaledRun run = run_journaled(config, path, nullptr);
+  EXPECT_EQ(run.report_json, golden);
+  EXPECT_EQ(run.replayed, 0);
+  EXPECT_EQ(run.live, total_experiments(run.result));
+
+  const JournalRecovery rec = recover_journal(path, /*repair=*/false);
+  ASSERT_FALSE(rec.torn);
+  const JournalResume resume = parse_journal(rec.payloads);
+  EXPECT_TRUE(resume.has_begin);
+  EXPECT_EQ(resume.share, "cell");
+  EXPECT_EQ(resume.completed.size(), run.result.cells.size());
+  EXPECT_TRUE(resume.partial.empty());  // cell_done supersedes every probe
+  EXPECT_EQ(resume.probes, run.live);
+  std::remove(path.c_str());
+}
+
+// The tentpole acceptance, frame-boundary half: cut the journal after
+// every sampled record count ("crash after the Nth journaled probe"),
+// resume, and demand (a) a byte-identical report and (b) zero probes
+// re-spent inside journaled regions — every journaled probe of a partial
+// cell is replayed, restored cells re-execute nothing, and live probes are
+// exactly the lost remainder.
+TEST(CampaignJournalTest, ResumeFromEverySampledRecordPrefixIsByteIdentical) {
+  const CampaignConfig config = journaled_campaign_config();
+  const std::string path = journal_tmp("prefix-sweep.journal");
+  const JournaledRun full = run_journaled(config, path, nullptr);
+  const i64 total = total_experiments(full.result);
+
+  const JournalRecovery rec = recover_journal(path, /*repair=*/false);
+  ASSERT_FALSE(rec.torn);
+  const std::size_t frames = rec.payloads.size();
+  ASSERT_GT(frames, 12u);
+
+  std::vector<std::size_t> cuts = {1, frames - 1, frames};
+  for (std::size_t k = 4; k < frames; k += 7) cuts.push_back(k);
+  const std::string cut_path = journal_tmp("prefix-cut.journal");
+  for (const std::size_t k : cuts) {
+    std::remove(cut_path.c_str());
+    {
+      JournalWriter writer(cut_path);
+      for (std::size_t i = 0; i < k; ++i) writer.append(rec.payloads[i]);
+      writer.sync();
+    }
+    const JournalRecovery cut_rec = recover_journal(cut_path, /*repair=*/true);
+    ASSERT_FALSE(cut_rec.torn) << "cut " << k;
+    const JournalResume resume = parse_journal(cut_rec.payloads);
+    ASSERT_TRUE(resume.has_begin) << "cut " << k;
+
+    i64 restored = 0;
+    for (const auto& [label, rc] : resume.completed) {
+      (void)label;
+      restored += rc.result.result.experiments;
+    }
+    i64 journaled_prefix = 0;
+    for (const auto& [ctx, probes] : resume.partial) {
+      (void)ctx;
+      journaled_prefix += static_cast<i64>(probes.size());
+    }
+
+    const JournaledRun resumed = run_journaled(config, cut_path, &resume);
+    EXPECT_EQ(resumed.report_json, full.report_json) << "cut " << k;
+    EXPECT_EQ(resumed.replayed, journaled_prefix) << "cut " << k;
+    EXPECT_EQ(resumed.live, total - restored - journaled_prefix)
+        << "cut " << k;
+
+    // The resumed journal is append-only: it now parses as one fully
+    // completed campaign with a session boundary, never a second begin.
+    const JournalResume after =
+        parse_journal(recover_journal(cut_path, false).payloads);
+    EXPECT_EQ(after.sessions, 2) << "cut " << k;
+    EXPECT_EQ(after.completed.size(), full.result.cells.size()) << "cut " << k;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// The tentpole acceptance, torn-byte half, pinned at 1/2/4 workers: kill
+// the journal at arbitrary byte offsets (mid-frame tears included), let
+// recovery quarantine the torn suffix, and resume to a byte-identical
+// report.
+TEST(CampaignJournalTest, TornByteOffsetResumeIsByteIdenticalAt124Workers) {
+  for (const int workers : {1, 2, 4}) {
+    CampaignConfig config = journaled_campaign_config();
+    config.workers = workers;
+    const std::string path =
+        journal_tmp("torn-w" + std::to_string(workers) + ".journal");
+    const JournaledRun full = run_journaled(config, path, nullptr);
+    const std::string bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 400u);
+
+    const std::string cut_path =
+        journal_tmp("torn-cut-w" + std::to_string(workers) + ".journal");
+    for (const std::size_t cut : {bytes.size() * 3 / 10 + 1,
+                                  bytes.size() * 7 / 10 + 3,
+                                  bytes.size() - 5}) {
+      std::remove(cut_path.c_str());
+      std::remove((cut_path + ".torn").c_str());
+      spit(cut_path, bytes.substr(0, cut));
+      const JournalRecovery rec = recover_journal(cut_path, /*repair=*/true);
+      ASSERT_TRUE(rec.existed);
+      ASSERT_LE(rec.valid_bytes, cut);
+      if (rec.torn) {
+        // The torn suffix is quarantined byte-for-byte before resume.
+        EXPECT_EQ(slurp(rec.torn_path),
+                  bytes.substr(rec.valid_bytes, cut - rec.valid_bytes))
+            << workers << " workers, cut " << cut;
+        EXPECT_EQ(slurp(cut_path).size(), rec.valid_bytes);
+      }
+      const JournalResume resume = parse_journal(rec.payloads);
+      ASSERT_TRUE(resume.has_begin) << workers << " workers, cut " << cut;
+      const JournaledRun resumed = run_journaled(config, cut_path, &resume);
+      EXPECT_EQ(resumed.report_json, full.report_json)
+          << workers << " workers, cut " << cut;
+    }
+    std::remove(path.c_str());
+    std::remove(cut_path.c_str());
+    std::remove((cut_path + ".torn").c_str());
+  }
+}
+
+// Cutting exactly after a cell_done frame restores that cell verbatim: the
+// resumed campaign replays nothing for it, spends zero probes on it, and
+// still reports byte-identically.
+TEST(CampaignJournalTest, RestoredCellsShortCircuitWithZeroReplay) {
+  CampaignConfig config = journaled_campaign_config();
+  config.workers = 1;
+  const std::string path = journal_tmp("restored.journal");
+  const JournaledRun full = run_journaled(config, path, nullptr);
+
+  const JournalRecovery rec = recover_journal(path, /*repair=*/false);
+  std::size_t first_done = 0;
+  for (std::size_t i = 0; i < rec.payloads.size(); ++i) {
+    if (rec.payloads[i].find("\"type\":\"cell_done\"") != std::string::npos) {
+      first_done = i;
+      break;
+    }
+  }
+  ASSERT_GT(first_done, 0u);
+
+  const std::string cut_path = journal_tmp("restored-cut.journal");
+  {
+    JournalWriter writer(cut_path);
+    for (std::size_t i = 0; i <= first_done; ++i) {
+      writer.append(rec.payloads[i]);
+    }
+    writer.sync();
+  }
+  const JournalResume resume =
+      parse_journal(recover_journal(cut_path, true).payloads);
+  ASSERT_EQ(resume.completed.size(), 1u);
+  EXPECT_TRUE(resume.partial.empty());  // cut is a clean cell boundary
+
+  const JournaledRun resumed = run_journaled(config, cut_path, &resume);
+  EXPECT_EQ(resumed.report_json, full.report_json);
+  EXPECT_EQ(resumed.replayed, 0);
+  const i64 restored =
+      resume.completed.at(resume.completion_order.front())
+          .result.result.experiments;
+  EXPECT_EQ(resumed.live, total_experiments(full.result) - restored);
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// Subsystem-scoped sharing resumes too (deterministic execution): the pool
+// restore in completion order plus stats reconciliation keeps cross-worker
+// attribution byte-identical.
+TEST(CampaignJournalTest, SubsystemShareDeterministicResumeIsByteIdentical) {
+  CampaignConfig config = journaled_campaign_config();
+  config.share = ShareScope::kSubsystem;
+  const std::string path = journal_tmp("subsys.journal");
+  const JournaledRun full = run_journaled(config, path, nullptr);
+
+  const std::string bytes = slurp(path);
+  const std::string cut_path = journal_tmp("subsys-cut.journal");
+  spit(cut_path, bytes.substr(0, bytes.size() / 2));
+  const JournalResume resume =
+      parse_journal(recover_journal(cut_path, true).payloads);
+  ASSERT_TRUE(resume.has_begin);
+  const JournaledRun resumed = run_journaled(config, cut_path, &resume);
+  EXPECT_EQ(resumed.report_json, full.report_json);
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+  std::remove((cut_path + ".torn").c_str());
+}
+
+// Guard rails: the splice backend is a trace-kind substrate, so threaded
+// execution under subsystem sharing is rejected (resume's byte-identity
+// needs schedule-independent trajectories), and a journal recorded against
+// a different plan fails loudly instead of resuming wrong.
+TEST(CampaignJournalTest, ResumeGuardsRejectUnsoundConfigurations) {
+  const std::string path = journal_tmp("guards.journal");
+  CampaignJournal journal(path, 4);
+  auto splice =
+      std::make_shared<SpliceBackendFactory>(nullptr, nullptr, &journal);
+
+  CampaignConfig threaded = journaled_campaign_config();
+  threaded.share = ShareScope::kSubsystem;
+  threaded.execution = ExecutionMode::kThreads;
+  threaded.backend_factory = splice;
+  EXPECT_THROW(Campaign{threaded}, std::invalid_argument);
+
+  // Record a 4-cell journal, then try to resume a 6-cell campaign from it.
+  const CampaignConfig config = journaled_campaign_config();
+  const std::string rec_path = journal_tmp("guards-rec.journal");
+  (void)run_journaled(config, rec_path, nullptr);
+  const JournalResume resume =
+      parse_journal(recover_journal(rec_path, false).payloads);
+  ASSERT_FALSE(resume.completed.empty());
+  CampaignConfig drifted = config;
+  drifted.seeds_per_cell = 3;
+  EXPECT_THROW((void)run_journaled(drifted, rec_path, &resume),
+               std::invalid_argument);
+  std::remove(path.c_str());
+  std::remove(rec_path.c_str());
 }
 
 }  // namespace
